@@ -1,0 +1,212 @@
+//! Graphical balls-into-bins allocation.
+//!
+//! Section 6 of the paper sketches an extension where the two choices are not
+//! independent uniform bins but the two *endpoints of a random edge* of a
+//! fixed graph, and conjectures that for graphs with good expansion the same
+//! rank bounds hold. This module implements the graphical allocation process
+//! of Peres–Talwar–Wieder so that conjecture can be probed experimentally:
+//! the gap on a complete graph matches classic two-choice, degrades gracefully
+//! on sparser well-connected graphs, and blows up on poorly connected graphs
+//! (e.g. a cycle).
+
+use rank_stats::rng::{RandomSource, Xoshiro256};
+
+use crate::process::{load_stats, LoadStats};
+
+/// A balls-into-bins process whose two choices are the endpoints of a
+/// uniformly random edge of a fixed undirected graph.
+#[derive(Clone, Debug)]
+pub struct GraphicalAllocation {
+    loads: Vec<u64>,
+    edges: Vec<(usize, usize)>,
+    rng: Xoshiro256,
+    balls: u64,
+}
+
+impl GraphicalAllocation {
+    /// Creates a process on a graph with `bins` vertices and the given edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, the edge list is empty, or an edge endpoint is
+    /// out of range.
+    pub fn new(bins: usize, edges: Vec<(usize, usize)>, seed: u64) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(!edges.is_empty(), "need at least one edge");
+        for &(u, v) in &edges {
+            assert!(u < bins && v < bins, "edge ({u},{v}) out of range");
+        }
+        Self {
+            loads: vec![0; bins],
+            edges,
+            rng: Xoshiro256::seeded(seed),
+            balls: 0,
+        }
+    }
+
+    /// The complete graph on `bins` vertices: equivalent to classic two-choice
+    /// (up to the negligible difference of sampling without replacement).
+    pub fn complete(bins: usize, seed: u64) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..bins {
+            for v in (u + 1)..bins {
+                edges.push((u, v));
+            }
+        }
+        Self::new(bins, edges, seed)
+    }
+
+    /// The cycle graph on `bins` vertices: the canonical poorly-mixing case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 3`.
+    pub fn cycle(bins: usize, seed: u64) -> Self {
+        assert!(bins >= 3, "a cycle needs at least three vertices");
+        let edges = (0..bins).map(|u| (u, (u + 1) % bins)).collect();
+        Self::new(bins, edges, seed)
+    }
+
+    /// A random d-regular-ish multigraph built from `d` random perfect
+    /// matchings-by-shift: vertex `u` is connected to `(u + s_k) mod bins` for
+    /// `d` random shifts `s_k`. Good expansion with overwhelming probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2` or `degree == 0`.
+    pub fn random_regular(bins: usize, degree: usize, seed: u64) -> Self {
+        assert!(bins >= 2, "need at least two vertices");
+        assert!(degree > 0, "degree must be positive");
+        let mut seeder = Xoshiro256::seeded(seed ^ 0xABCD_EF01);
+        let mut edges = Vec::new();
+        for _ in 0..degree {
+            let shift = 1 + seeder.next_index(bins - 1);
+            for u in 0..bins {
+                edges.push((u, (u + shift) % bins));
+            }
+        }
+        Self::new(bins, edges, seed)
+    }
+
+    /// Number of vertices (bins).
+    pub fn bins(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of balls inserted so far.
+    pub fn balls(&self) -> u64 {
+        self.balls
+    }
+
+    /// Current per-vertex loads.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Inserts one ball into the less-loaded endpoint of a random edge.
+    /// Returns the chosen vertex.
+    pub fn insert(&mut self) -> usize {
+        let (u, v) = self.edges[self.rng.next_index(self.edges.len())];
+        let chosen = if self.loads[u] <= self.loads[v] { u } else { v };
+        self.loads[chosen] += 1;
+        self.balls += 1;
+        chosen
+    }
+
+    /// Inserts `count` balls.
+    pub fn insert_many(&mut self, count: u64) {
+        for _ in 0..count {
+            self.insert();
+        }
+    }
+
+    /// Load statistics over the vertices.
+    pub fn stats(&self) -> LoadStats {
+        load_stats(&self.loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ball_conservation() {
+        let mut g = GraphicalAllocation::complete(16, 1);
+        g.insert_many(1000);
+        assert_eq!(g.balls(), 1000);
+        assert_eq!(g.loads().iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn complete_graph_matches_two_choice_quality() {
+        let bins = 32;
+        let mut g = GraphicalAllocation::complete(bins, 7);
+        g.insert_many(bins as u64 * 300);
+        let gap = g.stats().gap_above_mean;
+        assert!(gap < 2.0 * (bins as f64).ln(), "complete-graph gap {gap} too large");
+    }
+
+    #[test]
+    fn cycle_is_worse_than_complete() {
+        let bins = 64;
+        let balls = bins as u64 * 300;
+        let mut complete = GraphicalAllocation::complete(bins, 3);
+        let mut cycle = GraphicalAllocation::cycle(bins, 3);
+        complete.insert_many(balls);
+        cycle.insert_many(balls);
+        let gc = complete.stats().gap_above_mean;
+        let gy = cycle.stats().gap_above_mean;
+        assert!(
+            gy > gc,
+            "cycle gap {gy} should exceed complete-graph gap {gc}"
+        );
+    }
+
+    #[test]
+    fn random_regular_is_close_to_complete() {
+        let bins = 64;
+        let balls = bins as u64 * 300;
+        let mut complete = GraphicalAllocation::complete(bins, 11);
+        let mut regular = GraphicalAllocation::random_regular(bins, 8, 11);
+        complete.insert_many(balls);
+        regular.insert_many(balls);
+        let gc = complete.stats().gap_above_mean;
+        let gr = regular.stats().gap_above_mean;
+        // An 8-regular expander should be within a small constant factor.
+        assert!(
+            gr <= 4.0 * gc.max(1.0),
+            "regular-graph gap {gr} should be comparable to complete-graph gap {gc}"
+        );
+    }
+
+    #[test]
+    fn constructors_validate_input() {
+        assert_eq!(GraphicalAllocation::cycle(5, 0).edges(), 5);
+        assert_eq!(GraphicalAllocation::complete(5, 0).edges(), 10);
+        assert_eq!(GraphicalAllocation::random_regular(10, 3, 0).edges(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = GraphicalAllocation::new(3, vec![(0, 5)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one edge")]
+    fn empty_edges_panics() {
+        let _ = GraphicalAllocation::new(3, vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three vertices")]
+    fn tiny_cycle_panics() {
+        let _ = GraphicalAllocation::cycle(2, 0);
+    }
+}

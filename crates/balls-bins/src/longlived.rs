@@ -1,0 +1,195 @@
+//! Heavily-loaded / long-lived balls-into-bins process.
+//!
+//! Appendix A of the paper reduces the round-robin labelled process to a
+//! *long-lived* two-choice process on "virtual bins": every removal from queue
+//! `i` is a ball insertion into virtual bin `i`, and the two-choice removal
+//! rule picks the less-loaded virtual bin. Appendix B then uses the known
+//! Θ(t/n + √(t/n · log n)) maximum load of the *single-choice* long-lived
+//! process to prove divergence. [`LongLivedProcess`] runs the insertion side
+//! of this reduction for an arbitrary number of steps so both gap behaviours
+//! can be measured directly (experiment T7).
+
+use rank_stats::rng::{RandomSource, Xoshiro256};
+
+use crate::process::{load_stats, ChoiceRule, LoadStats};
+
+/// A long-lived allocation process tracking the evolution of the load gap.
+#[derive(Clone, Debug)]
+pub struct LongLivedProcess {
+    loads: Vec<u64>,
+    rule: ChoiceRule,
+    rng: Xoshiro256,
+    steps: u64,
+}
+
+impl LongLivedProcess {
+    /// Creates a process over `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize, rule: ChoiceRule, seed: u64) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            loads: vec![0; bins],
+            rule,
+            rng: Xoshiro256::seeded(seed),
+            steps: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of insertion steps performed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The current load vector.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Performs one insertion step; returns the chosen bin.
+    pub fn step(&mut self) -> usize {
+        let n = self.loads.len();
+        let bin = match self.rule {
+            ChoiceRule::SingleChoice => self.rng.next_index(n),
+            ChoiceRule::DChoice(d) => {
+                let mut best = self.rng.next_index(n);
+                for _ in 1..d {
+                    let c = self.rng.next_index(n);
+                    if self.loads[c] < self.loads[best] {
+                        best = c;
+                    }
+                }
+                best
+            }
+            ChoiceRule::OnePlusBeta(beta) => {
+                let first = self.rng.next_index(n);
+                if self.rng.next_bool(beta) {
+                    let second = self.rng.next_index(n);
+                    if self.loads[second] < self.loads[first] {
+                        second
+                    } else {
+                        first
+                    }
+                } else {
+                    first
+                }
+            }
+        };
+        self.loads[bin] += 1;
+        self.steps += 1;
+        bin
+    }
+
+    /// Runs `count` steps.
+    pub fn run(&mut self, count: u64) {
+        for _ in 0..count {
+            self.step();
+        }
+    }
+
+    /// Runs until `total` steps have been performed, sampling the gap above
+    /// the mean every `sample_every` steps. Returns `(step, gap)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every == 0`.
+    pub fn run_sampling_gap(&mut self, total: u64, sample_every: u64) -> Vec<(u64, f64)> {
+        assert!(sample_every > 0, "sample interval must be positive");
+        let mut samples = Vec::new();
+        while self.steps < total {
+            self.step();
+            if self.steps % sample_every == 0 {
+                samples.push((self.steps, self.stats().gap_above_mean));
+            }
+        }
+        samples
+    }
+
+    /// Current load statistics.
+    pub fn stats(&self) -> LoadStats {
+        load_stats(&self.loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_accounting() {
+        let mut p = LongLivedProcess::new(8, ChoiceRule::TwoChoice, 1);
+        p.run(100);
+        assert_eq!(p.steps(), 100);
+        assert_eq!(p.loads().iter().sum::<u64>(), 100);
+        assert_eq!(p.bins(), 8);
+    }
+
+    #[test]
+    fn two_choice_gap_stays_bounded_as_time_grows() {
+        // The heavily-loaded result [7, 30]: the two-choice gap is independent
+        // of t (Θ(log n) w.h.p.). Run a long process and check the gap at the
+        // end is not much larger than midway through.
+        let bins = 32;
+        let mut p = LongLivedProcess::new(bins, ChoiceRule::TwoChoice, 77);
+        p.run(bins as u64 * 500);
+        let mid_gap = p.stats().gap_above_mean;
+        p.run(bins as u64 * 4500);
+        let end_gap = p.stats().gap_above_mean;
+        assert!(
+            end_gap <= mid_gap + 3.0 * (bins as f64).ln(),
+            "two-choice gap should not grow with time: mid {mid_gap}, end {end_gap}"
+        );
+        assert!(end_gap < 3.0 * (bins as f64).ln());
+    }
+
+    #[test]
+    fn single_choice_gap_grows_with_time() {
+        let bins = 32;
+        let mut p = LongLivedProcess::new(bins, ChoiceRule::SingleChoice, 78);
+        p.run(bins as u64 * 500);
+        let early_gap = p.stats().gap_above_mean;
+        p.run(bins as u64 * 19_500);
+        let late_gap = p.stats().gap_above_mean;
+        // Expect roughly sqrt(t) growth: from 500 to 20000 per-bin steps the
+        // gap should grow by a factor noticeably above 2.
+        assert!(
+            late_gap > early_gap * 2.0,
+            "single-choice gap should diverge: early {early_gap}, late {late_gap}"
+        );
+    }
+
+    #[test]
+    fn sampling_records_requested_points() {
+        let mut p = LongLivedProcess::new(4, ChoiceRule::TwoChoice, 5);
+        let samples = p.run_sampling_gap(100, 25);
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].0, 25);
+        assert_eq!(samples[3].0, 100);
+        assert!(samples.iter().all(|&(_, gap)| gap >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample interval must be positive")]
+    fn zero_sample_interval_panics() {
+        let mut p = LongLivedProcess::new(4, ChoiceRule::TwoChoice, 5);
+        let _ = p.run_sampling_gap(10, 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = |seed| {
+            let mut p = LongLivedProcess::new(16, ChoiceRule::OnePlusBeta(0.3), seed);
+            p.run(2000);
+            p.loads().to_vec()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+}

@@ -1,0 +1,140 @@
+//! A single binary heap behind one global lock.
+//!
+//! The simplest *exact* concurrent priority queue. Every operation serialises
+//! on the one lock, so throughput is flat (or falls) as threads are added —
+//! the sequential bottleneck that the impossibility results cited in the
+//! paper's introduction make unavoidable for exact semantics, and the reason
+//! relaxed designs like the MultiQueue exist.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use choice_pq::{ConcurrentPriorityQueue, Key};
+use seq_pq::{BinaryHeap, SequentialPriorityQueue};
+
+/// An exact concurrent priority queue: one lock, one heap.
+#[derive(Debug)]
+pub struct CoarseHeap<V> {
+    heap: Mutex<BinaryHeap<V>>,
+    len: AtomicUsize,
+}
+
+impl<V> CoarseHeap<V> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: Mutex::new(BinaryHeap::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates an empty queue with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: Mutex::new(BinaryHeap::with_capacity(capacity)),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<V> Default for CoarseHeap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for CoarseHeap<V> {
+    fn insert(&self, key: Key, value: V) {
+        let mut heap = self.heap.lock();
+        heap.push(key, value);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn delete_min(&self) -> Option<(Key, V)> {
+        let mut heap = self.heap.lock();
+        let popped = heap.pop();
+        if popped.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        popped
+    }
+
+    fn approx_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> String {
+        "coarse-locked-heap".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn exact_semantics_sequentially() {
+        let q = CoarseHeap::new();
+        for k in [9u64, 2, 7, 4, 1] {
+            q.insert(k, k * 10);
+        }
+        assert_eq!(q.approx_len(), 5);
+        let mut out = Vec::new();
+        while let Some((k, v)) = q.delete_min() {
+            assert_eq!(v, k * 10);
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 2, 4, 7, 9]);
+        assert!(q.is_empty());
+        assert_eq!(q.delete_min(), None);
+        assert_eq!(q.name(), "coarse-locked-heap");
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        let threads = 4;
+        let per_thread = 2_000u64;
+        let q = Arc::new(CoarseHeap::with_capacity(1024));
+        let removed: Vec<u64> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                handles.push(scope.spawn(move || {
+                    let base = t as u64 * per_thread;
+                    let mut got = Vec::new();
+                    for i in 0..per_thread {
+                        q.insert(base + i, base + i);
+                        if i % 3 == 2 {
+                            if let Some((k, _)) = q.delete_min() {
+                                got.push(k);
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: HashSet<u64> = removed.into_iter().collect();
+        while let Some((k, _)) = q.delete_min() {
+            assert!(all.insert(k), "duplicate key {k}");
+        }
+        assert_eq!(all.len() as u64, threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn exactness_under_interleaving() {
+        // Because the heap is exact, a delete_min never returns a key larger
+        // than one that is still present from an earlier insert batch.
+        let q = CoarseHeap::new();
+        q.insert(100, ());
+        q.insert(1, ());
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(1));
+        q.insert(50, ());
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(50));
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(100));
+    }
+}

@@ -1,0 +1,229 @@
+//! A centralized skiplist-based priority queue (Lindén–Jonsson-style,
+//! simplified).
+//!
+//! The Lindén–Jonsson queue keeps all elements in one skiplist ordered by key;
+//! `delete_min` *logically* deletes the head by setting a flag and only
+//! occasionally performs the more expensive physical unlinking, in batches,
+//! which is where its low memory contention comes from. The original is
+//! lock-free (CAS on node pointers); this reproduction keeps the same
+//! structural ideas — one shared sorted skiplist, logical deletion markers,
+//! batched physical cleanup — but protects pointer updates with a lock, as
+//! permitted by the substitution policy in `DESIGN.md`. What matters for the
+//! paper's comparison is that the structure is *centralized and exact*: every
+//! `delete_min` fights over the same head region, so it cannot scale the way
+//! the distributed MultiQueue does.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use choice_pq::{ConcurrentPriorityQueue, Key};
+use seq_pq::{SequentialPriorityQueue, SkipListPq};
+
+/// How many logically deleted heads may accumulate before a physical cleanup
+/// pass is performed.
+const CLEANUP_BATCH: usize = 32;
+
+#[derive(Debug)]
+struct Inner<V> {
+    /// The ordered element store.
+    list: SkipListPq<V>,
+    /// Entries popped from `list` but not yet handed out: the "logically
+    /// deleted prefix" that physical cleanup works through. Kept sorted
+    /// because entries are appended in ascending key order.
+    pending: std::collections::VecDeque<(Key, V)>,
+}
+
+/// An exact, centralized skiplist priority queue with batched head cleanup.
+#[derive(Debug)]
+pub struct SkipListQueue<V> {
+    inner: Mutex<Inner<V>>,
+    len: AtomicUsize,
+}
+
+impl<V> SkipListQueue<V> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::with_seed(0x51C2_11D7)
+    }
+
+    /// Creates an empty queue with an explicit skiplist tower seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                list: SkipListPq::with_seed(seed),
+                pending: std::collections::VecDeque::new(),
+            }),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<V> Default for SkipListQueue<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for SkipListQueue<V> {
+    fn insert(&self, key: Key, value: V) {
+        let mut inner = self.inner.lock();
+        // An insert below the pending prefix must bypass the prefix, otherwise
+        // it would be returned out of order relative to pending entries.
+        inner.list.push(key, value);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn delete_min(&self) -> Option<(Key, V)> {
+        let mut inner = self.inner.lock();
+        // Serve from the logically-deleted prefix when it is still correct to
+        // do so (its head is no larger than the list head); otherwise pop the
+        // list directly. Refill the prefix in batches to amortise list pops,
+        // mimicking the batched physical deletion of Lindén–Jonsson.
+        let list_top = inner.list.peek_key();
+        let pending_top = inner.pending.front().map(|(k, _)| *k);
+        let use_pending = match (pending_top, list_top) {
+            (Some(p), Some(l)) => p <= l,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let result = if use_pending {
+            inner.pending.pop_front()
+        } else if list_top.is_some() {
+            if inner.pending.is_empty() {
+                // Batch-refill the pending prefix, then serve from it.
+                for _ in 0..CLEANUP_BATCH {
+                    match inner.list.pop() {
+                        Some(entry) => inner.pending.push_back(entry),
+                        None => break,
+                    }
+                }
+                inner.pending.pop_front()
+            } else {
+                // The list head is smaller than the pending prefix (a fresh
+                // insert undercut it): serve the list head directly so keys
+                // still come out in exact order.
+                inner.list.pop()
+            }
+        } else {
+            None
+        };
+        if result.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn approx_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> String {
+        "skiplist-queue".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn exact_order_sequentially() {
+        let q = SkipListQueue::new();
+        for k in [40u64, 10, 30, 20, 50] {
+            q.insert(k, k);
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = q.delete_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+        assert_eq!(q.delete_min(), None);
+        assert_eq!(q.name(), "skiplist-queue");
+    }
+
+    #[test]
+    fn interleaved_inserts_below_the_pending_prefix_are_served_in_order() {
+        let q = SkipListQueue::new();
+        // Force a batch refill by inserting more than one batch worth.
+        for k in 100..200u64 {
+            q.insert(k, k);
+        }
+        // Pop a few to populate the pending prefix.
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(100));
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(101));
+        // Now insert keys *smaller* than the pending prefix head; they must be
+        // returned before the prefix continues.
+        q.insert(5, 5);
+        q.insert(7, 7);
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(5));
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(7));
+        assert_eq!(q.delete_min().map(|(k, _)| k), Some(102));
+    }
+
+    #[test]
+    fn exactness_over_a_large_shuffled_workload() {
+        let q = SkipListQueue::new();
+        let mut k = 1u64;
+        for _ in 0..5_000 {
+            k = (k * 48271) % 5_001;
+            q.insert(k, ());
+        }
+        let mut prev = 0;
+        let mut count = 0;
+        while let Some((key, ())) = q.delete_min() {
+            assert!(key >= prev, "keys must come out sorted");
+            prev = key;
+            count += 1;
+        }
+        assert_eq!(count, 5_000);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        let threads = 4;
+        let per_thread = 2_000u64;
+        let q = Arc::new(SkipListQueue::new());
+        let removed: Vec<u64> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                handles.push(scope.spawn(move || {
+                    let base = t as u64 * per_thread;
+                    let mut got = Vec::new();
+                    for i in 0..per_thread {
+                        q.insert(base + i, base + i);
+                        if i % 2 == 1 {
+                            if let Some((k, _)) = q.delete_min() {
+                                got.push(k);
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: HashSet<u64> = removed.into_iter().collect();
+        while let Some((k, _)) = q.delete_min() {
+            assert!(all.insert(k), "duplicate key {k}");
+        }
+        assert_eq!(all.len() as u64, threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn len_tracks_operations() {
+        let q = SkipListQueue::new();
+        for k in 0..100u64 {
+            q.insert(k, ());
+        }
+        assert_eq!(q.approx_len(), 100);
+        for _ in 0..60 {
+            q.delete_min();
+        }
+        assert_eq!(q.approx_len(), 40);
+        assert!(!q.is_empty());
+    }
+}

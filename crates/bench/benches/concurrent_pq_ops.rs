@@ -1,0 +1,68 @@
+//! C1 (part 2) — single-threaded per-operation cost of every concurrent
+//! priority queue (the uncontended fast path), plus the β ablation for the
+//! MultiQueue and the queues-per-thread ablation called out in DESIGN.md.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use choice_bench::{build_queue, QueueSpec};
+use choice_pq::ConcurrentPriorityQueue;
+use rank_stats::rng::{RandomSource, Xoshiro256};
+
+const PREFILL: usize = 20_000;
+const OPS: usize = 1_000;
+
+fn keys(count: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256::seeded(seed);
+    (0..count).map(|_| rng.next_below(1 << 32)).collect()
+}
+
+fn bench_spec(c: &mut Criterion, group: &str, spec: QueueSpec) {
+    let prefill_keys = keys(PREFILL, 1);
+    let op_keys = keys(OPS, 2);
+    c.bench_function(&format!("{group}/{}", spec.label()), |b| {
+        b.iter_batched(
+            || {
+                let q = build_queue(spec, 2, 7);
+                for &k in &prefill_keys {
+                    q.insert(k, k);
+                }
+                q
+            },
+            |q: Arc<dyn ConcurrentPriorityQueue<u64>>| {
+                for &k in &op_keys {
+                    q.insert(k, k);
+                    q.delete_min();
+                }
+                q.approx_len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    // The Figure 1/3 lineup, uncontended.
+    for spec in QueueSpec::figure_lineup() {
+        bench_spec(c, "concurrent_pq", spec);
+    }
+    // Ablation: β sweep at fixed queue count.
+    for beta in [1.0, 0.5, 0.25, 0.0] {
+        bench_spec(c, "ablation_beta", QueueSpec::multiqueue(beta));
+    }
+    // Ablation: queues-per-thread factor.
+    for c_factor in [1usize, 2, 4, 8] {
+        bench_spec(
+            c,
+            "ablation_queues_per_thread",
+            QueueSpec::MultiQueue {
+                beta: 1.0,
+                queues_per_thread: c_factor,
+            },
+        );
+    }
+}
+
+criterion_group!(concurrent_pq_ops, benches);
+criterion_main!(concurrent_pq_ops);

@@ -1,0 +1,43 @@
+//! C1 (part 3) — cost of simulating the analysed processes themselves
+//! (the sequential labelled process with exact rank accounting, and the
+//! exponential top process), so the table/figure binaries' run times can be
+//! budgeted and regressions in the simulators are caught.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use choice_process::{ExponentialTopProcess, ProcessConfig, SequentialProcess};
+
+fn benches(c: &mut Criterion) {
+    for (n, beta) in [(16usize, 1.0f64), (64, 1.0), (64, 0.5)] {
+        c.bench_function(
+            &format!("sequential_process/alternating/n={n}/beta={beta}"),
+            |b| {
+                b.iter_batched(
+                    || {
+                        let mut p = SequentialProcess::new(
+                            ProcessConfig::new(n).with_beta(beta).with_seed(1),
+                        );
+                        p.prefill(n as u64 * 200);
+                        p
+                    },
+                    |mut p| p.run_alternating(5_000, 0),
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+
+    c.bench_function("exponential_process/step/n=64", |b| {
+        b.iter_batched(
+            || ExponentialTopProcess::new(ProcessConfig::new(64).with_seed(1)),
+            |mut p| {
+                p.run(5_000);
+                p.mu()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(sequential_process, benches);
+criterion_main!(sequential_process);

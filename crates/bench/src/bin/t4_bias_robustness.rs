@@ -1,0 +1,57 @@
+//! T4 — robustness to insertion bias γ.
+//!
+//! Section 4 shows the rank bounds survive an insertion distribution that is
+//! biased by a constant factor γ as long as β = Ω(γ). We sweep γ for the
+//! two-choice process and for a (1 + β) process with β = 0.5, and also show the
+//! single-choice process for contrast (which degrades badly because biased
+//! queues accumulate backlogs).
+
+use choice_bench::report::{f2, print_header, print_row, print_section};
+use choice_process::{BiasSpec, ProcessConfig, SequentialProcess};
+
+fn run(n: usize, beta: f64, gamma: f64, steps: u64) -> (f64, u64, f64) {
+    let mut cfg = ProcessConfig::new(n).with_beta(beta).with_seed(31);
+    if gamma > 0.0 {
+        cfg = cfg.with_bias_gamma(gamma);
+    }
+    let realized = BiasSpec::realized_gamma(&cfg.insertion_probabilities());
+    let mut process = SequentialProcess::new(cfg);
+    let summary = process.run_alternating(steps, (n as u64) * 1_000);
+    (summary.mean_rank, summary.max_rank, realized)
+}
+
+fn main() {
+    let n = 32usize;
+    let steps: u64 = 250_000;
+    let gammas = [0.0, 0.1, 0.25, 0.5];
+
+    print_section("T4", "bias robustness: rank bounds under insertion bias gamma");
+    println!("n = {n}, {steps} alternating steps per configuration");
+    print_header(&[
+        "gamma (nominal)",
+        "gamma (realized)",
+        "beta=1 mean",
+        "beta=1 max",
+        "beta=0.5 mean",
+        "beta=0 mean",
+    ]);
+
+    for &gamma in &gammas {
+        let (mean_two, max_two, realized) = run(n, 1.0, gamma, steps);
+        let (mean_half, _, _) = run(n, 0.5, gamma, steps);
+        let (mean_single, _, _) = run(n, 0.0, gamma, steps);
+        print_row(&[
+            format!("{gamma}"),
+            f2(realized),
+            f2(mean_two),
+            max_two.to_string(),
+            f2(mean_half),
+            f2(mean_single),
+        ]);
+    }
+    println!();
+    println!(
+        "Expected shape: the beta=1 and beta=0.5 columns stay O(n) across the gamma sweep \
+         (rising mildly with gamma); the beta=0 column is much larger and grows with run length."
+    );
+}

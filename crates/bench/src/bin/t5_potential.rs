@@ -1,0 +1,70 @@
+//! T5 — Theorem 3: E[Γ(t)] = O(n) for the exponential process.
+//!
+//! We run the exponential top process, sample the potential Γ(t)/n along the
+//! trajectory, and report its mean, max and the drift-violation rate above the
+//! O(n) threshold (the empirical counterpart of the Lemma 2 supermartingale
+//! property). The single-choice process is included to show the potential
+//! genuinely blows up without the second choice.
+
+use choice_bench::report::{f2, print_header, print_row, print_section};
+use choice_process::potential::{PotentialParams, PotentialSnapshot, PotentialTrajectory};
+use choice_process::{ExponentialTopProcess, ProcessConfig};
+
+fn trajectory(n: usize, beta: f64, steps: u64, samples: u64) -> PotentialTrajectory {
+    // Measure every configuration with the same exponent alpha = 1/16 (the
+    // value the analysis pairs with beta = 1) so the rows are comparable; for
+    // beta = 0 the theorem gives no bound and the potential should visibly
+    // blow up at this alpha.
+    let alpha = PotentialParams::from_beta_gamma(1.0, 0.0).alpha;
+    let cfg = ProcessConfig::new(n).with_beta(beta).with_seed(3);
+    let mut process = ExponentialTopProcess::new(cfg);
+    let mut traj = PotentialTrajectory::new();
+    let interval = (steps / samples).max(1);
+    for step in 0..steps {
+        process.step();
+        if step % interval == 0 {
+            let snap = PotentialSnapshot::compute(&process.deviations(), alpha);
+            traj.push(step, snap.gamma_per_bin);
+        }
+    }
+    traj
+}
+
+fn main() {
+    let steps: u64 = 400_000;
+    let samples = 200;
+    let configs = [
+        (16usize, 1.0),
+        (32, 1.0),
+        (64, 1.0),
+        (32, 0.5),
+        (32, 0.0), // single choice, for contrast
+    ];
+
+    print_section("T5", "Theorem 3: the potential Gamma(t) stays O(n)");
+    println!("{steps} removal steps per configuration, {samples} potential samples");
+    print_header(&[
+        "n",
+        "beta",
+        "mean Gamma/n",
+        "max Gamma/n",
+        "drift-violation",
+    ]);
+
+    for &(n, beta) in &configs {
+        let traj = trajectory(n, beta, steps, samples);
+        print_row(&[
+            n.to_string(),
+            format!("{beta}"),
+            f2(traj.mean_gamma_per_bin()),
+            f2(traj.max_gamma_per_bin()),
+            f2(traj.drift_violation_rate(4.0)),
+        ]);
+    }
+    println!();
+    println!(
+        "Expected shape: for beta > 0 the mean and max of Gamma/n are small constants \
+         (independent of n) and the potential usually decreases when above the threshold; \
+         for beta = 0 the potential grows without bound."
+    );
+}

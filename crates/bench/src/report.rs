@@ -1,0 +1,65 @@
+//! Plain-text table output helpers.
+//!
+//! Every binary prints one or more tables with a fixed-width layout so the
+//! output can be pasted into EXPERIMENTS.md verbatim and diffed across runs.
+
+/// Prints a section banner (the experiment id and its paper counterpart).
+pub fn print_section(id: &str, title: &str) {
+    println!();
+    println!("==== {id}: {title} ====");
+}
+
+/// Prints a table header row followed by a separator line.
+pub fn print_header(columns: &[&str]) {
+    let row = columns
+        .iter()
+        .map(|c| format!("{c:>18}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{row}");
+    println!("{}", "-".repeat(row.len()));
+}
+
+/// Prints one data row; values are already formatted strings.
+pub fn print_row(cells: &[String]) {
+    let row = cells
+        .iter()
+        .map(|c| format!("{c:>18}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{row}");
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an ops/s figure in Mops/s.
+pub fn mops(ops_per_second: f64) -> String {
+    format!("{:.3}", ops_per_second / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234");
+        assert_eq!(mops(2_500_000.0), "2.500");
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_section("F1", "throughput");
+        print_header(&["queue", "threads", "Mops/s"]);
+        print_row(&["multiqueue".into(), "4".into(), "1.234".into()]);
+    }
+}

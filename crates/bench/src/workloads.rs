@@ -1,0 +1,207 @@
+//! The three concurrent workloads of the paper's evaluation section.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use choice_pq::{ConcurrentPriorityQueue, InstrumentedHandle, MultiQueue, MultiQueueConfig};
+use rank_stats::inversion::InversionCounter;
+use rank_stats::rng::{RandomSource, Xoshiro256};
+use rank_stats::timing::OpsTimer;
+use sssp_graph::{parallel_sssp, Graph};
+
+/// Result of one throughput trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThroughputResult {
+    /// Completed operations (inserts + deleteMins).
+    pub operations: u64,
+    /// Operations per second.
+    pub ops_per_second: f64,
+}
+
+/// The Figure 1 workload: `threads` workers perform alternating
+/// insert/deleteMin pairs against a queue prefilled with `prefill` elements,
+/// for `ops_per_thread` operations each. Keys are drawn uniformly from a large
+/// key space, as in the benchmark framework the paper uses.
+///
+/// Removals that find the structure empty do not count towards throughput
+/// (matching the paper's methodology); with the prefill sized well above the
+/// drain rate they essentially never happen.
+pub fn throughput_workload(
+    queue: Arc<dyn ConcurrentPriorityQueue<u64>>,
+    threads: usize,
+    prefill: u64,
+    ops_per_thread: u64,
+    seed: u64,
+) -> ThroughputResult {
+    assert!(threads > 0, "need at least one thread");
+    let key_space = 1u64 << 40;
+    let mut rng = Xoshiro256::seeded(seed);
+    for _ in 0..prefill {
+        queue.insert(rng.next_below(key_space), 0);
+    }
+    let completed = Arc::new(AtomicU64::new(0));
+    let timer = OpsTimer::start();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let queue = Arc::clone(&queue);
+            let completed = Arc::clone(&completed);
+            scope.spawn(move || {
+                let mut rng = Xoshiro256::seeded(seed ^ (t as u64 + 1).wrapping_mul(0x9E37));
+                let mut done = 0u64;
+                let mut i = 0u64;
+                while done < ops_per_thread {
+                    if i % 2 == 0 {
+                        queue.insert(rng.next_below(key_space), t as u64);
+                        done += 1;
+                    } else if queue.delete_min().is_some() {
+                        done += 1;
+                    }
+                    i += 1;
+                }
+                completed.fetch_add(done, Ordering::Relaxed);
+            });
+        }
+    });
+    let operations = completed.load(Ordering::Relaxed);
+    ThroughputResult {
+        operations,
+        ops_per_second: timer.ops_per_second(operations),
+    }
+}
+
+/// Result of one rank-quality trial (Figure 2 methodology).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankQualityResult {
+    /// Number of removals analysed.
+    pub removals: u64,
+    /// Mean rank of the removed elements.
+    pub mean_rank: f64,
+    /// Maximum rank observed.
+    pub max_rank: u64,
+}
+
+/// The Figure 2 workload: a MultiQueue with `queues` lanes and the given β is
+/// prefilled with `prefill` consecutive keys; `threads` workers then perform
+/// alternating insert/deleteMin pairs (inserting fresh increasing keys) while
+/// logging every removal with a coherent timestamp. The merged logs are
+/// post-processed into rank statistics exactly as in Section 5.
+pub fn rank_quality_workload(
+    queues: usize,
+    beta: f64,
+    threads: usize,
+    prefill: u64,
+    ops_per_thread: u64,
+    seed: u64,
+) -> RankQualityResult {
+    assert!(threads > 0, "need at least one thread");
+    let queue = Arc::new(MultiQueue::<u64>::new(
+        MultiQueueConfig::with_queues(queues)
+            .with_beta(beta)
+            .with_seed(seed),
+    ));
+    for k in 0..prefill {
+        queue.insert(k, k);
+    }
+    let clock = InstrumentedHandle::<u64>::new_clock();
+    // Fresh keys continue after the prefill; a shared counter hands out blocks.
+    let next_key = Arc::new(AtomicU64::new(prefill));
+    let logs: Vec<Vec<rank_stats::inversion::TimestampedRemoval>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let queue = Arc::clone(&queue);
+                let clock = Arc::clone(&clock);
+                let next_key = Arc::clone(&next_key);
+                handles.push(scope.spawn(move || {
+                    let mut handle = InstrumentedHandle::new(queue, clock);
+                    for _ in 0..ops_per_thread {
+                        let key = next_key.fetch_add(1, Ordering::Relaxed);
+                        handle.insert(key, key);
+                        handle.delete_min();
+                    }
+                    handle.into_log()
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+    let mut counter = InversionCounter::new();
+    for log in logs {
+        counter.record_all(log);
+    }
+    let summary = counter.summarize();
+    RankQualityResult {
+        removals: summary.removals,
+        mean_rank: summary.mean_rank,
+        max_rank: summary.max_rank,
+    }
+}
+
+/// The Figure 3 workload: parallel SSSP from node 0 over the given queue.
+/// Returns `(seconds, stale_fraction)`.
+pub fn sssp_workload(
+    graph: &Graph,
+    queue: Arc<dyn ConcurrentPriorityQueue<u32>>,
+    threads: usize,
+) -> (f64, f64) {
+    let timer = OpsTimer::start();
+    let (_dist, stats) = parallel_sssp(graph, 0, queue, threads);
+    (timer.elapsed().as_secs_f64(), stats.stale_fraction())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::{build_queue, QueueSpec};
+    use sssp_graph::grid_graph;
+
+    #[test]
+    fn throughput_workload_completes_all_operations() {
+        let q = build_queue(QueueSpec::multiqueue(0.75), 2, 3);
+        let result = throughput_workload(q, 2, 2_000, 2_000, 3);
+        assert_eq!(result.operations, 4_000);
+        assert!(result.ops_per_second > 0.0);
+    }
+
+    #[test]
+    fn throughput_workload_on_exact_queues() {
+        let q = build_queue(QueueSpec::CoarseHeap, 2, 3);
+        let result = throughput_workload(q, 2, 500, 500, 3);
+        assert_eq!(result.operations, 1_000);
+    }
+
+    #[test]
+    fn rank_quality_single_thread_is_order_n() {
+        let r = rank_quality_workload(8, 1.0, 1, 20_000, 10_000, 5);
+        assert_eq!(r.removals, 10_000);
+        assert!(r.mean_rank >= 1.0);
+        assert!(
+            r.mean_rank < 4.0 * 8.0,
+            "single-threaded mean rank {} should be O(n)",
+            r.mean_rank
+        );
+        assert!(r.max_rank >= 1);
+    }
+
+    #[test]
+    fn rank_quality_beta_ordering() {
+        let tight = rank_quality_workload(8, 1.0, 2, 20_000, 5_000, 9);
+        let loose = rank_quality_workload(8, 0.125, 2, 20_000, 5_000, 9);
+        assert!(
+            loose.mean_rank > tight.mean_rank,
+            "beta=0.125 rank {} should exceed beta=1 rank {}",
+            loose.mean_rank,
+            tight.mean_rank
+        );
+    }
+
+    #[test]
+    fn sssp_workload_runs() {
+        let g = grid_graph(20, 20, 20, 1);
+        let q: Arc<dyn ConcurrentPriorityQueue<u32>> = Arc::new(
+            choice_pq::MultiQueue::new(MultiQueueConfig::with_queues(4).with_beta(0.75)),
+        );
+        let (seconds, stale) = sssp_workload(&g, q, 2);
+        assert!(seconds > 0.0);
+        assert!((0.0..=1.0).contains(&stale));
+    }
+}

@@ -1,0 +1,167 @@
+//! MultiQueue configuration.
+
+/// Configuration of a [`MultiQueue`](crate::queue::MultiQueue).
+///
+/// The paper (following Rihani et al.) sizes the structure as `c` queues per
+/// hardware thread with a small constant `c` (2–4); more queues mean less lock
+/// contention but weaker rank guarantees (the bounds scale with the total
+/// queue count `n`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiQueueConfig {
+    /// Total number of internal sequential queues `n`.
+    pub queues: usize,
+    /// The two-choice probability `β ∈ [0, 1]`. `β = 1` is the original
+    /// MultiQueue; the paper's experiments show `β ∈ {0.5, 0.75}` improves
+    /// throughput by up to 20% at a modest rank cost.
+    pub beta: f64,
+    /// Base seed for the per-thread random number generators.
+    pub seed: u64,
+    /// Maximum number of try-lock failures tolerated in one operation before
+    /// falling back to a blocking lock acquisition (prevents livelock on
+    /// heavily oversubscribed machines).
+    pub max_retries: usize,
+}
+
+impl MultiQueueConfig {
+    /// Queues-per-thread factor used by [`MultiQueueConfig::for_threads`].
+    pub const DEFAULT_QUEUES_PER_THREAD: usize = 2;
+
+    /// Creates a configuration with an explicit queue count, `β = 1`, and the
+    /// default seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues == 0`.
+    pub fn with_queues(queues: usize) -> Self {
+        assert!(queues > 0, "need at least one queue");
+        Self {
+            queues,
+            beta: 1.0,
+            seed: 0x5EED_CAFE,
+            max_retries: 64,
+        }
+    }
+
+    /// Creates a configuration sized for `threads` worker threads using the
+    /// standard `c = 2` queues-per-thread factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn for_threads(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        Self::with_queues(threads * Self::DEFAULT_QUEUES_PER_THREAD)
+    }
+
+    /// Creates a configuration sized for `threads` threads with an explicit
+    /// queues-per-thread factor `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `c == 0`.
+    pub fn for_threads_with_factor(threads: usize, c: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        assert!(c > 0, "queues-per-thread factor must be positive");
+        Self::with_queues(threads * c)
+    }
+
+    /// Sets the two-choice probability β.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 1]`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the try-lock retry limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_retries == 0`.
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        assert!(max_retries > 0, "retry limit must be positive");
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Human-readable label used by the benchmark tables, e.g.
+    /// `"multiqueue(n=16, beta=0.75)"`.
+    pub fn label(&self) -> String {
+        format!("multiqueue(n={}, beta={})", self.queues, self.beta)
+    }
+}
+
+impl Default for MultiQueueConfig {
+    fn default() -> Self {
+        Self::for_threads(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_helpers() {
+        assert_eq!(MultiQueueConfig::with_queues(5).queues, 5);
+        assert_eq!(MultiQueueConfig::for_threads(4).queues, 8);
+        assert_eq!(MultiQueueConfig::for_threads_with_factor(4, 3).queues, 12);
+        assert!(MultiQueueConfig::default().queues >= 2);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = MultiQueueConfig::with_queues(8)
+            .with_beta(0.5)
+            .with_seed(9)
+            .with_max_retries(16);
+        assert_eq!(cfg.queues, 8);
+        assert_eq!(cfg.beta, 0.5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.max_retries, 16);
+        assert_eq!(cfg.label(), "multiqueue(n=8, beta=0.5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one queue")]
+    fn zero_queues_panics() {
+        let _ = MultiQueueConfig::with_queues(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one thread")]
+    fn zero_threads_panics() {
+        let _ = MultiQueueConfig::for_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0, 1]")]
+    fn invalid_beta_panics() {
+        let _ = MultiQueueConfig::with_queues(2).with_beta(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry limit must be positive")]
+    fn zero_retries_panics() {
+        let _ = MultiQueueConfig::with_queues(2).with_max_retries(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "queues-per-thread factor must be positive")]
+    fn zero_factor_panics() {
+        let _ = MultiQueueConfig::for_threads_with_factor(2, 0);
+    }
+}

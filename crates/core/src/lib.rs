@@ -1,0 +1,49 @@
+//! The (1 + β) MultiQueue: a relaxed concurrent priority queue.
+//!
+//! This crate is the practical contribution of *The Power of Choice in
+//! Priority Scheduling* (Alistarh, Kopinsky, Li, Nadiradze; PODC 2017). The
+//! structure keeps `n` sequential priority queues, each behind its own lock:
+//!
+//! * **insert** picks a queue uniformly at random, acquires its lock (retrying
+//!   on a fresh random queue if the lock is contended) and pushes;
+//! * **deleteMin**, with probability `β`, samples two queues, peeks at both
+//!   tops, locks the queue holding the smaller (higher-priority) key and pops
+//!   it; with probability `1 − β` it pops from a single random queue. If the
+//!   lock cannot be acquired the whole operation restarts, exactly as in the
+//!   MultiQueue of Rihani, Sanders and Dementiev that the paper builds on.
+//!
+//! The queue is *relaxed*: `delete_min` may return an element that is not the
+//! global minimum. The paper proves that in the sequential model the expected
+//! rank of the returned element is `O(n/β²)` and the expected maximum rank is
+//! `O((n/β)(log n + log 1/β))`, independent of the execution length; the
+//! companion `choice-process` crate reproduces those bounds and the
+//! `choice-bench` crate measures the concurrent structure directly.
+//!
+//! # Example
+//!
+//! ```
+//! use choice_pq::{MultiQueue, MultiQueueConfig, ConcurrentPriorityQueue};
+//! use std::sync::Arc;
+//!
+//! let queue = Arc::new(MultiQueue::<u64>::new(
+//!     MultiQueueConfig::for_threads(4).with_beta(0.75),
+//! ));
+//! queue.insert(10, 100);
+//! queue.insert(5, 50);
+//! let (key, _value) = queue.delete_min().unwrap();
+//! // With only two elements and fresh queues the smaller key comes back.
+//! assert!(key == 5 || key == 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod handle;
+pub mod queue;
+pub mod traits;
+
+pub use config::MultiQueueConfig;
+pub use handle::{InstrumentedHandle, StickyHandle};
+pub use queue::MultiQueue;
+pub use traits::{ConcurrentPriorityQueue, Key};

@@ -1,0 +1,454 @@
+//! The concurrent (1 + β) MultiQueue.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+
+use rank_stats::rng::{RandomSource, Xoshiro256};
+use seq_pq::{BinaryHeap, SequentialPriorityQueue};
+
+use crate::config::MultiQueueConfig;
+use crate::traits::{ConcurrentPriorityQueue, Key};
+
+/// Sentinel stored in a lane's cached-top slot when the lane is empty.
+const EMPTY_TOP: u64 = u64::MAX;
+
+/// Global source of per-thread RNG salts so every thread gets its own stream.
+static NEXT_THREAD_SALT: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// One RNG per OS thread, lazily seeded; shared by all MultiQueue
+    /// instances the thread touches (randomness quality is what matters on
+    /// this path, not per-instance reproducibility).
+    static THREAD_RNG: RefCell<Option<Xoshiro256>> = const { RefCell::new(None) };
+}
+
+fn with_thread_rng<R>(base_seed: u64, f: impl FnOnce(&mut Xoshiro256) -> R) -> R {
+    THREAD_RNG.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let rng = slot.get_or_insert_with(|| {
+            let salt = NEXT_THREAD_SALT.fetch_add(1, Ordering::Relaxed);
+            Xoshiro256::seeded(base_seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        });
+        f(rng)
+    })
+}
+
+/// One internal lane: a locked sequential heap plus a lock-free hint of its
+/// current top key (used by `delete_min` to compare two lanes without taking
+/// either lock, exactly like the original MultiQueue's unsynchronised peek).
+#[derive(Debug)]
+struct Lane<V> {
+    heap: Mutex<BinaryHeap<V>>,
+    top: AtomicU64,
+}
+
+impl<V> Lane<V> {
+    fn new() -> Self {
+        Self {
+            heap: Mutex::new(BinaryHeap::new()),
+            top: AtomicU64::new(EMPTY_TOP),
+        }
+    }
+
+    /// Refreshes the cached top from the (locked) heap.
+    fn refresh_top(&self, heap: &BinaryHeap<V>) {
+        self.top
+            .store(heap.peek_key().unwrap_or(EMPTY_TOP), Ordering::Relaxed);
+    }
+}
+
+/// The relaxed concurrent priority queue of the paper.
+///
+/// See the [crate-level documentation](crate) for the algorithm; see
+/// [`MultiQueueConfig`] for sizing and the β parameter.
+#[derive(Debug)]
+pub struct MultiQueue<V> {
+    lanes: Vec<CachePadded<Lane<V>>>,
+    len: AtomicUsize,
+    config: MultiQueueConfig,
+}
+
+impl<V> MultiQueue<V> {
+    /// Creates an empty MultiQueue.
+    pub fn new(config: MultiQueueConfig) -> Self {
+        let lanes = (0..config.queues)
+            .map(|_| CachePadded::new(Lane::new()))
+            .collect();
+        Self {
+            lanes,
+            len: AtomicUsize::new(0),
+            config,
+        }
+    }
+
+    /// The configuration this queue was built with.
+    pub fn config(&self) -> &MultiQueueConfig {
+        &self.config
+    }
+
+    /// Number of internal lanes (`n`).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The cached top key of every lane (`None` for empty lanes); a
+    /// diagnostic snapshot, not linearizable.
+    pub fn lane_tops(&self) -> Vec<Option<Key>> {
+        self.lanes
+            .iter()
+            .map(|l| {
+                let t = l.top.load(Ordering::Relaxed);
+                if t == EMPTY_TOP {
+                    None
+                } else {
+                    Some(t)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-lane element counts; takes every lane lock, so only meaningful when
+    /// the structure is quiescent (tests and diagnostics).
+    pub fn lane_lengths(&self) -> Vec<usize> {
+        self.lanes.iter().map(|l| l.heap.lock().len()).collect()
+    }
+
+    /// Runs `f` while holding the lock of lane `index`. Used by tests to
+    /// inject the "stalled thread holding a lane" pathology discussed in
+    /// Appendix C of the paper and check that other operations stay correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn with_lane_locked<R>(&self, index: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = self.lanes[index].heap.lock();
+        f()
+    }
+
+    fn insert_inner(&self, key: Key, value: V) {
+        let n = self.lanes.len();
+        let mut value = Some(value);
+        for _ in 0..self.config.max_retries {
+            let q = with_thread_rng(self.config.seed, |rng| rng.next_index(n));
+            if let Some(mut heap) = self.lanes[q].heap.try_lock() {
+                heap.push(key, value.take().expect("value not yet consumed"));
+                self.lanes[q].refresh_top(&heap);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Retry budget exhausted (heavy oversubscription): block on one lane.
+        let q = with_thread_rng(self.config.seed, |rng| rng.next_index(n));
+        let mut heap = self.lanes[q].heap.lock();
+        heap.push(key, value.take().expect("value not yet consumed"));
+        self.lanes[q].refresh_top(&heap);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Picks the victim lane for one deleteMin attempt following the (1 + β)
+    /// rule, using only the cached tops.
+    fn choose_victim(&self) -> Option<usize> {
+        let n = self.lanes.len();
+        with_thread_rng(self.config.seed, |rng| {
+            let two_choice = n > 1 && rng.next_bool(self.config.beta);
+            if two_choice {
+                let (a, b) = rng.next_two_distinct(n);
+                let ka = self.lanes[a].top.load(Ordering::Relaxed);
+                let kb = self.lanes[b].top.load(Ordering::Relaxed);
+                match (ka == EMPTY_TOP, kb == EMPTY_TOP) {
+                    (false, false) => Some(if ka <= kb { a } else { b }),
+                    (false, true) => Some(a),
+                    (true, false) => Some(b),
+                    (true, true) => None,
+                }
+            } else {
+                let q = rng.next_index(n);
+                if self.lanes[q].top.load(Ordering::Relaxed) == EMPTY_TOP {
+                    None
+                } else {
+                    Some(q)
+                }
+            }
+        })
+    }
+
+    fn delete_min_inner(&self) -> Option<(Key, V)> {
+        for _ in 0..self.config.max_retries {
+            if self.len.load(Ordering::Relaxed) == 0 {
+                return None;
+            }
+            let Some(victim) = self.choose_victim() else {
+                // Both sampled lanes looked empty; retry with fresh samples.
+                continue;
+            };
+            let Some(mut heap) = self.lanes[victim].heap.try_lock() else {
+                // Lock contention: restart the whole operation (paper's rule).
+                continue;
+            };
+            match heap.pop() {
+                Some((key, value)) => {
+                    self.lanes[victim].refresh_top(&heap);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return Some((key, value));
+                }
+                None => {
+                    // The lane was emptied between the peek and the lock.
+                    self.lanes[victim].refresh_top(&heap);
+                    continue;
+                }
+            }
+        }
+        // Retry budget exhausted: fall back to a deterministic sweep so the
+        // structure can always be drained (needed for termination in Dijkstra
+        // and in the drain phase of benchmarks).
+        self.sweep_pop()
+    }
+
+    /// Scans all lanes under their locks and pops from the one with the
+    /// globally smallest top. Linear in the lane count; only used as the
+    /// fallback path and by drain-style callers.
+    fn sweep_pop(&self) -> Option<(Key, V)> {
+        // First pass without locks to find a candidate ordering cheaply.
+        let mut best: Option<(Key, usize)> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let t = lane.top.load(Ordering::Relaxed);
+            if t != EMPTY_TOP && best.map_or(true, |(bk, _)| t < bk) {
+                best = Some((t, i));
+            }
+        }
+        // Try the candidate first, then every other lane.
+        let order: Vec<usize> = match best {
+            Some((_, i)) => std::iter::once(i)
+                .chain((0..self.lanes.len()).filter(move |&j| j != i))
+                .collect(),
+            None => (0..self.lanes.len()).collect(),
+        };
+        for i in order {
+            let mut heap = self.lanes[i].heap.lock();
+            if let Some((key, value)) = heap.pop() {
+                self.lanes[i].refresh_top(&heap);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                return Some((key, value));
+            }
+        }
+        None
+    }
+}
+
+impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
+    fn insert(&self, key: Key, value: V) {
+        self.insert_inner(key, value);
+    }
+
+    fn delete_min(&self) -> Option<(Key, V)> {
+        self.delete_min_inner()
+    }
+
+    fn approx_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> String {
+        self.config.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn queue(queues: usize, beta: f64) -> MultiQueue<u64> {
+        MultiQueue::new(
+            MultiQueueConfig::with_queues(queues)
+                .with_beta(beta)
+                .with_seed(42),
+        )
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let q = queue(4, 1.0);
+        assert!(q.is_empty());
+        assert_eq!(q.approx_len(), 0);
+        assert_eq!(q.delete_min(), None);
+        assert_eq!(q.lanes(), 4);
+        assert_eq!(q.lane_tops(), vec![None; 4]);
+        assert!(q.name().contains("multiqueue"));
+    }
+
+    #[test]
+    fn insert_then_drain_returns_every_element_once() {
+        let q = queue(8, 0.75);
+        let count = 5_000u64;
+        for k in 0..count {
+            q.insert(k, k * 10);
+        }
+        assert_eq!(q.approx_len(), count as usize);
+        assert_eq!(q.lane_lengths().iter().sum::<usize>(), count as usize);
+        let mut seen = HashSet::new();
+        while let Some((k, v)) = q.delete_min() {
+            assert_eq!(v, k * 10);
+            assert!(seen.insert(k), "key {k} returned twice");
+        }
+        assert_eq!(seen.len(), count as usize);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn single_lane_is_an_exact_priority_queue() {
+        let q = queue(1, 1.0);
+        for k in [5u64, 1, 9, 3, 7] {
+            q.insert(k, k);
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = q.delete_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn relaxation_quality_is_order_n_sequentially() {
+        // Sequential use mirrors the paper's sequential process, so the mean
+        // rank of returned elements should be O(n). We measure it with the
+        // timestamp/inversion methodology from rank-stats.
+        use rank_stats::inversion::InversionCounter;
+        let n = 8;
+        let q = queue(n, 1.0);
+        let total = 20_000u64;
+        for k in 0..total {
+            q.insert(k, k);
+        }
+        let mut log = InversionCounter::new();
+        let mut ts = 0u64;
+        while let Some((k, _)) = q.delete_min() {
+            log.record(ts, k);
+            ts += 1;
+        }
+        let summary = log.summarize();
+        assert_eq!(summary.removals, total);
+        assert!(
+            summary.mean_rank < 4.0 * n as f64,
+            "mean rank {} should be O(n) for n={n}",
+            summary.mean_rank
+        );
+    }
+
+    #[test]
+    fn lane_tops_reflect_contents() {
+        let q = queue(2, 1.0);
+        q.insert(10, 0);
+        q.insert(20, 0);
+        let tops = q.lane_tops();
+        let present: Vec<Key> = tops.into_iter().flatten().collect();
+        assert!(!present.is_empty());
+        for t in present {
+            assert!(t == 10 || t == 20);
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_deletes_conserve_elements() {
+        let threads = 4;
+        let per_thread = 3_000u64;
+        let q = Arc::new(queue(8, 0.5));
+        let removed: Vec<u64> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let q = Arc::clone(&q);
+                handles.push(scope.spawn(move || {
+                    let base = t as u64 * per_thread;
+                    let mut got = Vec::new();
+                    for i in 0..per_thread {
+                        q.insert(base + i, base + i);
+                        // Interleave deletions to exercise contention.
+                        if i % 2 == 1 {
+                            if let Some((k, _)) = q.delete_min() {
+                                got.push(k);
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        // Drain what is left sequentially.
+        let mut all = removed;
+        while let Some((k, _)) = q.delete_min() {
+            all.push(k);
+        }
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..threads as u64 * per_thread).collect();
+        assert_eq!(all, expected, "every inserted key must come out exactly once");
+    }
+
+    #[test]
+    fn operations_survive_a_stalled_lane_holder() {
+        // Appendix C pathology: a thread holds a lane lock "forever". The
+        // structure must remain usable (operations route around the held lane)
+        // and must not lose or duplicate elements.
+        let q = Arc::new(queue(4, 1.0));
+        for k in 0..1_000u64 {
+            q.insert(k, k);
+        }
+        let q2 = Arc::clone(&q);
+        let popped = q.with_lane_locked(0, move || {
+            let mut popped = Vec::new();
+            for k in 1_000..1_200u64 {
+                q2.insert(k, k);
+            }
+            for _ in 0..500 {
+                if let Some((k, _)) = q2.delete_min() {
+                    popped.push(k);
+                }
+            }
+            popped
+        });
+        assert!(!popped.is_empty(), "deleteMin must make progress around the stall");
+        let mut all = popped;
+        while let Some((k, _)) = q.delete_min() {
+            all.push(k);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..1_200u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn beta_zero_still_drains_correctly() {
+        let q = queue(4, 0.0);
+        for k in 0..500u64 {
+            q.insert(k, k);
+        }
+        let mut count = 0;
+        while q.delete_min().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn approx_len_tracks_operations_sequentially() {
+        let q = queue(4, 1.0);
+        for k in 0..100u64 {
+            q.insert(k, k);
+        }
+        assert_eq!(q.approx_len(), 100);
+        for _ in 0..40 {
+            q.delete_min();
+        }
+        assert_eq!(q.approx_len(), 60);
+    }
+
+    #[test]
+    fn send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MultiQueue<u64>>();
+        assert_send_sync::<MultiQueue<Vec<u8>>>();
+    }
+}

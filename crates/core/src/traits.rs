@@ -1,0 +1,89 @@
+//! The concurrent priority queue interface shared by the MultiQueue and the
+//! baseline implementations.
+
+/// The priority key type: smaller keys are higher priority.
+pub type Key = u64;
+
+/// A thread-safe (relaxed or exact) min-priority queue.
+///
+/// All methods take `&self`; implementations handle their own synchronisation
+/// and per-thread randomness. This is the interface the parallel Dijkstra
+/// application and the benchmark harness program against, so every structure
+/// the paper compares (MultiQueue variants, the skiplist queue, the k-LSM-style
+/// queue, the coarse-locked heap) implements it.
+pub trait ConcurrentPriorityQueue<V>: Send + Sync {
+    /// Inserts an entry.
+    fn insert(&self, key: Key, value: V);
+
+    /// Removes an entry with a small key.
+    ///
+    /// For *exact* implementations this is the global minimum; for *relaxed*
+    /// implementations (the point of the paper) it is an element whose rank
+    /// among all present elements is small in expectation. Returns `None` when
+    /// the structure is observed empty; because of concurrency this is a
+    /// best-effort emptiness check, and callers that need a linearizable
+    /// emptiness test should quiesce first.
+    fn delete_min(&self) -> Option<(Key, V)>;
+
+    /// An approximate element count (exact when the structure is quiescent).
+    fn approx_len(&self) -> usize;
+
+    /// Whether the structure appears empty.
+    fn is_empty(&self) -> bool {
+        self.approx_len() == 0
+    }
+
+    /// A short human-readable name used in benchmark tables.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially synchronised reference implementation used to check the
+    /// trait's default methods and object safety.
+    struct Locked(std::sync::Mutex<Vec<(Key, u64)>>);
+
+    impl ConcurrentPriorityQueue<u64> for Locked {
+        fn insert(&self, key: Key, value: u64) {
+            self.0.lock().unwrap().push((key, value));
+        }
+        fn delete_min(&self) -> Option<(Key, u64)> {
+            let mut items = self.0.lock().unwrap();
+            let idx = items
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (k, _))| *k)
+                .map(|(i, _)| i)?;
+            Some(items.swap_remove(idx))
+        }
+        fn approx_len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+        fn name(&self) -> String {
+            "locked-vec".to_string()
+        }
+    }
+
+    #[test]
+    fn default_is_empty_uses_len() {
+        let q = Locked(std::sync::Mutex::new(Vec::new()));
+        assert!(q.is_empty());
+        q.insert(3, 30);
+        assert!(!q.is_empty());
+        assert_eq!(q.delete_min(), Some((3, 30)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let q: Box<dyn ConcurrentPriorityQueue<u64>> =
+            Box::new(Locked(std::sync::Mutex::new(Vec::new())));
+        q.insert(1, 1);
+        q.insert(2, 2);
+        assert_eq!(q.approx_len(), 2);
+        assert_eq!(q.delete_min(), Some((1, 1)));
+        assert_eq!(q.name(), "locked-vec");
+    }
+}

@@ -1,0 +1,261 @@
+//! Parallel SSSP over a relaxed concurrent priority queue.
+//!
+//! This is the application benchmark of Figure 3. The algorithm is the
+//! standard "Dijkstra with re-relaxation" used with relaxed priority queues
+//! (and by the Galois/OBIM-style schedulers cited in the paper): the shared
+//! distance array is maintained with atomic compare-and-swap, and when the
+//! queue hands back a *stale* entry (its recorded distance no longer matches
+//! the current tentative distance) the entry is simply discarded. Priority
+//! inversions therefore cost wasted relaxations — counted and reported in
+//! [`ParallelSsspStats`] — but never correctness.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use choice_pq::ConcurrentPriorityQueue;
+
+use crate::dijkstra::UNREACHABLE;
+use crate::graph::{Graph, NodeId};
+
+/// Statistics of one parallel SSSP run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParallelSsspStats {
+    /// Number of queue pops that led to useful relaxation work.
+    pub useful_pops: u64,
+    /// Number of queue pops discarded as stale (the cost of relaxation).
+    pub stale_pops: u64,
+    /// Number of edge relaxations that improved a distance.
+    pub improvements: u64,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+impl ParallelSsspStats {
+    /// Fraction of pops that were wasted on stale entries.
+    pub fn stale_fraction(&self) -> f64 {
+        let total = self.useful_pops + self.stale_pops;
+        if total == 0 {
+            0.0
+        } else {
+            self.stale_pops as f64 / total as f64
+        }
+    }
+}
+
+/// Computes single-source shortest paths from `source` using `threads` worker
+/// threads sharing the given concurrent priority queue.
+///
+/// Returns the distance array and the run statistics. The distances are
+/// exact — relaxation of the queue only affects how much redundant work is
+/// performed, which the statistics expose.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `threads == 0`.
+pub fn parallel_sssp<Q>(
+    graph: &Graph,
+    source: NodeId,
+    queue: Arc<Q>,
+    threads: usize,
+) -> (Vec<u64>, ParallelSsspStats)
+where
+    Q: ConcurrentPriorityQueue<NodeId> + ?Sized + 'static,
+{
+    assert!((source as usize) < graph.nodes(), "source out of range");
+    assert!(threads > 0, "need at least one worker thread");
+
+    let dist: Vec<AtomicU64> = (0..graph.nodes()).map(|_| AtomicU64::new(UNREACHABLE)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    queue.insert(0, source);
+
+    // Termination: a worker that finds the queue empty increments the idle
+    // counter and spins; any successful pop resets its idle claim. When all
+    // workers are simultaneously idle and the queue is still empty, we stop.
+    let idle = AtomicUsize::new(0);
+    let useful = AtomicU64::new(0);
+    let stale = AtomicU64::new(0);
+    let improvements = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = Arc::clone(&queue);
+            let dist = &dist;
+            let idle = &idle;
+            let useful = &useful;
+            let stale = &stale;
+            let improvements = &improvements;
+            scope.spawn(move || {
+                let mut am_idle = false;
+                loop {
+                    match queue.delete_min() {
+                        Some((popped_dist, node)) => {
+                            if am_idle {
+                                idle.fetch_sub(1, Ordering::AcqRel);
+                                am_idle = false;
+                            }
+                            let current = dist[node as usize].load(Ordering::Relaxed);
+                            if popped_dist > current {
+                                stale.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            useful.fetch_add(1, Ordering::Relaxed);
+                            for (next, weight) in graph.neighbors(node) {
+                                let candidate = popped_dist + weight as u64;
+                                // CAS loop lowering the neighbour's distance.
+                                let mut observed =
+                                    dist[next as usize].load(Ordering::Relaxed);
+                                while candidate < observed {
+                                    match dist[next as usize].compare_exchange_weak(
+                                        observed,
+                                        candidate,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    ) {
+                                        Ok(_) => {
+                                            improvements.fetch_add(1, Ordering::Relaxed);
+                                            queue.insert(candidate, next);
+                                            break;
+                                        }
+                                        Err(now) => observed = now,
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            if !am_idle {
+                                idle.fetch_add(1, Ordering::AcqRel);
+                                am_idle = true;
+                            }
+                            if idle.load(Ordering::Acquire) == threads {
+                                // Everyone is idle and the queue looked empty:
+                                // double-check emptiness and stop.
+                                if queue.is_empty() {
+                                    break;
+                                }
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let distances = dist.into_iter().map(|d| d.into_inner()).collect();
+    let stats = ParallelSsspStats {
+        useful_pops: useful.into_inner(),
+        stale_pops: stale.into_inner(),
+        improvements: improvements.into_inner(),
+        threads,
+    };
+    (distances, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::generators::{grid_graph, random_geometric_graph, random_graph};
+    use choice_pq::{MultiQueue, MultiQueueConfig};
+    use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
+    use proptest::prelude::*;
+
+    fn multiqueue(beta: f64) -> Arc<MultiQueue<NodeId>> {
+        Arc::new(MultiQueue::new(
+            MultiQueueConfig::with_queues(8).with_beta(beta).with_seed(5),
+        ))
+    }
+
+    #[test]
+    fn matches_sequential_dijkstra_on_grid() {
+        let g = grid_graph(25, 25, 40, 9);
+        let expected = dijkstra(&g, 0);
+        let (got, stats) = parallel_sssp(&g, 0, multiqueue(0.75), 2);
+        assert_eq!(got, expected);
+        assert!(stats.useful_pops > 0);
+        assert_eq!(stats.threads, 2);
+    }
+
+    #[test]
+    fn works_single_threaded_with_every_queue() {
+        let g = random_geometric_graph(800, 0.06, 30, 3);
+        let expected = dijkstra(&g, 0);
+        let (d1, _) = parallel_sssp(&g, 0, multiqueue(1.0), 1);
+        assert_eq!(d1, expected);
+        let (d2, _) = parallel_sssp(&g, 0, Arc::new(CoarseHeap::new()), 1);
+        assert_eq!(d2, expected);
+        let (d3, _) = parallel_sssp(&g, 0, Arc::new(SkipListQueue::new()), 1);
+        assert_eq!(d3, expected);
+        let (d4, _) = parallel_sssp(
+            &g,
+            0,
+            Arc::new(KLsmQueue::new(KLsmConfig::for_threads(1).with_relaxation(64))),
+            1,
+        );
+        assert_eq!(d4, expected);
+    }
+
+    #[test]
+    fn multithreaded_runs_agree_with_reference_for_all_queues() {
+        let g = grid_graph(30, 30, 20, 77);
+        let expected = dijkstra(&g, 0);
+        let (d1, s1) = parallel_sssp(&g, 0, multiqueue(0.5), 4);
+        assert_eq!(d1, expected);
+        assert!(s1.useful_pops >= g.nodes() as u64 / 2);
+        let (d2, _) = parallel_sssp(&g, 0, Arc::new(CoarseHeap::new()), 4);
+        assert_eq!(d2, expected);
+        let (d3, _) = parallel_sssp(
+            &g,
+            0,
+            Arc::new(KLsmQueue::new(KLsmConfig::for_threads(4).with_relaxation(64))),
+            4,
+        );
+        assert_eq!(d3, expected);
+    }
+
+    #[test]
+    fn relaxed_queue_costs_extra_work_not_correctness() {
+        // With a very relaxed queue (beta = 0, i.e. single-choice) the answer
+        // is still exact; only the stale/extra-pop counters grow.
+        let g = grid_graph(20, 20, 25, 13);
+        let expected = dijkstra(&g, 0);
+        let (got, stats) = parallel_sssp(&g, 0, multiqueue(0.0), 2);
+        assert_eq!(got, expected);
+        assert!(stats.stale_fraction() < 1.0);
+    }
+
+    #[test]
+    fn disconnected_components_stay_unreachable() {
+        let g = crate::graph::Graph::from_edges(4, &[(0, 1, 3)]);
+        let (d, _) = parallel_sssp(&g, 0, multiqueue(1.0), 2);
+        assert_eq!(d, vec![0, 3, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker thread")]
+    fn zero_threads_panics() {
+        let g = grid_graph(2, 2, 5, 0);
+        let _ = parallel_sssp(&g, 0, multiqueue(1.0), 0);
+    }
+
+    #[test]
+    fn stats_fractions_are_sane() {
+        let mut stats = ParallelSsspStats::default();
+        assert_eq!(stats.stale_fraction(), 0.0);
+        stats.useful_pops = 3;
+        stats.stale_pops = 1;
+        assert!((stats.stale_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn prop_parallel_matches_sequential(nodes in 2usize..60, extra in 0usize..150, seed in 0u64..300) {
+            let g = random_graph(nodes, nodes + extra, 12, seed);
+            let expected = dijkstra(&g, 0);
+            let (got, _) = parallel_sssp(&g, 0, multiqueue(0.75), 2);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Rank-distribution equivalence between the original and exponential
+//! processes (Theorem 2).
+//!
+//! Theorem 2 states that, after all insertions, the event "the label of rank
+//! `r` sits in bin `j`" has probability `π_j` in *both* the original labelled
+//! process and the exponential process, independently across ranks. This
+//! module measures the empirical *rank occupancy* distribution of both
+//! processes over repeated trials and provides a total-variation-style
+//! distance so experiment T6 can show the two are statistically
+//! indistinguishable (and both match the theoretical `π`).
+
+use rank_stats::rng::{RandomSource, Xoshiro256};
+
+use crate::config::ProcessConfig;
+use crate::exponential::ExponentialInsertion;
+
+/// Empirical distribution of which bin owns each rank, aggregated over trials
+/// and ranks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankOccupancy {
+    /// `counts[j]` = number of (trial, rank) pairs owned by bin `j`.
+    pub counts: Vec<u64>,
+    /// Total number of (trial, rank) observations.
+    pub total: u64,
+}
+
+impl RankOccupancy {
+    /// Creates an empty occupancy table over `bins` bins.
+    pub fn new(bins: usize) -> Self {
+        Self {
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records that some rank was owned by `bin`.
+    pub fn record(&mut self, bin: usize) {
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// The empirical probability vector.
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Measures the occupancy of the **original** labelled process: insert
+    /// `labels` consecutive labels with the configured bias over `trials`
+    /// independent trials and count, for each rank, which bin owns it.
+    /// (For the original process rank `r` is simply label `r`, since labels
+    /// are inserted in increasing order.)
+    pub fn of_original(config: &ProcessConfig, labels: u64, trials: u64) -> Self {
+        let probabilities = config.insertion_probabilities();
+        let n = probabilities.len();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &p in &probabilities {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let mut occupancy = Self::new(n);
+        let mut rng = Xoshiro256::seeded(config.seed ^ 0x0416_1A1);
+        for _ in 0..trials {
+            for _ in 0..labels {
+                let u = rng.next_f64();
+                let bin = cumulative.partition_point(|&c| c < u).min(n - 1);
+                occupancy.record(bin);
+            }
+        }
+        occupancy
+    }
+
+    /// Measures the occupancy of the **exponential** process: generate the
+    /// real-valued labels, rank them globally, and count rank owners.
+    pub fn of_exponential(config: &ProcessConfig, labels: u64, trials: u64) -> Self {
+        let n = config.queues;
+        let mut occupancy = Self::new(n);
+        // Pin the probability vector of the base configuration so that varying
+        // the per-trial seed only varies the random stream, not π itself
+        // (a BoundedRandom bias derives π from the seed).
+        let probabilities = config.insertion_probabilities();
+        for trial in 0..trials {
+            let mut cfg = config.clone();
+            cfg.bias = crate::config::BiasSpec::Explicit(probabilities.clone());
+            cfg.seed = config.seed.wrapping_add(trial.wrapping_mul(0x9E37_79B9));
+            let insertion = ExponentialInsertion::generate(&cfg, labels);
+            for &bin in &insertion.rank_owners() {
+                occupancy.record(bin);
+            }
+        }
+        occupancy
+    }
+}
+
+/// Total-variation distance between two occupancy tables:
+/// `½ Σ_j |p_j − q_j|`. Zero means identical; values near zero mean the rank
+/// distributions are statistically indistinguishable at the sampled size.
+///
+/// # Panics
+///
+/// Panics if the tables cover a different number of bins.
+pub fn rank_occupancy_distance(a: &RankOccupancy, b: &RankOccupancy) -> f64 {
+    assert_eq!(a.counts.len(), b.counts.len(), "bin counts must match");
+    let fa = a.frequencies();
+    let fb = b.frequencies();
+    0.5 * fa
+        .iter()
+        .zip(fb.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+}
+
+/// Total-variation distance between an occupancy table and a theoretical
+/// probability vector.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn distance_to_theory(occupancy: &RankOccupancy, probabilities: &[f64]) -> f64 {
+    assert_eq!(
+        occupancy.counts.len(),
+        probabilities.len(),
+        "bin counts must match"
+    );
+    let f = occupancy.frequencies();
+    0.5 * f
+        .iter()
+        .zip(probabilities.iter())
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_bookkeeping() {
+        let mut occ = RankOccupancy::new(3);
+        occ.record(0);
+        occ.record(0);
+        occ.record(2);
+        assert_eq!(occ.total, 3);
+        let f = occ.frequencies();
+        assert!((f[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(f[1], 0.0);
+        assert!((f[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_occupancy_frequencies_are_zero() {
+        let occ = RankOccupancy::new(4);
+        assert_eq!(occ.frequencies(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn distance_of_identical_tables_is_zero() {
+        let mut a = RankOccupancy::new(2);
+        a.record(0);
+        a.record(1);
+        let b = a.clone();
+        assert_eq!(rank_occupancy_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn distance_of_disjoint_tables_is_one() {
+        let mut a = RankOccupancy::new(2);
+        a.record(0);
+        let mut b = RankOccupancy::new(2);
+        b.record(1);
+        assert!((rank_occupancy_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin counts must match")]
+    fn mismatched_bins_panics() {
+        let a = RankOccupancy::new(2);
+        let b = RankOccupancy::new(3);
+        let _ = rank_occupancy_distance(&a, &b);
+    }
+
+    #[test]
+    fn theorem_2_uniform_case() {
+        // Uniform insertion, 8 bins: both processes should match the uniform
+        // vector and each other to within sampling noise.
+        let cfg = ProcessConfig::new(8).with_seed(101);
+        let labels = 4_000;
+        let trials = 10;
+        let original = RankOccupancy::of_original(&cfg, labels, trials);
+        let exponential = RankOccupancy::of_exponential(&cfg, labels, trials);
+        let probs = cfg.insertion_probabilities();
+        assert!(distance_to_theory(&original, &probs) < 0.02);
+        assert!(distance_to_theory(&exponential, &probs) < 0.02);
+        assert!(rank_occupancy_distance(&original, &exponential) < 0.03);
+    }
+
+    #[test]
+    fn theorem_2_biased_case() {
+        // A strongly biased insertion distribution: the exponential process
+        // must reproduce the same (non-uniform) rank ownership frequencies.
+        let cfg = ProcessConfig::new(4)
+            .with_bias_weights(vec![4.0, 2.0, 1.0, 1.0])
+            .with_seed(77);
+        let labels = 4_000;
+        let trials = 10;
+        let original = RankOccupancy::of_original(&cfg, labels, trials);
+        let exponential = RankOccupancy::of_exponential(&cfg, labels, trials);
+        let probs = cfg.insertion_probabilities();
+        assert!(distance_to_theory(&original, &probs) < 0.02);
+        assert!(
+            distance_to_theory(&exponential, &probs) < 0.02,
+            "exponential occupancy {:?} should match theory {probs:?}",
+            exponential.frequencies()
+        );
+        assert!(rank_occupancy_distance(&original, &exponential) < 0.03);
+    }
+
+    #[test]
+    fn low_rank_ownership_is_also_proportional() {
+        // Theorem 2 is per-rank, not just in aggregate: restrict attention to
+        // the lowest 10% of ranks in the exponential process and check those
+        // are still owned proportionally to π.
+        let cfg = ProcessConfig::new(4)
+            .with_bias_weights(vec![3.0, 1.0, 1.0, 1.0])
+            .with_seed(13);
+        let labels = 6_000u64;
+        let mut low_rank = RankOccupancy::new(4);
+        for trial in 0..10u64 {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed + trial;
+            let ins = ExponentialInsertion::generate(&c, labels);
+            let owners = ins.rank_owners();
+            for &bin in &owners[..(labels as usize / 10)] {
+                low_rank.record(bin);
+            }
+        }
+        let probs = cfg.insertion_probabilities();
+        assert!(
+            distance_to_theory(&low_rank, &probs) < 0.05,
+            "low-rank occupancy {:?} vs theory {probs:?}",
+            low_rank.frequencies()
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! The exponential process of Section 4.
+//!
+//! The proof device of the paper replaces integer labels with real-valued
+//! ones: bin `i` generates labels `0 < w₁ < w₂ < …` where consecutive labels
+//! differ by independent `Exp(mean = 1/π_i)` increments. Theorem 2 shows the
+//! *rank* distribution of this process equals that of the original labelled
+//! process, and Theorem 3 bounds the potential `Γ` of its top labels.
+//!
+//! Two views are provided:
+//!
+//! * [`ExponentialTopProcess`] — the lazy, infinite-supply view used by the
+//!   potential argument: only the label currently on top of each bin is
+//!   tracked, and a removal from bin `i` advances its top by a fresh
+//!   exponential increment (the paper's `κ_i`). This is what experiment T5
+//!   uses to measure `Γ(t)`.
+//! * [`ExponentialInsertion`] — the finite-`M` insertion view used by the
+//!   rank-equivalence coupling (Theorem 2 / experiment T6): generate all `M`
+//!   labels, then convert each to its global rank.
+
+use rank_stats::rng::{RandomSource, Xoshiro256};
+
+use crate::config::{ProcessConfig, RemovalRule};
+
+/// Lazy exponential process tracking only the top label of each bin.
+#[derive(Clone, Debug)]
+pub struct ExponentialTopProcess {
+    config: ProcessConfig,
+    probabilities: Vec<f64>,
+    /// Current top label (weight) of each bin.
+    tops: Vec<f64>,
+    rng: Xoshiro256,
+    steps: u64,
+}
+
+impl ExponentialTopProcess {
+    /// Creates the process; each bin's initial top label is one exponential
+    /// increment above zero, matching the paper's initial state.
+    pub fn new(config: ProcessConfig) -> Self {
+        let probabilities = config.insertion_probabilities();
+        let mut rng = Xoshiro256::seeded(config.seed ^ 0xE4B0_11E7);
+        let tops = probabilities
+            .iter()
+            .map(|&p| rng.next_exponential(1.0 / p))
+            .collect();
+        Self {
+            config,
+            probabilities,
+            tops,
+            rng,
+            steps: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.tops.len()
+    }
+
+    /// Number of removal steps performed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The top label of each bin.
+    pub fn tops(&self) -> &[f64] {
+        &self.tops
+    }
+
+    /// The insertion probabilities `π_i`.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// Performs one (1 + β) removal step: the chosen bin's top label advances
+    /// by an `Exp(1/π_i)` increment. Returns the index of the chosen bin.
+    pub fn step(&mut self) -> usize {
+        let n = self.tops.len();
+        let two_choice = match self.config.removal {
+            RemovalRule::SingleChoice => false,
+            RemovalRule::TwoChoice => true,
+            RemovalRule::OnePlusBeta(beta) => self.rng.next_bool(beta),
+        };
+        let chosen = if !two_choice || n == 1 {
+            self.rng.next_index(n)
+        } else {
+            let (a, b) = self.rng.next_two_distinct(n);
+            if self.tops[a] <= self.tops[b] {
+                a
+            } else {
+                b
+            }
+        };
+        let mean = 1.0 / self.probabilities[chosen];
+        self.tops[chosen] += self.rng.next_exponential(mean);
+        self.steps += 1;
+        chosen
+    }
+
+    /// Runs `count` steps.
+    pub fn run(&mut self, count: u64) {
+        for _ in 0..count {
+            self.step();
+        }
+    }
+
+    /// Mean of the normalised top labels `x_i = w_i / n` (the paper's `µ`).
+    pub fn mu(&self) -> f64 {
+        let n = self.tops.len() as f64;
+        self.tops.iter().map(|&w| w / n).sum::<f64>() / n
+    }
+
+    /// The normalised deviations `y_i = w_i/n − µ`, the quantities the
+    /// potential functions are built from.
+    pub fn deviations(&self) -> Vec<f64> {
+        let n = self.tops.len() as f64;
+        let mu = self.mu();
+        self.tops.iter().map(|&w| w / n - mu).collect()
+    }
+
+    /// The spread `w_max − w_min` of the top labels, the quantity bounded by
+    /// Lemma 4 (`O(n·(log n + log C)/α)` in expectation).
+    pub fn top_spread(&self) -> f64 {
+        let max = self.tops.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.tops.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+/// Finite-`M` exponential insertion used for the rank-equivalence coupling.
+#[derive(Clone, Debug)]
+pub struct ExponentialInsertion {
+    /// `labels[i]` are bin `i`'s generated real-valued labels, ascending.
+    labels: Vec<Vec<f64>>,
+}
+
+impl ExponentialInsertion {
+    /// Generates `total` labels split across bins in proportion to `π_i`
+    /// (each insertion step picks its bin independently with probability
+    /// `π_i`, mirroring the original process's insertion step counts), with
+    /// bin `i`'s labels spaced by `Exp(1/π_i)` increments.
+    pub fn generate(config: &ProcessConfig, total: u64) -> Self {
+        let probabilities = config.insertion_probabilities();
+        let mut rng = Xoshiro256::seeded(config.seed ^ 0x0E09_11AA);
+        let n = probabilities.len();
+        // Decide how many labels each bin receives.
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &p in &probabilities {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let mut counts = vec![0u64; n];
+        for _ in 0..total {
+            let u = rng.next_f64();
+            let bin = cumulative.partition_point(|&c| c < u).min(n - 1);
+            counts[bin] += 1;
+        }
+        // Generate each bin's cumulative-exponential label sequence.
+        let labels = counts
+            .iter()
+            .zip(probabilities.iter())
+            .map(|(&count, &p)| {
+                let mean = 1.0 / p;
+                let mut w = 0.0;
+                (0..count)
+                    .map(|_| {
+                        w += rng.next_exponential(mean);
+                        w
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { labels }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total number of generated labels.
+    pub fn total(&self) -> u64 {
+        self.labels.iter().map(|l| l.len() as u64).sum()
+    }
+
+    /// The raw real-valued labels of each bin (ascending).
+    pub fn labels(&self) -> &[Vec<f64>] {
+        &self.labels
+    }
+
+    /// Converts the real-valued labels to global ranks: returns, per bin, the
+    /// ascending sequence of ranks (0-based) its labels occupy among all
+    /// generated labels. This is the paper's "replace each label with its rank"
+    /// step; Theorem 2 says the distribution of this rank assignment matches
+    /// the original process's label placement.
+    pub fn rank_sequences(&self) -> Vec<Vec<u64>> {
+        // Collect (label, bin) pairs and sort by label; ties are measure-zero.
+        let mut all: Vec<(f64, usize)> = Vec::with_capacity(self.total() as usize);
+        for (bin, labels) in self.labels.iter().enumerate() {
+            for &w in labels {
+                all.push((w, bin));
+            }
+        }
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("labels are finite"));
+        let mut sequences = vec![Vec::new(); self.labels.len()];
+        for (rank, &(_, bin)) in all.iter().enumerate() {
+            sequences[bin].push(rank as u64);
+        }
+        sequences
+    }
+
+    /// For every rank `r`, the bin that holds the label of rank `r`.
+    pub fn rank_owners(&self) -> Vec<usize> {
+        let mut owners = vec![0usize; self.total() as usize];
+        for (bin, ranks) in self.rank_sequences().iter().enumerate() {
+            for &r in ranks {
+                owners[r as usize] = bin;
+            }
+        }
+        owners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProcessConfig;
+
+    #[test]
+    fn top_process_advances_monotonically() {
+        let mut p = ExponentialTopProcess::new(ProcessConfig::new(8).with_seed(1));
+        let before = p.tops().to_vec();
+        assert!(before.iter().all(|&w| w > 0.0));
+        let chosen = p.step();
+        let after = p.tops();
+        assert!(after[chosen] > before[chosen]);
+        for i in 0..8 {
+            if i != chosen {
+                assert_eq!(after[i], before[i]);
+            }
+        }
+        assert_eq!(p.steps(), 1);
+    }
+
+    #[test]
+    fn two_choice_keeps_tops_close_together() {
+        // Theorem 3 / Lemma 4: the spread of the tops stays O(n log n) for
+        // two-choice, while single-choice lets it wander like sqrt(t)·n.
+        let n = 32;
+        let steps = 200_000;
+        let mut two = ExponentialTopProcess::new(
+            ProcessConfig::new(n).with_beta(1.0).with_seed(5),
+        );
+        let mut one = ExponentialTopProcess::new(
+            ProcessConfig::new(n).with_beta(0.0).with_seed(5),
+        );
+        two.run(steps);
+        one.run(steps);
+        let spread_two = two.top_spread();
+        let spread_one = one.top_spread();
+        assert!(
+            spread_two < spread_one,
+            "two-choice spread {spread_two} should beat single-choice {spread_one}"
+        );
+        // Spread is in label units; one removal advances ~n on average, so
+        // O(n log n) spread means a few hundred here. Allow wide slack.
+        assert!(
+            spread_two < 20.0 * (n as f64) * (n as f64).ln(),
+            "two-choice spread {spread_two} is not O(n log n)-ish"
+        );
+    }
+
+    #[test]
+    fn deviations_sum_to_zero() {
+        let mut p = ExponentialTopProcess::new(ProcessConfig::new(16).with_seed(9));
+        p.run(10_000);
+        let devs = p.deviations();
+        let sum: f64 = devs.iter().sum();
+        assert!(sum.abs() < 1e-6, "deviations should sum to 0, got {sum}");
+        assert!(p.mu() > 0.0);
+    }
+
+    #[test]
+    fn insertion_counts_follow_probabilities() {
+        let cfg = ProcessConfig::new(4)
+            .with_bias_weights(vec![4.0, 2.0, 1.0, 1.0])
+            .with_seed(3);
+        let ins = ExponentialInsertion::generate(&cfg, 80_000);
+        assert_eq!(ins.total(), 80_000);
+        let counts: Vec<usize> = ins.labels().iter().map(|l| l.len()).collect();
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 80_000);
+        let frac0 = counts[0] as f64 / total as f64;
+        assert!((frac0 - 0.5).abs() < 0.02, "bin 0 fraction {frac0}");
+    }
+
+    #[test]
+    fn labels_within_a_bin_are_increasing() {
+        let cfg = ProcessConfig::new(8).with_seed(17);
+        let ins = ExponentialInsertion::generate(&cfg, 5_000);
+        for bin in ins.labels() {
+            assert!(bin.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn rank_sequences_are_a_partition_of_all_ranks() {
+        let cfg = ProcessConfig::new(6).with_seed(23);
+        let ins = ExponentialInsertion::generate(&cfg, 1_000);
+        let sequences = ins.rank_sequences();
+        let mut all: Vec<u64> = sequences.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1_000u64).collect::<Vec<_>>());
+        // Each bin's rank sequence must be increasing (labels are increasing).
+        for seq in &sequences {
+            assert!(seq.windows(2).all(|w| w[0] < w[1]));
+        }
+        let owners = ins.rank_owners();
+        assert_eq!(owners.len(), 1_000);
+    }
+
+    #[test]
+    fn uniform_insertion_spreads_ranks_evenly() {
+        let cfg = ProcessConfig::new(4).with_seed(29);
+        let ins = ExponentialInsertion::generate(&cfg, 40_000);
+        let owners = ins.rank_owners();
+        // Among the first 1000 ranks, each of the 4 bins should own ~250.
+        let mut counts = [0u32; 4];
+        for &bin in &owners[..1000] {
+            counts[bin] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 250.0).abs() < 80.0,
+                "rank ownership skewed: {counts:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Rank-cost summaries of a process run.
+
+use rank_stats::histogram::LogHistogram;
+use rank_stats::summary::StreamingSummary;
+
+/// Aggregate rank-cost statistics of a batch of removals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankCostSummary {
+    /// Number of removals performed.
+    pub removals: u64,
+    /// Mean rank of a removed element (1 = always optimal).
+    pub mean_rank: f64,
+    /// Maximum rank over all removals in the batch.
+    pub max_rank: u64,
+    /// Standard deviation of the per-removal rank.
+    pub std_dev: f64,
+    /// Upper bound of the log-bucket containing the 50th percentile.
+    pub p50_upper: u64,
+    /// Upper bound of the log-bucket containing the 99th percentile.
+    pub p99_upper: u64,
+}
+
+/// Accumulator used while a process runs; converts into a [`RankCostSummary`].
+#[derive(Clone, Debug, Default)]
+pub struct RankCostAccumulator {
+    summary: StreamingSummary,
+    histogram: LogHistogram,
+    max: u64,
+}
+
+impl RankCostAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the rank of one removal.
+    pub fn record(&mut self, rank: u64) {
+        self.summary.record_u64(rank);
+        self.histogram.record(rank);
+        self.max = self.max.max(rank);
+    }
+
+    /// Number of removals recorded so far.
+    pub fn removals(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Running mean rank.
+    pub fn mean_rank(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Running maximum rank.
+    pub fn max_rank(&self) -> u64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RankCostAccumulator) {
+        self.summary.merge(&other.summary);
+        self.histogram.merge(&other.histogram);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Produces the final summary.
+    pub fn finish(&self) -> RankCostSummary {
+        RankCostSummary {
+            removals: self.summary.count(),
+            mean_rank: self.summary.mean(),
+            max_rank: self.max,
+            std_dev: self.summary.std_dev(),
+            p50_upper: self.histogram.quantile_upper_bound(0.5).unwrap_or(0),
+            p99_upper: self.histogram.quantile_upper_bound(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// A time series of rank costs sampled at fixed intervals, used to check that
+/// the two-choice bounds are flat in `t` while single-choice diverges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankTimeSeries {
+    /// Number of removals between consecutive samples.
+    pub interval: u64,
+    /// `(removals_so_far, mean_rank_over_last_interval, max_rank_over_last_interval)`.
+    pub points: Vec<(u64, f64, u64)>,
+}
+
+impl RankTimeSeries {
+    /// Creates an empty series with the given sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        Self {
+            interval,
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, removals: u64, mean_rank: f64, max_rank: u64) {
+        self.points.push((removals, mean_rank, max_rank));
+    }
+
+    /// The last sampled mean rank, if any.
+    pub fn final_mean(&self) -> Option<f64> {
+        self.points.last().map(|&(_, m, _)| m)
+    }
+
+    /// The largest sampled interval-max rank, if any.
+    pub fn overall_max(&self) -> Option<u64> {
+        self.points.iter().map(|&(_, _, m)| m).max()
+    }
+
+    /// Fits `mean_rank ≈ a·sqrt(removals)` by least squares through the
+    /// origin and returns `a`; used to verify the Ω(√t) divergence of the
+    /// single-choice process. Returns 0 when there are no points.
+    pub fn sqrt_growth_coefficient(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(t, mean, _) in &self.points {
+            let x = (t as f64).sqrt();
+            num += x * mean;
+            den += x * x;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_basic_statistics() {
+        let mut acc = RankCostAccumulator::new();
+        for r in [1u64, 1, 2, 4, 100] {
+            acc.record(r);
+        }
+        assert_eq!(acc.removals(), 5);
+        assert_eq!(acc.max_rank(), 100);
+        let s = acc.finish();
+        assert_eq!(s.removals, 5);
+        assert_eq!(s.max_rank, 100);
+        assert!((s.mean_rank - 21.6).abs() < 1e-9);
+        assert!(s.p50_upper <= 4);
+        assert!(s.p99_upper >= 64);
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_cleanly() {
+        let s = RankCostAccumulator::new().finish();
+        assert_eq!(s.removals, 0);
+        assert_eq!(s.mean_rank, 0.0);
+        assert_eq!(s.max_rank, 0);
+        assert_eq!(s.p50_upper, 0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let values: Vec<u64> = (1..200u64).map(|v| v * 3 % 50 + 1).collect();
+        let mut whole = RankCostAccumulator::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut a = RankCostAccumulator::new();
+        let mut b = RankCostAccumulator::new();
+        for &v in &values[..77] {
+            a.record(v);
+        }
+        for &v in &values[77..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        let sa = a.finish();
+        let sw = whole.finish();
+        assert_eq!(sa.removals, sw.removals);
+        assert!((sa.mean_rank - sw.mean_rank).abs() < 1e-9);
+        assert_eq!(sa.max_rank, sw.max_rank);
+        assert_eq!(sa.p99_upper, sw.p99_upper);
+    }
+
+    #[test]
+    fn time_series_summaries() {
+        let mut ts = RankTimeSeries::new(100);
+        ts.push(100, 5.0, 20);
+        ts.push(200, 6.0, 18);
+        ts.push(300, 5.5, 40);
+        assert_eq!(ts.final_mean(), Some(5.5));
+        assert_eq!(ts.overall_max(), Some(40));
+        assert!(ts.sqrt_growth_coefficient() > 0.0);
+    }
+
+    #[test]
+    fn sqrt_growth_fit_recovers_coefficient() {
+        let mut ts = RankTimeSeries::new(1);
+        for t in (1..=100u64).map(|k| k * 100) {
+            ts.push(t, 3.0 * (t as f64).sqrt(), 0);
+        }
+        let a = ts.sqrt_growth_coefficient();
+        assert!((a - 3.0).abs() < 1e-9, "fit {a}");
+    }
+
+    #[test]
+    fn empty_time_series() {
+        let ts = RankTimeSeries::new(10);
+        assert_eq!(ts.final_mean(), None);
+        assert_eq!(ts.overall_max(), None);
+        assert_eq!(ts.sqrt_growth_coefficient(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = RankTimeSeries::new(0);
+    }
+}

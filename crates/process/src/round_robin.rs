@@ -1,0 +1,223 @@
+//! Round-robin insertions and the reduction to classic two-choice
+//! balls-into-bins (Appendix A).
+//!
+//! When labels are inserted round-robin (label `t` goes to queue `t mod n`),
+//! removing the smaller of two random tops is *exactly* equivalent to
+//! inserting a ball into the less-loaded of two random "virtual bins", where
+//! virtual bin `i` counts how many elements have been removed from queue `i`.
+//! [`RoundRobinProcess`] runs the labelled process under round-robin insertion
+//! while simultaneously tracking the virtual-bin loads, so the equivalence can
+//! be asserted step by step, and the known gap bounds of the classic process
+//! (`O(log log n)` for two-choice, `Θ(√(t/n·log n))` for single-choice)
+//! transfer to removal-count imbalance.
+
+use std::collections::VecDeque;
+
+use rank_stats::order::OrderStatisticsSet;
+use rank_stats::rng::{RandomSource, Xoshiro256};
+
+use balls_bins::process::load_stats;
+use balls_bins::LoadStats;
+
+use crate::config::RemovalRule;
+use crate::metrics::{RankCostAccumulator, RankCostSummary};
+
+/// The labelled process under round-robin insertion, with its virtual-bin
+/// shadow process.
+#[derive(Clone, Debug)]
+pub struct RoundRobinProcess {
+    queues: Vec<VecDeque<u64>>,
+    present: OrderStatisticsSet,
+    /// Virtual bin loads: removals per queue (the Appendix A reduction).
+    removal_counts: Vec<u64>,
+    removal: RemovalRule,
+    next_label: u64,
+    rng: Xoshiro256,
+}
+
+impl RoundRobinProcess {
+    /// Creates the process with `queues` queues and the given removal rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues == 0`.
+    pub fn new(queues: usize, removal: RemovalRule, seed: u64) -> Self {
+        assert!(queues > 0, "need at least one queue");
+        Self {
+            queues: vec![VecDeque::new(); queues],
+            present: OrderStatisticsSet::with_capacity(1024),
+            removal_counts: vec![0; queues],
+            removal,
+            next_label: 0,
+            rng: Xoshiro256::seeded(seed),
+        }
+    }
+
+    /// Number of queues.
+    pub fn queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Inserts `count` labels round-robin.
+    pub fn prefill(&mut self, count: u64) {
+        for _ in 0..count {
+            let label = self.next_label;
+            self.next_label += 1;
+            let queue = (label % self.queues.len() as u64) as usize;
+            self.queues[queue].push_back(label);
+            self.present.insert(label);
+        }
+    }
+
+    /// Number of labels currently present.
+    pub fn total_present(&self) -> u64 {
+        self.present.len()
+    }
+
+    /// The per-queue removal counts (the virtual-bin load vector).
+    pub fn removal_counts(&self) -> &[u64] {
+        &self.removal_counts
+    }
+
+    /// Load statistics of the virtual bins.
+    pub fn virtual_bin_stats(&self) -> LoadStats {
+        load_stats(&self.removal_counts)
+    }
+
+    /// Performs one removal; returns `(queue, label, rank)` or `None` when
+    /// the sampled queues are empty.
+    ///
+    /// The key invariant of the Appendix A reduction — under round-robin
+    /// insertion, "smaller top label" and "fewer removals so far" coincide —
+    /// is asserted in debug builds on every two-choice comparison.
+    pub fn remove(&mut self) -> Option<(usize, u64, u64)> {
+        let n = self.queues.len();
+        let two_choice = match self.removal {
+            RemovalRule::SingleChoice => false,
+            RemovalRule::TwoChoice => true,
+            RemovalRule::OnePlusBeta(beta) => self.rng.next_bool(beta),
+        };
+        let chosen = if !two_choice || n == 1 {
+            let q = self.rng.next_index(n);
+            if self.queues[q].is_empty() {
+                return None;
+            }
+            q
+        } else {
+            let (a, b) = self.rng.next_two_distinct(n);
+            match (self.queues[a].front(), self.queues[b].front()) {
+                (Some(&la), Some(&lb)) => {
+                    let by_label = if la <= lb { a } else { b };
+                    // The reduction: comparing top labels is the same as
+                    // comparing virtual-bin loads (ties by label agree because
+                    // ties by load are broken by queue index = label order).
+                    let by_load = if (self.removal_counts[a], a) <= (self.removal_counts[b], b)
+                    {
+                        a
+                    } else {
+                        b
+                    };
+                    debug_assert_eq!(
+                        by_label, by_load,
+                        "round-robin reduction violated: labels ({la},{lb}), loads {:?}",
+                        (self.removal_counts[a], self.removal_counts[b])
+                    );
+                    by_label
+                }
+                (Some(_), None) => a,
+                (None, Some(_)) => b,
+                (None, None) => return None,
+            }
+        };
+        let label = self.queues[chosen].pop_front().expect("non-empty");
+        let rank = self
+            .present
+            .remove_and_rank(label)
+            .expect("label was present");
+        self.removal_counts[chosen] += 1;
+        Some((chosen, label, rank))
+    }
+
+    /// Performs `count` removal attempts, returning rank statistics.
+    pub fn run_removals(&mut self, count: u64) -> RankCostSummary {
+        let mut acc = RankCostAccumulator::new();
+        for _ in 0..count {
+            if let Some((_, _, rank)) = self.remove() {
+                acc.record(rank);
+            }
+        }
+        acc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_prefill_is_balanced() {
+        let mut p = RoundRobinProcess::new(8, RemovalRule::TwoChoice, 1);
+        p.prefill(800);
+        assert_eq!(p.total_present(), 800);
+        // Every queue holds exactly 100 labels.
+        let lens: Vec<usize> = (0..8).map(|i| p.queues[i].len()).collect();
+        assert!(lens.iter().all(|&l| l == 100));
+    }
+
+    #[test]
+    fn reduction_invariant_holds_over_a_long_run() {
+        // The debug_assert inside remove() checks the label/load equivalence
+        // on every two-choice step; run enough steps to exercise it heavily.
+        let mut p = RoundRobinProcess::new(16, RemovalRule::TwoChoice, 7);
+        p.prefill(16 * 2_000);
+        let summary = p.run_removals(16_000);
+        assert!(summary.removals > 15_000);
+        // Virtual bins must account for exactly the removals performed.
+        let total_removed: u64 = p.removal_counts().iter().sum();
+        assert_eq!(total_removed, summary.removals);
+    }
+
+    #[test]
+    fn two_choice_virtual_gap_is_tiny() {
+        // Classic two-choice heavily-loaded bound: gap = O(log log n).
+        let n = 32;
+        let mut p = RoundRobinProcess::new(n, RemovalRule::TwoChoice, 3);
+        p.prefill(n as u64 * 5_000);
+        p.run_removals(n as u64 * 3_000);
+        let gap = p.virtual_bin_stats().gap_above_mean;
+        assert!(gap <= 5.0, "two-choice virtual-bin gap {gap} should be tiny");
+    }
+
+    #[test]
+    fn single_choice_virtual_gap_is_large() {
+        let n = 32;
+        let mut p = RoundRobinProcess::new(n, RemovalRule::SingleChoice, 3);
+        p.prefill(n as u64 * 5_000);
+        p.run_removals(n as u64 * 3_000);
+        let gap = p.virtual_bin_stats().gap_above_mean;
+        assert!(
+            gap > 5.0,
+            "single-choice virtual-bin gap {gap} should exceed the two-choice gap"
+        );
+    }
+
+    #[test]
+    fn round_robin_two_choice_rank_is_order_n() {
+        let n = 16;
+        let mut p = RoundRobinProcess::new(n, RemovalRule::TwoChoice, 9);
+        p.prefill(n as u64 * 3_000);
+        let summary = p.run_removals(n as u64 * 1_500);
+        assert!(
+            summary.mean_rank < 3.0 * n as f64,
+            "round-robin two-choice mean rank {} should be O(n)",
+            summary.mean_rank
+        );
+    }
+
+    #[test]
+    fn empty_process_returns_none() {
+        let mut p = RoundRobinProcess::new(4, RemovalRule::TwoChoice, 0);
+        assert_eq!(p.remove(), None);
+        assert_eq!(p.run_removals(5).removals, 0);
+    }
+}

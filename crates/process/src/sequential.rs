@@ -1,0 +1,503 @@
+//! The sequential labelled (1 + β) process of Section 3.
+//!
+//! Elements with strictly increasing labels are inserted into `n` queues
+//! (queue `i` with probability `π_i`); removals follow the (1 + β) rule and
+//! are charged the exact rank of the removed label among all labels still
+//! present, computed with an order-statistics set.
+//!
+//! Two execution shapes are supported, both *prefixed* in the paper's sense
+//! (removals essentially never see empty queues):
+//!
+//! * **prefill then drain** — insert a large buffer up front and only remove
+//!   (the shape used in the paper's Section 3 discussion and in Figure 2); and
+//! * **alternating** — one insert per removal after a prefill, keeping the
+//!   population constant so arbitrarily long executions fit in memory (the
+//!   shape used for the "for any time t" claims, T1–T4).
+
+use std::collections::VecDeque;
+
+use rank_stats::order::OrderStatisticsSet;
+use rank_stats::rng::{RandomSource, Xoshiro256};
+
+use crate::config::{ProcessConfig, RemovalRule};
+use crate::metrics::{RankCostAccumulator, RankCostSummary, RankTimeSeries};
+
+/// One removal event of the sequential process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemovalRecord {
+    /// The label that was removed.
+    pub label: u64,
+    /// The queue it was removed from.
+    pub queue: usize,
+    /// Its rank among all labels present at the moment of removal (1-based).
+    pub rank: u64,
+}
+
+/// The sequential labelled process.
+#[derive(Clone, Debug)]
+pub struct SequentialProcess {
+    config: ProcessConfig,
+    /// Cumulative insertion probabilities for queue selection.
+    cumulative: Vec<f64>,
+    /// Per-queue labels, ascending (labels are inserted in increasing order,
+    /// so pushing to the back keeps each queue sorted).
+    queues: Vec<VecDeque<u64>>,
+    /// All labels currently present, for exact rank queries.
+    present: OrderStatisticsSet,
+    next_label: u64,
+    removals: u64,
+    rng: Xoshiro256,
+}
+
+impl SequentialProcess {
+    /// Creates the process described by `config` with empty queues.
+    pub fn new(config: ProcessConfig) -> Self {
+        let probabilities = config.insertion_probabilities();
+        let mut acc = 0.0;
+        let cumulative = probabilities
+            .iter()
+            .map(|&p| {
+                acc += p;
+                acc
+            })
+            .collect();
+        let rng = Xoshiro256::seeded(config.seed);
+        Self {
+            queues: vec![VecDeque::new(); config.queues],
+            present: OrderStatisticsSet::with_capacity(1024),
+            next_label: 0,
+            removals: 0,
+            cumulative,
+            config,
+            rng,
+        }
+    }
+
+    /// The configuration this process was built from.
+    pub fn config(&self) -> &ProcessConfig {
+        &self.config
+    }
+
+    /// Number of queues.
+    pub fn queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Number of labels currently present across all queues.
+    pub fn total_present(&self) -> u64 {
+        self.present.len()
+    }
+
+    /// Number of removals performed so far.
+    pub fn removals(&self) -> u64 {
+        self.removals
+    }
+
+    /// The next label that will be inserted.
+    pub fn next_label(&self) -> u64 {
+        self.next_label
+    }
+
+    /// Per-queue element counts.
+    pub fn queue_lengths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.len()).collect()
+    }
+
+    /// The label on top of each queue (`None` for empty queues).
+    pub fn top_labels(&self) -> Vec<Option<u64>> {
+        self.queues.iter().map(|q| q.front().copied()).collect()
+    }
+
+    fn sample_queue(&mut self) -> usize {
+        let u = self.rng.next_f64();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.queues.len() - 1)
+    }
+
+    /// Inserts the next label into a randomly chosen queue; returns
+    /// `(label, queue)`.
+    pub fn insert(&mut self) -> (u64, usize) {
+        let label = self.next_label;
+        self.next_label += 1;
+        let queue = self.sample_queue();
+        self.queues[queue].push_back(label);
+        self.present.insert(label);
+        (label, queue)
+    }
+
+    /// Inserts `count` labels.
+    pub fn prefill(&mut self, count: u64) {
+        for _ in 0..count {
+            self.insert();
+        }
+    }
+
+    /// Decides which queue the next removal should take from, following the
+    /// (1 + β) rule. Sampled empty queues fall through to the other sample;
+    /// returns `None` only when the sampled queues are all empty.
+    fn choose_removal_queue(&mut self) -> Option<usize> {
+        let n = self.queues.len();
+        let two_choice = match self.config.removal {
+            RemovalRule::SingleChoice => false,
+            RemovalRule::TwoChoice => true,
+            RemovalRule::OnePlusBeta(beta) => self.rng.next_bool(beta),
+        };
+        if !two_choice || n == 1 {
+            let q = self.rng.next_index(n);
+            return if self.queues[q].is_empty() { None } else { Some(q) };
+        }
+        let (a, b) = self.rng.next_two_distinct(n);
+        match (self.queues[a].front(), self.queues[b].front()) {
+            (Some(&la), Some(&lb)) => Some(if la <= lb { a } else { b }),
+            (Some(_), None) => Some(a),
+            (None, Some(_)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Performs one removal. Returns `None` if the sampled queues were empty
+    /// (which the prefixed-execution assumption makes negligibly rare).
+    pub fn remove(&mut self) -> Option<RemovalRecord> {
+        let queue = self.choose_removal_queue()?;
+        let label = self.queues[queue]
+            .pop_front()
+            .expect("chosen queue is non-empty");
+        let rank = self
+            .present
+            .remove_and_rank(label)
+            .expect("label tracked as present");
+        self.removals += 1;
+        Some(RemovalRecord { label, queue, rank })
+    }
+
+    /// Performs `count` removal attempts, returning the rank-cost summary of
+    /// the removals that succeeded.
+    pub fn run_removals(&mut self, count: u64) -> RankCostSummary {
+        let mut acc = RankCostAccumulator::new();
+        for _ in 0..count {
+            if let Some(record) = self.remove() {
+                acc.record(record.rank);
+            }
+        }
+        acc.finish()
+    }
+
+    /// Performs `count` removal attempts while sampling a time series every
+    /// `interval` removals: each sample reports the mean and max rank over the
+    /// *preceding* interval, so divergence over time is visible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn run_removals_with_series(
+        &mut self,
+        count: u64,
+        interval: u64,
+    ) -> (RankCostSummary, RankTimeSeries) {
+        assert!(interval > 0, "interval must be positive");
+        let mut total = RankCostAccumulator::new();
+        let mut window = RankCostAccumulator::new();
+        let mut series = RankTimeSeries::new(interval);
+        for step in 1..=count {
+            if let Some(record) = self.remove() {
+                total.record(record.rank);
+                window.record(record.rank);
+            }
+            if step % interval == 0 {
+                series.push(self.removals, window.mean_rank(), window.max_rank());
+                window = RankCostAccumulator::new();
+            }
+        }
+        (total.finish(), series)
+    }
+
+    /// Runs `steps` alternating (insert, remove) pairs after ensuring at least
+    /// `floor` elements are present, keeping the population roughly constant.
+    /// This is the long-lived shape used for the "any time t" experiments.
+    pub fn run_alternating(&mut self, steps: u64, floor: u64) -> RankCostSummary {
+        if self.total_present() < floor {
+            self.prefill(floor - self.total_present());
+        }
+        let mut acc = RankCostAccumulator::new();
+        for _ in 0..steps {
+            self.insert();
+            if let Some(record) = self.remove() {
+                acc.record(record.rank);
+            }
+        }
+        acc.finish()
+    }
+
+    /// Like [`Self::run_alternating`] but also samples a time series every
+    /// `interval` steps (mean/max over the preceding window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval == 0`.
+    pub fn run_alternating_with_series(
+        &mut self,
+        steps: u64,
+        floor: u64,
+        interval: u64,
+    ) -> (RankCostSummary, RankTimeSeries) {
+        assert!(interval > 0, "interval must be positive");
+        if self.total_present() < floor {
+            self.prefill(floor - self.total_present());
+        }
+        let mut total = RankCostAccumulator::new();
+        let mut window = RankCostAccumulator::new();
+        let mut series = RankTimeSeries::new(interval);
+        for step in 1..=steps {
+            self.insert();
+            if let Some(record) = self.remove() {
+                total.record(record.rank);
+                window.record(record.rank);
+            }
+            if step % interval == 0 {
+                series.push(self.removals, window.mean_rank(), window.max_rank());
+                window = RankCostAccumulator::new();
+            }
+        }
+        (total.finish(), series)
+    }
+
+    /// The rank (1-based) of the best label currently on top of any queue —
+    /// i.e. the cost an *optimal* two-choice-free scheduler would pay. Always
+    /// 1 unless every queue is empty.
+    pub fn best_available_rank(&self) -> Option<u64> {
+        let best_top = self.top_labels().into_iter().flatten().min()?;
+        Some(self.present.rank(best_top))
+    }
+
+    /// Checks internal consistency: every queue is ascending and the order
+    /// set size matches the queue contents (test/diagnostic helper).
+    pub fn check_invariants(&self) -> bool {
+        let mut count = 0u64;
+        for q in &self.queues {
+            if !q.iter().zip(q.iter().skip(1)).all(|(a, b)| a < b) {
+                return false;
+            }
+            count += q.len() as u64;
+        }
+        count == self.present.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BiasSpec, ProcessConfig};
+    use proptest::prelude::*;
+
+    fn process(n: usize, beta: f64, seed: u64) -> SequentialProcess {
+        SequentialProcess::new(ProcessConfig::new(n).with_beta(beta).with_seed(seed))
+    }
+
+    #[test]
+    fn insertion_bookkeeping() {
+        let mut p = process(4, 1.0, 1);
+        p.prefill(100);
+        assert_eq!(p.total_present(), 100);
+        assert_eq!(p.next_label(), 100);
+        assert_eq!(p.queue_lengths().iter().sum::<usize>(), 100);
+        assert!(p.check_invariants());
+        assert_eq!(p.best_available_rank(), Some(1));
+    }
+
+    #[test]
+    fn single_queue_process_is_exact() {
+        // With one queue every removal takes the global minimum: rank 1 always.
+        let mut p = process(1, 1.0, 3);
+        p.prefill(50);
+        let summary = p.run_removals(50);
+        assert_eq!(summary.removals, 50);
+        assert_eq!(summary.mean_rank, 1.0);
+        assert_eq!(summary.max_rank, 1);
+        assert_eq!(p.total_present(), 0);
+    }
+
+    #[test]
+    fn removal_rank_matches_manual_computation() {
+        let mut p = process(2, 1.0, 7);
+        p.prefill(10);
+        // Two-choice over two queues always inspects both, so it always takes
+        // the global minimum: cost 1 every time.
+        for _ in 0..10 {
+            let r = p.remove().unwrap();
+            assert_eq!(r.rank, 1);
+        }
+        assert_eq!(p.remove(), None);
+    }
+
+    #[test]
+    fn drain_removes_every_label_exactly_once() {
+        let mut p = process(8, 0.5, 11);
+        p.prefill(500);
+        let mut seen = vec![false; 500];
+        // Allow extra attempts because sampled-empty removals return None.
+        let mut attempts = 0;
+        while p.total_present() > 0 && attempts < 100_000 {
+            if let Some(r) = p.remove() {
+                assert!(!seen[r.label as usize], "label removed twice");
+                seen[r.label as usize] = true;
+            }
+            attempts += 1;
+        }
+        assert!(seen.iter().all(|&s| s), "every label must be removed");
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn two_choice_mean_rank_is_order_n() {
+        // Theorem 1: E[rank] = O(n). Use alternating mode so the process is
+        // prefixed and long-lived.
+        let n = 16;
+        let mut p = process(n, 1.0, 42);
+        let summary = p.run_alternating(20_000, (n as u64) * 200);
+        assert!(summary.removals > 19_000);
+        assert!(
+            summary.mean_rank < 3.0 * n as f64,
+            "mean rank {} should be O(n) (n = {n})",
+            summary.mean_rank
+        );
+        // And it cannot be better than (n+1)/2 on average (the rank of the
+        // best top element is 1, but two random choices can't always find it).
+        assert!(summary.mean_rank >= 1.0);
+    }
+
+    #[test]
+    fn single_choice_mean_rank_grows_with_time() {
+        let n = 16;
+        let mut p = process(n, 0.0, 13);
+        let (_, series) =
+            p.run_alternating_with_series(40_000, (n as u64) * 1_000, 10_000);
+        let first = series.points.first().unwrap().1;
+        let last = series.points.last().unwrap().1;
+        assert!(
+            last > first * 1.3,
+            "single-choice mean rank should grow: first window {first}, last window {last}"
+        );
+    }
+
+    #[test]
+    fn two_choice_mean_rank_is_flat_over_time() {
+        let n = 16;
+        let mut p = process(n, 1.0, 13);
+        let (_, series) =
+            p.run_alternating_with_series(40_000, (n as u64) * 1_000, 10_000);
+        let first = series.points.first().unwrap().1;
+        let last = series.points.last().unwrap().1;
+        assert!(
+            last < first * 2.0 + 2.0 * n as f64,
+            "two-choice mean rank should stay bounded: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn smaller_beta_gives_larger_rank() {
+        let n = 8;
+        let run = |beta: f64| {
+            let mut p = process(n, beta, 5);
+            p.run_alternating(30_000, (n as u64) * 500).mean_rank
+        };
+        let r_10 = run(1.0);
+        let r_05 = run(0.5);
+        let r_02 = run(0.2);
+        assert!(
+            r_10 < r_05 && r_05 < r_02,
+            "mean rank should increase as beta decreases: {r_10}, {r_05}, {r_02}"
+        );
+    }
+
+    #[test]
+    fn biased_insertion_still_bounded_for_two_choice() {
+        let n = 16;
+        let cfg = ProcessConfig::new(n)
+            .with_beta(1.0)
+            .with_bias_gamma(0.3)
+            .with_seed(21);
+        let mut p = SequentialProcess::new(cfg);
+        let summary = p.run_alternating(20_000, (n as u64) * 200);
+        assert!(
+            summary.mean_rank < 4.0 * n as f64,
+            "biased two-choice mean rank {} should remain O(n)",
+            summary.mean_rank
+        );
+    }
+
+    #[test]
+    fn explicit_bias_is_respected() {
+        // All mass on queue 0: every label goes there, removals always find it.
+        let cfg = ProcessConfig::new(4)
+            .with_bias_weights(vec![1.0, 0.0, 0.0, 0.0])
+            .with_seed(2);
+        let mut p = SequentialProcess::new(cfg);
+        p.prefill(100);
+        let lens = p.queue_lengths();
+        assert_eq!(lens[0], 100);
+        assert_eq!(lens[1] + lens[2] + lens[3], 0);
+        // A queue with zero insertion probability violates the bounded-bias
+        // assumption entirely, so the realised gamma is reported as infinite.
+        assert!(BiasSpec::realized_gamma(&p.config().insertion_probabilities()).is_infinite());
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let run = |seed| {
+            let mut p = process(8, 0.75, seed);
+            p.prefill(1_000);
+            let s = p.run_removals(1_000);
+            (s.mean_rank, s.max_rank)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn empty_process_remove_returns_none() {
+        let mut p = process(4, 1.0, 0);
+        assert_eq!(p.remove(), None);
+        let summary = p.run_removals(10);
+        assert_eq!(summary.removals, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let mut p = process(4, 1.0, 0);
+        let _ = p.run_removals_with_series(10, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_labels_conserved(n in 1usize..12, prefill in 1u64..400, removals in 0u64..400, beta in 0.0f64..=1.0, seed in 0u64..1000) {
+            let mut p = process(n, beta, seed);
+            p.prefill(prefill);
+            let mut removed = 0u64;
+            for _ in 0..removals {
+                if p.remove().is_some() {
+                    removed += 1;
+                }
+            }
+            prop_assert_eq!(p.total_present(), prefill - removed);
+            prop_assert!(p.check_invariants());
+        }
+
+        #[test]
+        fn prop_rank_never_exceeds_population(n in 2usize..10, seed in 0u64..1000) {
+            let mut p = process(n, 0.5, seed);
+            p.prefill(200);
+            let mut present = 200u64;
+            for _ in 0..200 {
+                if let Some(r) = p.remove() {
+                    prop_assert!(r.rank >= 1);
+                    prop_assert!(r.rank <= present);
+                    present -= 1;
+                }
+            }
+        }
+    }
+}

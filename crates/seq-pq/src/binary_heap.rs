@@ -1,0 +1,296 @@
+//! Array-backed binary min-heap.
+//!
+//! This is the default lane of the concurrent MultiQueue. It is written from
+//! scratch (rather than wrapping `std::collections::BinaryHeap`) so that we
+//! control tie-breaking, expose `peek_key` without constructing a `Reverse`
+//! wrapper, and keep insertion-order stability for equal keys — useful when
+//! the sequential process inserts strictly increasing labels and we want
+//! deterministic behaviour for duplicate priorities in applications.
+
+use crate::{Key, SequentialPriorityQueue};
+
+/// An array-backed binary min-heap of `(Key, V)` entries.
+///
+/// Ties on `Key` are broken by insertion order (earlier insertions pop first),
+/// which makes the structure stable and keeps runs reproducible.
+#[derive(Clone, Debug)]
+pub struct BinaryHeap<V> {
+    // Each slot stores (key, sequence, value); `sequence` implements stability.
+    entries: Vec<(Key, u64, V)>,
+    next_sequence: u64,
+}
+
+impl<V> Default for BinaryHeap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BinaryHeap<V> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Creates an empty heap with space reserved for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+            next_sequence: 0,
+        }
+    }
+
+    /// Current capacity of the backing storage.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
+    fn less(&self, a: usize, b: usize) -> bool {
+        let (ka, sa, _) = &self.entries[a];
+        let (kb, sb, _) = &self.entries[b];
+        (ka, sa) < (kb, sb)
+    }
+
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            if self.less(idx, parent) {
+                self.entries.swap(idx, parent);
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        let len = self.entries.len();
+        loop {
+            let left = 2 * idx + 1;
+            let right = left + 1;
+            let mut smallest = idx;
+            if left < len && self.less(left, smallest) {
+                smallest = left;
+            }
+            if right < len && self.less(right, smallest) {
+                smallest = right;
+            }
+            if smallest == idx {
+                break;
+            }
+            self.entries.swap(idx, smallest);
+            idx = smallest;
+        }
+    }
+
+    /// Checks the heap invariant; used by tests and `debug_assert!`s.
+    pub fn is_valid_heap(&self) -> bool {
+        (1..self.entries.len()).all(|i| !self.less(i, (i - 1) / 2))
+    }
+
+    /// Iterates over all entries in unspecified (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &V)> {
+        self.entries.iter().map(|(k, _, v)| (*k, v))
+    }
+}
+
+impl<V> SequentialPriorityQueue<V> for BinaryHeap<V> {
+    fn push(&mut self, key: Key, value: V) {
+        let seq = self.next_sequence;
+        self.next_sequence += 1;
+        self.entries.push((key, seq, value));
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    fn peek(&self) -> Option<(Key, &V)> {
+        self.entries.first().map(|(k, _, v)| (*k, v))
+    }
+
+    fn peek_key(&self) -> Option<Key> {
+        self.entries.first().map(|(k, _, _)| *k)
+    }
+
+    fn pop(&mut self) -> Option<(Key, V)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        let (key, _, value) = self.entries.pop().expect("checked non-empty");
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        Some((key, value))
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.next_sequence = 0;
+    }
+}
+
+impl<V> FromIterator<(Key, V)> for BinaryHeap<V> {
+    fn from_iter<I: IntoIterator<Item = (Key, V)>>(iter: I) -> Self {
+        let mut heap = Self::new();
+        for (k, v) in iter {
+            heap.push(k, v);
+        }
+        heap
+    }
+}
+
+impl<V> Extend<(Key, V)> for BinaryHeap<V> {
+    fn extend<I: IntoIterator<Item = (Key, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.push(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_heap() {
+        let mut h: BinaryHeap<()> = BinaryHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.peek(), None);
+        assert_eq!(h.peek_key(), None);
+        assert_eq!(h.pop(), None);
+        assert!(h.is_valid_heap());
+    }
+
+    #[test]
+    fn push_pop_sorted_order() {
+        let mut h = BinaryHeap::new();
+        for k in [9u64, 4, 7, 1, 8, 2, 6, 3, 5, 0] {
+            h.push(k, k * 10);
+        }
+        assert!(h.is_valid_heap());
+        let mut out = Vec::new();
+        while let Some((k, v)) = h.pop() {
+            assert_eq!(v, k * 10);
+            out.push(k);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut h = BinaryHeap::new();
+        h.push(5, "first");
+        h.push(5, "second");
+        h.push(5, "third");
+        assert_eq!(h.pop(), Some((5, "first")));
+        assert_eq!(h.pop(), Some((5, "second")));
+        assert_eq!(h.pop(), Some((5, "third")));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut h = BinaryHeap::new();
+        h.push(2, 'b');
+        h.push(1, 'a');
+        assert_eq!(h.peek(), Some((1, &'a')));
+        assert_eq!(h.peek_key(), Some(1));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut h: BinaryHeap<u32> = (0..10u64).map(|k| (k, k as u32)).collect();
+        assert_eq!(h.len(), 10);
+        h.clear();
+        assert!(h.is_empty());
+        h.push(3, 3);
+        assert_eq!(h.pop(), Some((3, 3)));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut h: BinaryHeap<&str> = vec![(3, "c"), (1, "a")].into_iter().collect();
+        h.extend(vec![(2, "b")]);
+        assert_eq!(h.pop(), Some((1, "a")));
+        assert_eq!(h.pop(), Some((2, "b")));
+        assert_eq!(h.pop(), Some((3, "c")));
+    }
+
+    #[test]
+    fn interleaved_push_pop_maintains_invariant() {
+        let mut h = BinaryHeap::new();
+        for round in 0..50u64 {
+            for k in 0..20u64 {
+                h.push((k * 7919 + round * 104729) % 1000, ());
+            }
+            for _ in 0..10 {
+                h.pop();
+            }
+            assert!(h.is_valid_heap());
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_entry() {
+        let h: BinaryHeap<u64> = (0..25u64).map(|k| (k, k)).collect();
+        let mut keys: Vec<Key> = h.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..25).collect::<Vec<u64>>());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_matches_sorted_input(mut keys in proptest::collection::vec(0u64..10_000, 0..300)) {
+            let mut heap = BinaryHeap::new();
+            for &k in &keys {
+                heap.push(k, ());
+                prop_assert!(heap.is_valid_heap());
+            }
+            let mut popped = Vec::new();
+            while let Some((k, ())) = heap.pop() {
+                popped.push(k);
+            }
+            keys.sort_unstable();
+            prop_assert_eq!(popped, keys);
+        }
+
+        #[test]
+        fn prop_len_tracks_operations(ops in proptest::collection::vec(proptest::option::of(0u64..100), 0..200)) {
+            // Some(k) = push k, None = pop.
+            let mut heap = BinaryHeap::new();
+            let mut expected_len = 0usize;
+            for op in ops {
+                match op {
+                    Some(k) => {
+                        heap.push(k, k);
+                        expected_len += 1;
+                    }
+                    None => {
+                        let had = heap.pop().is_some();
+                        if had {
+                            expected_len -= 1;
+                        }
+                    }
+                }
+                prop_assert_eq!(heap.len(), expected_len);
+                prop_assert!(heap.is_valid_heap());
+            }
+        }
+
+        #[test]
+        fn prop_peek_is_minimum(keys in proptest::collection::vec(0u64..1_000, 1..100)) {
+            let heap: BinaryHeap<()> = keys.iter().map(|&k| (k, ())).collect();
+            let min = *keys.iter().min().unwrap();
+            prop_assert_eq!(heap.peek_key(), Some(min));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Monotone bucket queue.
+//!
+//! Dijkstra's algorithm on graphs with bounded integer edge weights — the
+//! single-source shortest-paths application in the paper's Figure 3 — can use
+//! a *monotone* bucket queue: keys never decrease below the last popped key,
+//! so a circular array of buckets indexed by key gives `O(1)` push and
+//! amortised `O(C)` pop where `C` is the maximum edge weight. This serves both
+//! as a fast sequential Dijkstra baseline and as a stress-test companion for
+//! the other queues (they must agree on every workload where monotonicity
+//! holds).
+
+use std::collections::VecDeque;
+
+use crate::{Key, SequentialPriorityQueue};
+
+/// A monotone bucket queue over integer keys.
+///
+/// `push` accepts any key at least as large as the last popped key
+/// ("monotone" workloads); `pop` returns keys in non-decreasing order.
+#[derive(Clone, Debug)]
+pub struct BucketQueue<V> {
+    /// buckets[i] holds entries with key == base + i (conceptually; the vector
+    /// is indexed modulo its length).
+    buckets: Vec<VecDeque<(Key, V)>>,
+    /// Smallest key that may still be stored.
+    current: Key,
+    /// Span of representable keys above `current` (the bucket count).
+    span: usize,
+    len: usize,
+}
+
+impl<V> BucketQueue<V> {
+    /// Creates a bucket queue able to hold keys in `[popped, popped + span]`
+    /// at any point in time, where `popped` is the largest key removed so far.
+    ///
+    /// For Dijkstra, `span` must be at least the maximum edge weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span == 0`.
+    pub fn new(span: usize) -> Self {
+        assert!(span > 0, "span must be positive");
+        Self {
+            buckets: (0..=span).map(|_| VecDeque::new()).collect(),
+            current: 0,
+            span,
+            len: 0,
+        }
+    }
+
+    /// The key span this queue was configured with.
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// The smallest key this queue can currently accept.
+    pub fn current_floor(&self) -> Key {
+        self.current
+    }
+
+    fn bucket_index(&self, key: Key) -> usize {
+        (key % self.buckets.len() as u64) as usize
+    }
+
+    fn advance_to_nonempty(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        while self.buckets[self.bucket_index(self.current)].is_empty() {
+            self.current += 1;
+        }
+    }
+}
+
+impl<V> SequentialPriorityQueue<V> for BucketQueue<V> {
+    /// Inserts an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is below the current floor (the queue is monotone) or
+    /// more than `span` above it (would alias an earlier bucket).
+    fn push(&mut self, key: Key, value: V) {
+        assert!(
+            key >= self.current,
+            "monotone bucket queue: key {key} below current floor {}",
+            self.current
+        );
+        assert!(
+            key - self.current <= self.span as u64,
+            "key {key} exceeds span {} above floor {}",
+            self.span,
+            self.current
+        );
+        let idx = self.bucket_index(key);
+        self.buckets[idx].push_back((key, value));
+        self.len += 1;
+    }
+
+    fn peek(&self) -> Option<(Key, &V)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Scan forward from `current` without mutating (peek must be &self).
+        let mut probe = self.current;
+        loop {
+            let idx = (probe % self.buckets.len() as u64) as usize;
+            if let Some((k, v)) = self.buckets[idx].front() {
+                return Some((*k, v));
+            }
+            probe += 1;
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Key, V)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance_to_nonempty();
+        let idx = self.bucket_index(self.current);
+        let entry = self.buckets[idx].pop_front().expect("bucket non-empty");
+        self.len -= 1;
+        Some(entry)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.current = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_queue() {
+        let mut q: BucketQueue<()> = BucketQueue::new(10);
+        assert!(q.is_empty());
+        assert_eq!(q.peek(), None);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.span(), 10);
+        assert_eq!(q.current_floor(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be positive")]
+    fn zero_span_panics() {
+        let _: BucketQueue<()> = BucketQueue::new(0);
+    }
+
+    #[test]
+    fn pops_in_nondecreasing_order() {
+        let mut q = BucketQueue::new(16);
+        for k in [5u64, 2, 9, 2, 0, 16, 7] {
+            q.push(k, k);
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![0, 2, 2, 5, 7, 9, 16]);
+    }
+
+    #[test]
+    fn monotone_reuse_of_buckets() {
+        let mut q = BucketQueue::new(4);
+        q.push(0, 'a');
+        assert_eq!(q.pop(), Some((0, 'a')));
+        // Floor is now 0 (after popping key 0); push keys that wrap around the
+        // circular bucket array.
+        q.push(3, 'b');
+        q.push(4, 'c');
+        assert_eq!(q.pop(), Some((3, 'b')));
+        q.push(7, 'd');
+        assert_eq!(q.pop(), Some((4, 'c')));
+        assert_eq!(q.pop(), Some((7, 'd')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "below current floor")]
+    fn non_monotone_push_panics() {
+        let mut q = BucketQueue::new(8);
+        q.push(5, ());
+        q.pop();
+        q.push(4, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds span")]
+    fn out_of_span_push_panics() {
+        let mut q = BucketQueue::new(8);
+        q.push(9, ());
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q = BucketQueue::new(32);
+        for k in [12u64, 30, 4, 19] {
+            q.push(k, k * 3);
+        }
+        while !q.is_empty() {
+            let peeked = q.peek().map(|(k, &v)| (k, v));
+            let popped = q.pop();
+            assert_eq!(peeked, popped);
+        }
+    }
+
+    #[test]
+    fn fifo_within_equal_keys() {
+        let mut q = BucketQueue::new(4);
+        q.push(2, "first");
+        q.push(2, "second");
+        assert_eq!(q.pop(), Some((2, "first")));
+        assert_eq!(q.pop(), Some((2, "second")));
+    }
+
+    #[test]
+    fn clear_resets_floor() {
+        let mut q = BucketQueue::new(4);
+        q.push(3, ());
+        q.pop();
+        q.clear();
+        assert_eq!(q.current_floor(), 0);
+        q.push(1, ());
+        assert_eq!(q.pop(), Some((1, ())));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_workload_pops_sorted(increments in proptest::collection::vec(0u64..8, 1..200)) {
+            // Build a monotone push sequence: each pushed key is the last
+            // popped key plus a bounded increment, interleaved with pops.
+            let mut q = BucketQueue::new(8);
+            let mut pushed = Vec::new();
+            let mut floor = 0u64;
+            for (i, inc) in increments.iter().enumerate() {
+                let key = floor + inc;
+                q.push(key, ());
+                pushed.push(key);
+                if i % 3 == 2 {
+                    if let Some((k, ())) = q.pop() {
+                        floor = k;
+                    }
+                }
+            }
+            let mut popped: Vec<u64> = Vec::new();
+            while let Some((k, ())) = q.pop() {
+                popped.push(k);
+            }
+            prop_assert!(popped.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Pairing heap.
+//!
+//! A pointer-based (here: arena-indexed) heap with `O(1)` insert and meld and
+//! amortised `O(log n)` delete-min. Insert-heavy workloads — exactly what the
+//! MultiQueue's insertion path produces on each lane — benefit from the cheap
+//! insert. The implementation uses an index arena with a free list instead of
+//! `Box`-based nodes so it stays `unsafe`-free and allocation-friendly; values
+//! are stored as `Option<V>` so a popped slot can give up its value without
+//! needing `V: Default` or `unsafe`.
+
+use crate::{Key, SequentialPriorityQueue};
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    key: Key,
+    value: Option<V>,
+    /// First child (NIL if none).
+    child: usize,
+    /// Next sibling in the child list (NIL if none).
+    sibling: usize,
+}
+
+/// A pairing heap of `(Key, V)` entries (min-heap).
+#[derive(Clone, Debug)]
+pub struct PairingHeap<V> {
+    nodes: Vec<Node<V>>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+}
+
+impl<V> Default for PairingHeap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PairingHeap<V> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty heap with reserved arena capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of arena slots currently allocated (diagnostic helper).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn alloc(&mut self, key: Key, value: V) -> usize {
+        let node = Node {
+            key,
+            value: Some(value),
+            child: NIL,
+            sibling: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Melds two heap roots, returning the root of the combined heap.
+    fn meld(&mut self, a: usize, b: usize) -> usize {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        // The node with the smaller key becomes the parent; ties keep `a` on
+        // top so melds are deterministic.
+        let (parent, child) = if self.nodes[a].key <= self.nodes[b].key {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.nodes[child].sibling = self.nodes[parent].child;
+        self.nodes[parent].child = child;
+        parent
+    }
+
+    /// Two-pass pairing of a child list, returning the new root.
+    fn merge_pairs(&mut self, first: usize) -> usize {
+        if first == NIL || self.nodes[first].sibling == NIL {
+            return first;
+        }
+        // Pass 1: meld children pairwise, collecting the pair roots.
+        let mut pairs = Vec::new();
+        let mut cur = first;
+        while cur != NIL {
+            let a = cur;
+            let b = self.nodes[a].sibling;
+            let next = if b == NIL { NIL } else { self.nodes[b].sibling };
+            self.nodes[a].sibling = NIL;
+            if b != NIL {
+                self.nodes[b].sibling = NIL;
+            }
+            pairs.push(self.meld(a, b));
+            cur = next;
+        }
+        // Pass 2: meld the pair roots right-to-left.
+        let mut root = pairs.pop().expect("at least one pair");
+        while let Some(p) = pairs.pop() {
+            root = self.meld(p, root);
+        }
+        root
+    }
+
+    /// Verifies heap order and node accounting over the whole arena
+    /// (test/diagnostic helper; runs in `O(len)`).
+    pub fn is_valid_heap(&self) -> bool {
+        if self.root == NIL {
+            return self.len == 0;
+        }
+        let mut stack = vec![self.root];
+        let mut visited = 0usize;
+        while let Some(idx) = stack.pop() {
+            visited += 1;
+            if self.nodes[idx].value.is_none() {
+                return false;
+            }
+            let parent_key = self.nodes[idx].key;
+            let mut child = self.nodes[idx].child;
+            while child != NIL {
+                if self.nodes[child].key < parent_key {
+                    return false;
+                }
+                stack.push(child);
+                child = self.nodes[child].sibling;
+            }
+        }
+        visited == self.len
+    }
+}
+
+impl<V> SequentialPriorityQueue<V> for PairingHeap<V> {
+    fn push(&mut self, key: Key, value: V) {
+        let idx = self.alloc(key, value);
+        self.root = self.meld(self.root, idx);
+        self.len += 1;
+    }
+
+    fn peek(&self) -> Option<(Key, &V)> {
+        if self.root == NIL {
+            None
+        } else {
+            let node = &self.nodes[self.root];
+            node.value.as_ref().map(|v| (node.key, v))
+        }
+    }
+
+    fn peek_key(&self) -> Option<Key> {
+        if self.root == NIL {
+            None
+        } else {
+            Some(self.nodes[self.root].key)
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Key, V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let old_root = self.root;
+        let first_child = self.nodes[old_root].child;
+        self.root = self.merge_pairs(first_child);
+        self.len -= 1;
+        let key = self.nodes[old_root].key;
+        let value = self.nodes[old_root]
+            .value
+            .take()
+            .expect("live node has a value");
+        self.free.push(old_root);
+        Some((key, value))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+}
+
+impl<V> FromIterator<(Key, V)> for PairingHeap<V> {
+    fn from_iter<I: IntoIterator<Item = (Key, V)>>(iter: I) -> Self {
+        let mut heap = Self::new();
+        for (k, v) in iter {
+            heap.push(k, v);
+        }
+        heap
+    }
+}
+
+impl<V> Extend<(Key, V)> for PairingHeap<V> {
+    fn extend<I: IntoIterator<Item = (Key, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.push(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_heap() {
+        let mut h: PairingHeap<()> = PairingHeap::new();
+        assert!(h.is_empty());
+        assert_eq!(h.peek(), None);
+        assert_eq!(h.peek_key(), None);
+        assert_eq!(h.pop(), None);
+        assert!(h.is_valid_heap());
+    }
+
+    #[test]
+    fn push_pop_sorted_order() {
+        let mut h = PairingHeap::new();
+        for k in [5u64, 3, 9, 1, 7, 0, 8, 2, 6, 4] {
+            h.push(k, k * 2);
+        }
+        assert!(h.is_valid_heap());
+        let mut out = Vec::new();
+        while let Some((k, v)) = h.pop() {
+            assert_eq!(v, k * 2);
+            out.push(k);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn arena_slots_are_recycled() {
+        let mut h = PairingHeap::new();
+        for k in 0..100u64 {
+            h.push(k, ());
+        }
+        while h.pop().is_some() {}
+        let arena_after_drain = h.arena_len();
+        for k in 0..100u64 {
+            h.push(k, ());
+        }
+        // Re-inserting the same number of elements should not grow the arena.
+        assert_eq!(h.arena_len(), arena_after_drain);
+        assert_eq!(h.len(), 100);
+        assert!(h.is_valid_heap());
+    }
+
+    #[test]
+    fn interleaved_operations() {
+        let mut h = PairingHeap::new();
+        h.push(10, 'a');
+        h.push(5, 'b');
+        assert_eq!(h.pop(), Some((5, 'b')));
+        h.push(1, 'c');
+        h.push(7, 'd');
+        assert_eq!(h.peek_key(), Some(1));
+        assert_eq!(h.pop(), Some((1, 'c')));
+        assert_eq!(h.pop(), Some((7, 'd')));
+        assert_eq!(h.pop(), Some((10, 'a')));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h: PairingHeap<u64> = (0..10u64).map(|k| (k, k)).collect();
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+        h.push(1, 1);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut h: PairingHeap<&str> = vec![(3, "c"), (1, "a")].into_iter().collect();
+        h.extend(vec![(2, "b")]);
+        assert_eq!(h.pop(), Some((1, "a")));
+        assert_eq!(h.pop(), Some((2, "b")));
+        assert_eq!(h.pop(), Some((3, "c")));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_matches_sorted_input(mut keys in proptest::collection::vec(0u64..10_000, 0..300)) {
+            let mut heap = PairingHeap::new();
+            for &k in &keys {
+                heap.push(k, ());
+            }
+            prop_assert!(heap.is_valid_heap());
+            let mut popped = Vec::new();
+            while let Some((k, ())) = heap.pop() {
+                popped.push(k);
+            }
+            keys.sort_unstable();
+            prop_assert_eq!(popped, keys);
+        }
+
+        #[test]
+        fn prop_interleaved_matches_std_reference(ops in proptest::collection::vec(proptest::option::of(0u64..1_000), 0..300)) {
+            // Some(k) = push k, None = pop; compare against std's BinaryHeap.
+            let mut heap = PairingHeap::new();
+            let mut reference = std::collections::BinaryHeap::new();
+            for op in ops {
+                match op {
+                    Some(k) => {
+                        heap.push(k, ());
+                        reference.push(std::cmp::Reverse(k));
+                    }
+                    None => {
+                        let expected = reference.pop().map(|std::cmp::Reverse(k)| k);
+                        prop_assert_eq!(heap.pop().map(|(k, ())| k), expected);
+                    }
+                }
+                prop_assert!(heap.is_valid_heap());
+            }
+            prop_assert_eq!(heap.len(), reference.len());
+        }
+    }
+}

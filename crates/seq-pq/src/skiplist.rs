@@ -1,0 +1,364 @@
+//! Sequential skiplist-based priority queue.
+//!
+//! A skiplist keeps all entries in fully sorted order, so `pop` is simply
+//! "unlink the head" and `peek` is `O(1)`. This mirrors the data layout used
+//! by skiplist-based concurrent priority queues (Lotan–Shavit, Linden–Jonsson)
+//! and is provided both as a MultiQueue lane backend and as the substrate of
+//! the centralized skiplist baseline in `pq-baselines`.
+//!
+//! The implementation is an arena-indexed singly linked skiplist (no `unsafe`),
+//! with tower heights drawn from a geometric distribution via a SplitMix64
+//! generator seeded per instance, so structure layout is deterministic given
+//! the seed and insertion sequence.
+
+use rank_stats::rng::{RandomSource, SplitMix64};
+
+use crate::{Key, SequentialPriorityQueue};
+
+const MAX_HEIGHT: usize = 24;
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    key: Key,
+    value: Option<V>,
+    /// next[level] = arena index of the successor at that level.
+    next: Vec<usize>,
+}
+
+/// A sequential skiplist priority queue (min-queue).
+#[derive(Clone, Debug)]
+pub struct SkipListPq<V> {
+    /// `heads[level]` is the first node at that level.
+    heads: [usize; MAX_HEIGHT],
+    nodes: Vec<Node<V>>,
+    free: Vec<usize>,
+    len: usize,
+    height: usize,
+    rng: SplitMix64,
+}
+
+impl<V> Default for SkipListPq<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> SkipListPq<V> {
+    /// Creates an empty skiplist with the default tower-height seed.
+    pub fn new() -> Self {
+        Self::with_seed(0xD1CE_5EED)
+    }
+
+    /// Creates an empty skiplist whose tower heights are drawn from the given
+    /// seed; two lists with the same seed and insertion sequence have
+    /// identical shapes.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            heads: [NIL; MAX_HEIGHT],
+            nodes: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            height: 1,
+            rng: SplitMix64::seeded(seed),
+        }
+    }
+
+    fn random_height(&mut self) -> usize {
+        // Geometric with p = 1/2, capped at MAX_HEIGHT.
+        let bits = self.rng.next_u64();
+        let h = (bits.trailing_ones() as usize) + 1;
+        h.min(MAX_HEIGHT)
+    }
+
+    fn alloc(&mut self, key: Key, value: V, height: usize) -> usize {
+        let node = Node {
+            key,
+            value: Some(value),
+            next: vec![NIL; height],
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Verifies sorted order and length accounting (test helper, `O(len)`).
+    pub fn is_sorted(&self) -> bool {
+        let mut count = 0usize;
+        let mut cur = self.heads[0];
+        let mut last_key: Option<Key> = None;
+        while cur != NIL {
+            let node = &self.nodes[cur];
+            if node.value.is_none() {
+                return false;
+            }
+            if let Some(prev) = last_key {
+                if node.key < prev {
+                    return false;
+                }
+            }
+            last_key = Some(node.key);
+            count += 1;
+            cur = node.next[0];
+        }
+        count == self.len
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn iter_keys(&self) -> impl Iterator<Item = Key> + '_ {
+        let mut cur = self.heads[0];
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let node = &self.nodes[cur];
+                cur = node.next[0];
+                Some(node.key)
+            }
+        })
+    }
+}
+
+impl<V> SequentialPriorityQueue<V> for SkipListPq<V> {
+    fn push(&mut self, key: Key, value: V) {
+        let height = self.random_height();
+        let idx = self.alloc(key, value, height);
+        if height > self.height {
+            self.height = height;
+        }
+        // Find the predecessor at each level, starting from the top.
+        // `preds[level]` is NIL when the new node becomes the head there.
+        let mut preds = [NIL; MAX_HEIGHT];
+        let mut cur = NIL; // current predecessor (NIL = before head)
+        for level in (0..self.height).rev() {
+            let mut next = if cur == NIL {
+                self.heads[level]
+            } else if level < self.nodes[cur].next.len() {
+                self.nodes[cur].next[level]
+            } else {
+                // The predecessor from the level above is shorter than this
+                // level, which cannot happen when walking top-down from a
+                // node that exists at the higher level.
+                unreachable!("predecessor must span the current level")
+            };
+            while next != NIL && self.nodes[next].key < key {
+                cur = next;
+                next = self.nodes[cur].next[level];
+            }
+            preds[level] = cur;
+        }
+        // Splice the new node in at each of its levels.
+        for level in 0..height {
+            if preds[level] == NIL {
+                let old_head = self.heads[level];
+                self.nodes[idx].next[level] = old_head;
+                self.heads[level] = idx;
+            } else {
+                let pred = preds[level];
+                let old_next = self.nodes[pred].next[level];
+                self.nodes[idx].next[level] = old_next;
+                self.nodes[pred].next[level] = idx;
+            }
+        }
+        self.len += 1;
+    }
+
+    fn peek(&self) -> Option<(Key, &V)> {
+        if self.heads[0] == NIL {
+            None
+        } else {
+            let node = &self.nodes[self.heads[0]];
+            node.value.as_ref().map(|v| (node.key, v))
+        }
+    }
+
+    fn peek_key(&self) -> Option<Key> {
+        if self.heads[0] == NIL {
+            None
+        } else {
+            Some(self.nodes[self.heads[0]].key)
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Key, V)> {
+        let head = self.heads[0];
+        if head == NIL {
+            return None;
+        }
+        // Unlink the head node from every level it participates in.
+        let node_height = self.nodes[head].next.len();
+        for level in 0..node_height {
+            if self.heads[level] == head {
+                self.heads[level] = self.nodes[head].next[level];
+            }
+        }
+        let key = self.nodes[head].key;
+        let value = self.nodes[head]
+            .value
+            .take()
+            .expect("live node has a value");
+        self.free.push(head);
+        self.len -= 1;
+        // Shrink the effective height when top levels become empty.
+        while self.height > 1 && self.heads[self.height - 1] == NIL {
+            self.height -= 1;
+        }
+        Some((key, value))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.heads = [NIL; MAX_HEIGHT];
+        self.nodes.clear();
+        self.free.clear();
+        self.len = 0;
+        self.height = 1;
+    }
+}
+
+impl<V> FromIterator<(Key, V)> for SkipListPq<V> {
+    fn from_iter<I: IntoIterator<Item = (Key, V)>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for (k, v) in iter {
+            list.push(k, v);
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_list() {
+        let mut l: SkipListPq<()> = SkipListPq::new();
+        assert!(l.is_empty());
+        assert_eq!(l.peek(), None);
+        assert_eq!(l.pop(), None);
+        assert!(l.is_sorted());
+    }
+
+    #[test]
+    fn push_pop_sorted_order() {
+        let mut l = SkipListPq::new();
+        for k in [42u64, 17, 99, 3, 56, 23, 88, 11, 64, 7] {
+            l.push(k, k + 1);
+            assert!(l.is_sorted());
+        }
+        let mut out = Vec::new();
+        while let Some((k, v)) = l.pop() {
+            assert_eq!(v, k + 1);
+            out.push(k);
+        }
+        let mut expected = vec![42u64, 17, 99, 3, 56, 23, 88, 11, 64, 7];
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn duplicate_keys_all_retained() {
+        let mut l = SkipListPq::new();
+        for i in 0..5u64 {
+            l.push(7, i);
+        }
+        l.push(3, 100);
+        assert_eq!(l.len(), 6);
+        assert_eq!(l.pop().map(|(k, _)| k), Some(3));
+        let mut dup_values: Vec<u64> = std::iter::from_fn(|| l.pop().map(|(_, v)| v)).collect();
+        dup_values.sort_unstable();
+        assert_eq!(dup_values, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn iter_keys_is_ascending() {
+        let l: SkipListPq<()> = [5u64, 1, 4, 2, 3].iter().map(|&k| (k, ())).collect();
+        let keys: Vec<Key> = l.iter_keys().collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn same_seed_same_shape_behaviour() {
+        let mut a = SkipListPq::with_seed(7);
+        let mut b = SkipListPq::with_seed(7);
+        for k in 0..200u64 {
+            a.push(k, ());
+            b.push(k, ());
+        }
+        assert_eq!(
+            a.iter_keys().collect::<Vec<_>>(),
+            b.iter_keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l: SkipListPq<u64> = (0..64u64).map(|k| (k, k)).collect();
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.pop(), None);
+        l.push(9, 9);
+        assert_eq!(l.peek_key(), Some(9));
+        assert!(l.is_sorted());
+    }
+
+    #[test]
+    fn large_insertion_stays_sorted() {
+        let mut l = SkipListPq::new();
+        // Insert a pseudo-random permutation of 0..2000.
+        let mut k = 1u64;
+        for _ in 0..2000 {
+            k = (k * 48271) % 2001;
+            l.push(k, ());
+        }
+        assert!(l.is_sorted());
+        assert_eq!(l.len(), 2000);
+        let keys: Vec<Key> = l.iter_keys().collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_matches_sorted_input(mut keys in proptest::collection::vec(0u64..10_000, 0..200)) {
+            let mut list = SkipListPq::new();
+            for &k in &keys {
+                list.push(k, ());
+            }
+            prop_assert!(list.is_sorted());
+            let mut popped = Vec::new();
+            while let Some((k, ())) = list.pop() {
+                popped.push(k);
+            }
+            keys.sort_unstable();
+            prop_assert_eq!(popped, keys);
+        }
+
+        #[test]
+        fn prop_interleaved_matches_std_reference(ops in proptest::collection::vec(proptest::option::of(0u64..500), 0..200)) {
+            let mut list = SkipListPq::new();
+            let mut reference = std::collections::BinaryHeap::new();
+            for op in ops {
+                match op {
+                    Some(k) => {
+                        list.push(k, ());
+                        reference.push(std::cmp::Reverse(k));
+                    }
+                    None => {
+                        let expected = reference.pop().map(|std::cmp::Reverse(k)| k);
+                        prop_assert_eq!(list.pop().map(|(k, ())| k), expected);
+                    }
+                }
+            }
+            prop_assert!(list.is_sorted());
+            prop_assert_eq!(list.len(), reference.len());
+        }
+    }
+}

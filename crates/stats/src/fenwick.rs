@@ -1,0 +1,275 @@
+//! Fenwick (binary indexed) tree over `u64` counts.
+//!
+//! The sequential process of the paper charges each removal the *rank* of the
+//! removed label among all labels still present. With up to tens of millions
+//! of labels, recomputing ranks naively is quadratic; a Fenwick tree gives
+//! `O(log M)` point updates and prefix-sum queries, which is what
+//! [`crate::order::OrderStatisticsSet`] builds on.
+
+/// A Fenwick tree (binary indexed tree) storing non-negative counts per index.
+///
+/// Indices are `0..len()`. Internally the classic 1-based layout is used.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FenwickTree {
+    // tree[0] unused; tree[i] covers a range ending at i (1-based).
+    tree: Vec<u64>,
+}
+
+impl FenwickTree {
+    /// Creates a tree with `len` zero-initialised slots.
+    pub fn new(len: usize) -> Self {
+        Self {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    /// Builds a tree from per-index counts in `O(len)`.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let mut tree = vec![0u64; counts.len() + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            let idx = i + 1;
+            tree[idx] += c;
+            let parent = idx + (idx & idx.wrapping_neg());
+            if parent < tree.len() {
+                let carried = tree[idx];
+                tree[parent] += carried;
+            }
+        }
+        Self { tree }
+    }
+
+    /// Number of addressable slots.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Returns `true` if the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` to the count at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn add(&mut self, index: usize, delta: u64) {
+        assert!(index < self.len(), "index {index} out of bounds");
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Subtracts `delta` from the count at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()` or if the stored counts would underflow
+    /// (detected in debug assertions via the prefix sums staying consistent).
+    pub fn sub(&mut self, index: usize, delta: u64) {
+        assert!(index < self.len(), "index {index} out of bounds");
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i]
+                .checked_sub(delta)
+                .expect("fenwick count underflow");
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Returns the sum of counts over `0..=index`.
+    ///
+    /// Querying an index `>= len()` returns the total.
+    pub fn prefix_sum(&self, index: usize) -> u64 {
+        let mut i = (index + 1).min(self.len());
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Returns the total of all counts.
+    pub fn total(&self) -> u64 {
+        self.prefix_sum(self.len().saturating_sub(1))
+    }
+
+    /// Returns the sum of counts over the inclusive range `[lo, hi]`.
+    ///
+    /// Returns 0 if `lo > hi`.
+    pub fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        let upper = self.prefix_sum(hi);
+        if lo == 0 {
+            upper
+        } else {
+            upper - self.prefix_sum(lo - 1)
+        }
+    }
+
+    /// Finds the smallest index `i` such that `prefix_sum(i) >= target`,
+    /// or `None` if the total is smaller than `target` or `target == 0`.
+    ///
+    /// This is the `select` operation: with unit counts it returns the index
+    /// of the `target`-th smallest present element (1-based).
+    pub fn find_by_prefix(&self, target: u64) -> Option<usize> {
+        if target == 0 || target > self.total() {
+            return None;
+        }
+        let mut remaining = target;
+        let mut pos = 0usize; // 1-based position accumulated so far
+        let mut mask = self.len().next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next < self.tree.len() && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        Some(pos) // pos is 0-based index of the answer because pos+1 is 1-based
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{RandomSource, Xoshiro256};
+
+    /// Brute-force reference used to cross-check the tree.
+    #[derive(Clone)]
+    struct Naive {
+        counts: Vec<u64>,
+    }
+
+    impl Naive {
+        fn new(len: usize) -> Self {
+            Self {
+                counts: vec![0; len],
+            }
+        }
+        fn prefix_sum(&self, idx: usize) -> u64 {
+            self.counts.iter().take(idx + 1).sum()
+        }
+        fn find_by_prefix(&self, target: u64) -> Option<usize> {
+            if target == 0 {
+                return None;
+            }
+            let mut acc = 0;
+            for (i, &c) in self.counts.iter().enumerate() {
+                acc += c;
+                if acc >= target {
+                    return Some(i);
+                }
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = FenwickTree::new(0);
+        assert!(t.is_empty());
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.find_by_prefix(1), None);
+    }
+
+    #[test]
+    fn basic_add_and_prefix() {
+        let mut t = FenwickTree::new(10);
+        t.add(0, 5);
+        t.add(3, 2);
+        t.add(9, 1);
+        assert_eq!(t.prefix_sum(0), 5);
+        assert_eq!(t.prefix_sum(2), 5);
+        assert_eq!(t.prefix_sum(3), 7);
+        assert_eq!(t.prefix_sum(9), 8);
+        assert_eq!(t.total(), 8);
+        assert_eq!(t.range_sum(1, 3), 2);
+        assert_eq!(t.range_sum(4, 8), 0);
+        assert_eq!(t.range_sum(5, 2), 0);
+    }
+
+    #[test]
+    fn sub_reverses_add() {
+        let mut t = FenwickTree::new(8);
+        t.add(4, 10);
+        t.sub(4, 4);
+        assert_eq!(t.prefix_sum(7), 6);
+        t.sub(4, 6);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let mut t = FenwickTree::new(4);
+        t.add(1, 1);
+        t.sub(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_out_of_bounds_panics() {
+        let mut t = FenwickTree::new(4);
+        t.add(4, 1);
+    }
+
+    #[test]
+    fn from_counts_matches_incremental() {
+        let counts = [3u64, 0, 7, 1, 0, 0, 2, 9, 4];
+        let built = FenwickTree::from_counts(&counts);
+        let mut incremental = FenwickTree::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                incremental.add(i, c);
+            }
+        }
+        for i in 0..counts.len() {
+            assert_eq!(built.prefix_sum(i), incremental.prefix_sum(i));
+        }
+    }
+
+    #[test]
+    fn find_by_prefix_simple() {
+        let t = FenwickTree::from_counts(&[0, 2, 0, 3, 1]);
+        assert_eq!(t.find_by_prefix(1), Some(1));
+        assert_eq!(t.find_by_prefix(2), Some(1));
+        assert_eq!(t.find_by_prefix(3), Some(3));
+        assert_eq!(t.find_by_prefix(5), Some(3));
+        assert_eq!(t.find_by_prefix(6), Some(4));
+        assert_eq!(t.find_by_prefix(7), None);
+        assert_eq!(t.find_by_prefix(0), None);
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut rng = Xoshiro256::seeded(555);
+        for _round in 0..20 {
+            let len = 1 + rng.next_index(60);
+            let mut tree = FenwickTree::new(len);
+            let mut naive = Naive::new(len);
+            for _op in 0..200 {
+                let idx = rng.next_index(len);
+                let delta = rng.next_below(5);
+                tree.add(idx, delta);
+                naive.counts[idx] += delta;
+                let q = rng.next_index(len);
+                assert_eq!(tree.prefix_sum(q), naive.prefix_sum(q));
+                let target = rng.next_below(naive.prefix_sum(len - 1) + 2);
+                assert_eq!(tree.find_by_prefix(target), naive.find_by_prefix(target));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_beyond_len_is_total() {
+        let t = FenwickTree::from_counts(&[1, 2, 3]);
+        assert_eq!(t.prefix_sum(100), 6);
+    }
+}

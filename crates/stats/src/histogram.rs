@@ -1,0 +1,308 @@
+//! Histograms for summarising rank-cost distributions.
+//!
+//! Two flavours are provided:
+//!
+//! * [`ExactHistogram`] — one bucket per integer value up to a cap; used when
+//!   the domain is small (e.g. ranks up to a few thousand) and exact quantiles
+//!   are wanted.
+//! * [`LogHistogram`] — power-of-two buckets; used for long-tailed rank
+//!   distributions where only the order of magnitude matters (e.g. Figure 2's
+//!   log-scale mean-rank plot).
+
+/// A histogram with one bucket per integer value in `[0, cap)` plus an
+/// overflow bucket.
+#[derive(Clone, Debug)]
+pub struct ExactHistogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl ExactHistogram {
+    /// Creates a histogram covering values `0..cap` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        Self {
+            buckets: vec![0; cap],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        if (value as usize) < self.buckets.len() {
+            self.buckets[value as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of observations that exceeded the exact range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all recorded observations (including overflowed ones).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) computed over the exact buckets.
+    ///
+    /// Observations in the overflow bucket are treated as equal to the cap,
+    /// which biases high quantiles downwards only if the cap was too small —
+    /// callers should size the cap generously.
+    ///
+    /// Returns `None` if nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (value, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(value as u64);
+            }
+        }
+        Some(self.buckets.len() as u64)
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero counts.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+    }
+}
+
+/// A histogram with power-of-two buckets: bucket `i` covers `[2^(i-1), 2^i)`,
+/// bucket 0 covers the single value 0.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty log-bucketed histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile: returns the upper bound of the bucket where
+    /// the quantile falls (a factor-of-two overestimate at worst).
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(if i == 0 { 0 } else { 1u64 << i });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Iterates over `(bucket_upper_bound, count)` pairs with non-zero counts.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_histogram_basic_stats() {
+        let mut h = ExactHistogram::new(16);
+        for v in [1u64, 2, 2, 3, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 10);
+        assert!((h.mean() - 3.6).abs() < 1e-9);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(1.0), Some(10));
+    }
+
+    #[test]
+    fn exact_histogram_overflow_counted() {
+        let mut h = ExactHistogram::new(4);
+        h.record(3);
+        h.record(100);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 100);
+        // Mean still uses the true values.
+        assert!((h.mean() - 51.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_histogram_empty_quantile() {
+        let h = ExactHistogram::new(4);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be positive")]
+    fn exact_histogram_zero_cap_panics() {
+        let _ = ExactHistogram::new(0);
+    }
+
+    #[test]
+    fn exact_histogram_iter_nonzero() {
+        let mut h = ExactHistogram::new(8);
+        h.record(1);
+        h.record(1);
+        h.record(5);
+        let pairs: Vec<_> = h.iter_nonzero().collect();
+        assert_eq!(pairs, vec![(1, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn log_histogram_bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn log_histogram_stats_and_quantile() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 3, 7, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.2).abs() < 1e-9);
+        assert_eq!(h.quantile_upper_bound(0.0), Some(0));
+        // 100 lives in bucket [64,128) whose upper bound is 128.
+        assert_eq!(h.quantile_upper_bound(1.0), Some(128));
+    }
+
+    #[test]
+    fn log_histogram_merge() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(5);
+        b.record(9);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 9);
+        let total: u64 = a.iter_nonzero().map(|(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn log_histogram_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile_upper_bound(0.9), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Timestamp-based rank-inversion accounting.
+//!
+//! Section 5 of the paper measures the "mean rank returned" of the concurrent
+//! MultiQueue by recording, for every `deleteMin`, a coherent timestamp and
+//! the removed key, then post-processing the merged log: a removal's rank
+//! error is the number of keys that were removed *later* (by any thread) but
+//! have a *smaller* key — i.e. elements that were still present and better
+//! when the removal happened.
+//!
+//! [`InversionCounter`] implements exactly that post-processing step. For a
+//! log of `R` removals it runs in `O(R log R)` using a Fenwick tree over the
+//! key ranks.
+
+use crate::fenwick::FenwickTree;
+
+/// One `deleteMin` observation: when it happened and which key it returned.
+///
+/// Timestamps only need to be totally ordered and consistent across threads;
+/// the concurrent queue implementations use a global atomic counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TimestampedRemoval {
+    /// Monotonic timestamp at which the removal took effect.
+    pub timestamp: u64,
+    /// The key (priority label) that was removed; smaller is higher priority.
+    pub key: u64,
+}
+
+impl TimestampedRemoval {
+    /// Convenience constructor.
+    pub fn new(timestamp: u64, key: u64) -> Self {
+        Self { timestamp, key }
+    }
+}
+
+/// Summary of the rank errors of a removal log.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct InversionSummary {
+    /// Number of removals analysed.
+    pub removals: u64,
+    /// Mean rank of a removal (1 = perfect, i.e. the global minimum was taken).
+    pub mean_rank: f64,
+    /// Maximum rank over all removals.
+    pub max_rank: u64,
+    /// Total number of pairwise inversions (later-removed smaller keys summed
+    /// over all removals).
+    pub total_inversions: u64,
+}
+
+/// Post-processor computing per-removal ranks from a merged removal log.
+#[derive(Clone, Debug, Default)]
+pub struct InversionCounter {
+    log: Vec<TimestampedRemoval>,
+}
+
+impl InversionCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observation (in any order; the log is sorted on analysis).
+    pub fn record(&mut self, timestamp: u64, key: u64) {
+        self.log.push(TimestampedRemoval::new(timestamp, key));
+    }
+
+    /// Appends a batch of observations, e.g. one thread's private log.
+    pub fn record_all<I: IntoIterator<Item = TimestampedRemoval>>(&mut self, items: I) {
+        self.log.extend(items);
+    }
+
+    /// Number of recorded removals.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Returns `true` if no removals have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Computes the rank of each removal in timestamp order.
+    ///
+    /// The rank of a removal is 1 plus the number of keys removed strictly
+    /// later that are strictly smaller — those keys must have been present
+    /// (and preferable) at the time of this removal, so this is a lower bound
+    /// on the true instantaneous rank, and equals it when every inserted key
+    /// is eventually removed (the benchmark drains the queue).
+    pub fn per_removal_ranks(&self) -> Vec<u64> {
+        let mut log = self.log.clone();
+        log.sort_unstable();
+        let n = log.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Coordinate-compress keys so the Fenwick tree is dense.
+        let mut keys: Vec<u64> = log.iter().map(|r| r.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let key_index = |k: u64| keys.partition_point(|&x| x < k);
+
+        // Sweep from the latest removal backwards, maintaining the multiset of
+        // keys removed after the current one.
+        let mut later = FenwickTree::new(keys.len());
+        let mut ranks = vec![0u64; n];
+        for i in (0..n).rev() {
+            let idx = key_index(log[i].key);
+            // Keys removed later that are strictly smaller than this key.
+            let smaller_later = if idx == 0 { 0 } else { later.prefix_sum(idx - 1) };
+            ranks[i] = smaller_later + 1;
+            later.add(idx, 1);
+        }
+        ranks
+    }
+
+    /// Computes the aggregate summary of the recorded log.
+    pub fn summarize(&self) -> InversionSummary {
+        let ranks = self.per_removal_ranks();
+        if ranks.is_empty() {
+            return InversionSummary::default();
+        }
+        let removals = ranks.len() as u64;
+        let total: u128 = ranks.iter().map(|&r| r as u128).sum();
+        let max_rank = ranks.iter().copied().max().unwrap_or(0);
+        let total_inversions: u64 = ranks.iter().map(|&r| r - 1).sum();
+        InversionSummary {
+            removals,
+            mean_rank: total as f64 / removals as f64,
+            max_rank,
+            total_inversions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{RandomSource, Xoshiro256};
+
+    fn brute_force_ranks(log: &[TimestampedRemoval]) -> Vec<u64> {
+        let mut sorted = log.to_vec();
+        sorted.sort_unstable();
+        sorted
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                1 + sorted[i + 1..]
+                    .iter()
+                    .filter(|later| later.key < r.key)
+                    .count() as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfectly_ordered_log_has_rank_one() {
+        let mut c = InversionCounter::new();
+        for t in 0..100u64 {
+            c.record(t, t); // removed in exactly increasing key order
+        }
+        let summary = c.summarize();
+        assert_eq!(summary.removals, 100);
+        assert_eq!(summary.mean_rank, 1.0);
+        assert_eq!(summary.max_rank, 1);
+        assert_eq!(summary.total_inversions, 0);
+    }
+
+    #[test]
+    fn reversed_log_has_maximal_inversions() {
+        let mut c = InversionCounter::new();
+        let n = 50u64;
+        for t in 0..n {
+            c.record(t, n - t); // strictly decreasing keys: worst case
+        }
+        let summary = c.summarize();
+        assert_eq!(summary.removals, n);
+        // The first removal sees all n-1 later smaller keys, the last sees 0.
+        assert_eq!(summary.max_rank, n);
+        assert_eq!(summary.total_inversions, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn empty_log_summary_is_default() {
+        let c = InversionCounter::new();
+        assert!(c.is_empty());
+        assert_eq!(c.summarize(), InversionSummary::default());
+        assert!(c.per_removal_ranks().is_empty());
+    }
+
+    #[test]
+    fn single_swap_costs_one_inversion() {
+        let mut c = InversionCounter::new();
+        c.record(0, 2);
+        c.record(1, 1);
+        c.record(2, 3);
+        let ranks = c.per_removal_ranks();
+        assert_eq!(ranks, vec![2, 1, 1]);
+        let s = c.summarize();
+        assert_eq!(s.total_inversions, 1);
+        assert_eq!(s.max_rank, 2);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut c = InversionCounter::new();
+        // Same events as `single_swap_costs_one_inversion` but recorded out of
+        // timestamp order (threads merge their logs arbitrarily).
+        c.record(2, 3);
+        c.record(0, 2);
+        c.record(1, 1);
+        assert_eq!(c.per_removal_ranks(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_keys_do_not_count_as_inversions() {
+        let mut c = InversionCounter::new();
+        c.record(0, 5);
+        c.record(1, 5);
+        c.record(2, 5);
+        let s = c.summarize();
+        assert_eq!(s.total_inversions, 0);
+        assert_eq!(s.mean_rank, 1.0);
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        let mut rng = Xoshiro256::seeded(909);
+        for _ in 0..20 {
+            let n = 1 + rng.next_index(200);
+            let mut c = InversionCounter::new();
+            let mut log = Vec::new();
+            for t in 0..n as u64 {
+                let key = rng.next_below(50);
+                c.record(t, key);
+                log.push(TimestampedRemoval::new(t, key));
+            }
+            assert_eq!(c.per_removal_ranks(), brute_force_ranks(&log));
+        }
+    }
+
+    #[test]
+    fn record_all_merges_thread_logs() {
+        let mut c = InversionCounter::new();
+        let thread_a = vec![
+            TimestampedRemoval::new(0, 10),
+            TimestampedRemoval::new(2, 30),
+        ];
+        let thread_b = vec![
+            TimestampedRemoval::new(1, 20),
+            TimestampedRemoval::new(3, 5),
+        ];
+        c.record_all(thread_a);
+        c.record_all(thread_b);
+        assert_eq!(c.len(), 4);
+        let ranks = c.per_removal_ranks();
+        // Order by timestamp: keys 10, 20, 30, 5 -> ranks 2, 2, 2, 1.
+        assert_eq!(ranks, vec![2, 2, 2, 1]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Statistics and utility substrate for the power-of-choice reproduction.
+//!
+//! This crate contains the small, dependency-free building blocks that every
+//! other crate in the workspace relies on:
+//!
+//! * [`rng`] — deterministic, fast pseudo-random number generators
+//!   ([`SplitMix64`](rng::SplitMix64) and [`Xoshiro256`](rng::Xoshiro256)) used on
+//!   the hot paths of the MultiQueue and of the simulated processes. Using our
+//!   own PRNGs keeps every experiment exactly reproducible from a seed.
+//! * [`fenwick`] — a Fenwick (binary indexed) tree used for *exact* rank
+//!   accounting: given the set of labels still present in the system, the rank
+//!   of a removed label is a prefix-sum query.
+//! * [`order`] — an order-statistics multiset built on the Fenwick tree, with
+//!   `rank`, `select` and removal, the workhorse of the sequential-process cost
+//!   accounting.
+//! * [`histogram`] — log-bucketed histograms and exact small-domain histograms
+//!   used to summarise rank distributions.
+//! * [`summary`] — streaming mean/min/max/variance and percentile summaries.
+//! * [`inversion`] — the timestamp-based rank-inversion counter replicating the
+//!   measurement methodology of Section 5 of the paper.
+//! * [`timing`] — throughput measurement helpers (operations per second over a
+//!   wall-clock window).
+//!
+//! # Example
+//!
+//! ```
+//! use rank_stats::rng::{RandomSource, Xoshiro256};
+//! use rank_stats::order::OrderStatisticsSet;
+//!
+//! let mut rng = Xoshiro256::seeded(42);
+//! let mut set = OrderStatisticsSet::with_capacity(1024);
+//! for _ in 0..100 {
+//!     set.insert(rng.next_below(1024));
+//! }
+//! let smallest = set.select(0).unwrap();
+//! assert_eq!(set.rank(smallest), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fenwick;
+pub mod histogram;
+pub mod inversion;
+pub mod order;
+pub mod rng;
+pub mod summary;
+pub mod timing;
+
+pub use fenwick::FenwickTree;
+pub use histogram::{ExactHistogram, LogHistogram};
+pub use inversion::{InversionCounter, TimestampedRemoval};
+pub use order::OrderStatisticsSet;
+pub use rng::{RandomSource, SplitMix64, Xoshiro256};
+pub use summary::{Percentiles, StreamingSummary};
+pub use timing::{OpsTimer, ThroughputReport};

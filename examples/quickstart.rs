@@ -1,0 +1,70 @@
+//! Quickstart: create a (1 + β) MultiQueue, use it from several threads, and
+//! measure how relaxed it actually was.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use power_of_choice::prelude::*;
+
+fn main() {
+    let threads = 4;
+    let per_thread_items = 50_000u64;
+
+    // The paper's recommended sizing: c = 2 queues per thread, beta = 0.75.
+    let config = MultiQueueConfig::for_threads(threads).with_beta(0.75);
+    println!("creating {}", config.label());
+    let queue = Arc::new(MultiQueue::<u64>::new(config));
+
+    // Each thread inserts a block of keys and then removes the same number,
+    // logging removals with a shared coherent timestamp so we can compute the
+    // mean rank afterwards (the Section 5 methodology).
+    let clock = InstrumentedHandle::<u64>::new_clock();
+    let next_key = Arc::new(AtomicU64::new(0));
+
+    let logs: Vec<_> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let queue = Arc::clone(&queue);
+            let clock = Arc::clone(&clock);
+            let next_key = Arc::clone(&next_key);
+            handles.push(scope.spawn(move || {
+                let mut handle = InstrumentedHandle::new(queue, clock);
+                for _ in 0..per_thread_items {
+                    let key = next_key.fetch_add(1, Ordering::Relaxed);
+                    handle.insert(key, key);
+                }
+                for _ in 0..per_thread_items {
+                    handle.delete_min();
+                }
+                handle.into_log()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut counter = InversionCounter::new();
+    for log in logs {
+        counter.record_all(log);
+    }
+    let summary = counter.summarize();
+    println!(
+        "performed {} removals across {threads} threads",
+        summary.removals
+    );
+    println!(
+        "mean rank of removed elements: {:.2} (1.0 would be a perfectly exact queue)",
+        summary.mean_rank
+    );
+    println!("maximum rank observed:        {}", summary.max_rank);
+    println!(
+        "theory (Theorem 1): mean rank = O(n) with n = {} internal queues",
+        threads * MultiQueueConfig::DEFAULT_QUEUES_PER_THREAD
+    );
+    assert!(queue.is_empty());
+}

@@ -1,0 +1,95 @@
+//! # power-of-choice
+//!
+//! A from-scratch Rust reproduction of *The Power of Choice in Priority
+//! Scheduling* (Alistarh, Kopinsky, Li, Nadiradze; PODC 2017 /
+//! arXiv:1706.04178): the **(1 + β) MultiQueue** relaxed concurrent priority
+//! queue, the sequential and exponential processes its analysis is built on,
+//! the balls-into-bins substrates, the baseline priority queues it is compared
+//! against, and a parallel Dijkstra application — plus a benchmark harness
+//! that regenerates every figure of the paper's evaluation and every
+//! quantitative claim of its analysis.
+//!
+//! This crate is a façade: it re-exports the individual crates of the
+//! workspace under stable module names so applications can depend on a single
+//! crate. See the workspace `README.md` for the architecture overview and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction details.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use power_of_choice::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A MultiQueue sized for 4 worker threads, with the paper's beta = 0.75.
+//! let pq = Arc::new(MultiQueue::<&'static str>::new(
+//!     MultiQueueConfig::for_threads(4).with_beta(0.75),
+//! ));
+//! pq.insert(20, "world");
+//! pq.insert(10, "hello");
+//! let (key, word) = pq.delete_min().unwrap();
+//! assert!(key == 10 || key == 20);
+//! println!("popped {word}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Statistics utilities: PRNGs, Fenwick trees, histograms, rank-inversion
+/// accounting, timing.
+pub use rank_stats as stats;
+
+/// Sequential priority queue substrates (MultiQueue lanes).
+pub use seq_pq;
+
+/// Balls-into-bins allocation processes.
+pub use balls_bins;
+
+/// The sequential labelled process, exponential process and potential
+/// functions from the paper's analysis.
+pub use choice_process as process;
+
+/// The concurrent (1 + β) MultiQueue — the paper's contribution.
+pub use choice_pq as multiqueue;
+
+/// Baseline concurrent priority queues (coarse heap, skiplist, k-LSM-style).
+pub use pq_baselines as baselines;
+
+/// Graphs, generators and sequential/parallel Dijkstra.
+pub use sssp_graph as graph;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use balls_bins::{AllocationProcess, ChoiceRule};
+    pub use choice_process::{
+        BiasSpec, ExponentialTopProcess, ProcessConfig, RankCostSummary, RemovalRule,
+        SequentialProcess,
+    };
+    pub use choice_pq::{
+        ConcurrentPriorityQueue, InstrumentedHandle, Key, MultiQueue, MultiQueueConfig,
+    };
+    pub use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
+    pub use rank_stats::inversion::InversionCounter;
+    pub use seq_pq::{BinaryHeap, PairingHeap, SequentialPriorityQueue, SkipListPq};
+    pub use sssp_graph::{dijkstra, grid_graph, parallel_sssp, random_geometric_graph, Graph};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        // Build a tiny end-to-end pipeline touching several crates through the
+        // facade: a process run, a concurrent queue, and a graph.
+        let mut process = SequentialProcess::new(ProcessConfig::new(4).with_beta(1.0));
+        process.prefill(100);
+        assert!(process.run_removals(50).mean_rank >= 1.0);
+
+        let queue = MultiQueue::<u32>::new(MultiQueueConfig::with_queues(4));
+        queue.insert(3, 3);
+        assert_eq!(queue.approx_len(), 1);
+
+        let graph = grid_graph(4, 4, 5, 1);
+        assert_eq!(dijkstra(&graph, 0).len(), 16);
+    }
+}

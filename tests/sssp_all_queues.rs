@@ -1,0 +1,94 @@
+//! Integration tests: parallel SSSP returns exact distances with *every*
+//! queue implementation in the workspace, on several graph families, at
+//! several thread counts — the correctness backbone behind Figure 3.
+
+use std::sync::Arc;
+
+use power_of_choice::graph::{bellman_ford, random_graph};
+use power_of_choice::prelude::*;
+
+fn queues_for(threads: usize) -> Vec<(&'static str, Arc<dyn ConcurrentPriorityQueue<u32>>)> {
+    vec![
+        (
+            "multiqueue beta=1.0",
+            Arc::new(MultiQueue::new(
+                MultiQueueConfig::for_threads(threads).with_beta(1.0),
+            )),
+        ),
+        (
+            "multiqueue beta=0.5",
+            Arc::new(MultiQueue::new(
+                MultiQueueConfig::for_threads(threads).with_beta(0.5),
+            )),
+        ),
+        (
+            "multiqueue beta=0.0",
+            Arc::new(MultiQueue::new(
+                MultiQueueConfig::for_threads(threads).with_beta(0.0),
+            )),
+        ),
+        ("coarse heap", Arc::new(CoarseHeap::new())),
+        ("skiplist queue", Arc::new(SkipListQueue::new())),
+        (
+            "klsm k=64",
+            Arc::new(KLsmQueue::new(
+                KLsmConfig::for_threads(threads).with_relaxation(64),
+            )),
+        ),
+    ]
+}
+
+#[test]
+fn grid_graph_all_queues_all_thread_counts() {
+    let graph = grid_graph(40, 40, 50, 11);
+    let expected = dijkstra(&graph, 0);
+    for threads in [1usize, 2, 4] {
+        for (name, queue) in queues_for(threads) {
+            let (got, stats) = parallel_sssp(&graph, 0, queue, threads);
+            assert_eq!(got, expected, "{name} with {threads} threads diverged");
+            assert!(stats.useful_pops as usize >= graph.nodes() / 2);
+        }
+    }
+}
+
+#[test]
+fn road_like_geometric_graph() {
+    let graph = random_geometric_graph(3_000, 0.03, 100, 5);
+    let expected = dijkstra(&graph, 0);
+    for (name, queue) in queues_for(2) {
+        let (got, _) = parallel_sssp(&graph, 0, queue, 2);
+        assert_eq!(got, expected, "{name} diverged on the geometric graph");
+    }
+}
+
+#[test]
+fn dense_random_graph_cross_checked_with_bellman_ford() {
+    let graph = random_graph(300, 6_000, 40, 17);
+    let reference = bellman_ford(&graph, 0);
+    assert_eq!(dijkstra(&graph, 0), reference);
+    let queue = Arc::new(MultiQueue::<u32>::new(
+        MultiQueueConfig::for_threads(4).with_beta(0.75),
+    ));
+    let (got, _) = parallel_sssp(&graph, 0, queue, 4);
+    assert_eq!(got, reference);
+}
+
+#[test]
+fn disconnected_graph_components_are_unreachable_for_every_queue() {
+    // Two disjoint 10x10 grids glued into one node set.
+    let mut edges = Vec::new();
+    let base = grid_graph(10, 10, 9, 3);
+    for u in 0..base.nodes() as u32 {
+        for (v, w) in base.neighbors(u) {
+            edges.push((u, v, w));
+            edges.push((u + 100, v + 100, w));
+        }
+    }
+    let graph = Graph::from_edges(200, &edges);
+    let expected = dijkstra(&graph, 0);
+    assert!(expected[100..].iter().all(|&d| d == u64::MAX));
+    for (name, queue) in queues_for(2) {
+        let (got, _) = parallel_sssp(&graph, 0, queue, 2);
+        assert_eq!(got, expected, "{name} diverged on the disconnected graph");
+    }
+}

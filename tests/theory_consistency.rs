@@ -1,0 +1,97 @@
+//! Integration tests tying the analysis-side crates together: the rank
+//! equivalence of Theorem 2, the Appendix A reduction, and the agreement
+//! between the balls-into-bins substrate and the labelled process.
+
+use power_of_choice::balls_bins::{ChoiceRule, LongLivedProcess};
+use power_of_choice::process::config::RemovalRule;
+use power_of_choice::process::coupling::distance_to_theory;
+use power_of_choice::process::{rank_occupancy_distance, RankOccupancy, RoundRobinProcess};
+use power_of_choice::prelude::*;
+
+/// Theorem 2 at integration scale: original vs. exponential rank occupancy,
+/// uniform and biased, are statistically indistinguishable.
+#[test]
+fn rank_distribution_equivalence_holds_uniform_and_biased() {
+    for cfg in [
+        ProcessConfig::new(8).with_seed(71),
+        ProcessConfig::new(8).with_bias_gamma(0.4).with_seed(71),
+    ] {
+        let original = RankOccupancy::of_original(&cfg, 10_000, 12);
+        let exponential = RankOccupancy::of_exponential(&cfg, 10_000, 12);
+        let theory = cfg.insertion_probabilities();
+        assert!(rank_occupancy_distance(&original, &exponential) < 0.03);
+        assert!(distance_to_theory(&original, &theory) < 0.02);
+        assert!(distance_to_theory(&exponential, &theory) < 0.02);
+    }
+}
+
+/// Appendix A: the virtual-bin gap of the round-robin labelled process matches
+/// the gap of the raw two-choice balls-into-bins process run for the same
+/// number of steps (they are literally the same process under the reduction).
+#[test]
+fn round_robin_reduction_matches_balls_into_bins() {
+    let n = 32;
+    let steps = n as u64 * 2_000;
+
+    let mut labelled = RoundRobinProcess::new(n, RemovalRule::TwoChoice, 13);
+    labelled.prefill(steps + n as u64 * 100);
+    labelled.run_removals(steps);
+    let labelled_gap = labelled.virtual_bin_stats().gap_above_mean;
+
+    let mut raw = LongLivedProcess::new(n, ChoiceRule::TwoChoice, 14);
+    raw.run(steps);
+    let raw_gap = raw.stats().gap_above_mean;
+
+    // Both gaps are O(log log n): tiny constants. They will not be equal (the
+    // random streams differ) but they live in the same narrow band, far from
+    // the single-choice gap on the same schedule.
+    let mut single = LongLivedProcess::new(n, ChoiceRule::SingleChoice, 14);
+    single.run(steps);
+    let single_gap = single.stats().gap_above_mean;
+
+    assert!(labelled_gap <= 6.0, "labelled virtual gap {labelled_gap}");
+    assert!(raw_gap <= 6.0, "raw two-choice gap {raw_gap}");
+    assert!(
+        single_gap > labelled_gap.max(raw_gap) * 2.0,
+        "single-choice gap {single_gap} should dwarf the two-choice gaps"
+    );
+}
+
+/// The labelled process's mean rank and the balls-into-bins gap tell the same
+/// story across the β sweep: more choice, less imbalance, smaller ranks.
+#[test]
+fn beta_sweep_is_monotone_in_both_views() {
+    let n = 16;
+    let betas = [1.0, 0.5, 0.0];
+    let mut ranks = Vec::new();
+    let mut gaps = Vec::new();
+    for &beta in &betas {
+        let mut p = SequentialProcess::new(ProcessConfig::new(n).with_beta(beta).with_seed(2));
+        ranks.push(p.run_alternating(50_000, n as u64 * 1_000).mean_rank);
+        let mut b = LongLivedProcess::new(n, ChoiceRule::OnePlusBeta(beta), 2);
+        b.run(50_000);
+        gaps.push(b.stats().gap_above_mean);
+    }
+    assert!(ranks[0] < ranks[1] && ranks[1] < ranks[2], "ranks {ranks:?}");
+    assert!(gaps[0] < gaps[2], "gaps {gaps:?}");
+}
+
+/// The exponential process's spread (Lemma 4) is what bounds the max rank
+/// (Theorem 4): check the two quantities scale together across n.
+#[test]
+fn top_spread_and_max_rank_scale_together() {
+    let mut spreads = Vec::new();
+    let mut max_ranks = Vec::new();
+    for &n in &[8usize, 32] {
+        let mut exp = ExponentialTopProcess::new(ProcessConfig::new(n).with_beta(1.0).with_seed(6));
+        exp.run(100_000);
+        spreads.push(exp.top_spread() / n as f64);
+
+        let mut seq = SequentialProcess::new(ProcessConfig::new(n).with_beta(1.0).with_seed(6));
+        max_ranks.push(seq.run_alternating(100_000, n as u64 * 500).max_rank as f64 / n as f64);
+    }
+    // Both normalised quantities grow (roughly like log n) with n — at the
+    // very least, they must not *shrink* drastically.
+    assert!(spreads[1] > spreads[0] * 0.5, "spreads {spreads:?}");
+    assert!(max_ranks[1] > max_ranks[0] * 0.5, "max ranks {max_ranks:?}");
+}
