@@ -149,7 +149,10 @@ mod tests {
         let mut g = GraphicalAllocation::complete(bins, 7);
         g.insert_many(bins as u64 * 300);
         let gap = g.stats().gap_above_mean;
-        assert!(gap < 2.0 * (bins as f64).ln(), "complete-graph gap {gap} too large");
+        assert!(
+            gap < 2.0 * (bins as f64).ln(),
+            "complete-graph gap {gap} too large"
+        );
     }
 
     #[test]

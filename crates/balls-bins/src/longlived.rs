@@ -105,7 +105,7 @@ impl LongLivedProcess {
         let mut samples = Vec::new();
         while self.steps < total {
             self.step();
-            if self.steps % sample_every == 0 {
+            if self.steps.is_multiple_of(sample_every) {
                 samples.push((self.steps, self.stats().gap_above_mean));
             }
         }

@@ -137,7 +137,9 @@ impl AllocationProcess {
             self.rng.next_index(self.loads.len())
         } else {
             let u = self.rng.next_f64();
-            self.cumulative_bias.partition_point(|&c| c < u).min(self.loads.len() - 1)
+            self.cumulative_bias
+                .partition_point(|&c| c < u)
+                .min(self.loads.len() - 1)
         }
     }
 
@@ -261,8 +263,14 @@ mod tests {
         let g0 = gap(0.0);
         let g_half = gap(0.5);
         let g1 = gap(1.0);
-        assert!(g1 < g_half, "beta=1 gap {g1} should beat beta=0.5 gap {g_half}");
-        assert!(g_half < g0, "beta=0.5 gap {g_half} should beat beta=0 gap {g0}");
+        assert!(
+            g1 < g_half,
+            "beta=1 gap {g1} should beat beta=0.5 gap {g_half}"
+        );
+        assert!(
+            g_half < g0,
+            "beta=0.5 gap {g_half} should beat beta=0 gap {g0}"
+        );
     }
 
     #[test]

@@ -128,7 +128,11 @@ impl WeightedAllocation {
         for &w in &self.weights {
             s.record(w);
         }
-        let max = self.weights.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = self.weights.iter().cloned().fold(f64::INFINITY, f64::min);
         WeightedLoadStats {
             mean: s.mean(),
@@ -186,8 +190,14 @@ mod tests {
         one.insert_many(balls);
         let g2 = two.stats().gap_above_mean;
         let g1 = one.stats().gap_above_mean;
-        assert!(g2 < g1, "two-choice gap {g2} should beat single-choice {g1}");
-        assert!(g2 < 4.0 * (bins as f64).ln(), "two-choice gap {g2} too large");
+        assert!(
+            g2 < g1,
+            "two-choice gap {g2} should beat single-choice {g1}"
+        );
+        assert!(
+            g2 < 4.0 * (bins as f64).ln(),
+            "two-choice gap {g2} too large"
+        );
     }
 
     #[test]

@@ -14,12 +14,16 @@
 //! buffer are spilled to the shared heap. The relaxation bound is therefore
 //! `k·(T − 1)`: an element returned from the shared heap can be preceded by at
 //! most `k` smaller elements in each *other* thread's local buffer.
+//!
+//! The per-thread structure maps directly onto the session API: registering a
+//! [`KLsmHandle`] assigns the session a thread slot (round-robin), replacing
+//! the former `thread_local!` slot cache.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use choice_pq::{ConcurrentPriorityQueue, Key};
+use choice_pq::{check_key, HandleStats, Key, PqHandle, SharedPq};
 use seq_pq::{BinaryHeap, SequentialPriorityQueue};
 
 /// Configuration of a [`KLsmQueue`].
@@ -28,8 +32,8 @@ pub struct KLsmConfig {
     /// Relaxation factor `k`: the maximum number of elements a thread may
     /// keep buffered locally. The paper uses 256.
     pub relaxation: usize,
-    /// Number of thread slots (local buffers). Threads hash onto slots, so
-    /// this should be at least the worker thread count.
+    /// Number of thread slots (local buffers). Sessions are assigned slots
+    /// round-robin, so this should be at least the worker thread count.
     pub thread_slots: usize,
 }
 
@@ -77,9 +81,9 @@ pub struct KLsmQueue<V> {
     locals: Vec<Mutex<LocalBuffer<V>>>,
     shared: Mutex<BinaryHeap<V>>,
     /// Cheap hint of the shared heap's top key (u64::MAX when empty).
-    shared_top: std::sync::atomic::AtomicU64,
+    shared_top: AtomicU64,
     len: AtomicUsize,
-    /// Round-robin assignment of callers to thread slots.
+    /// Round-robin assignment of registered sessions to thread slots.
     next_slot: AtomicUsize,
 }
 
@@ -97,7 +101,7 @@ impl<V> KLsmQueue<V> {
                 })
                 .collect(),
             shared: Mutex::new(BinaryHeap::new()),
-            shared_top: std::sync::atomic::AtomicU64::new(EMPTY_TOP),
+            shared_top: AtomicU64::new(EMPTY_TOP),
             len: AtomicUsize::new(0),
             config,
             next_slot: AtomicUsize::new(0),
@@ -109,29 +113,13 @@ impl<V> KLsmQueue<V> {
         &self.config
     }
 
-    fn slot_for_current_thread(&self) -> usize {
-        thread_local! {
-            static SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
-        }
-        SLOT.with(|cell| {
-            let mut s = cell.get();
-            if s == usize::MAX {
-                s = self.next_slot.fetch_add(1, Ordering::Relaxed);
-                cell.set(s);
-            }
-            s % self.config.thread_slots
-        })
-    }
-
     fn refresh_shared_top(&self, heap: &BinaryHeap<V>) {
         self.shared_top
             .store(heap.peek_key().unwrap_or(EMPTY_TOP), Ordering::Relaxed);
     }
-}
 
-impl<V: Send> ConcurrentPriorityQueue<V> for KLsmQueue<V> {
-    fn insert(&self, key: Key, value: V) {
-        let slot = self.slot_for_current_thread();
+    fn insert_at(&self, slot: usize, key: Key, value: V) {
+        check_key(key);
         let mut local = self.locals[slot].lock();
         local.heap.push(key, value);
         // Spill the *largest-key excess* cheaply: if the buffer exceeds k,
@@ -155,8 +143,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for KLsmQueue<V> {
         self.len.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn delete_min(&self) -> Option<(Key, V)> {
-        let slot = self.slot_for_current_thread();
+    fn delete_min_at(&self, slot: usize) -> Option<(Key, V)> {
         let result = {
             let mut local = self.locals[slot].lock();
             let local_top = local.heap.peek_key();
@@ -192,6 +179,59 @@ impl<V: Send> ConcurrentPriorityQueue<V> for KLsmQueue<V> {
         }
         None
     }
+}
+
+/// A session over a [`KLsmQueue`], pinned to one thread slot for its
+/// lifetime.
+#[derive(Debug)]
+pub struct KLsmHandle<'q, V> {
+    queue: &'q KLsmQueue<V>,
+    slot: usize,
+    stats: HandleStats,
+}
+
+impl<V> KLsmHandle<'_, V> {
+    /// The thread slot this session was assigned at registration.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl<V: Send> PqHandle<V> for KLsmHandle<'_, V> {
+    fn insert(&mut self, key: Key, value: V) {
+        self.stats.inserts += 1;
+        self.queue.insert_at(self.slot, key, value);
+    }
+
+    fn delete_min(&mut self) -> Option<(Key, V)> {
+        let result = self.queue.delete_min_at(self.slot);
+        if result.is_some() {
+            self.stats.removals += 1;
+        } else {
+            self.stats.failed_removals += 1;
+        }
+        result
+    }
+
+    fn stats(&self) -> HandleStats {
+        self.stats
+    }
+}
+
+impl<V: Send> SharedPq<V> for KLsmQueue<V> {
+    type Handle<'q>
+        = KLsmHandle<'q, V>
+    where
+        Self: 'q;
+
+    fn register(&self) -> Self::Handle<'_> {
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.config.thread_slots;
+        KLsmHandle {
+            queue: self,
+            slot,
+            stats: HandleStats::default(),
+        }
+    }
 
     fn approx_len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
@@ -206,7 +246,6 @@ impl<V: Send> ConcurrentPriorityQueue<V> for KLsmQueue<V> {
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::Arc;
 
     #[test]
     fn config_rank_bound() {
@@ -223,15 +262,25 @@ mod tests {
     }
 
     #[test]
+    fn sessions_take_slots_round_robin() {
+        let q: KLsmQueue<u64> = KLsmQueue::new(KLsmConfig::for_threads(3));
+        assert_eq!(q.register().slot(), 0);
+        assert_eq!(q.register().slot(), 1);
+        assert_eq!(q.register().slot(), 2);
+        assert_eq!(q.register().slot(), 0, "slots wrap around");
+    }
+
+    #[test]
     fn single_slot_is_exact() {
         // With one thread slot there is no other buffer to hide elements in,
         // so the queue behaves exactly.
         let q = KLsmQueue::new(KLsmConfig::for_threads(1).with_relaxation(16));
+        let mut h = q.register();
         for k in [8u64, 3, 5, 1, 9, 2] {
-            q.insert(k, k);
+            h.insert(k, k);
         }
         let mut out = Vec::new();
-        while let Some((k, _)) = q.delete_min() {
+        while let Some((k, _)) = h.delete_min() {
             out.push(k);
         }
         assert_eq!(out, vec![1, 2, 3, 5, 8, 9]);
@@ -240,12 +289,13 @@ mod tests {
     #[test]
     fn drains_everything_exactly_once() {
         let q = KLsmQueue::new(KLsmConfig::for_threads(4).with_relaxation(16));
+        let mut h = q.register();
         for k in 0..5_000u64 {
-            q.insert(k, k);
+            h.insert(k, k);
         }
         assert_eq!(q.approx_len(), 5_000);
         let mut seen = HashSet::new();
-        while let Some((k, _)) = q.delete_min() {
+        while let Some((k, _)) = h.delete_min() {
             assert!(seen.insert(k), "duplicate {k}");
         }
         assert_eq!(seen.len(), 5_000);
@@ -254,17 +304,18 @@ mod tests {
 
     #[test]
     fn single_threaded_relaxation_respects_bound() {
-        // A single caller occupies one slot, so every element it inserted is
+        // A single session occupies one slot, so every element it inserted is
         // either in its own buffer or the shared heap; returned keys must be
         // within the configured rank bound of the true minimum.
         let cfg = KLsmConfig::for_threads(4).with_relaxation(8);
         let bound = cfg.rank_bound() as u64;
         let q = KLsmQueue::new(cfg);
+        let mut h = q.register();
         for k in 0..1_000u64 {
-            q.insert(k, k);
+            h.insert(k, k);
         }
         let mut remaining_min = 0u64;
-        while let Some((k, _)) = q.delete_min() {
+        while let Some((k, _)) = h.delete_min() {
             assert!(
                 k < remaining_min + bound,
                 "key {k} violates the deterministic rank bound {bound} (min {remaining_min})"
@@ -279,20 +330,19 @@ mod tests {
     fn concurrent_conservation() {
         let threads = 4;
         let per_thread = 2_000u64;
-        let q = Arc::new(KLsmQueue::new(
-            KLsmConfig::for_threads(threads).with_relaxation(64),
-        ));
+        let q = KLsmQueue::new(KLsmConfig::for_threads(threads).with_relaxation(64));
         let removed: Vec<u64> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
+            let mut workers = Vec::new();
             for t in 0..threads {
-                let q = Arc::clone(&q);
-                handles.push(scope.spawn(move || {
+                let q = &q;
+                workers.push(scope.spawn(move || {
+                    let mut handle = q.register();
                     let base = t as u64 * per_thread;
                     let mut got = Vec::new();
                     for i in 0..per_thread {
-                        q.insert(base + i, base + i);
+                        handle.insert(base + i, base + i);
                         if i % 2 == 1 {
-                            if let Some((k, _)) = q.delete_min() {
+                            if let Some((k, _)) = handle.delete_min() {
                                 got.push(k);
                             }
                         }
@@ -300,10 +350,14 @@ mod tests {
                     got
                 }));
             }
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            workers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         let mut all: HashSet<u64> = removed.into_iter().collect();
-        while let Some((k, _)) = q.delete_min() {
+        let mut h = q.register();
+        while let Some((k, _)) = h.delete_min() {
             assert!(all.insert(k), "duplicate key {k}");
         }
         assert_eq!(all.len() as u64, threads as u64 * per_thread);

@@ -2,8 +2,8 @@
 //!
 //! Figure 1 and Figure 3 of the paper benchmark the (1 + β) MultiQueue against
 //! three families of existing structures. This crate provides a working
-//! implementation of each family behind the same
-//! [`ConcurrentPriorityQueue`](choice_pq::ConcurrentPriorityQueue) trait:
+//! implementation of each family behind the same handle-based session API
+//! ([`SharedPq`](choice_pq::SharedPq) / [`PqHandle`](choice_pq::PqHandle)):
 //!
 //! * [`CoarseHeap`](coarse_heap::CoarseHeap) — a single binary heap behind one
 //!   global lock: the textbook *exact* queue whose sequential bottleneck
@@ -14,9 +14,15 @@
 //!   `delete_min` does very little work under the lock. It remains
 //!   centralized, which is the property the comparison relies on.
 //! * [`KLsmQueue`](klsm::KLsmQueue) — a deterministic-relaxed queue in the
-//!   spirit of the k-LSM: per-thread buffers plus a shared spill structure,
+//!   spirit of the k-LSM: per-session buffers plus a shared spill structure,
 //!   guaranteeing that `delete_min` returns one of the `k + T·b` smallest
-//!   elements (where `T` is the thread count and `b` the local buffer bound).
+//!   elements (where `T` is the session count and `b` the local buffer
+//!   bound). Its sessions ([`KLsmHandle`](klsm::KLsmHandle)) are pinned to a
+//!   thread slot at registration.
+//!
+//! The exact centralized queues implement [`FlatOps`](choice_pq::FlatOps)
+//! (their operations are intrinsically shared), so their sessions are
+//! [`FlatHandle`](choice_pq::FlatHandle)s carrying only statistics.
 //!
 //! The substitutions relative to the paper's exact comparators (which are
 //! lock-free CAS-based structures) are documented in `DESIGN.md`; what is
@@ -32,9 +38,9 @@ pub mod klsm;
 pub mod skiplist_queue;
 
 pub use coarse_heap::CoarseHeap;
-pub use klsm::{KLsmConfig, KLsmQueue};
+pub use klsm::{KLsmConfig, KLsmHandle, KLsmQueue};
 pub use skiplist_queue::SkipListQueue;
 
-/// Re-export of the shared trait so downstream code can depend only on this
-/// crate when it wants "all the queues".
-pub use choice_pq::{ConcurrentPriorityQueue, Key};
+/// Re-export of the shared session traits so downstream code can depend only
+/// on this crate when it wants "all the queues".
+pub use choice_pq::{DynSharedPq, HandleStats, Key, PqHandle, SharedPq};

@@ -12,12 +12,15 @@
 //! paper's comparison is that the structure is *centralized and exact*: every
 //! `delete_min` fights over the same head region, so it cannot scale the way
 //! the distributed MultiQueue does.
+//!
+//! Like the coarse heap, the structure is *flat* — all state is shared — so
+//! its [`SharedPq`] sessions are [`FlatHandle`]s via [`FlatOps`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use choice_pq::{ConcurrentPriorityQueue, Key};
+use choice_pq::{FlatHandle, FlatOps, Key, SharedPq};
 use seq_pq::{SequentialPriorityQueue, SkipListPq};
 
 /// How many logically deleted heads may accumulate before a physical cleanup
@@ -65,8 +68,8 @@ impl<V> Default for SkipListQueue<V> {
     }
 }
 
-impl<V: Send> ConcurrentPriorityQueue<V> for SkipListQueue<V> {
-    fn insert(&self, key: Key, value: V) {
+impl<V: Send> FlatOps<V> for SkipListQueue<V> {
+    fn flat_insert(&self, key: Key, value: V) {
         let mut inner = self.inner.lock();
         // An insert below the pending prefix must bypass the prefix, otherwise
         // it would be returned out of order relative to pending entries.
@@ -74,7 +77,7 @@ impl<V: Send> ConcurrentPriorityQueue<V> for SkipListQueue<V> {
         self.len.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn delete_min(&self) -> Option<(Key, V)> {
+    fn flat_delete_min(&self) -> Option<(Key, V)> {
         let mut inner = self.inner.lock();
         // Serve from the logically-deleted prefix when it is still correct to
         // do so (its head is no larger than the list head); otherwise pop the
@@ -113,6 +116,17 @@ impl<V: Send> ConcurrentPriorityQueue<V> for SkipListQueue<V> {
         }
         result
     }
+}
+
+impl<V: Send> SharedPq<V> for SkipListQueue<V> {
+    type Handle<'q>
+        = FlatHandle<'q, Self, V>
+    where
+        Self: 'q;
+
+    fn register(&self) -> Self::Handle<'_> {
+        FlatHandle::new(self)
+    }
 
     fn approx_len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
@@ -126,54 +140,57 @@ impl<V: Send> ConcurrentPriorityQueue<V> for SkipListQueue<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use choice_pq::PqHandle;
     use std::collections::HashSet;
-    use std::sync::Arc;
 
     #[test]
     fn exact_order_sequentially() {
         let q = SkipListQueue::new();
+        let mut h = q.register();
         for k in [40u64, 10, 30, 20, 50] {
-            q.insert(k, k);
+            h.insert(k, k);
         }
         let mut out = Vec::new();
-        while let Some((k, _)) = q.delete_min() {
+        while let Some((k, _)) = h.delete_min() {
             out.push(k);
         }
         assert_eq!(out, vec![10, 20, 30, 40, 50]);
-        assert_eq!(q.delete_min(), None);
+        assert_eq!(h.delete_min(), None);
         assert_eq!(q.name(), "skiplist-queue");
     }
 
     #[test]
     fn interleaved_inserts_below_the_pending_prefix_are_served_in_order() {
         let q = SkipListQueue::new();
+        let mut h = q.register();
         // Force a batch refill by inserting more than one batch worth.
         for k in 100..200u64 {
-            q.insert(k, k);
+            h.insert(k, k);
         }
         // Pop a few to populate the pending prefix.
-        assert_eq!(q.delete_min().map(|(k, _)| k), Some(100));
-        assert_eq!(q.delete_min().map(|(k, _)| k), Some(101));
+        assert_eq!(h.delete_min().map(|(k, _)| k), Some(100));
+        assert_eq!(h.delete_min().map(|(k, _)| k), Some(101));
         // Now insert keys *smaller* than the pending prefix head; they must be
         // returned before the prefix continues.
-        q.insert(5, 5);
-        q.insert(7, 7);
-        assert_eq!(q.delete_min().map(|(k, _)| k), Some(5));
-        assert_eq!(q.delete_min().map(|(k, _)| k), Some(7));
-        assert_eq!(q.delete_min().map(|(k, _)| k), Some(102));
+        h.insert(5, 5);
+        h.insert(7, 7);
+        assert_eq!(h.delete_min().map(|(k, _)| k), Some(5));
+        assert_eq!(h.delete_min().map(|(k, _)| k), Some(7));
+        assert_eq!(h.delete_min().map(|(k, _)| k), Some(102));
     }
 
     #[test]
     fn exactness_over_a_large_shuffled_workload() {
         let q = SkipListQueue::new();
+        let mut h = q.register();
         let mut k = 1u64;
         for _ in 0..5_000 {
             k = (k * 48271) % 5_001;
-            q.insert(k, ());
+            h.insert(k, ());
         }
         let mut prev = 0;
         let mut count = 0;
-        while let Some((key, ())) = q.delete_min() {
+        while let Some((key, ())) = h.delete_min() {
             assert!(key >= prev, "keys must come out sorted");
             prev = key;
             count += 1;
@@ -185,18 +202,19 @@ mod tests {
     fn concurrent_conservation() {
         let threads = 4;
         let per_thread = 2_000u64;
-        let q = Arc::new(SkipListQueue::new());
+        let q = SkipListQueue::new();
         let removed: Vec<u64> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
+            let mut workers = Vec::new();
             for t in 0..threads {
-                let q = Arc::clone(&q);
-                handles.push(scope.spawn(move || {
+                let q = &q;
+                workers.push(scope.spawn(move || {
+                    let mut handle = q.register();
                     let base = t as u64 * per_thread;
                     let mut got = Vec::new();
                     for i in 0..per_thread {
-                        q.insert(base + i, base + i);
+                        handle.insert(base + i, base + i);
                         if i % 2 == 1 {
-                            if let Some((k, _)) = q.delete_min() {
+                            if let Some((k, _)) = handle.delete_min() {
                                 got.push(k);
                             }
                         }
@@ -204,10 +222,14 @@ mod tests {
                     got
                 }));
             }
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            workers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         let mut all: HashSet<u64> = removed.into_iter().collect();
-        while let Some((k, _)) = q.delete_min() {
+        let mut h = q.register();
+        while let Some((k, _)) = h.delete_min() {
             assert!(all.insert(k), "duplicate key {k}");
         }
         assert_eq!(all.len() as u64, threads as u64 * per_thread);
@@ -216,12 +238,13 @@ mod tests {
     #[test]
     fn len_tracks_operations() {
         let q = SkipListQueue::new();
+        let mut h = q.register();
         for k in 0..100u64 {
-            q.insert(k, ());
+            h.insert(k, ());
         }
         assert_eq!(q.approx_len(), 100);
         for _ in 0..60 {
-            q.delete_min();
+            h.delete_min();
         }
         assert_eq!(q.approx_len(), 40);
         assert!(!q.is_empty());

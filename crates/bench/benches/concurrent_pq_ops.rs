@@ -7,7 +7,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use choice_bench::{build_queue, QueueSpec};
-use choice_pq::ConcurrentPriorityQueue;
+use choice_pq::{DynSharedPq, SharedPq};
 use rank_stats::rng::{RandomSource, Xoshiro256};
 
 const PREFILL: usize = 20_000;
@@ -24,17 +24,21 @@ fn bench_spec(c: &mut Criterion, group: &str, spec: QueueSpec) {
     c.bench_function(&format!("{group}/{}", spec.label()), |b| {
         b.iter_batched(
             || {
-                let q = build_queue(spec, 2, 7);
+                let q = build_queue::<u64>(spec, 2, 7);
+                let mut loader = q.register_dyn();
                 for &k in &prefill_keys {
-                    q.insert(k, k);
+                    loader.insert(k, k);
                 }
+                drop(loader);
                 q
             },
-            |q: Arc<dyn ConcurrentPriorityQueue<u64>>| {
+            |q: Arc<dyn DynSharedPq<u64>>| {
+                let mut handle = q.register_dyn();
                 for &k in &op_keys {
-                    q.insert(k, k);
-                    q.delete_min();
+                    handle.insert(k, k);
+                    handle.delete_min();
                 }
+                drop(handle);
                 q.approx_len()
             },
             BatchSize::LargeInput,

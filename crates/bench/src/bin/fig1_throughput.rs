@@ -22,7 +22,10 @@ fn main() {
     let ops_per_thread: u64 = 150_000;
     let trials = 3;
 
-    print_section("F1", "throughput vs. threads (alternating insert/deleteMin)");
+    print_section(
+        "F1",
+        "throughput vs. threads (alternating insert/deleteMin)",
+    );
     println!(
         "prefill = {prefill}, ops/thread = {ops_per_thread}, trials = {trials} \
          (paper: 10 s runs, 10M prefill, 10 trials)"
@@ -33,7 +36,7 @@ fn main() {
         for &threads in &threads_sweep {
             let mut report = ThroughputReport::new(spec.label());
             for trial in 0..trials {
-                let queue = build_queue(spec, threads, 1000 + trial);
+                let queue = build_queue::<u64>(spec, threads, 1000 + trial);
                 let result = throughput_workload(
                     Arc::clone(&queue),
                     threads,

@@ -28,11 +28,9 @@ fn main() {
     ]);
 
     for &beta in &betas {
-        let concurrent =
-            rank_quality_workload(queues, beta, threads, prefill, ops_per_thread, 42);
-        let mut process = SequentialProcess::new(
-            ProcessConfig::new(queues).with_beta(beta).with_seed(42),
-        );
+        let concurrent = rank_quality_workload(queues, beta, threads, prefill, ops_per_thread, 42);
+        let mut process =
+            SequentialProcess::new(ProcessConfig::new(queues).with_beta(beta).with_seed(42));
         let sequential = process.run_alternating(200_000, prefill);
         print_row(&[
             format!("{beta}"),

@@ -10,16 +10,12 @@
 
 use choice_bench::report::{f2, f3, print_header, print_row, print_section};
 use choice_bench::workloads::sssp_workload;
-use choice_pq::{ConcurrentPriorityQueue, MultiQueue, MultiQueueConfig};
+use choice_pq::{DynSharedPq, MultiQueue, MultiQueueConfig};
 use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
 use sssp_graph::grid_graph;
 use std::sync::Arc;
 
-fn queue_for(
-    name: &str,
-    beta: f64,
-    threads: usize,
-) -> (String, Arc<dyn ConcurrentPriorityQueue<u32>>) {
+fn queue_for(name: &str, beta: f64, threads: usize) -> (String, Arc<dyn DynSharedPq<u32>>) {
     match name {
         "multiqueue" => (
             format!("multiqueue(beta={beta})"),

@@ -30,10 +30,8 @@ fn main() {
 
     for &n in &ns {
         let floor = (n as u64) * 500;
-        let mut process =
-            SequentialProcess::new(ProcessConfig::new(n).with_beta(1.0).with_seed(7));
-        let (summary, series) =
-            process.run_alternating_with_series(steps, floor, steps / 8);
+        let mut process = SequentialProcess::new(ProcessConfig::new(n).with_beta(1.0).with_seed(7));
+        let (summary, series) = process.run_alternating_with_series(steps, floor, steps / 8);
         let early = series.points.first().map(|p| p.1).unwrap_or(0.0);
         let late = series.points.last().map(|p| p.1).unwrap_or(0.0);
         let nf = n as f64;

@@ -14,14 +14,15 @@ fn main() {
     let windows = 6u64;
     let floor = (n as u64) * 2_000;
 
-    print_section("T2", "Theorem 6: single-choice divergence vs. two-choice stability");
+    print_section(
+        "T2",
+        "Theorem 6: single-choice divergence vs. two-choice stability",
+    );
     println!("n = {n}, {steps} alternating steps, {windows} sample windows");
     print_header(&["window end t", "single mean", "two-choice mean"]);
 
-    let mut single =
-        SequentialProcess::new(ProcessConfig::new(n).with_beta(0.0).with_seed(11));
-    let mut double =
-        SequentialProcess::new(ProcessConfig::new(n).with_beta(1.0).with_seed(11));
+    let mut single = SequentialProcess::new(ProcessConfig::new(n).with_beta(0.0).with_seed(11));
+    let mut double = SequentialProcess::new(ProcessConfig::new(n).with_beta(1.0).with_seed(11));
     let interval = steps / windows;
     let (_, series_single) = single.run_alternating_with_series(steps, floor, interval);
     let (_, series_double) = double.run_alternating_with_series(steps, floor, interval);

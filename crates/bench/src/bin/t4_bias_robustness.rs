@@ -25,7 +25,10 @@ fn main() {
     let steps: u64 = 250_000;
     let gammas = [0.0, 0.1, 0.25, 0.5];
 
-    print_section("T4", "bias robustness: rank bounds under insertion bias gamma");
+    print_section(
+        "T4",
+        "bias robustness: rank bounds under insertion bias gamma",
+    );
     println!("n = {n}, {steps} alternating steps per configuration");
     print_header(&[
         "gamma (nominal)",

@@ -33,11 +33,7 @@ fn main() {
     ] {
         let mut p = LongLivedProcess::new(n, rule, 9);
         p.run(steps);
-        print_row(&[
-            label.to_string(),
-            rule.name(),
-            f2(p.stats().gap_above_mean),
-        ]);
+        print_row(&[label.to_string(), rule.name(), f2(p.stats().gap_above_mean)]);
     }
 
     // Part 2: the labelled round-robin process and its virtual bins.

@@ -21,6 +21,5 @@ pub mod workloads;
 pub use queues::{build_queue, QueueSpec};
 pub use report::{print_header, print_row, print_section};
 pub use workloads::{
-    rank_quality_workload, sssp_workload, throughput_workload, RankQualityResult,
-    ThroughputResult,
+    rank_quality_workload, sssp_workload, throughput_workload, RankQualityResult, ThroughputResult,
 };

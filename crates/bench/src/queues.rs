@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use choice_pq::{ConcurrentPriorityQueue, MultiQueue, MultiQueueConfig};
+use choice_pq::{DynSharedPq, MultiQueue, MultiQueueConfig};
 use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
 
 /// Which concurrent priority queue to benchmark.
@@ -63,12 +63,15 @@ impl QueueSpec {
     }
 }
 
-/// Builds a queue for `threads` worker threads.
-pub fn build_queue(
+/// Builds a queue for `threads` worker threads, type-erased behind the
+/// [`DynSharedPq`] session interface (register a handle per worker with
+/// `queue.register_dyn()`; `&*queue` also works as a generic
+/// [`SharedPq`](choice_pq::SharedPq)).
+pub fn build_queue<V: Send + 'static>(
     spec: QueueSpec,
     threads: usize,
     seed: u64,
-) -> Arc<dyn ConcurrentPriorityQueue<u64>> {
+) -> Arc<dyn DynSharedPq<V>> {
     match spec {
         QueueSpec::MultiQueue {
             beta,
@@ -89,6 +92,7 @@ pub fn build_queue(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use choice_pq::SharedPq;
 
     #[test]
     fn labels_are_distinct_and_descriptive() {
@@ -105,10 +109,11 @@ mod tests {
     #[test]
     fn every_spec_builds_a_working_queue() {
         for spec in QueueSpec::figure_lineup() {
-            let q = build_queue(spec, 2, 7);
-            q.insert(5, 50);
-            q.insert(1, 10);
-            let popped = q.delete_min().expect("non-empty");
+            let q = build_queue::<u64>(spec, 2, 7);
+            let mut h = q.register_dyn();
+            h.insert(5, 50);
+            h.insert(1, 10);
+            let popped = h.delete_min().expect("non-empty");
             assert!(popped.0 == 1 || popped.0 == 5);
             assert_eq!(q.approx_len(), 1);
         }
@@ -116,7 +121,7 @@ mod tests {
 
     #[test]
     fn multiqueue_spec_respects_thread_scaling() {
-        let q = build_queue(QueueSpec::multiqueue(1.0), 4, 1);
+        let q = build_queue::<u64>(QueueSpec::multiqueue(1.0), 4, 1);
         // 4 threads * 2 queues/thread = 8 lanes; we can only check indirectly
         // through the name, which embeds the config.
         assert!(q.name().contains("n=8"));

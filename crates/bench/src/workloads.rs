@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use choice_pq::{ConcurrentPriorityQueue, InstrumentedHandle, MultiQueue, MultiQueueConfig};
+use choice_pq::{DynSharedPq, HandlePolicy, MultiQueue, MultiQueueConfig, PqHandle, SharedPq};
 use rank_stats::inversion::InversionCounter;
 use rank_stats::rng::{RandomSource, Xoshiro256};
 use rank_stats::timing::OpsTimer;
@@ -21,13 +21,14 @@ pub struct ThroughputResult {
 /// The Figure 1 workload: `threads` workers perform alternating
 /// insert/deleteMin pairs against a queue prefilled with `prefill` elements,
 /// for `ops_per_thread` operations each. Keys are drawn uniformly from a large
-/// key space, as in the benchmark framework the paper uses.
+/// key space, as in the benchmark framework the paper uses. Each worker
+/// operates through its own registered session handle.
 ///
 /// Removals that find the structure empty do not count towards throughput
 /// (matching the paper's methodology); with the prefill sized well above the
 /// drain rate they essentially never happen.
 pub fn throughput_workload(
-    queue: Arc<dyn ConcurrentPriorityQueue<u64>>,
+    queue: Arc<dyn DynSharedPq<u64>>,
     threads: usize,
     prefill: u64,
     ops_per_thread: u64,
@@ -36,8 +37,11 @@ pub fn throughput_workload(
     assert!(threads > 0, "need at least one thread");
     let key_space = 1u64 << 40;
     let mut rng = Xoshiro256::seeded(seed);
-    for _ in 0..prefill {
-        queue.insert(rng.next_below(key_space), 0);
+    {
+        let mut loader = queue.register_dyn();
+        for _ in 0..prefill {
+            loader.insert(rng.next_below(key_space), 0);
+        }
     }
     let completed = Arc::new(AtomicU64::new(0));
     let timer = OpsTimer::start();
@@ -46,14 +50,15 @@ pub fn throughput_workload(
             let queue = Arc::clone(&queue);
             let completed = Arc::clone(&completed);
             scope.spawn(move || {
+                let mut handle = queue.register_dyn();
                 let mut rng = Xoshiro256::seeded(seed ^ (t as u64 + 1).wrapping_mul(0x9E37));
                 let mut done = 0u64;
                 let mut i = 0u64;
                 while done < ops_per_thread {
-                    if i % 2 == 0 {
-                        queue.insert(rng.next_below(key_space), t as u64);
+                    if i.is_multiple_of(2) {
+                        handle.insert(rng.next_below(key_space), t as u64);
                         done += 1;
-                    } else if queue.delete_min().is_some() {
+                    } else if handle.delete_min().is_some() {
                         done += 1;
                     }
                     i += 1;
@@ -82,9 +87,11 @@ pub struct RankQualityResult {
 
 /// The Figure 2 workload: a MultiQueue with `queues` lanes and the given β is
 /// prefilled with `prefill` consecutive keys; `threads` workers then perform
-/// alternating insert/deleteMin pairs (inserting fresh increasing keys) while
-/// logging every removal with a coherent timestamp. The merged logs are
-/// post-processed into rank statistics exactly as in Section 5.
+/// alternating insert/deleteMin pairs (inserting fresh increasing keys)
+/// through instrumented session handles
+/// ([`HandlePolicy::instrumented`]), which log every removal with a globally
+/// coherent timestamp. The merged logs are post-processed into rank
+/// statistics exactly as in Section 5.
 pub fn rank_quality_workload(
     queues: usize,
     beta: f64,
@@ -94,36 +101,36 @@ pub fn rank_quality_workload(
     seed: u64,
 ) -> RankQualityResult {
     assert!(threads > 0, "need at least one thread");
-    let queue = Arc::new(MultiQueue::<u64>::new(
+    let queue = MultiQueue::<u64>::new(
         MultiQueueConfig::with_queues(queues)
             .with_beta(beta)
             .with_seed(seed),
-    ));
-    for k in 0..prefill {
-        queue.insert(k, k);
+    );
+    {
+        let mut loader = queue.register();
+        for k in 0..prefill {
+            loader.insert(k, k);
+        }
     }
-    let clock = InstrumentedHandle::<u64>::new_clock();
     // Fresh keys continue after the prefill; a shared counter hands out blocks.
-    let next_key = Arc::new(AtomicU64::new(prefill));
-    let logs: Vec<Vec<rank_stats::inversion::TimestampedRemoval>> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..threads {
-                let queue = Arc::clone(&queue);
-                let clock = Arc::clone(&clock);
-                let next_key = Arc::clone(&next_key);
-                handles.push(scope.spawn(move || {
-                    let mut handle = InstrumentedHandle::new(queue, clock);
-                    for _ in 0..ops_per_thread {
-                        let key = next_key.fetch_add(1, Ordering::Relaxed);
-                        handle.insert(key, key);
-                        handle.delete_min();
-                    }
-                    handle.into_log()
-                }));
-            }
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        });
+    let next_key = AtomicU64::new(prefill);
+    let logs: Vec<Vec<rank_stats::inversion::TimestampedRemoval>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let queue = &queue;
+            let next_key = &next_key;
+            handles.push(scope.spawn(move || {
+                let mut handle = queue.register_with(HandlePolicy::instrumented());
+                for _ in 0..ops_per_thread {
+                    let key = next_key.fetch_add(1, Ordering::Relaxed);
+                    handle.insert(key, key);
+                    handle.delete_min();
+                }
+                handle.take_log()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
     let mut counter = InversionCounter::new();
     for log in logs {
         counter.record_all(log);
@@ -140,11 +147,11 @@ pub fn rank_quality_workload(
 /// Returns `(seconds, stale_fraction)`.
 pub fn sssp_workload(
     graph: &Graph,
-    queue: Arc<dyn ConcurrentPriorityQueue<u32>>,
+    queue: Arc<dyn DynSharedPq<u32>>,
     threads: usize,
 ) -> (f64, f64) {
     let timer = OpsTimer::start();
-    let (_dist, stats) = parallel_sssp(graph, 0, queue, threads);
+    let (_dist, stats) = parallel_sssp(graph, 0, &*queue, threads);
     (timer.elapsed().as_secs_f64(), stats.stale_fraction())
 }
 
@@ -184,8 +191,13 @@ mod tests {
 
     #[test]
     fn rank_quality_beta_ordering() {
-        let tight = rank_quality_workload(8, 1.0, 2, 20_000, 5_000, 9);
-        let loose = rank_quality_workload(8, 0.125, 2, 20_000, 5_000, 9);
+        // Single worker: with several workers on an oversubscribed test
+        // machine, preemption while holding lane locks (the Appendix C
+        // pathology) adds scheduling noise that can swamp the β effect and
+        // invert this ordering; single-threaded, the workload mirrors the
+        // sequential model the theorems describe and the ordering is robust.
+        let tight = rank_quality_workload(8, 1.0, 1, 20_000, 10_000, 9);
+        let loose = rank_quality_workload(8, 0.125, 1, 20_000, 10_000, 9);
         assert!(
             loose.mean_rank > tight.mean_rank,
             "beta=0.125 rank {} should exceed beta=1 rank {}",
@@ -197,9 +209,7 @@ mod tests {
     #[test]
     fn sssp_workload_runs() {
         let g = grid_graph(20, 20, 20, 1);
-        let q: Arc<dyn ConcurrentPriorityQueue<u32>> = Arc::new(
-            choice_pq::MultiQueue::new(MultiQueueConfig::with_queues(4).with_beta(0.75)),
-        );
+        let q = build_queue::<u32>(QueueSpec::multiqueue(0.75), 2, 1);
         let (seconds, stale) = sssp_workload(&g, q, 2);
         assert!(seconds > 0.0);
         assert!((0.0..=1.0).contains(&stale));

@@ -1,0 +1,181 @@
+//! Deprecated flat-trait compatibility layer.
+//!
+//! Before 0.2.0 every queue implemented the flat
+//! [`ConcurrentPriorityQueue`] trait (`&self` operations, process-wide
+//! `thread_local!` randomness). The workspace now uses the handle-based
+//! session API ([`SharedPq`](crate::SharedPq) /
+//! [`PqHandle`](crate::PqHandle)); this module keeps out-of-tree code
+//! compiling for one release via [`LegacyPq`], an adapter that exposes the
+//! old flat interface on top of any `SharedPq`.
+//!
+//! Migration table (old flat call → new session call):
+//!
+//! | old (`ConcurrentPriorityQueue`)  | new (`SharedPq` + `PqHandle`)          |
+//! |----------------------------------|----------------------------------------|
+//! | —                                | `let mut h = queue.register();`        |
+//! | `queue.insert(k, v)`             | `h.insert(k, v)`                       |
+//! | `queue.delete_min()`             | `h.delete_min()`                       |
+//! | `queue.approx_len()`             | `queue.approx_len()` (unchanged)       |
+//! | `queue.is_empty()`               | `queue.is_empty()` (unchanged)         |
+//! | `queue.name()`                   | `queue.name()` (unchanged)             |
+//! | `InstrumentedHandle::new(q, clk)`| `q.register_with(HandlePolicy::instrumented())` |
+//! | `handle.into_log()`              | `h.take_log()`                         |
+//! | `StickyHandle::new(q, pol, seed)`| `q.register_with(HandlePolicy::default().with_sticky_ops(n))` |
+
+use crate::traits::{Key, PqHandle, SharedPq};
+
+/// A thread-safe (relaxed or exact) min-priority queue with flat `&self`
+/// operations.
+///
+/// Deprecated: the flat interface hides the per-thread state the algorithm
+/// actually needs (randomness, lane affinity, buffers) behind thread-local
+/// storage. Register a session handle instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use SharedPq::register and operate through the returned PqHandle \
+            (wrap a SharedPq in LegacyPq if you need the flat interface for \
+            one more release)"
+)]
+pub trait ConcurrentPriorityQueue<V>: Send + Sync {
+    /// Inserts an entry.
+    fn insert(&self, key: Key, value: V);
+
+    /// Removes an entry with a small key (see
+    /// [`PqHandle::delete_min`](crate::PqHandle::delete_min) for semantics).
+    fn delete_min(&self) -> Option<(Key, V)>;
+
+    /// An approximate element count (exact when the structure is quiescent).
+    fn approx_len(&self) -> usize;
+
+    /// Whether the structure appears empty.
+    fn is_empty(&self) -> bool {
+        self.approx_len() == 0
+    }
+
+    /// A short human-readable name used in benchmark tables.
+    fn name(&self) -> String;
+}
+
+/// Adapter exposing the deprecated flat interface on top of any
+/// [`SharedPq`].
+///
+/// Every flat operation opens a short-lived session (registration is an
+/// atomic id bump plus RNG seeding), performs the operation and drops the
+/// handle — flushing any buffering the policy might do. That keeps the
+/// adapter correct under any policy, at a per-operation cost the session API
+/// exists to avoid; treat it as a migration aid, not a long-term home.
+#[derive(Debug)]
+pub struct LegacyPq<Q> {
+    inner: Q,
+}
+
+impl<Q> LegacyPq<Q> {
+    /// Wraps `inner` in the flat compatibility interface.
+    pub fn new(inner: Q) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped queue.
+    pub fn get_ref(&self) -> &Q {
+        &self.inner
+    }
+
+    /// Unwraps the queue.
+    pub fn into_inner(self) -> Q {
+        self.inner
+    }
+}
+
+#[allow(deprecated)]
+impl<V, Q: SharedPq<V>> ConcurrentPriorityQueue<V> for LegacyPq<Q> {
+    fn insert(&self, key: Key, value: V) {
+        self.inner.register().insert(key, value);
+    }
+
+    fn delete_min(&self) -> Option<(Key, V)> {
+        self.inner.register().delete_min()
+    }
+
+    fn approx_len(&self) -> usize {
+        self.inner.approx_len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::config::MultiQueueConfig;
+    use crate::queue::MultiQueue;
+
+    #[test]
+    fn legacy_adapter_round_trips_through_the_flat_interface() {
+        let q = LegacyPq::new(MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(4).with_seed(3),
+        ));
+        assert!(q.is_empty());
+        for k in [9u64, 2, 7, 4] {
+            q.insert(k, k * 10);
+        }
+        assert_eq!(q.approx_len(), 4);
+        assert!(q.name().contains("multiqueue"));
+        let mut out = Vec::new();
+        while let Some((k, v)) = q.delete_min() {
+            assert_eq!(v, k * 10);
+            out.push(k);
+        }
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 4, 7, 9]);
+        assert_eq!(q.get_ref().lanes(), 4);
+    }
+
+    #[test]
+    fn legacy_trait_is_object_safe() {
+        let q: Box<dyn ConcurrentPriorityQueue<u64>> = Box::new(LegacyPq::new(
+            MultiQueue::<u64>::new(MultiQueueConfig::with_queues(2)),
+        ));
+        q.insert(1, 1);
+        q.insert(2, 2);
+        assert_eq!(q.approx_len(), 2);
+        assert!(q.delete_min().is_some());
+    }
+
+    #[test]
+    fn legacy_adapter_is_usable_across_threads() {
+        let q = LegacyPq::new(MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(8).with_seed(1),
+        ));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        q.insert(t * 500 + i, 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(q.approx_len(), 2_000);
+        let mut n = 0;
+        while q.delete_min().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2_000);
+    }
+
+    #[test]
+    fn unwrap_returns_the_queue() {
+        let q = LegacyPq::new(MultiQueue::<u64>::new(MultiQueueConfig::with_queues(2)));
+        q.insert(5, 5);
+        let inner = q.into_inner();
+        assert_eq!(crate::SharedPq::approx_len(&inner), 1);
+    }
+}

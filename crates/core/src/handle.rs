@@ -1,145 +1,245 @@
-//! Per-thread handles layered on top of the MultiQueue.
+//! MultiQueue session handles and their policies.
 //!
-//! * [`InstrumentedHandle`] implements the measurement methodology of
-//!   Section 5: every `delete_min` is stamped with a globally coherent
-//!   timestamp and logged locally; the merged logs are post-processed by
-//!   [`rank_stats::inversion::InversionCounter`] to obtain the mean rank
-//!   returned (Figure 2).
-//! * [`StickyHandle`] implements the batching/stickiness optimisation used by
-//!   later MultiQueue work (and mentioned as an engineering refinement): a
-//!   thread keeps using the lane it last touched for a bounded number of
-//!   consecutive operations, trading a small amount of rank quality for fewer
-//!   random cache misses. It exists so the ablation benchmark can quantify
-//!   that trade-off.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+//! Registering on a [`MultiQueue`] yields an [`MqHandle`], the owned session
+//! object that carries everything thread-local the (1 + β) algorithm needs:
+//!
+//! * a **private RNG stream**, seeded deterministically from the queue seed
+//!   and the handle id (no `thread_local!` lookup on the hot path, and
+//!   single-threaded runs replay exactly);
+//! * optional **sticky-lane affinity** for inserts (the engineering
+//!   refinement of later MultiQueue work: reuse the same lane for a bounded
+//!   number of consecutive inserts, trading a little rank quality for fewer
+//!   random cache misses);
+//! * an optional **insert batch buffer**, published wholesale under a single
+//!   lane lock;
+//! * built-in **rank instrumentation**: the Section 5 measurement methodology
+//!   (globally coherent timestamps per removal), collected per handle and
+//!   merged offline via `rank_stats::inversion::InversionCounter`.
+//!
+//! All of these are selected per handle through [`HandlePolicy`], replacing
+//! the former free-standing `InstrumentedHandle` and `StickyHandle` wrapper
+//! types.
 
 use rank_stats::inversion::TimestampedRemoval;
 use rank_stats::rng::{RandomSource, Xoshiro256};
 
 use crate::queue::MultiQueue;
-use crate::traits::{ConcurrentPriorityQueue, Key};
+use crate::traits::{HandleStats, Key, PqHandle};
 
-/// A per-thread handle that logs every removal with a coherent timestamp.
-#[derive(Debug)]
-pub struct InstrumentedHandle<V> {
-    queue: Arc<MultiQueue<V>>,
-    clock: Arc<AtomicU64>,
-    log: Vec<TimestampedRemoval>,
+/// Per-session behaviour of an [`MqHandle`].
+///
+/// The default policy (`HandlePolicy::default()`) is the plain paper
+/// algorithm: fresh random lane choices every operation, no buffering, no
+/// instrumentation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HandlePolicy {
+    /// Number of consecutive inserts served from the same sticky lane before
+    /// a fresh random lane is chosen. `0` disables stickiness (every insert
+    /// picks a fresh random lane, the paper's rule).
+    pub sticky_ops: usize,
+    /// Insert batch size. `0` or `1` publishes every insert immediately;
+    /// larger values buffer up to that many inserts privately and publish
+    /// them together under one lane lock. Buffered elements are invisible to
+    /// other handles until flushed; `delete_min` on the same handle and
+    /// handle drop both flush.
+    pub insert_batch: usize,
+    /// Whether to log every successful removal with a globally coherent
+    /// timestamp (drained via [`PqHandle::take_log`]).
+    pub instrument: bool,
 }
 
-impl<V: Send> InstrumentedHandle<V> {
-    /// Creates a shared timestamp clock to be distributed to all handles of
-    /// one experiment.
-    pub fn new_clock() -> Arc<AtomicU64> {
-        Arc::new(AtomicU64::new(0))
+impl HandlePolicy {
+    /// The plain paper algorithm (no stickiness, no batching, no logging).
+    pub fn plain() -> Self {
+        Self::default()
     }
 
-    /// Creates a handle over `queue` using the shared `clock`.
-    pub fn new(queue: Arc<MultiQueue<V>>, clock: Arc<AtomicU64>) -> Self {
+    /// Rank-instrumented sessions (Figure 2 methodology).
+    pub fn instrumented() -> Self {
+        Self::default().with_instrumentation(true)
+    }
+
+    /// Sets the sticky-lane length (`0` disables).
+    pub fn with_sticky_ops(mut self, sticky_ops: usize) -> Self {
+        self.sticky_ops = sticky_ops;
+        self
+    }
+
+    /// Sets the insert batch size (`0`/`1` disable buffering).
+    pub fn with_insert_batch(mut self, insert_batch: usize) -> Self {
+        self.insert_batch = insert_batch;
+        self
+    }
+
+    /// Enables or disables removal logging.
+    pub fn with_instrumentation(mut self, instrument: bool) -> Self {
+        self.instrument = instrument;
+        self
+    }
+
+    fn batches(&self) -> bool {
+        self.insert_batch > 1
+    }
+}
+
+/// An owned session over a [`MultiQueue`], created by
+/// [`register`](crate::SharedPq::register) or
+/// [`register_with`](MultiQueue::register_with).
+///
+/// Dropping the handle flushes any privately buffered inserts, so elements
+/// can never be lost by ending a session.
+#[derive(Debug)]
+pub struct MqHandle<'q, V> {
+    queue: &'q MultiQueue<V>,
+    id: u64,
+    policy: HandlePolicy,
+    rng: Xoshiro256,
+    /// Current sticky insert lane and how many more inserts may use it.
+    sticky_lane: usize,
+    sticky_left: usize,
+    /// Privately buffered inserts (at most `policy.insert_batch`).
+    buffer: Vec<(Key, V)>,
+    /// Timestamped removals when `policy.instrument` is set.
+    log: Vec<TimestampedRemoval>,
+    stats: HandleStats,
+}
+
+impl<'q, V> MqHandle<'q, V> {
+    pub(crate) fn new(
+        queue: &'q MultiQueue<V>,
+        id: u64,
+        rng: Xoshiro256,
+        policy: HandlePolicy,
+    ) -> Self {
         Self {
             queue,
-            clock,
+            id,
+            policy,
+            rng,
+            sticky_lane: 0,
+            sticky_left: 0,
+            // Cap the preallocation: insert_batch is an unvalidated public
+            // knob and usize::MAX is the natural "unbounded" spelling; let
+            // the buffer grow past 1024 on demand instead of panicking with
+            // a capacity overflow at registration.
+            buffer: Vec::with_capacity(if policy.batches() {
+                policy.insert_batch.min(1024)
+            } else {
+                0
+            }),
             log: Vec::new(),
+            stats: HandleStats::default(),
         }
     }
 
-    /// Inserts an entry (inserts are not logged; only removal ranks matter).
-    pub fn insert(&self, key: Key, value: V) {
-        self.queue.insert(key, value);
+    /// The id allocated to this handle at registration (dense, starting at 0
+    /// per queue). Together with the queue seed it determines the handle's
+    /// RNG stream.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
-    /// Removes an entry, logging `(timestamp, key)` on success.
-    pub fn delete_min(&mut self) -> Option<(Key, V)> {
-        let result = self.queue.delete_min();
-        if let Some((key, _)) = result {
-            let ts = self.clock.fetch_add(1, Ordering::Relaxed);
-            self.log.push(TimestampedRemoval::new(ts, key));
+    /// The policy this handle was registered with.
+    pub fn policy(&self) -> HandlePolicy {
+        self.policy
+    }
+
+    /// The queue this handle is registered on.
+    pub fn queue(&self) -> &'q MultiQueue<V> {
+        self.queue
+    }
+
+    /// Number of privately buffered (not yet published) inserts.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The lane the next sticky insert would target (diagnostic; meaningful
+    /// only when `policy.sticky_ops > 0`).
+    pub fn current_insert_lane(&self) -> usize {
+        self.sticky_lane
+    }
+
+    /// The sticky lane hint for one insert, refreshing it when exhausted.
+    fn insert_hint(&mut self) -> Option<usize> {
+        if self.policy.sticky_ops == 0 {
+            return None;
+        }
+        if self.sticky_left == 0 {
+            self.sticky_lane = self.rng.next_index(self.queue.lanes());
+            self.sticky_left = self.policy.sticky_ops;
+        }
+        self.sticky_left -= 1;
+        Some(self.sticky_lane)
+    }
+
+    /// Publishes the private buffer; the single flush path shared by
+    /// [`PqHandle::flush`] and `Drop` (no `V: Send` bound, which `Drop`
+    /// cannot require).
+    fn flush_buffer(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let hint = self.insert_hint();
+        // Split borrows: buffer and rng are distinct fields.
+        let Self {
+            queue, rng, buffer, ..
+        } = self;
+        queue.insert_batch_with(rng, hint, buffer);
+    }
+}
+
+impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
+    fn insert(&mut self, key: Key, value: V) {
+        crate::traits::check_key(key);
+        self.stats.inserts += 1;
+        if self.policy.batches() {
+            self.buffer.push((key, value));
+            if self.buffer.len() >= self.policy.insert_batch {
+                self.flush();
+            }
+        } else {
+            let hint = self.insert_hint();
+            self.queue.insert_with(&mut self.rng, hint, key, value);
+        }
+    }
+
+    fn delete_min(&mut self) -> Option<(Key, V)> {
+        // A session always observes its own inserts: publish the private
+        // buffer before removing.
+        if !self.buffer.is_empty() {
+            self.flush();
+        }
+        let result = self.queue.delete_min_with(&mut self.rng);
+        match &result {
+            Some((key, _)) => {
+                self.stats.removals += 1;
+                if self.policy.instrument {
+                    self.log
+                        .push(TimestampedRemoval::new(self.queue.next_timestamp(), *key));
+                }
+            }
+            None => self.stats.failed_removals += 1,
         }
         result
     }
 
-    /// Number of logged removals.
-    pub fn logged(&self) -> usize {
-        self.log.len()
+    fn flush(&mut self) {
+        self.flush_buffer();
     }
 
-    /// Consumes the handle and returns its private removal log.
-    pub fn into_log(self) -> Vec<TimestampedRemoval> {
-        self.log
+    fn stats(&self) -> HandleStats {
+        self.stats
     }
-}
 
-/// How long a sticky handle keeps reusing its chosen lanes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct StickyPolicy {
-    /// Number of consecutive operations served from the same lane choice
-    /// before a fresh random choice is made.
-    pub ops_per_choice: usize,
-}
-
-impl Default for StickyPolicy {
-    fn default() -> Self {
-        Self { ops_per_choice: 4 }
+    fn take_log(&mut self) -> Vec<TimestampedRemoval> {
+        std::mem::take(&mut self.log)
     }
 }
 
-/// A per-thread handle that amortises random lane choices over several
-/// consecutive operations.
-#[derive(Debug)]
-pub struct StickyHandle<V> {
-    queue: Arc<MultiQueue<V>>,
-    policy: StickyPolicy,
-    rng: Xoshiro256,
-    insert_lane: usize,
-    insert_uses_left: usize,
-}
-
-impl<V: Send> StickyHandle<V> {
-    /// Creates a sticky handle with its own RNG stream.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `policy.ops_per_choice == 0`.
-    pub fn new(queue: Arc<MultiQueue<V>>, policy: StickyPolicy, seed: u64) -> Self {
-        assert!(policy.ops_per_choice > 0, "ops_per_choice must be positive");
-        let lanes = queue.lanes();
-        let mut rng = Xoshiro256::seeded(seed);
-        let insert_lane = rng.next_index(lanes);
-        Self {
-            queue,
-            policy,
-            rng,
-            insert_lane,
-            insert_uses_left: policy.ops_per_choice,
-        }
-    }
-
-    /// The lane inserts are currently stuck to (diagnostic).
-    pub fn current_insert_lane(&self) -> usize {
-        self.insert_lane
-    }
-
-    /// Inserts an entry. The lane hint only affects which lane is *tried
-    /// first*; correctness is unaffected because the underlying queue still
-    /// owns all synchronisation.
-    pub fn insert(&mut self, key: Key, value: V) {
-        if self.insert_uses_left == 0 {
-            self.insert_lane = self.rng.next_index(self.queue.lanes());
-            self.insert_uses_left = self.policy.ops_per_choice;
-        }
-        self.insert_uses_left -= 1;
-        // The public MultiQueue API already randomises placement; stickiness
-        // is an approximation of "keep hitting the same cache lines", which we
-        // model by simply issuing the insert (the lane hint is advisory in
-        // this safe implementation).
-        self.queue.insert(key, value);
-    }
-
-    /// Removes an entry via the underlying (1 + β) rule.
-    pub fn delete_min(&mut self) -> Option<(Key, V)> {
-        self.queue.delete_min()
+impl<V> Drop for MqHandle<'_, V> {
+    fn drop(&mut self) {
+        self.flush_buffer();
     }
 }
 
@@ -147,21 +247,21 @@ impl<V: Send> StickyHandle<V> {
 mod tests {
     use super::*;
     use crate::config::MultiQueueConfig;
+    use crate::traits::SharedPq;
     use rank_stats::inversion::InversionCounter;
 
-    fn shared_queue(queues: usize, beta: f64) -> Arc<MultiQueue<u64>> {
-        Arc::new(MultiQueue::new(
+    fn queue(queues: usize, beta: f64) -> MultiQueue<u64> {
+        MultiQueue::new(
             MultiQueueConfig::with_queues(queues)
                 .with_beta(beta)
                 .with_seed(7),
-        ))
+        )
     }
 
     #[test]
-    fn instrumented_handle_logs_every_successful_removal() {
-        let q = shared_queue(4, 1.0);
-        let clock = InstrumentedHandle::<u64>::new_clock();
-        let mut h = InstrumentedHandle::new(Arc::clone(&q), clock);
+    fn instrumented_policy_logs_every_successful_removal() {
+        let q = queue(4, 1.0);
+        let mut h = q.register_with(HandlePolicy::instrumented());
         for k in 0..100u64 {
             h.insert(k, k);
         }
@@ -170,24 +270,24 @@ mod tests {
             removed += 1;
         }
         assert_eq!(removed, 100);
-        assert_eq!(h.logged(), 100);
-        let log = h.into_log();
+        let log = h.take_log();
         assert_eq!(log.len(), 100);
         // Timestamps are unique and increasing for a single handle.
         assert!(log.windows(2).all(|w| w[0].timestamp < w[1].timestamp));
+        // Draining the log leaves it empty.
+        assert!(h.take_log().is_empty());
     }
 
     #[test]
     fn instrumented_logs_feed_the_inversion_counter() {
-        let q = shared_queue(8, 1.0);
-        let clock = InstrumentedHandle::<u64>::new_clock();
-        let mut h = InstrumentedHandle::new(Arc::clone(&q), Arc::clone(&clock));
+        let q = queue(8, 1.0);
+        let mut h = q.register_with(HandlePolicy::instrumented());
         for k in 0..10_000u64 {
             h.insert(k, k);
         }
         while h.delete_min().is_some() {}
         let mut counter = InversionCounter::new();
-        counter.record_all(h.into_log());
+        counter.record_all(h.take_log());
         let summary = counter.summarize();
         assert_eq!(summary.removals, 10_000);
         assert!(summary.mean_rank >= 1.0);
@@ -199,11 +299,10 @@ mod tests {
     }
 
     #[test]
-    fn two_handles_share_the_clock() {
-        let q = shared_queue(4, 0.5);
-        let clock = InstrumentedHandle::<u64>::new_clock();
-        let mut a = InstrumentedHandle::new(Arc::clone(&q), Arc::clone(&clock));
-        let mut b = InstrumentedHandle::new(Arc::clone(&q), Arc::clone(&clock));
+    fn two_instrumented_handles_share_the_queue_clock() {
+        let q = queue(4, 0.5);
+        let mut a = q.register_with(HandlePolicy::instrumented());
+        let mut b = q.register_with(HandlePolicy::instrumented());
         for k in 0..50u64 {
             a.insert(k, k);
         }
@@ -211,8 +310,8 @@ mod tests {
             a.delete_min();
             b.delete_min();
         }
-        let log_a = a.into_log();
-        let log_b = b.into_log();
+        let log_a = a.take_log();
+        let log_b = b.take_log();
         assert_eq!(log_a.len() + log_b.len(), 50);
         // Timestamps across the two logs are all distinct.
         let mut stamps: Vec<u64> = log_a
@@ -227,8 +326,8 @@ mod tests {
 
     #[test]
     fn sticky_handle_round_trips_elements() {
-        let q = shared_queue(4, 0.75);
-        let mut h = StickyHandle::new(Arc::clone(&q), StickyPolicy::default(), 11);
+        let q = queue(4, 0.75);
+        let mut h = q.register_with(HandlePolicy::default().with_sticky_ops(4));
         for k in 0..200u64 {
             h.insert(k, k);
         }
@@ -242,9 +341,135 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ops_per_choice must be positive")]
-    fn zero_stickiness_panics() {
-        let q = shared_queue(2, 1.0);
-        let _ = StickyHandle::new(q, StickyPolicy { ops_per_choice: 0 }, 0);
+    fn sticky_inserts_land_on_the_sticky_lane() {
+        // With stickiness spanning all inserts and no contention, everything
+        // lands on one lane — the cache-locality behaviour stickiness buys.
+        let q = queue(8, 1.0);
+        let mut h = q.register_with(HandlePolicy::default().with_sticky_ops(usize::MAX));
+        for k in 0..64u64 {
+            h.insert(k, k);
+        }
+        let lengths = q.lane_lengths();
+        assert_eq!(lengths.iter().sum::<usize>(), 64);
+        assert_eq!(
+            lengths.iter().filter(|&&l| l > 0).count(),
+            1,
+            "all uncontended sticky inserts should share one lane: {lengths:?}"
+        );
+    }
+
+    #[test]
+    fn batch_buffer_publishes_on_threshold_flush_and_drop() {
+        let q = queue(4, 1.0);
+        let mut h = q.register_with(HandlePolicy::default().with_insert_batch(8));
+        for k in 0..7u64 {
+            h.insert(k, k);
+        }
+        assert_eq!(h.buffered(), 7);
+        assert_eq!(q.approx_len(), 0, "buffered inserts are private");
+        h.insert(7, 7);
+        assert_eq!(h.buffered(), 0, "reaching the batch size publishes");
+        assert_eq!(q.approx_len(), 8);
+
+        h.insert(8, 8);
+        h.flush();
+        assert_eq!(q.approx_len(), 9, "explicit flush publishes");
+
+        h.insert(9, 9);
+        drop(h);
+        assert_eq!(q.approx_len(), 10, "drop publishes the remainder");
+        let mut h = q.register();
+        let mut out = Vec::new();
+        while let Some((k, _)) = h.delete_min() {
+            out.push(k);
+        }
+        out.sort_unstable();
+        assert_eq!(out, (0..10u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_flush_and_explicit_flush_choose_the_same_lane() {
+        // Regression: Drop used to bypass the sticky-hint refresh and dump
+        // the tail batch onto the initial lane 0. Two identically seeded
+        // handles, one flushed explicitly and one flushed by drop, must
+        // publish to the same lane.
+        let policy = HandlePolicy::default()
+            .with_sticky_ops(3)
+            .with_insert_batch(16);
+        let q1 = queue(8, 1.0);
+        let q2 = queue(8, 1.0);
+        let mut h1 = q1.register_with(policy);
+        let mut h2 = q2.register_with(policy);
+        for k in 0..5u64 {
+            h1.insert(k, k);
+            h2.insert(k, k);
+        }
+        h1.flush();
+        drop(h2);
+        assert_eq!(q1.approx_len(), 5);
+        assert_eq!(q2.approx_len(), 5);
+        assert_eq!(
+            q1.lane_lengths(),
+            q2.lane_lengths(),
+            "drop must publish through the same sticky-hint path as flush"
+        );
+    }
+
+    #[test]
+    fn batched_flush_blocks_instead_of_spinning_on_a_held_single_lane() {
+        // Regression: with every lane held, insert_batch_with used to
+        // busy-spin forever. With one lane hostage for a while, the flush
+        // must fall back to a blocking acquisition and complete.
+        let q = std::sync::Arc::new(MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(1)
+                .with_seed(3)
+                .with_max_retries(4),
+        ));
+        let q2 = std::sync::Arc::clone(&q);
+        let holder = std::thread::spawn(move || {
+            q2.with_lane_locked(0, || {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            })
+        });
+        // Give the holder time to take the lock, then flush against it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut h = q.register_with(HandlePolicy::default().with_insert_batch(8));
+        for k in 0..5u64 {
+            h.insert(k, k);
+        }
+        h.flush();
+        holder.join().unwrap();
+        assert_eq!(q.approx_len(), 5);
+    }
+
+    #[test]
+    fn delete_min_observes_the_handles_own_buffer() {
+        let q = queue(4, 1.0);
+        let mut h = q.register_with(HandlePolicy::default().with_insert_batch(64));
+        h.insert(1, 10);
+        assert_eq!(q.approx_len(), 0);
+        // The buffered element must be visible to this session's removal.
+        assert_eq!(h.delete_min(), Some((1, 10)));
+        assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn policy_builder_combines() {
+        let p = HandlePolicy::plain()
+            .with_sticky_ops(4)
+            .with_insert_batch(16)
+            .with_instrumentation(true);
+        assert_eq!(
+            p,
+            HandlePolicy {
+                sticky_ops: 4,
+                insert_batch: 16,
+                instrument: true
+            }
+        );
+        let q = queue(4, 1.0);
+        let h = q.register_with(p);
+        assert_eq!(h.policy(), p);
+        assert_eq!(h.queue().lanes(), 4);
     }
 }

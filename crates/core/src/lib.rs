@@ -19,31 +19,42 @@
 //! companion `choice-process` crate reproduces those bounds and the
 //! `choice-bench` crate measures the concurrent structure directly.
 //!
+//! # The session API
+//!
+//! Access is organised the way the paper's model is: per *thread*. A queue is
+//! a [`SharedPq`]; operating on it requires registering a session, which
+//! returns an owned [`PqHandle`] carrying the session-local state (private
+//! RNG stream, sticky-lane affinity, batch buffer, instrumentation log —
+//! selected via [`HandlePolicy`]). There is no hidden `thread_local!` state.
+//!
 //! # Example
 //!
 //! ```
-//! use choice_pq::{MultiQueue, MultiQueueConfig, ConcurrentPriorityQueue};
-//! use std::sync::Arc;
+//! use choice_pq::{MultiQueue, MultiQueueConfig, PqHandle, SharedPq};
 //!
-//! let queue = Arc::new(MultiQueue::<u64>::new(
-//!     MultiQueueConfig::for_threads(4).with_beta(0.75),
-//! ));
-//! queue.insert(10, 100);
-//! queue.insert(5, 50);
-//! let (key, _value) = queue.delete_min().unwrap();
-//! // With only two elements and fresh queues the smaller key comes back.
+//! let queue = MultiQueue::<u64>::new(MultiQueueConfig::for_threads(4).with_beta(0.75));
+//! let mut handle = queue.register();
+//! handle.insert(10, 100);
+//! handle.insert(5, 50);
+//! let (key, _value) = handle.delete_min().unwrap();
+//! // With only two elements and fresh lanes the smaller key comes back.
 //! assert!(key == 5 || key == 10);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compat;
 pub mod config;
+pub mod flat;
 pub mod handle;
 pub mod queue;
 pub mod traits;
 
+#[allow(deprecated)]
+pub use compat::{ConcurrentPriorityQueue, LegacyPq};
 pub use config::MultiQueueConfig;
-pub use handle::{InstrumentedHandle, StickyHandle};
+pub use flat::{FlatHandle, FlatOps};
+pub use handle::{HandlePolicy, MqHandle};
 pub use queue::MultiQueue;
-pub use traits::{ConcurrentPriorityQueue, Key};
+pub use traits::{check_key, DynSharedPq, HandleStats, Key, PqHandle, SharedPq, RESERVED_KEY};

@@ -1,40 +1,21 @@
 //! The concurrent (1 + β) MultiQueue.
 
-use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
-use rank_stats::rng::{RandomSource, Xoshiro256};
+use rank_stats::rng::{RandomSource, SplitMix64, Xoshiro256};
 use seq_pq::{BinaryHeap, SequentialPriorityQueue};
 
 use crate::config::MultiQueueConfig;
-use crate::traits::{ConcurrentPriorityQueue, Key};
+use crate::handle::{HandlePolicy, MqHandle};
+use crate::traits::{Key, SharedPq};
 
 /// Sentinel stored in a lane's cached-top slot when the lane is empty.
+/// [`check_key`](crate::check_key) keeps real keys out of this value at
+/// insert time.
 const EMPTY_TOP: u64 = u64::MAX;
-
-/// Global source of per-thread RNG salts so every thread gets its own stream.
-static NEXT_THREAD_SALT: AtomicU64 = AtomicU64::new(1);
-
-thread_local! {
-    /// One RNG per OS thread, lazily seeded; shared by all MultiQueue
-    /// instances the thread touches (randomness quality is what matters on
-    /// this path, not per-instance reproducibility).
-    static THREAD_RNG: RefCell<Option<Xoshiro256>> = const { RefCell::new(None) };
-}
-
-fn with_thread_rng<R>(base_seed: u64, f: impl FnOnce(&mut Xoshiro256) -> R) -> R {
-    THREAD_RNG.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        let rng = slot.get_or_insert_with(|| {
-            let salt = NEXT_THREAD_SALT.fetch_add(1, Ordering::Relaxed);
-            Xoshiro256::seeded(base_seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        });
-        f(rng)
-    })
-}
 
 /// One internal lane: a locked sequential heap plus a lock-free hint of its
 /// current top key (used by `delete_min` to compare two lanes without taking
@@ -62,12 +43,24 @@ impl<V> Lane<V> {
 
 /// The relaxed concurrent priority queue of the paper.
 ///
+/// All operations go through registered session handles
+/// ([`register`](SharedPq::register) /
+/// [`register_with`](MultiQueue::register_with)); each handle owns a private
+/// RNG stream seeded deterministically from the queue seed and the handle's
+/// id, so runs are reproducible and the hot path performs no thread-local
+/// lookups.
+///
 /// See the [crate-level documentation](crate) for the algorithm; see
 /// [`MultiQueueConfig`] for sizing and the β parameter.
 #[derive(Debug)]
 pub struct MultiQueue<V> {
     lanes: Vec<CachePadded<Lane<V>>>,
     len: AtomicUsize,
+    /// Monotonic id source for registered handles.
+    next_handle_id: AtomicU64,
+    /// Coherent timestamp source for rank instrumentation (Section 5
+    /// methodology); shared by every instrumented handle of this queue.
+    clock: AtomicU64,
     config: MultiQueueConfig,
 }
 
@@ -80,6 +73,8 @@ impl<V> MultiQueue<V> {
         Self {
             lanes,
             len: AtomicUsize::new(0),
+            next_handle_id: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
             config,
         }
     }
@@ -92,6 +87,12 @@ impl<V> MultiQueue<V> {
     /// Number of internal lanes (`n`).
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Number of handles registered so far (never decreases; dropped handles
+    /// do not return their id).
+    pub fn registered_handles(&self) -> u64 {
+        self.next_handle_id.load(Ordering::Relaxed)
     }
 
     /// The cached top key of every lane (`None` for empty lanes); a
@@ -128,59 +129,142 @@ impl<V> MultiQueue<V> {
         f()
     }
 
-    fn insert_inner(&self, key: Key, value: V) {
+    /// Opens a session with an explicit [`HandlePolicy`].
+    ///
+    /// The handle's RNG stream is seeded deterministically from the queue
+    /// seed and the allocated handle id, so a single-threaded run with the
+    /// same seed, policies and registration order replays exactly.
+    pub fn register_with(&self, policy: HandlePolicy) -> MqHandle<'_, V> {
+        let id = self.next_handle_id.fetch_add(1, Ordering::Relaxed);
+        MqHandle::new(self, id, self.handle_rng(id), policy)
+    }
+
+    /// The deterministic per-handle RNG: queue seed and handle id mixed
+    /// through SplitMix64 into a full Xoshiro256 state.
+    fn handle_rng(&self, id: u64) -> Xoshiro256 {
+        let mut mixer = SplitMix64::seeded(
+            self.config
+                .seed
+                .wrapping_add((id ^ 0xA5A5_5A5A_F00D_CAFE).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        Xoshiro256::seeded(mixer.next_u64())
+    }
+
+    /// Draws a coherent removal timestamp (instrumented handles).
+    pub(crate) fn next_timestamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Inserts `(key, value)`, trying `hint` first when present, then random
+    /// lanes, then blocking on one lane once the retry budget is exhausted
+    /// (heavy oversubscription).
+    pub(crate) fn insert_with(
+        &self,
+        rng: &mut Xoshiro256,
+        hint: Option<usize>,
+        key: Key,
+        value: V,
+    ) {
+        debug_assert!(key != EMPTY_TOP, "keys are validated at the handle layer");
         let n = self.lanes.len();
         let mut value = Some(value);
-        for _ in 0..self.config.max_retries {
-            let q = with_thread_rng(self.config.seed, |rng| rng.next_index(n));
+        let mut push = |q: usize, heap: &mut BinaryHeap<V>| {
+            heap.push(key, value.take().expect("value not yet consumed"));
+            self.lanes[q].refresh_top(heap);
+            self.len.fetch_add(1, Ordering::Relaxed);
+        };
+        if let Some(q) = hint {
+            debug_assert!(q < n, "lane hint out of range");
             if let Some(mut heap) = self.lanes[q].heap.try_lock() {
-                heap.push(key, value.take().expect("value not yet consumed"));
-                self.lanes[q].refresh_top(&heap);
-                self.len.fetch_add(1, Ordering::Relaxed);
+                push(q, &mut heap);
+                return;
+            }
+        }
+        for _ in 0..self.config.max_retries {
+            let q = rng.next_index(n);
+            if let Some(mut heap) = self.lanes[q].heap.try_lock() {
+                push(q, &mut heap);
                 return;
             }
         }
         // Retry budget exhausted (heavy oversubscription): block on one lane.
-        let q = with_thread_rng(self.config.seed, |rng| rng.next_index(n));
+        let q = rng.next_index(n);
         let mut heap = self.lanes[q].heap.lock();
-        heap.push(key, value.take().expect("value not yet consumed"));
-        self.lanes[q].refresh_top(&heap);
-        self.len.fetch_add(1, Ordering::Relaxed);
+        push(q, &mut heap);
+    }
+
+    /// Publishes a whole insert batch under a single lane lock (the batched
+    /// MultiQueue refinement: one random choice and one lock acquisition
+    /// amortised over the batch, at a bounded rank-quality cost).
+    pub(crate) fn insert_batch_with(
+        &self,
+        rng: &mut Xoshiro256,
+        hint: Option<usize>,
+        batch: &mut Vec<(Key, V)>,
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = self.lanes.len();
+        let count = batch.len();
+        let mut target = hint.unwrap_or_else(|| rng.next_index(n));
+        debug_assert!(target < n, "lane hint out of range");
+        // Same contention strategy as single inserts: bounded try-lock
+        // attempts on fresh random lanes (moving the whole batch rather than
+        // spinning on a contended one), then block on one lane so a stalled
+        // holder cannot make a flush busy-spin forever.
+        let mut heap = None;
+        for _ in 0..self.config.max_retries {
+            if let Some(locked) = self.lanes[target].heap.try_lock() {
+                heap = Some(locked);
+                break;
+            }
+            target = rng.next_index(n);
+        }
+        let mut heap = heap.unwrap_or_else(|| {
+            target = rng.next_index(n);
+            self.lanes[target].heap.lock()
+        });
+        for (key, value) in batch.drain(..) {
+            heap.push(key, value);
+        }
+        self.lanes[target].refresh_top(&heap);
+        self.len.fetch_add(count, Ordering::Relaxed);
     }
 
     /// Picks the victim lane for one deleteMin attempt following the (1 + β)
     /// rule, using only the cached tops.
-    fn choose_victim(&self) -> Option<usize> {
+    fn choose_victim(&self, rng: &mut Xoshiro256) -> Option<usize> {
         let n = self.lanes.len();
-        with_thread_rng(self.config.seed, |rng| {
-            let two_choice = n > 1 && rng.next_bool(self.config.beta);
-            if two_choice {
-                let (a, b) = rng.next_two_distinct(n);
-                let ka = self.lanes[a].top.load(Ordering::Relaxed);
-                let kb = self.lanes[b].top.load(Ordering::Relaxed);
-                match (ka == EMPTY_TOP, kb == EMPTY_TOP) {
-                    (false, false) => Some(if ka <= kb { a } else { b }),
-                    (false, true) => Some(a),
-                    (true, false) => Some(b),
-                    (true, true) => None,
-                }
-            } else {
-                let q = rng.next_index(n);
-                if self.lanes[q].top.load(Ordering::Relaxed) == EMPTY_TOP {
-                    None
-                } else {
-                    Some(q)
-                }
+        let two_choice = n > 1 && rng.next_bool(self.config.beta);
+        if two_choice {
+            let (a, b) = rng.next_two_distinct(n);
+            let ka = self.lanes[a].top.load(Ordering::Relaxed);
+            let kb = self.lanes[b].top.load(Ordering::Relaxed);
+            match (ka == EMPTY_TOP, kb == EMPTY_TOP) {
+                (false, false) => Some(if ka <= kb { a } else { b }),
+                (false, true) => Some(a),
+                (true, false) => Some(b),
+                (true, true) => None,
             }
-        })
+        } else {
+            let q = rng.next_index(n);
+            if self.lanes[q].top.load(Ordering::Relaxed) == EMPTY_TOP {
+                None
+            } else {
+                Some(q)
+            }
+        }
     }
 
-    fn delete_min_inner(&self) -> Option<(Key, V)> {
+    /// One full deleteMin: repeated (1 + β) attempts, then the deterministic
+    /// sweep fallback so the structure can always be drained.
+    pub(crate) fn delete_min_with(&self, rng: &mut Xoshiro256) -> Option<(Key, V)> {
         for _ in 0..self.config.max_retries {
             if self.len.load(Ordering::Relaxed) == 0 {
                 return None;
             }
-            let Some(victim) = self.choose_victim() else {
+            let Some(victim) = self.choose_victim(rng) else {
                 // Both sampled lanes looked empty; retry with fresh samples.
                 continue;
             };
@@ -215,7 +299,7 @@ impl<V> MultiQueue<V> {
         let mut best: Option<(Key, usize)> = None;
         for (i, lane) in self.lanes.iter().enumerate() {
             let t = lane.top.load(Ordering::Relaxed);
-            if t != EMPTY_TOP && best.map_or(true, |(bk, _)| t < bk) {
+            if t != EMPTY_TOP && best.is_none_or(|(bk, _)| t < bk) {
                 best = Some((t, i));
             }
         }
@@ -238,13 +322,14 @@ impl<V> MultiQueue<V> {
     }
 }
 
-impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
-    fn insert(&self, key: Key, value: V) {
-        self.insert_inner(key, value);
-    }
+impl<V: Send> SharedPq<V> for MultiQueue<V> {
+    type Handle<'q>
+        = MqHandle<'q, V>
+    where
+        Self: 'q;
 
-    fn delete_min(&self) -> Option<(Key, V)> {
-        self.delete_min_inner()
+    fn register(&self) -> MqHandle<'_, V> {
+        self.register_with(HandlePolicy::default())
     }
 
     fn approx_len(&self) -> usize {
@@ -259,8 +344,8 @@ impl<V: Send> ConcurrentPriorityQueue<V> for MultiQueue<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traits::PqHandle;
     use std::collections::HashSet;
-    use std::sync::Arc;
 
     fn queue(queues: usize, beta: f64) -> MultiQueue<u64> {
         MultiQueue::new(
@@ -270,12 +355,22 @@ mod tests {
         )
     }
 
+    /// Drains the queue through a fresh handle, returning popped keys.
+    fn drain(q: &MultiQueue<u64>) -> Vec<u64> {
+        let mut h = q.register();
+        let mut out = Vec::new();
+        while let Some((k, _)) = h.delete_min() {
+            out.push(k);
+        }
+        out
+    }
+
     #[test]
     fn empty_queue_behaviour() {
         let q = queue(4, 1.0);
         assert!(q.is_empty());
         assert_eq!(q.approx_len(), 0);
-        assert_eq!(q.delete_min(), None);
+        assert_eq!(q.register().delete_min(), None);
         assert_eq!(q.lanes(), 4);
         assert_eq!(q.lane_tops(), vec![None; 4]);
         assert!(q.name().contains("multiqueue"));
@@ -285,31 +380,73 @@ mod tests {
     fn insert_then_drain_returns_every_element_once() {
         let q = queue(8, 0.75);
         let count = 5_000u64;
+        let mut h = q.register();
         for k in 0..count {
-            q.insert(k, k * 10);
+            h.insert(k, k * 10);
         }
         assert_eq!(q.approx_len(), count as usize);
         assert_eq!(q.lane_lengths().iter().sum::<usize>(), count as usize);
         let mut seen = HashSet::new();
-        while let Some((k, v)) = q.delete_min() {
+        while let Some((k, v)) = h.delete_min() {
             assert_eq!(v, k * 10);
             assert!(seen.insert(k), "key {k} returned twice");
         }
         assert_eq!(seen.len(), count as usize);
         assert!(q.is_empty());
+        let stats = h.stats();
+        assert_eq!(stats.inserts, count);
+        assert_eq!(stats.removals, count);
     }
 
     #[test]
     fn single_lane_is_an_exact_priority_queue() {
         let q = queue(1, 1.0);
+        let mut h = q.register();
         for k in [5u64, 1, 9, 3, 7] {
-            q.insert(k, k);
+            h.insert(k, k);
         }
-        let mut out = Vec::new();
-        while let Some((k, _)) = q.delete_min() {
-            out.push(k);
+        drop(h);
+        assert_eq!(drain(&q), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn handle_ids_are_sequential_and_rngs_deterministic() {
+        let q = queue(4, 1.0);
+        let a = q.register();
+        let b = q.register();
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        assert_eq!(q.registered_handles(), 2);
+        // Same config ⇒ the same handle id draws the same stream.
+        let q1 = queue(4, 1.0);
+        let q2 = queue(4, 1.0);
+        let mut h1 = q1.register_with(HandlePolicy::default());
+        let mut h2 = q2.register_with(HandlePolicy::default());
+        assert_eq!(h1.id(), h2.id());
+        for k in 0..1_000u64 {
+            h1.insert(k, k);
+            h2.insert(k, k);
         }
-        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+        for _ in 0..1_000 {
+            assert_eq!(h1.delete_min(), h2.delete_min());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved as the empty-lane sentinel")]
+    fn key_max_is_rejected_at_insert() {
+        let q = queue(2, 1.0);
+        q.register().insert(u64::MAX, 0);
+    }
+
+    #[test]
+    fn key_max_minus_one_is_a_legal_key() {
+        let q = queue(2, 1.0);
+        let mut h = q.register();
+        h.insert(u64::MAX - 1, 7);
+        h.insert(3, 1);
+        assert_eq!(h.delete_min(), Some((3, 1)));
+        assert_eq!(h.delete_min(), Some((u64::MAX - 1, 7)));
     }
 
     #[test]
@@ -321,12 +458,13 @@ mod tests {
         let n = 8;
         let q = queue(n, 1.0);
         let total = 20_000u64;
+        let mut h = q.register();
         for k in 0..total {
-            q.insert(k, k);
+            h.insert(k, k);
         }
         let mut log = InversionCounter::new();
         let mut ts = 0u64;
-        while let Some((k, _)) = q.delete_min() {
+        while let Some((k, _)) = h.delete_min() {
             log.record(ts, k);
             ts += 1;
         }
@@ -342,8 +480,9 @@ mod tests {
     #[test]
     fn lane_tops_reflect_contents() {
         let q = queue(2, 1.0);
-        q.insert(10, 0);
-        q.insert(20, 0);
+        let mut h = q.register();
+        h.insert(10, 0);
+        h.insert(20, 0);
         let tops = q.lane_tops();
         let present: Vec<Key> = tops.into_iter().flatten().collect();
         assert!(!present.is_empty());
@@ -356,19 +495,20 @@ mod tests {
     fn concurrent_inserts_and_deletes_conserve_elements() {
         let threads = 4;
         let per_thread = 3_000u64;
-        let q = Arc::new(queue(8, 0.5));
+        let q = queue(8, 0.5);
         let removed: Vec<u64> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
+            let mut workers = Vec::new();
             for t in 0..threads {
-                let q = Arc::clone(&q);
-                handles.push(scope.spawn(move || {
+                let q = &q;
+                workers.push(scope.spawn(move || {
+                    let mut handle = q.register();
                     let base = t as u64 * per_thread;
                     let mut got = Vec::new();
                     for i in 0..per_thread {
-                        q.insert(base + i, base + i);
+                        handle.insert(base + i, base + i);
                         // Interleave deletions to exercise contention.
                         if i % 2 == 1 {
-                            if let Some((k, _)) = q.delete_min() {
+                            if let Some((k, _)) = handle.delete_min() {
                                 got.push(k);
                             }
                         }
@@ -376,16 +516,20 @@ mod tests {
                     got
                 }));
             }
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            workers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         // Drain what is left sequentially.
         let mut all = removed;
-        while let Some((k, _)) = q.delete_min() {
-            all.push(k);
-        }
+        all.extend(drain(&q));
         all.sort_unstable();
         let expected: Vec<u64> = (0..threads as u64 * per_thread).collect();
-        assert_eq!(all, expected, "every inserted key must come out exactly once");
+        assert_eq!(
+            all, expected,
+            "every inserted key must come out exactly once"
+        );
     }
 
     #[test]
@@ -393,28 +537,29 @@ mod tests {
         // Appendix C pathology: a thread holds a lane lock "forever". The
         // structure must remain usable (operations route around the held lane)
         // and must not lose or duplicate elements.
-        let q = Arc::new(queue(4, 1.0));
+        let q = queue(4, 1.0);
+        let mut h = q.register();
         for k in 0..1_000u64 {
-            q.insert(k, k);
+            h.insert(k, k);
         }
-        let q2 = Arc::clone(&q);
-        let popped = q.with_lane_locked(0, move || {
+        let popped = q.with_lane_locked(0, || {
             let mut popped = Vec::new();
             for k in 1_000..1_200u64 {
-                q2.insert(k, k);
+                h.insert(k, k);
             }
             for _ in 0..500 {
-                if let Some((k, _)) = q2.delete_min() {
+                if let Some((k, _)) = h.delete_min() {
                     popped.push(k);
                 }
             }
             popped
         });
-        assert!(!popped.is_empty(), "deleteMin must make progress around the stall");
+        assert!(
+            !popped.is_empty(),
+            "deleteMin must make progress around the stall"
+        );
         let mut all = popped;
-        while let Some((k, _)) = q.delete_min() {
-            all.push(k);
-        }
+        all.extend(drain(&q));
         all.sort_unstable();
         assert_eq!(all, (0..1_200u64).collect::<Vec<_>>());
     }
@@ -422,25 +567,24 @@ mod tests {
     #[test]
     fn beta_zero_still_drains_correctly() {
         let q = queue(4, 0.0);
+        let mut h = q.register();
         for k in 0..500u64 {
-            q.insert(k, k);
+            h.insert(k, k);
         }
-        let mut count = 0;
-        while q.delete_min().is_some() {
-            count += 1;
-        }
-        assert_eq!(count, 500);
+        drop(h);
+        assert_eq!(drain(&q).len(), 500);
     }
 
     #[test]
     fn approx_len_tracks_operations_sequentially() {
         let q = queue(4, 1.0);
+        let mut h = q.register();
         for k in 0..100u64 {
-            q.insert(k, k);
+            h.insert(k, k);
         }
         assert_eq!(q.approx_len(), 100);
         for _ in 0..40 {
-            q.delete_min();
+            h.delete_min();
         }
         assert_eq!(q.approx_len(), 60);
     }

@@ -1,34 +1,185 @@
-//! The concurrent priority queue interface shared by the MultiQueue and the
-//! baseline implementations.
+//! The handle-based session API shared by the MultiQueue and the baseline
+//! implementations.
+//!
+//! The paper's (1 + β) MultiQueue is defined in terms of *threads*: each
+//! thread owns private randomness and (in engineering refinements) lane
+//! affinity and operation buffers. The API mirrors that structure with an
+//! explicit two-level contract:
+//!
+//! * [`SharedPq`] is the thread-safe queue itself. The only way to operate on
+//!   it is to [`register`](SharedPq::register) a session, which returns a
+//!   handle.
+//! * [`PqHandle`] is an owned, `&mut self` session object carrying all
+//!   operation-local state — the per-handle RNG stream, sticky-lane choice,
+//!   batch buffers, and instrumentation logs — so the shared structure's hot
+//!   path never consults thread-local storage.
+//!
+//! Handles are cheap to create and [`Send`], so the idiomatic pattern is one
+//! handle per worker thread:
+//!
+//! ```
+//! use choice_pq::{MultiQueue, MultiQueueConfig, PqHandle, SharedPq};
+//!
+//! let queue = MultiQueue::<u64>::new(MultiQueueConfig::for_threads(2));
+//! std::thread::scope(|scope| {
+//!     for t in 0..2u64 {
+//!         let queue = &queue;
+//!         scope.spawn(move || {
+//!             let mut handle = queue.register();
+//!             handle.insert(10 * t, t);
+//!             handle.delete_min();
+//!         });
+//!     }
+//! });
+//! ```
+//!
+//! For registries that must hold heterogeneous queues behind one pointer,
+//! [`DynSharedPq`] provides the type-erased form (`Arc<dyn DynSharedPq<V>>`),
+//! which itself implements [`SharedPq`] with boxed handles.
+
+use rank_stats::inversion::TimestampedRemoval;
 
 /// The priority key type: smaller keys are higher priority.
 pub type Key = u64;
 
-/// A thread-safe (relaxed or exact) min-priority queue.
+/// The one reserved key value: `Key::MAX` doubles as the internal empty-lane
+/// sentinel, so it cannot be stored. [`check_key`] rejects it at insert.
+pub const RESERVED_KEY: Key = Key::MAX;
+
+/// Validates a key on the insert path.
 ///
-/// All methods take `&self`; implementations handle their own synchronisation
-/// and per-thread randomness. This is the interface the parallel Dijkstra
-/// application and the benchmark harness program against, so every structure
-/// the paper compares (MultiQueue variants, the skiplist queue, the k-LSM-style
-/// queue, the coarse-locked heap) implements it.
-pub trait ConcurrentPriorityQueue<V>: Send + Sync {
+/// # Panics
+///
+/// Panics if `key == Key::MAX` ([`RESERVED_KEY`]): that value is reserved as
+/// the internal "empty lane" sentinel, and storing it would make a legitimate
+/// element indistinguishable from an empty lane during the unsynchronised
+/// peeks of the (1 + β) removal rule.
+#[inline]
+#[track_caller]
+pub fn check_key(key: Key) {
+    assert!(
+        key != RESERVED_KEY,
+        "key u64::MAX is reserved as the empty-lane sentinel and cannot be inserted"
+    );
+}
+
+/// Per-handle operation counters, returned by [`PqHandle::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Number of elements inserted through this handle (buffered inserts
+    /// count immediately, before they are flushed).
+    pub inserts: u64,
+    /// Number of successful `delete_min` calls.
+    pub removals: u64,
+    /// Number of `delete_min` calls that found the structure (apparently)
+    /// empty.
+    pub failed_removals: u64,
+}
+
+impl HandleStats {
+    /// Total operations issued through the handle.
+    pub fn operations(&self) -> u64 {
+        self.inserts + self.removals + self.failed_removals
+    }
+}
+
+/// An owned, single-session view of a [`SharedPq`].
+///
+/// All methods take `&mut self`: a handle is owned by exactly one logical
+/// thread of execution and carries that session's private state (RNG, lane
+/// affinity, buffers, logs). The underlying queue handles cross-handle
+/// synchronisation; handles never need external locking.
+///
+/// # Buffering
+///
+/// A handle configured with an insert batch may hold elements privately;
+/// those elements are invisible to other handles until flushed. [`flush`]
+/// publishes them immediately, a `delete_min` on the same handle flushes
+/// first (a session always observes its own inserts), and dropping the
+/// handle flushes — elements are never lost.
+///
+/// [`flush`]: PqHandle::flush
+pub trait PqHandle<V>: Send {
     /// Inserts an entry.
-    fn insert(&self, key: Key, value: V);
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == Key::MAX` (see [`check_key`]).
+    fn insert(&mut self, key: Key, value: V);
 
     /// Removes an entry with a small key.
     ///
     /// For *exact* implementations this is the global minimum; for *relaxed*
     /// implementations (the point of the paper) it is an element whose rank
-    /// among all present elements is small in expectation. Returns `None` when
-    /// the structure is observed empty; because of concurrency this is a
+    /// among all present elements is small in expectation. Returns `None`
+    /// when the structure is observed empty; because of concurrency this is a
     /// best-effort emptiness check, and callers that need a linearizable
     /// emptiness test should quiesce first.
-    fn delete_min(&self) -> Option<(Key, V)>;
+    fn delete_min(&mut self) -> Option<(Key, V)>;
+
+    /// Publishes any privately buffered elements to the shared structure.
+    ///
+    /// A no-op for handles without batch buffers (the default).
+    fn flush(&mut self) {}
+
+    /// This session's operation counters.
+    fn stats(&self) -> HandleStats;
+
+    /// Drains the rank-instrumentation log collected so far (timestamped
+    /// removals in the Section 5 methodology). Empty unless the handle was
+    /// registered with an instrumenting policy.
+    fn take_log(&mut self) -> Vec<TimestampedRemoval> {
+        Vec::new()
+    }
+}
+
+impl<V, H: PqHandle<V> + ?Sized> PqHandle<V> for Box<H> {
+    fn insert(&mut self, key: Key, value: V) {
+        (**self).insert(key, value);
+    }
+    fn delete_min(&mut self) -> Option<(Key, V)> {
+        (**self).delete_min()
+    }
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+    fn stats(&self) -> HandleStats {
+        (**self).stats()
+    }
+    fn take_log(&mut self) -> Vec<TimestampedRemoval> {
+        (**self).take_log()
+    }
+}
+
+/// A thread-safe (relaxed or exact) min-priority queue operated through
+/// registered session handles.
+///
+/// This is the interface the parallel Dijkstra application and the benchmark
+/// harness program against; every structure the paper compares (MultiQueue
+/// variants, the skiplist queue, the k-LSM-style queue, the coarse-locked
+/// heap) implements it.
+pub trait SharedPq<V>: Send + Sync {
+    /// The session handle type; borrows the queue, so it is naturally used
+    /// with scoped threads (or from behind an `Arc` kept alive by the
+    /// caller).
+    type Handle<'q>: PqHandle<V>
+    where
+        Self: 'q;
+
+    /// Opens a new session on this queue.
+    ///
+    /// Registration is cheap (an atomic id allocation plus RNG seeding where
+    /// applicable) but not free; callers should register once per worker, not
+    /// once per operation.
+    fn register(&self) -> Self::Handle<'_>;
 
     /// An approximate element count (exact when the structure is quiescent).
+    ///
+    /// Elements sitting in unflushed handle buffers are *not* counted.
     fn approx_len(&self) -> usize;
 
-    /// Whether the structure appears empty.
+    /// Whether the structure appears empty (same caveats as
+    /// [`approx_len`](SharedPq::approx_len)).
     fn is_empty(&self) -> bool {
         self.approx_len() == 0
     }
@@ -37,26 +188,88 @@ pub trait ConcurrentPriorityQueue<V>: Send + Sync {
     fn name(&self) -> String;
 }
 
+/// Object-safe form of [`SharedPq`] for registries holding heterogeneous
+/// queues behind one pointer type (`Arc<dyn DynSharedPq<V>>`).
+///
+/// Every `SharedPq` automatically implements it, and `dyn DynSharedPq<V>`
+/// itself implements [`SharedPq`] (with boxed handles), so generic consumers
+/// like `parallel_sssp` accept both concrete and erased queues.
+pub trait DynSharedPq<V: 'static>: Send + Sync {
+    /// Opens a new boxed session on this queue.
+    fn register_dyn(&self) -> Box<dyn PqHandle<V> + '_>;
+
+    /// See [`SharedPq::approx_len`]. (The `_dyn` suffix keeps concrete queue
+    /// types unambiguous when both traits are in scope; on an erased queue,
+    /// prefer the [`SharedPq`] methods, which `dyn DynSharedPq` implements.)
+    fn approx_len_dyn(&self) -> usize;
+
+    /// See [`SharedPq::is_empty`].
+    fn is_empty_dyn(&self) -> bool;
+
+    /// See [`SharedPq::name`].
+    fn name_dyn(&self) -> String;
+}
+
+impl<V: 'static, Q: SharedPq<V>> DynSharedPq<V> for Q {
+    fn register_dyn(&self) -> Box<dyn PqHandle<V> + '_> {
+        Box::new(self.register())
+    }
+    fn approx_len_dyn(&self) -> usize {
+        SharedPq::approx_len(self)
+    }
+    fn is_empty_dyn(&self) -> bool {
+        SharedPq::is_empty(self)
+    }
+    fn name_dyn(&self) -> String {
+        SharedPq::name(self)
+    }
+}
+
+impl<V: 'static> SharedPq<V> for dyn DynSharedPq<V> {
+    type Handle<'q> = Box<dyn PqHandle<V> + 'q>;
+
+    fn register(&self) -> Self::Handle<'_> {
+        self.register_dyn()
+    }
+    fn approx_len(&self) -> usize {
+        self.approx_len_dyn()
+    }
+    fn is_empty(&self) -> bool {
+        self.is_empty_dyn()
+    }
+    fn name(&self) -> String {
+        self.name_dyn()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     /// A trivially synchronised reference implementation used to check the
-    /// trait's default methods and object safety.
+    /// trait contracts and the dyn-erasure layer.
     struct Locked(std::sync::Mutex<Vec<(Key, u64)>>);
 
-    impl ConcurrentPriorityQueue<u64> for Locked {
-        fn insert(&self, key: Key, value: u64) {
-            self.0.lock().unwrap().push((key, value));
+    /// Borrowed session over [`Locked`]; counts its own operations.
+    struct LockedHandle<'q> {
+        queue: &'q Locked,
+        stats: HandleStats,
+    }
+
+    impl Locked {
+        fn new() -> Self {
+            Self(std::sync::Mutex::new(Vec::new()))
         }
-        fn delete_min(&self) -> Option<(Key, u64)> {
-            let mut items = self.0.lock().unwrap();
-            let idx = items
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (k, _))| *k)
-                .map(|(i, _)| i)?;
-            Some(items.swap_remove(idx))
+    }
+
+    impl SharedPq<u64> for Locked {
+        type Handle<'q> = LockedHandle<'q>;
+        fn register(&self) -> LockedHandle<'_> {
+            LockedHandle {
+                queue: self,
+                stats: HandleStats::default(),
+            }
         }
         fn approx_len(&self) -> usize {
             self.0.lock().unwrap().len()
@@ -66,24 +279,111 @@ mod tests {
         }
     }
 
+    impl PqHandle<u64> for LockedHandle<'_> {
+        fn insert(&mut self, key: Key, value: u64) {
+            check_key(key);
+            self.stats.inserts += 1;
+            self.queue.0.lock().unwrap().push((key, value));
+        }
+        fn delete_min(&mut self) -> Option<(Key, u64)> {
+            let mut items = self.queue.0.lock().unwrap();
+            let idx = items
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (k, _))| *k)
+                .map(|(i, _)| i);
+            match idx {
+                Some(i) => {
+                    self.stats.removals += 1;
+                    Some(items.swap_remove(i))
+                }
+                None => {
+                    self.stats.failed_removals += 1;
+                    None
+                }
+            }
+        }
+        fn stats(&self) -> HandleStats {
+            self.stats
+        }
+    }
+
     #[test]
-    fn default_is_empty_uses_len() {
-        let q = Locked(std::sync::Mutex::new(Vec::new()));
+    fn register_insert_delete_roundtrip() {
+        let q = Locked::new();
+        let mut h = q.register();
         assert!(q.is_empty());
-        q.insert(3, 30);
-        assert!(!q.is_empty());
-        assert_eq!(q.delete_min(), Some((3, 30)));
+        h.insert(3, 30);
+        h.insert(1, 10);
+        assert_eq!(q.approx_len(), 2);
+        assert_eq!(h.delete_min(), Some((1, 10)));
+        assert_eq!(h.delete_min(), Some((3, 30)));
+        assert_eq!(h.delete_min(), None);
+        assert_eq!(
+            h.stats(),
+            HandleStats {
+                inserts: 2,
+                removals: 2,
+                failed_removals: 1
+            }
+        );
+        assert_eq!(h.stats().operations(), 5);
+        assert!(h.take_log().is_empty(), "no instrumentation by default");
+    }
+
+    #[test]
+    fn two_handles_share_one_queue() {
+        let q = Locked::new();
+        let mut a = q.register();
+        let mut b = q.register();
+        a.insert(5, 50);
+        assert_eq!(b.delete_min(), Some((5, 50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved as the empty-lane sentinel")]
+    fn reserved_key_is_rejected() {
+        let q = Locked::new();
+        q.register().insert(Key::MAX, 0);
+    }
+
+    #[test]
+    fn dyn_erasure_round_trips() {
+        let q: Arc<dyn DynSharedPq<u64>> = Arc::new(Locked::new());
+        let mut h = q.register_dyn();
+        h.insert(2, 20);
+        h.insert(7, 70);
+        assert_eq!(q.approx_len(), 2);
+        assert_eq!(h.delete_min(), Some((2, 20)));
+        assert_eq!(q.name(), "locked-vec");
+        // The erased queue is itself a SharedPq, so generic consumers work.
+        fn generic_drain<Q: SharedPq<u64> + ?Sized>(q: &Q) -> usize {
+            let mut h = q.register();
+            let mut n = 0;
+            while h.delete_min().is_some() {
+                n += 1;
+            }
+            n
+        }
+        assert_eq!(generic_drain(&*q), 1);
         assert!(q.is_empty());
     }
 
     #[test]
-    fn trait_is_object_safe() {
-        let q: Box<dyn ConcurrentPriorityQueue<u64>> =
-            Box::new(Locked(std::sync::Mutex::new(Vec::new())));
-        q.insert(1, 1);
-        q.insert(2, 2);
-        assert_eq!(q.approx_len(), 2);
-        assert_eq!(q.delete_min(), Some((1, 1)));
-        assert_eq!(q.name(), "locked-vec");
+    fn boxed_handles_forward_everything() {
+        let q = Locked::new();
+        let mut h: Box<dyn PqHandle<u64> + '_> = Box::new(q.register());
+        h.insert(9, 90);
+        h.flush();
+        assert_eq!(h.delete_min(), Some((9, 90)));
+        assert_eq!(h.stats().inserts, 1);
+        assert!(h.take_log().is_empty());
+    }
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>(_: T) {}
+        let q = Locked::new();
+        assert_send(q.register());
     }
 }

@@ -113,7 +113,10 @@ mod tests {
     fn dijkstra_on_known_graph() {
         let g = diamond();
         assert_eq!(dijkstra(&g, 0), vec![0, 1, 3, 6]);
-        assert_eq!(dijkstra(&g, 3), vec![UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]);
+        assert_eq!(
+            dijkstra(&g, 3),
+            vec![UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub fn random_geometric_graph(nodes: usize, radius: f64, max_weight: Weight, see
             for dx in -1isize..=1 {
                 let nx = cx as isize + dx;
                 let ny = cy as isize + dy;
-                if nx < 0 || ny < 0 || nx >= cells_per_side as isize || ny >= cells_per_side as isize
+                if nx < 0
+                    || ny < 0
+                    || nx >= cells_per_side as isize
+                    || ny >= cells_per_side as isize
                 {
                     continue;
                 }

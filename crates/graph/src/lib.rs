@@ -15,9 +15,9 @@
 //!   proprietary road data (see `DESIGN.md`);
 //! * [`dijkstra`] — a sequential reference Dijkstra (binary heap and bucket
 //!   queue variants) and a Bellman–Ford cross-check;
-//! * [`parallel`] — parallel SSSP over any
-//!   [`ConcurrentPriorityQueue`](choice_pq::ConcurrentPriorityQueue), with
-//!   re-relaxation on stale pops, the algorithm benchmarked in Figure 3.
+//! * [`parallel`] — parallel SSSP over any [`SharedPq`](choice_pq::SharedPq)
+//!   (each worker registers its own session handle), with re-relaxation on
+//!   stale pops, the algorithm benchmarked in Figure 3.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,11 +8,16 @@
 //! the current tentative distance) the entry is simply discarded. Priority
 //! inversions therefore cost wasted relaxations — counted and reported in
 //! [`ParallelSsspStats`] — but never correctness.
+//!
+//! Each worker thread registers its own session handle on the shared queue
+//! ([`SharedPq::register`]), which is where its private randomness and lane
+//! affinity live; the queue type is anything implementing
+//! [`SharedPq`]`<NodeId>` — concrete or type-erased
+//! (`dyn DynSharedPq<NodeId>`).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
-use choice_pq::ConcurrentPriorityQueue;
+use choice_pq::{PqHandle, SharedPq};
 
 use crate::dijkstra::UNREACHABLE;
 use crate::graph::{Graph, NodeId};
@@ -43,7 +48,8 @@ impl ParallelSsspStats {
 }
 
 /// Computes single-source shortest paths from `source` using `threads` worker
-/// threads sharing the given concurrent priority queue.
+/// threads sharing the given concurrent priority queue, each through its own
+/// registered session handle.
 ///
 /// Returns the distance array and the run statistics. The distances are
 /// exact — relaxation of the queue only affects how much redundant work is
@@ -55,18 +61,20 @@ impl ParallelSsspStats {
 pub fn parallel_sssp<Q>(
     graph: &Graph,
     source: NodeId,
-    queue: Arc<Q>,
+    queue: &Q,
     threads: usize,
 ) -> (Vec<u64>, ParallelSsspStats)
 where
-    Q: ConcurrentPriorityQueue<NodeId> + ?Sized + 'static,
+    Q: SharedPq<NodeId> + ?Sized,
 {
     assert!((source as usize) < graph.nodes(), "source out of range");
     assert!(threads > 0, "need at least one worker thread");
 
-    let dist: Vec<AtomicU64> = (0..graph.nodes()).map(|_| AtomicU64::new(UNREACHABLE)).collect();
+    let dist: Vec<AtomicU64> = (0..graph.nodes())
+        .map(|_| AtomicU64::new(UNREACHABLE))
+        .collect();
     dist[source as usize].store(0, Ordering::Relaxed);
-    queue.insert(0, source);
+    queue.register().insert(0, source);
 
     // Termination: a worker that finds the queue empty increments the idle
     // counter and spins; any successful pop resets its idle claim. When all
@@ -78,16 +86,16 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let queue = Arc::clone(&queue);
             let dist = &dist;
             let idle = &idle;
             let useful = &useful;
             let stale = &stale;
             let improvements = &improvements;
             scope.spawn(move || {
+                let mut handle = queue.register();
                 let mut am_idle = false;
                 loop {
-                    match queue.delete_min() {
+                    match handle.delete_min() {
                         Some((popped_dist, node)) => {
                             if am_idle {
                                 idle.fetch_sub(1, Ordering::AcqRel);
@@ -102,8 +110,7 @@ where
                             for (next, weight) in graph.neighbors(node) {
                                 let candidate = popped_dist + weight as u64;
                                 // CAS loop lowering the neighbour's distance.
-                                let mut observed =
-                                    dist[next as usize].load(Ordering::Relaxed);
+                                let mut observed = dist[next as usize].load(Ordering::Relaxed);
                                 while candidate < observed {
                                     match dist[next as usize].compare_exchange_weak(
                                         observed,
@@ -113,7 +120,7 @@ where
                                     ) {
                                         Ok(_) => {
                                             improvements.fetch_add(1, Ordering::Relaxed);
-                                            queue.insert(candidate, next);
+                                            handle.insert(candidate, next);
                                             break;
                                         }
                                         Err(now) => observed = now,
@@ -156,21 +163,24 @@ mod tests {
     use super::*;
     use crate::dijkstra::dijkstra;
     use crate::generators::{grid_graph, random_geometric_graph, random_graph};
-    use choice_pq::{MultiQueue, MultiQueueConfig};
+    use choice_pq::{DynSharedPq, MultiQueue, MultiQueueConfig};
     use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
     use proptest::prelude::*;
+    use std::sync::Arc;
 
-    fn multiqueue(beta: f64) -> Arc<MultiQueue<NodeId>> {
-        Arc::new(MultiQueue::new(
-            MultiQueueConfig::with_queues(8).with_beta(beta).with_seed(5),
-        ))
+    fn multiqueue(beta: f64) -> MultiQueue<NodeId> {
+        MultiQueue::new(
+            MultiQueueConfig::with_queues(8)
+                .with_beta(beta)
+                .with_seed(5),
+        )
     }
 
     #[test]
     fn matches_sequential_dijkstra_on_grid() {
         let g = grid_graph(25, 25, 40, 9);
         let expected = dijkstra(&g, 0);
-        let (got, stats) = parallel_sssp(&g, 0, multiqueue(0.75), 2);
+        let (got, stats) = parallel_sssp(&g, 0, &multiqueue(0.75), 2);
         assert_eq!(got, expected);
         assert!(stats.useful_pops > 0);
         assert_eq!(stats.threads, 2);
@@ -180,16 +190,16 @@ mod tests {
     fn works_single_threaded_with_every_queue() {
         let g = random_geometric_graph(800, 0.06, 30, 3);
         let expected = dijkstra(&g, 0);
-        let (d1, _) = parallel_sssp(&g, 0, multiqueue(1.0), 1);
+        let (d1, _) = parallel_sssp(&g, 0, &multiqueue(1.0), 1);
         assert_eq!(d1, expected);
-        let (d2, _) = parallel_sssp(&g, 0, Arc::new(CoarseHeap::new()), 1);
+        let (d2, _) = parallel_sssp(&g, 0, &CoarseHeap::new(), 1);
         assert_eq!(d2, expected);
-        let (d3, _) = parallel_sssp(&g, 0, Arc::new(SkipListQueue::new()), 1);
+        let (d3, _) = parallel_sssp(&g, 0, &SkipListQueue::new(), 1);
         assert_eq!(d3, expected);
         let (d4, _) = parallel_sssp(
             &g,
             0,
-            Arc::new(KLsmQueue::new(KLsmConfig::for_threads(1).with_relaxation(64))),
+            &KLsmQueue::new(KLsmConfig::for_threads(1).with_relaxation(64)),
             1,
         );
         assert_eq!(d4, expected);
@@ -199,18 +209,29 @@ mod tests {
     fn multithreaded_runs_agree_with_reference_for_all_queues() {
         let g = grid_graph(30, 30, 20, 77);
         let expected = dijkstra(&g, 0);
-        let (d1, s1) = parallel_sssp(&g, 0, multiqueue(0.5), 4);
+        let (d1, s1) = parallel_sssp(&g, 0, &multiqueue(0.5), 4);
         assert_eq!(d1, expected);
         assert!(s1.useful_pops >= g.nodes() as u64 / 2);
-        let (d2, _) = parallel_sssp(&g, 0, Arc::new(CoarseHeap::new()), 4);
+        let (d2, _) = parallel_sssp(&g, 0, &CoarseHeap::new(), 4);
         assert_eq!(d2, expected);
         let (d3, _) = parallel_sssp(
             &g,
             0,
-            Arc::new(KLsmQueue::new(KLsmConfig::for_threads(4).with_relaxation(64))),
+            &KLsmQueue::new(KLsmConfig::for_threads(4).with_relaxation(64)),
             4,
         );
         assert_eq!(d3, expected);
+    }
+
+    #[test]
+    fn type_erased_queues_work_too() {
+        // The bench harness hands queues around as Arc<dyn DynSharedPq>;
+        // parallel_sssp must accept the erased form unchanged.
+        let g = grid_graph(15, 15, 10, 4);
+        let expected = dijkstra(&g, 0);
+        let q: Arc<dyn DynSharedPq<NodeId>> = Arc::new(multiqueue(0.75));
+        let (got, _) = parallel_sssp(&g, 0, &*q, 2);
+        assert_eq!(got, expected);
     }
 
     #[test]
@@ -219,7 +240,7 @@ mod tests {
         // is still exact; only the stale/extra-pop counters grow.
         let g = grid_graph(20, 20, 25, 13);
         let expected = dijkstra(&g, 0);
-        let (got, stats) = parallel_sssp(&g, 0, multiqueue(0.0), 2);
+        let (got, stats) = parallel_sssp(&g, 0, &multiqueue(0.0), 2);
         assert_eq!(got, expected);
         assert!(stats.stale_fraction() < 1.0);
     }
@@ -227,7 +248,7 @@ mod tests {
     #[test]
     fn disconnected_components_stay_unreachable() {
         let g = crate::graph::Graph::from_edges(4, &[(0, 1, 3)]);
-        let (d, _) = parallel_sssp(&g, 0, multiqueue(1.0), 2);
+        let (d, _) = parallel_sssp(&g, 0, &multiqueue(1.0), 2);
         assert_eq!(d, vec![0, 3, UNREACHABLE, UNREACHABLE]);
     }
 
@@ -235,7 +256,7 @@ mod tests {
     #[should_panic(expected = "need at least one worker thread")]
     fn zero_threads_panics() {
         let g = grid_graph(2, 2, 5, 0);
-        let _ = parallel_sssp(&g, 0, multiqueue(1.0), 0);
+        let _ = parallel_sssp(&g, 0, &multiqueue(1.0), 0);
     }
 
     #[test]
@@ -254,7 +275,7 @@ mod tests {
         fn prop_parallel_matches_sequential(nodes in 2usize..60, extra in 0usize..150, seed in 0u64..300) {
             let g = random_graph(nodes, nodes + extra, 12, seed);
             let expected = dijkstra(&g, 0);
-            let (got, _) = parallel_sssp(&g, 0, multiqueue(0.75), 2);
+            let (got, _) = parallel_sssp(&g, 0, &multiqueue(0.75), 2);
             prop_assert_eq!(got, expected);
         }
     }

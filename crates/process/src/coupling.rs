@@ -65,7 +65,7 @@ impl RankOccupancy {
             cumulative.push(acc);
         }
         let mut occupancy = Self::new(n);
-        let mut rng = Xoshiro256::seeded(config.seed ^ 0x0416_1A1);
+        let mut rng = Xoshiro256::seeded(config.seed ^ 0x0041_61A1);
         for _ in 0..trials {
             for _ in 0..labels {
                 let u = rng.next_f64();

@@ -248,12 +248,8 @@ mod tests {
         // two-choice, while single-choice lets it wander like sqrt(t)·n.
         let n = 32;
         let steps = 200_000;
-        let mut two = ExponentialTopProcess::new(
-            ProcessConfig::new(n).with_beta(1.0).with_seed(5),
-        );
-        let mut one = ExponentialTopProcess::new(
-            ProcessConfig::new(n).with_beta(0.0).with_seed(5),
-        );
+        let mut two = ExponentialTopProcess::new(ProcessConfig::new(n).with_beta(1.0).with_seed(5));
+        let mut one = ExponentialTopProcess::new(ProcessConfig::new(n).with_beta(0.0).with_seed(5));
         two.run(steps);
         one.run(steps);
         let spread_two = two.top_spread();

@@ -145,10 +145,7 @@ impl PotentialTrajectory {
 
     /// Maximum of Γ/n over all samples.
     pub fn max_gamma_per_bin(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(|&(_, g)| g)
-            .fold(0.0, f64::max)
+        self.samples.iter().map(|&(_, g)| g).fold(0.0, f64::max)
     }
 
     /// The fraction of *consecutive sample pairs* where the potential was

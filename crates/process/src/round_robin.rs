@@ -111,14 +111,14 @@ impl RoundRobinProcess {
                     // The reduction: comparing top labels is the same as
                     // comparing virtual-bin loads (ties by label agree because
                     // ties by load are broken by queue index = label order).
-                    let by_load = if (self.removal_counts[a], a) <= (self.removal_counts[b], b)
-                    {
+                    let by_load = if (self.removal_counts[a], a) <= (self.removal_counts[b], b) {
                         a
                     } else {
                         b
                     };
                     debug_assert_eq!(
-                        by_label, by_load,
+                        by_label,
+                        by_load,
                         "round-robin reduction violated: labels ({la},{lb}), loads {:?}",
                         (self.removal_counts[a], self.removal_counts[b])
                     );
@@ -185,7 +185,10 @@ mod tests {
         p.prefill(n as u64 * 5_000);
         p.run_removals(n as u64 * 3_000);
         let gap = p.virtual_bin_stats().gap_above_mean;
-        assert!(gap <= 5.0, "two-choice virtual-bin gap {gap} should be tiny");
+        assert!(
+            gap <= 5.0,
+            "two-choice virtual-bin gap {gap} should be tiny"
+        );
     }
 
     #[test]

@@ -145,7 +145,11 @@ impl SequentialProcess {
         };
         if !two_choice || n == 1 {
             let q = self.rng.next_index(n);
-            return if self.queues[q].is_empty() { None } else { Some(q) };
+            return if self.queues[q].is_empty() {
+                None
+            } else {
+                Some(q)
+            };
         }
         let (a, b) = self.rng.next_two_distinct(n);
         match (self.queues[a].front(), self.queues[b].front()) {
@@ -370,8 +374,7 @@ mod tests {
     fn single_choice_mean_rank_grows_with_time() {
         let n = 16;
         let mut p = process(n, 0.0, 13);
-        let (_, series) =
-            p.run_alternating_with_series(40_000, (n as u64) * 1_000, 10_000);
+        let (_, series) = p.run_alternating_with_series(40_000, (n as u64) * 1_000, 10_000);
         let first = series.points.first().unwrap().1;
         let last = series.points.last().unwrap().1;
         assert!(
@@ -384,8 +387,7 @@ mod tests {
     fn two_choice_mean_rank_is_flat_over_time() {
         let n = 16;
         let mut p = process(n, 1.0, 13);
-        let (_, series) =
-            p.run_alternating_with_series(40_000, (n as u64) * 1_000, 10_000);
+        let (_, series) = p.run_alternating_with_series(40_000, (n as u64) * 1_000, 10_000);
         let first = series.points.first().unwrap().1;
         let last = series.points.last().unwrap().1;
         assert!(

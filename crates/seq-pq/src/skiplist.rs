@@ -152,13 +152,12 @@ impl<V> SequentialPriorityQueue<V> for SkipListPq<V> {
             preds[level] = cur;
         }
         // Splice the new node in at each of its levels.
-        for level in 0..height {
-            if preds[level] == NIL {
+        for (level, &pred) in preds.iter().enumerate().take(height) {
+            if pred == NIL {
                 let old_head = self.heads[level];
                 self.nodes[idx].next[level] = old_head;
                 self.heads[level] = idx;
             } else {
-                let pred = preds[level];
                 let old_next = self.nodes[pred].next[level];
                 self.nodes[idx].next[level] = old_next;
                 self.nodes[pred].next[level] = idx;

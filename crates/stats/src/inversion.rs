@@ -105,7 +105,11 @@ impl InversionCounter {
         for i in (0..n).rev() {
             let idx = key_index(log[i].key);
             // Keys removed later that are strictly smaller than this key.
-            let smaller_later = if idx == 0 { 0 } else { later.prefix_sum(idx - 1) };
+            let smaller_later = if idx == 0 {
+                0
+            } else {
+                later.prefix_sum(idx - 1)
+            };
             ranks[i] = smaller_later + 1;
             later.add(idx, 1);
         }

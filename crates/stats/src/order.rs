@@ -50,8 +50,8 @@ impl OrderStatisticsSet {
             // Geometric growth, rebuilding the tree from the old prefix sums.
             let new_len = needed.next_power_of_two().max(64);
             let mut counts = vec![0u64; new_len];
-            for i in 0..self.tree.len() {
-                counts[i] = self.tree.range_sum(i, i);
+            for (i, count) in counts.iter_mut().enumerate().take(self.tree.len()) {
+                *count = self.tree.range_sum(i, i);
             }
             self.tree = FenwickTree::from_counts(&counts);
         }

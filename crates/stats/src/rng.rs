@@ -235,10 +235,7 @@ impl Default for Xoshiro256 {
 
 impl RandomSource for Xoshiro256 {
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -395,12 +392,12 @@ mod tests {
             counts[a][b] += 1;
         }
         let expected = trials as f64 / (n * (n - 1)) as f64;
-        for i in 0..n {
-            for j in 0..n {
+        for (i, row) in counts.iter().enumerate() {
+            for (j, &count) in row.iter().enumerate() {
                 if i == j {
-                    assert_eq!(counts[i][j], 0);
+                    assert_eq!(count, 0);
                 } else {
-                    let dev = (counts[i][j] as f64 - expected).abs() / expected;
+                    let dev = (count as f64 - expected).abs() / expected;
                     assert!(dev < 0.1, "pair ({i},{j}) deviates by {dev}");
                 }
             }

@@ -8,7 +8,6 @@
 //! cargo run --release --example dijkstra_sssp
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use power_of_choice::prelude::*;
@@ -29,12 +28,11 @@ fn main() {
 
     let threads = 4;
 
-    // Relaxed MultiQueue, beta = 0.75 (the paper's sweet spot).
-    let mq = Arc::new(MultiQueue::<u32>::new(
-        MultiQueueConfig::for_threads(threads).with_beta(0.75),
-    ));
+    // Relaxed MultiQueue, beta = 0.75 (the paper's sweet spot). Each SSSP
+    // worker registers its own session handle on it.
+    let mq = MultiQueue::<u32>::new(MultiQueueConfig::for_threads(threads).with_beta(0.75));
     let t1 = Instant::now();
-    let (dist_mq, stats_mq) = parallel_sssp(&graph, 0, mq, threads);
+    let (dist_mq, stats_mq) = parallel_sssp(&graph, 0, &mq, threads);
     println!(
         "parallel ({} threads, multiqueue beta=0.75): {:?}  stale pops: {:.1}%",
         threads,
@@ -44,9 +42,9 @@ fn main() {
     assert_eq!(dist_mq, reference, "relaxation must not change the answer");
 
     // Exact coarse-locked heap for contrast.
-    let coarse = Arc::new(CoarseHeap::new());
+    let coarse = CoarseHeap::new();
     let t2 = Instant::now();
-    let (dist_coarse, _) = parallel_sssp(&graph, 0, coarse, threads);
+    let (dist_coarse, _) = parallel_sssp(&graph, 0, &coarse, threads);
     println!(
         "parallel ({} threads, coarse-locked heap):   {:?}",
         threads,

@@ -1,5 +1,6 @@
-//! Quickstart: create a (1 + β) MultiQueue, use it from several threads, and
-//! measure how relaxed it actually was.
+//! Quickstart: create a (1 + β) MultiQueue, use it from several threads
+//! through registered session handles, and measure how relaxed it actually
+//! was.
 //!
 //! Run with:
 //!
@@ -8,7 +9,6 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use power_of_choice::prelude::*;
 
@@ -19,30 +19,34 @@ fn main() {
     // The paper's recommended sizing: c = 2 queues per thread, beta = 0.75.
     let config = MultiQueueConfig::for_threads(threads).with_beta(0.75);
     println!("creating {}", config.label());
-    let queue = Arc::new(MultiQueue::<u64>::new(config));
+    let queue = MultiQueue::<u64>::new(config);
 
-    // Each thread inserts a block of keys and then removes the same number,
-    // logging removals with a shared coherent timestamp so we can compute the
-    // mean rank afterwards (the Section 5 methodology).
-    let clock = InstrumentedHandle::<u64>::new_clock();
-    let next_key = Arc::new(AtomicU64::new(0));
+    // Each thread registers an *instrumented* session handle, inserts a block
+    // of keys and then removes the same number. Instrumented handles log
+    // removals against the queue's shared coherent clock, so we can compute
+    // the mean rank afterwards (the Section 5 methodology).
+    let next_key = AtomicU64::new(0);
 
     let logs: Vec<_> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
-            let queue = Arc::clone(&queue);
-            let clock = Arc::clone(&clock);
-            let next_key = Arc::clone(&next_key);
+            let queue = &queue;
+            let next_key = &next_key;
             handles.push(scope.spawn(move || {
-                let mut handle = InstrumentedHandle::new(queue, clock);
+                let mut session = queue.register_with(HandlePolicy::instrumented());
                 for _ in 0..per_thread_items {
                     let key = next_key.fetch_add(1, Ordering::Relaxed);
-                    handle.insert(key, key);
+                    session.insert(key, key);
                 }
                 for _ in 0..per_thread_items {
-                    handle.delete_min();
+                    session.delete_min();
                 }
-                handle.into_log()
+                println!(
+                    "session {} performed {} operations",
+                    session.id(),
+                    session.stats().operations()
+                );
+                session.take_log()
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()

@@ -12,8 +12,8 @@
 //! cargo run --release --example rank_profile
 //! ```
 
-use power_of_choice::process::potential::{PotentialParams, PotentialSnapshot};
 use power_of_choice::prelude::*;
+use power_of_choice::process::potential::{PotentialParams, PotentialSnapshot};
 
 fn main() {
     let n = 16usize;
@@ -22,7 +22,10 @@ fn main() {
 
     println!("sequential (1 + beta) process with n = {n} queues, {steps} steps");
     println!();
-    println!("{:>8} {:>12} {:>12} {:>14}", "beta", "mean rank", "max rank", "mean rank / n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "beta", "mean rank", "max rank", "mean rank / n"
+    );
     for beta in [1.0, 0.75, 0.5, 0.25, 0.0] {
         let mut process =
             SequentialProcess::new(ProcessConfig::new(n).with_beta(beta).with_seed(1));

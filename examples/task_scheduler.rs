@@ -15,7 +15,6 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 use power_of_choice::prelude::*;
 
@@ -30,51 +29,55 @@ struct Task {
 fn main() {
     let threads = 4;
     let initial_tasks = 20_000u64;
-    let queue = Arc::new(MultiQueue::<Task>::new(
-        MultiQueueConfig::for_threads(threads).with_beta(0.75),
-    ));
+    let queue = MultiQueue::<Task>::new(MultiQueueConfig::for_threads(threads).with_beta(0.75));
 
     // Seed the scheduler with an initial batch of tasks; priorities are their
     // deadlines, ids are unique.
-    let next_id = Arc::new(AtomicU64::new(0));
-    for i in 0..initial_tasks {
-        let id = next_id.fetch_add(1, Ordering::Relaxed);
-        queue.insert(i, Task { id, spawns: if i % 50 == 0 { 2 } else { 0 } });
+    let next_id = AtomicU64::new(0);
+    {
+        let mut seeder = queue.register();
+        for i in 0..initial_tasks {
+            let id = next_id.fetch_add(1, Ordering::Relaxed);
+            seeder.insert(
+                i,
+                Task {
+                    id,
+                    spawns: if i % 50 == 0 { 2 } else { 0 },
+                },
+            );
+        }
     }
 
-    let executed = Arc::new(AtomicUsize::new(0));
-    let lateness_sum = Arc::new(AtomicU64::new(0));
-    let executed_ids = Arc::new(collector::Collector::new());
+    let executed = AtomicUsize::new(0);
+    let lateness_sum = AtomicU64::new(0);
+    let executed_ids = collector::Collector::new();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let queue = Arc::clone(&queue);
-            let executed = Arc::clone(&executed);
-            let lateness_sum = Arc::clone(&lateness_sum);
-            let next_id = Arc::clone(&next_id);
-            let executed_ids = Arc::clone(&executed_ids);
+            let queue = &queue;
+            let executed = &executed;
+            let lateness_sum = &lateness_sum;
+            let next_id = &next_id;
+            let executed_ids = &executed_ids;
             scope.spawn(move || {
+                // One session handle per worker: its private RNG and sticky
+                // state live here, not in thread-local storage.
+                let mut session = queue.register();
                 let mut last_deadline = 0u64;
                 let mut ids = Vec::new();
-                loop {
-                    match queue.delete_min() {
-                        Some((deadline, task)) => {
-                            // A worker observing deadlines going backwards has
-                            // hit a priority inversion; accumulate how far back.
-                            if deadline < last_deadline {
-                                lateness_sum
-                                    .fetch_add(last_deadline - deadline, Ordering::Relaxed);
-                            }
-                            last_deadline = deadline;
-                            ids.push(task.id);
-                            executed.fetch_add(1, Ordering::Relaxed);
-                            // Spawn follow-up tasks with later deadlines.
-                            for s in 0..task.spawns {
-                                let id = next_id.fetch_add(1, Ordering::Relaxed);
-                                queue.insert(deadline + 1_000 + s as u64, Task { id, spawns: 0 });
-                            }
-                        }
-                        None => break,
+                while let Some((deadline, task)) = session.delete_min() {
+                    // A worker observing deadlines going backwards has hit a
+                    // priority inversion; accumulate how far back.
+                    if deadline < last_deadline {
+                        lateness_sum.fetch_add(last_deadline - deadline, Ordering::Relaxed);
+                    }
+                    last_deadline = deadline;
+                    ids.push(task.id);
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    // Spawn follow-up tasks with later deadlines.
+                    for s in 0..task.spawns {
+                        let id = next_id.fetch_add(1, Ordering::Relaxed);
+                        session.insert(deadline + 1_000 + s as u64, Task { id, spawns: 0 });
                     }
                 }
                 executed_ids.extend(ids);

@@ -16,17 +16,21 @@
 //!
 //! ## Quick start
 //!
+//! A queue is a [`SharedPq`](prelude::SharedPq); every worker registers a
+//! session handle carrying its private state (RNG stream, lane affinity,
+//! buffers — see `HandlePolicy`):
+//!
 //! ```
 //! use power_of_choice::prelude::*;
-//! use std::sync::Arc;
 //!
 //! // A MultiQueue sized for 4 worker threads, with the paper's beta = 0.75.
-//! let pq = Arc::new(MultiQueue::<&'static str>::new(
+//! let pq = MultiQueue::<&'static str>::new(
 //!     MultiQueueConfig::for_threads(4).with_beta(0.75),
-//! ));
-//! pq.insert(20, "world");
-//! pq.insert(10, "hello");
-//! let (key, word) = pq.delete_min().unwrap();
+//! );
+//! let mut session = pq.register();
+//! session.insert(20, "world");
+//! session.insert(10, "hello");
+//! let (key, word) = session.delete_min().unwrap();
 //! assert!(key == 10 || key == 20);
 //! println!("popped {word}");
 //! ```
@@ -60,12 +64,13 @@ pub use sssp_graph as graph;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use balls_bins::{AllocationProcess, ChoiceRule};
+    pub use choice_pq::{
+        DynSharedPq, HandlePolicy, HandleStats, Key, MultiQueue, MultiQueueConfig, PqHandle,
+        SharedPq,
+    };
     pub use choice_process::{
         BiasSpec, ExponentialTopProcess, ProcessConfig, RankCostSummary, RemovalRule,
         SequentialProcess,
-    };
-    pub use choice_pq::{
-        ConcurrentPriorityQueue, InstrumentedHandle, Key, MultiQueue, MultiQueueConfig,
     };
     pub use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
     pub use rank_stats::inversion::InversionCounter;
@@ -86,7 +91,7 @@ mod tests {
         assert!(process.run_removals(50).mean_rank >= 1.0);
 
         let queue = MultiQueue::<u32>::new(MultiQueueConfig::with_queues(4));
-        queue.insert(3, 3);
+        queue.register().insert(3, 3);
         assert_eq!(queue.approx_len(), 1);
 
         let graph = grid_graph(4, 4, 5, 1);

@@ -2,36 +2,40 @@
 //! the sequential analysis processes through the concurrent MultiQueue.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use power_of_choice::prelude::*;
 
 /// Runs the Figure 2 style concurrent workload and returns the mean rank.
+/// Removal timestamps come from instrumented session handles
+/// (`HandlePolicy::instrumented()`), which share the queue's coherent clock.
 fn concurrent_mean_rank(beta: f64, threads: usize, queues: usize, per_thread: u64) -> f64 {
     let prefill = 200_000u64;
-    let queue = Arc::new(MultiQueue::<u64>::new(
-        MultiQueueConfig::with_queues(queues).with_beta(beta).with_seed(99),
-    ));
+    let queue = MultiQueue::<u64>::new(
+        MultiQueueConfig::with_queues(queues)
+            .with_beta(beta)
+            .with_seed(99),
+    );
     // Prefill so removals never observe an empty structure (prefixed run).
-    for k in 0..prefill {
-        queue.insert(k, k);
+    {
+        let mut loader = queue.register();
+        for k in 0..prefill {
+            loader.insert(k, k);
+        }
     }
-    let clock = InstrumentedHandle::<u64>::new_clock();
-    let next_key = Arc::new(AtomicU64::new(prefill));
+    let next_key = AtomicU64::new(prefill);
     let logs: Vec<_> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
-            let queue = Arc::clone(&queue);
-            let clock = Arc::clone(&clock);
-            let next_key = Arc::clone(&next_key);
+            let queue = &queue;
+            let next_key = &next_key;
             handles.push(scope.spawn(move || {
-                let mut handle = InstrumentedHandle::new(queue, clock);
+                let mut handle = queue.register_with(HandlePolicy::instrumented());
                 for _ in 0..per_thread {
                     let key = next_key.fetch_add(1, Ordering::Relaxed);
                     handle.insert(key, key);
                     handle.delete_min();
                 }
-                handle.into_log()
+                handle.take_log()
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -87,9 +91,7 @@ fn sequential_and_concurrent_beta_orderings_agree() {
     let queues = 8;
     // Sequential process.
     let seq_rank = |beta: f64| {
-        let mut p = SequentialProcess::new(
-            ProcessConfig::new(queues).with_beta(beta).with_seed(3),
-        );
+        let mut p = SequentialProcess::new(ProcessConfig::new(queues).with_beta(beta).with_seed(3));
         p.run_alternating(60_000, 4_000).mean_rank
     };
     let seq_tight = seq_rank(1.0);
@@ -99,14 +101,17 @@ fn sequential_and_concurrent_beta_orderings_agree() {
     // Concurrent structure, single-threaded (so it mirrors the model exactly).
     let conc_rank = |beta: f64| {
         let queue = MultiQueue::<u64>::new(
-            MultiQueueConfig::with_queues(queues).with_beta(beta).with_seed(3),
+            MultiQueueConfig::with_queues(queues)
+                .with_beta(beta)
+                .with_seed(3),
         );
+        let mut session = queue.register();
         for k in 0..60_000u64 {
-            queue.insert(k, k);
+            session.insert(k, k);
         }
         let mut counter = InversionCounter::new();
         let mut ts = 0;
-        while let Some((k, _)) = queue.delete_min() {
+        while let Some((k, _)) = session.delete_min() {
             counter.record(ts, k);
             ts += 1;
         }
@@ -123,9 +128,7 @@ fn sequential_and_concurrent_beta_orderings_agree() {
 fn single_choice_degrades_two_choice_does_not() {
     let queues = 16;
     let run = |beta: f64| {
-        let mut p = SequentialProcess::new(
-            ProcessConfig::new(queues).with_beta(beta).with_seed(8),
-        );
+        let mut p = SequentialProcess::new(ProcessConfig::new(queues).with_beta(beta).with_seed(8));
         let (_, series) = p.run_alternating_with_series(80_000, 16_000, 20_000);
         let first = series.points.first().unwrap().1;
         let last = series.points.last().unwrap().1;
@@ -156,7 +159,10 @@ fn potential_bound_tracks_rank_behaviour() {
     one.run(150_000);
     let gamma_two = PotentialSnapshot::compute(&two.deviations(), params.alpha).gamma_per_bin;
     let gamma_one = PotentialSnapshot::compute(&one.deviations(), params.alpha).gamma_per_bin;
-    assert!(gamma_two < 10.0, "two-choice Gamma/n = {gamma_two} should be O(1)");
+    assert!(
+        gamma_two < 10.0,
+        "two-choice Gamma/n = {gamma_two} should be O(1)"
+    );
     assert!(
         gamma_one > gamma_two,
         "single-choice potential {gamma_one} should exceed two-choice {gamma_two}"

@@ -1,13 +1,17 @@
 //! Integration tests: parallel SSSP returns exact distances with *every*
 //! queue implementation in the workspace, on several graph families, at
 //! several thread counts — the correctness backbone behind Figure 3.
+//!
+//! Queues are handed around type-erased (`Arc<dyn DynSharedPq<u32>>`), the
+//! same shape the benchmark harness uses; each SSSP worker registers its own
+//! session handle internally.
 
 use std::sync::Arc;
 
 use power_of_choice::graph::{bellman_ford, random_graph};
 use power_of_choice::prelude::*;
 
-fn queues_for(threads: usize) -> Vec<(&'static str, Arc<dyn ConcurrentPriorityQueue<u32>>)> {
+fn queues_for(threads: usize) -> Vec<(&'static str, Arc<dyn DynSharedPq<u32>>)> {
     vec![
         (
             "multiqueue beta=1.0",
@@ -44,7 +48,7 @@ fn grid_graph_all_queues_all_thread_counts() {
     let expected = dijkstra(&graph, 0);
     for threads in [1usize, 2, 4] {
         for (name, queue) in queues_for(threads) {
-            let (got, stats) = parallel_sssp(&graph, 0, queue, threads);
+            let (got, stats) = parallel_sssp(&graph, 0, &*queue, threads);
             assert_eq!(got, expected, "{name} with {threads} threads diverged");
             assert!(stats.useful_pops as usize >= graph.nodes() / 2);
         }
@@ -56,7 +60,7 @@ fn road_like_geometric_graph() {
     let graph = random_geometric_graph(3_000, 0.03, 100, 5);
     let expected = dijkstra(&graph, 0);
     for (name, queue) in queues_for(2) {
-        let (got, _) = parallel_sssp(&graph, 0, queue, 2);
+        let (got, _) = parallel_sssp(&graph, 0, &*queue, 2);
         assert_eq!(got, expected, "{name} diverged on the geometric graph");
     }
 }
@@ -66,10 +70,8 @@ fn dense_random_graph_cross_checked_with_bellman_ford() {
     let graph = random_graph(300, 6_000, 40, 17);
     let reference = bellman_ford(&graph, 0);
     assert_eq!(dijkstra(&graph, 0), reference);
-    let queue = Arc::new(MultiQueue::<u32>::new(
-        MultiQueueConfig::for_threads(4).with_beta(0.75),
-    ));
-    let (got, _) = parallel_sssp(&graph, 0, queue, 4);
+    let queue = MultiQueue::<u32>::new(MultiQueueConfig::for_threads(4).with_beta(0.75));
+    let (got, _) = parallel_sssp(&graph, 0, &queue, 4);
     assert_eq!(got, reference);
 }
 
@@ -88,7 +90,7 @@ fn disconnected_graph_components_are_unreachable_for_every_queue() {
     let expected = dijkstra(&graph, 0);
     assert!(expected[100..].iter().all(|&d| d == u64::MAX));
     for (name, queue) in queues_for(2) {
-        let (got, _) = parallel_sssp(&graph, 0, queue, 2);
+        let (got, _) = parallel_sssp(&graph, 0, &*queue, 2);
         assert_eq!(got, expected, "{name} diverged on the disconnected graph");
     }
 }

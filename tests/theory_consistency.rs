@@ -3,10 +3,10 @@
 //! between the balls-into-bins substrate and the labelled process.
 
 use power_of_choice::balls_bins::{ChoiceRule, LongLivedProcess};
+use power_of_choice::prelude::*;
 use power_of_choice::process::config::RemovalRule;
 use power_of_choice::process::coupling::distance_to_theory;
 use power_of_choice::process::{rank_occupancy_distance, RankOccupancy, RoundRobinProcess};
-use power_of_choice::prelude::*;
 
 /// Theorem 2 at integration scale: original vs. exponential rank occupancy,
 /// uniform and biased, are statistically indistinguishable.
@@ -72,7 +72,10 @@ fn beta_sweep_is_monotone_in_both_views() {
         b.run(50_000);
         gaps.push(b.stats().gap_above_mean);
     }
-    assert!(ranks[0] < ranks[1] && ranks[1] < ranks[2], "ranks {ranks:?}");
+    assert!(
+        ranks[0] < ranks[1] && ranks[1] < ranks[2],
+        "ranks {ranks:?}"
+    );
     assert!(gaps[0] < gaps[2], "gaps {gaps:?}");
 }
 
