@@ -3,40 +3,7 @@
 use rank_stats::rng::{RandomSource, Xoshiro256};
 use rank_stats::summary::StreamingSummary;
 
-/// How the destination bin of each ball is chosen.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum ChoiceRule {
-    /// One uniformly random bin (the classic single-choice process).
-    SingleChoice,
-    /// The lesser loaded of `d` uniformly random bins (classic `d`-choice).
-    DChoice(usize),
-    /// The lesser loaded of two random bins with probability `beta`, a single
-    /// random bin otherwise — the (1 + β) process of Peres–Talwar–Wieder.
-    OnePlusBeta(f64),
-}
-
-impl ChoiceRule {
-    /// The classic two-choice rule (`DChoice(2)`).
-    pub const fn two_choice() -> Self {
-        ChoiceRule::DChoice(2)
-    }
-
-    /// Human-readable name used in experiment output.
-    pub fn name(&self) -> String {
-        match self {
-            ChoiceRule::SingleChoice => "single-choice".to_string(),
-            ChoiceRule::DChoice(d) => format!("{d}-choice"),
-            ChoiceRule::OnePlusBeta(beta) => format!("(1+{beta})-choice"),
-        }
-    }
-}
-
-/// Shorthand so `ChoiceRule::TwoChoice` reads like the literature.
-#[allow(non_upper_case_globals)]
-impl ChoiceRule {
-    /// The two-choice rule.
-    pub const TwoChoice: ChoiceRule = ChoiceRule::DChoice(2);
-}
+pub use rank_stats::choice::ChoiceRule;
 
 /// Summary statistics of a load vector.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -76,13 +43,7 @@ impl AllocationProcess {
     /// `OnePlusBeta(beta)` rule has `beta` outside `[0, 1]`.
     pub fn new(bins: usize, rule: ChoiceRule, seed: u64) -> Self {
         assert!(bins > 0, "need at least one bin");
-        match rule {
-            ChoiceRule::DChoice(d) => assert!(d > 0, "d must be positive"),
-            ChoiceRule::OnePlusBeta(beta) => {
-                assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]")
-            }
-            ChoiceRule::SingleChoice => {}
-        }
+        rule.validate();
         Self {
             loads: vec![0; bins],
             rule,

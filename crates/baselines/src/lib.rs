@@ -3,21 +3,21 @@
 //! Figure 1 and Figure 3 of the paper benchmark the (1 + β) MultiQueue against
 //! three families of existing structures. This crate provides a working
 //! implementation of each family behind the same handle-based session API
-//! ([`SharedPq`](choice_pq::SharedPq) / [`PqHandle`](choice_pq::PqHandle)):
+//! ([`SharedPq`] / [`PqHandle`]):
 //!
-//! * [`CoarseHeap`](coarse_heap::CoarseHeap) — a single binary heap behind one
+//! * [`CoarseHeap`] — a single binary heap behind one
 //!   global lock: the textbook *exact* queue whose sequential bottleneck
 //!   motivates relaxation in the first place.
-//! * [`SkipListQueue`](skiplist_queue::SkipListQueue) — a centralized,
+//! * [`SkipListQueue`] — a centralized,
 //!   *exact*, skiplist-based queue in the spirit of Lindén–Jonsson: removals
 //!   mark nodes logically deleted and physical cleanup is batched, so
 //!   `delete_min` does very little work under the lock. It remains
 //!   centralized, which is the property the comparison relies on.
-//! * [`KLsmQueue`](klsm::KLsmQueue) — a deterministic-relaxed queue in the
+//! * [`KLsmQueue`] — a deterministic-relaxed queue in the
 //!   spirit of the k-LSM: per-session buffers plus a shared spill structure,
 //!   guaranteeing that `delete_min` returns one of the `k + T·b` smallest
 //!   elements (where `T` is the session count and `b` the local buffer
-//!   bound). Its sessions ([`KLsmHandle`](klsm::KLsmHandle)) are pinned to a
+//!   bound). Its sessions ([`KLsmHandle`]) are pinned to a
 //!   thread slot at registration.
 //!
 //! The exact centralized queues implement [`FlatOps`](choice_pq::FlatOps)

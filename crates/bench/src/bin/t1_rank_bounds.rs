@@ -1,4 +1,4 @@
-//! T1 — Theorem 1: the two-choice process has E[rank] = O(n) and
+//! T1 — Theorem 1: the two-choice process has E\[rank\] = O(n) and
 //! E[max rank] = O(n log n), independent of the execution length.
 //!
 //! We sweep the queue count n, run a long prefixed (alternating) execution,

@@ -1,4 +1,4 @@
-//! T3 — the (1 + β) bounds: E[rank] = O(n/β²) and
+//! T3 — the (1 + β) bounds: E\[rank\] = O(n/β²) and
 //! E[max rank] = O((n/β)(log n + log 1/β)).
 //!
 //! Fixed n, sweep β, report the measured mean/max rank alongside the theory's

@@ -10,7 +10,6 @@
 
 use balls_bins::{ChoiceRule, LongLivedProcess};
 use choice_bench::report::{f2, print_header, print_row, print_section};
-use choice_process::config::RemovalRule;
 use choice_process::RoundRobinProcess;
 
 fn main() {
@@ -39,8 +38,8 @@ fn main() {
     // Part 2: the labelled round-robin process and its virtual bins.
     print_header(&["process", "rule", "virtual gap", "mean rank"]);
     for (label, rule) in [
-        ("round-robin labelled", RemovalRule::SingleChoice),
-        ("round-robin labelled", RemovalRule::TwoChoice),
+        ("round-robin labelled", ChoiceRule::SingleChoice),
+        ("round-robin labelled", ChoiceRule::TwoChoice),
     ] {
         let mut p = RoundRobinProcess::new(n, rule, 9);
         p.prefill(steps + n as u64 * 100);

@@ -45,6 +45,32 @@ pub fn mops(ops_per_second: f64) -> String {
     format!("{:.3}", ops_per_second / 1e6)
 }
 
+/// Column set of the choice/batch sweep tables (`t5_choice_sweep`): the
+/// swept `d` and delete-batch size, then the measured throughput and rank
+/// quality of that configuration.
+pub fn print_sweep_header() {
+    print_header(&["d", "batch", "threads", "Mops/s", "mean rank", "max rank"]);
+}
+
+/// One row of the choice/batch sweep table (see [`print_sweep_header`]).
+pub fn print_sweep_row(
+    d: usize,
+    batch: usize,
+    threads: usize,
+    ops_per_second: f64,
+    mean_rank: f64,
+    max_rank: u64,
+) {
+    print_row(&[
+        d.to_string(),
+        batch.to_string(),
+        threads.to_string(),
+        mops(ops_per_second),
+        f2(mean_rank),
+        max_rank.to_string(),
+    ]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +87,7 @@ mod tests {
         print_section("F1", "throughput");
         print_header(&["queue", "threads", "Mops/s"]);
         print_row(&["multiqueue".into(), "4".into(), "1.234".into()]);
+        print_sweep_header();
+        print_sweep_row(4, 64, 2, 3_200_000.0, 5.25, 41);
     }
 }

@@ -100,12 +100,27 @@ pub fn rank_quality_workload(
     ops_per_thread: u64,
     seed: u64,
 ) -> RankQualityResult {
+    let config = MultiQueueConfig::with_queues(queues)
+        .with_beta(beta)
+        .with_seed(seed);
+    instrumented_rank_run(config, threads, prefill, ops_per_thread, 1)
+}
+
+/// The shared instrumented phase of [`rank_quality_workload`] and
+/// [`d_sweep_workload`]: prefill with consecutive keys, then have `threads`
+/// workers alternate `batch` fresh increasing inserts with one
+/// `delete_min_batch_into(batch)` (plain `delete_min` semantics when
+/// `batch == 1`), and merge the per-handle removal logs into rank statistics.
+fn instrumented_rank_run(
+    config: MultiQueueConfig,
+    threads: usize,
+    prefill: u64,
+    ops_per_thread: u64,
+    batch: usize,
+) -> RankQualityResult {
     assert!(threads > 0, "need at least one thread");
-    let queue = MultiQueue::<u64>::new(
-        MultiQueueConfig::with_queues(queues)
-            .with_beta(beta)
-            .with_seed(seed),
-    );
+    assert!(batch > 0, "need a positive delete batch");
+    let queue = MultiQueue::<u64>::new(config);
     {
         let mut loader = queue.register();
         for k in 0..prefill {
@@ -121,10 +136,15 @@ pub fn rank_quality_workload(
             let next_key = &next_key;
             handles.push(scope.spawn(move || {
                 let mut handle = queue.register_with(HandlePolicy::instrumented());
-                for _ in 0..ops_per_thread {
-                    let key = next_key.fetch_add(1, Ordering::Relaxed);
-                    handle.insert(key, key);
-                    handle.delete_min();
+                let mut pops = Vec::with_capacity(batch);
+                let rounds = (ops_per_thread / batch as u64).max(1);
+                for _ in 0..rounds {
+                    let base = next_key.fetch_add(batch as u64, Ordering::Relaxed);
+                    for j in 0..batch as u64 {
+                        handle.insert(base + j, base + j);
+                    }
+                    pops.clear();
+                    handle.delete_min_batch_into(batch, &mut pops);
                 }
                 handle.take_log()
             }));
@@ -140,6 +160,94 @@ pub fn rank_quality_workload(
         removals: summary.removals,
         mean_rank: summary.mean_rank,
         max_rank: summary.max_rank,
+    }
+}
+
+/// Result of one `d_sweep` trial: throughput and rank quality of a
+/// (d, delete-batch) configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DSweepResult {
+    /// Throughput of the uninstrumented timed phase.
+    pub throughput: ThroughputResult,
+    /// Rank quality of the instrumented phase (same configuration, fresh
+    /// queue).
+    pub rank: RankQualityResult,
+}
+
+/// The `d_sweep` workload axis behind `t5_choice_sweep`: a d-choice
+/// MultiQueue with batched deletion, measured for both throughput and rank
+/// quality.
+///
+/// Two phases run per configuration, both over a queue with `queues` lanes,
+/// the `DChoice(d)` rule and per-handle delete batches of `batch`:
+///
+/// 1. **throughput** — `threads` workers alternate `batch` inserts with one
+///    `delete_min_batch_into(batch)` against a prefilled queue (uncontended
+///    when `threads == 1`); completed inserts + removals per second.
+/// 2. **rank** — a fresh, identically configured queue is driven the same
+///    way through instrumented handles and the merged removal logs are
+///    post-processed into rank statistics (Section 5 methodology).
+///
+/// Keeping the phases separate keeps the timestamping overhead of the
+/// instrumented handles out of the throughput numbers.
+pub fn d_sweep_workload(
+    d: usize,
+    batch: usize,
+    threads: usize,
+    queues: usize,
+    prefill: u64,
+    ops_per_thread: u64,
+    seed: u64,
+) -> DSweepResult {
+    assert!(threads > 0, "need at least one thread");
+    assert!(batch > 0, "need a positive delete batch");
+    let config = MultiQueueConfig::with_queues(queues)
+        .with_d(d)
+        .with_seed(seed);
+    let key_space = 1u64 << 40;
+
+    // Phase 1: throughput, uninstrumented.
+    let queue = MultiQueue::<u64>::new(config.clone());
+    {
+        let mut loader = queue.register();
+        let mut rng = Xoshiro256::seeded(seed);
+        for _ in 0..prefill {
+            loader.insert(rng.next_below(key_space), 0);
+        }
+    }
+    let completed = AtomicU64::new(0);
+    let timer = OpsTimer::start();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let queue = &queue;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut handle = queue.register();
+                let mut rng = Xoshiro256::seeded(seed ^ (t as u64 + 1).wrapping_mul(0x9E37));
+                let mut pops = Vec::with_capacity(batch);
+                let mut done = 0u64;
+                while done < ops_per_thread {
+                    for _ in 0..batch {
+                        handle.insert(rng.next_below(key_space), t as u64);
+                    }
+                    done += batch as u64;
+                    pops.clear();
+                    done += handle.delete_min_batch_into(batch, &mut pops) as u64;
+                }
+                completed.fetch_add(done, Ordering::Relaxed);
+            });
+        }
+    });
+    let operations = completed.load(Ordering::Relaxed);
+    let throughput = ThroughputResult {
+        operations,
+        ops_per_second: timer.ops_per_second(operations),
+    };
+
+    // Phase 2: rank quality on a fresh, identically configured queue.
+    DSweepResult {
+        throughput,
+        rank: instrumented_rank_run(config, threads, prefill, ops_per_thread, batch),
     }
 }
 
@@ -203,6 +311,27 @@ mod tests {
             "beta=0.125 rank {} should exceed beta=1 rank {}",
             loose.mean_rank,
             tight.mean_rank
+        );
+    }
+
+    #[test]
+    fn d_sweep_workload_reports_both_axes() {
+        let r = d_sweep_workload(4, 8, 2, 8, 2_000, 2_000, 11);
+        assert!(r.throughput.operations >= 4_000);
+        assert!(r.throughput.ops_per_second > 0.0);
+        assert!(r.rank.removals > 0);
+        assert!(r.rank.mean_rank >= 1.0);
+    }
+
+    #[test]
+    fn d_sweep_larger_d_means_better_rank_sequentially() {
+        let wide = d_sweep_workload(8, 1, 1, 8, 20_000, 10_000, 5);
+        let narrow = d_sweep_workload(1, 1, 1, 8, 20_000, 10_000, 5);
+        assert!(
+            wide.rank.mean_rank < narrow.rank.mean_rank,
+            "d=8 rank {} should beat d=1 rank {}",
+            wide.rank.mean_rank,
+            narrow.rank.mean_rank
         );
     }
 

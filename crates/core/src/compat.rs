@@ -3,8 +3,8 @@
 //! Before 0.2.0 every queue implemented the flat
 //! [`ConcurrentPriorityQueue`] trait (`&self` operations, process-wide
 //! `thread_local!` randomness). The workspace now uses the handle-based
-//! session API ([`SharedPq`](crate::SharedPq) /
-//! [`PqHandle`](crate::PqHandle)); this module keeps out-of-tree code
+//! session API ([`SharedPq`] /
+//! [`PqHandle`]); this module keeps out-of-tree code
 //! compiling for one release via [`LegacyPq`], an adapter that exposes the
 //! old flat interface on top of any `SharedPq`.
 //!
@@ -41,7 +41,7 @@ pub trait ConcurrentPriorityQueue<V>: Send + Sync {
     fn insert(&self, key: Key, value: V);
 
     /// Removes an entry with a small key (see
-    /// [`PqHandle::delete_min`](crate::PqHandle::delete_min) for semantics).
+    /// [`PqHandle::delete_min`] for semantics).
     fn delete_min(&self) -> Option<(Key, V)>;
 
     /// An approximate element count (exact when the structure is quiescent).

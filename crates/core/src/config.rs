@@ -1,20 +1,37 @@
 //! MultiQueue configuration.
 
+pub use rank_stats::choice::ChoiceRule;
+
 /// Configuration of a [`MultiQueue`](crate::queue::MultiQueue).
 ///
 /// The paper (following Rihani et al.) sizes the structure as `c` queues per
 /// hardware thread with a small constant `c` (2–4); more queues mean less lock
 /// contention but weaker rank guarantees (the bounds scale with the total
 /// queue count `n`).
+///
+/// # Example
+///
+/// ```
+/// use choice_pq::{ChoiceRule, MultiQueueConfig};
+///
+/// // The paper's (1 + β) rule with β = 0.75 …
+/// let cfg = MultiQueueConfig::with_queues(8).with_beta(0.75);
+/// assert_eq!(cfg.choice, ChoiceRule::OnePlusBeta(0.75));
+///
+/// // … or any d-choice rule (d = 2 is the plain MultiQueue, the default).
+/// let cfg = MultiQueueConfig::with_queues(8).with_d(4);
+/// assert_eq!(cfg.label(), "multiqueue(n=8, d=4)");
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct MultiQueueConfig {
     /// Total number of internal sequential queues `n`.
     pub queues: usize,
-    /// The two-choice probability `β ∈ [0, 1]`. `β = 1` is the original
-    /// MultiQueue; the paper's experiments show `β ∈ {0.5, 0.75}` improves
-    /// throughput by up to 20% at a modest rank cost.
-    pub beta: f64,
-    /// Base seed for the per-thread random number generators.
+    /// The lane-sampling rule used by `delete_min`. The default is the
+    /// classic two-choice rule ([`ChoiceRule::TwoChoice`], `d = 2`); the
+    /// paper's (1 + β) variants are [`ChoiceRule::OnePlusBeta`], and
+    /// [`ChoiceRule::DChoice`] generalises to any number of samples `d ≥ 1`.
+    pub choice: ChoiceRule,
+    /// Base seed for the per-handle random number generators.
     pub seed: u64,
     /// Maximum number of try-lock failures tolerated in one operation before
     /// falling back to a blocking lock acquisition (prevents livelock on
@@ -26,8 +43,8 @@ impl MultiQueueConfig {
     /// Queues-per-thread factor used by [`MultiQueueConfig::for_threads`].
     pub const DEFAULT_QUEUES_PER_THREAD: usize = 2;
 
-    /// Creates a configuration with an explicit queue count, `β = 1`, and the
-    /// default seed.
+    /// Creates a configuration with an explicit queue count, the two-choice
+    /// rule, and the default seed.
     ///
     /// # Panics
     ///
@@ -36,7 +53,7 @@ impl MultiQueueConfig {
         assert!(queues > 0, "need at least one queue");
         Self {
             queues,
-            beta: 1.0,
+            choice: ChoiceRule::TwoChoice,
             seed: 0x5EED_CAFE,
             max_retries: 64,
         }
@@ -65,15 +82,38 @@ impl MultiQueueConfig {
         Self::with_queues(threads * c)
     }
 
-    /// Sets the two-choice probability β.
+    /// Sets the lane-sampling rule directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule is invalid (see [`ChoiceRule::validate`]).
+    pub fn with_choice(mut self, choice: ChoiceRule) -> Self {
+        choice.validate();
+        self.choice = choice;
+        self
+    }
+
+    /// Sets the two-choice probability β: the paper's (1 + β) rule, with the
+    /// endpoints normalised to [`ChoiceRule::SingleChoice`] / two-choice.
+    /// `β = 1` is the original MultiQueue; the paper's experiments show
+    /// `β ∈ {0.5, 0.75}` improves throughput by up to 20% at a modest rank
+    /// cost.
     ///
     /// # Panics
     ///
     /// Panics if `beta` is outside `[0, 1]`.
-    pub fn with_beta(mut self, beta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
-        self.beta = beta;
-        self
+    pub fn with_beta(self, beta: f64) -> Self {
+        self.with_choice(ChoiceRule::from_beta(beta))
+    }
+
+    /// Sets a uniform `d`-choice rule: every `delete_min` samples `d`
+    /// distinct lanes and pops from the one with the smallest top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn with_d(self, d: usize) -> Self {
+        self.with_choice(ChoiceRule::uniform(d))
     }
 
     /// Sets the RNG seed.
@@ -93,10 +133,16 @@ impl MultiQueueConfig {
         self
     }
 
+    /// The effective two-choice probability β of the configured rule (see
+    /// [`ChoiceRule::beta`]).
+    pub fn beta(&self) -> f64 {
+        self.choice.beta()
+    }
+
     /// Human-readable label used by the benchmark tables, e.g.
-    /// `"multiqueue(n=16, beta=0.75)"`.
+    /// `"multiqueue(n=16, beta=0.75)"` or `"multiqueue(n=16, d=4)"`.
     pub fn label(&self) -> String {
-        format!("multiqueue(n={}, beta={})", self.queues, self.beta)
+        format!("multiqueue(n={}, {})", self.queues, self.choice.label())
     }
 }
 
@@ -120,6 +166,11 @@ mod tests {
         assert_eq!(MultiQueueConfig::for_threads(4).queues, 8);
         assert_eq!(MultiQueueConfig::for_threads_with_factor(4, 3).queues, 12);
         assert!(MultiQueueConfig::default().queues >= 2);
+        assert_eq!(
+            MultiQueueConfig::default().choice,
+            ChoiceRule::TwoChoice,
+            "two-choice is the default rule"
+        );
     }
 
     #[test]
@@ -129,10 +180,33 @@ mod tests {
             .with_seed(9)
             .with_max_retries(16);
         assert_eq!(cfg.queues, 8);
-        assert_eq!(cfg.beta, 0.5);
+        assert_eq!(cfg.choice, ChoiceRule::OnePlusBeta(0.5));
+        assert_eq!(cfg.beta(), 0.5);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.max_retries, 16);
         assert_eq!(cfg.label(), "multiqueue(n=8, beta=0.5)");
+    }
+
+    #[test]
+    fn beta_endpoints_normalise_to_uniform_rules() {
+        assert_eq!(
+            MultiQueueConfig::with_queues(2).with_beta(0.0).choice,
+            ChoiceRule::SingleChoice
+        );
+        assert_eq!(
+            MultiQueueConfig::with_queues(2).with_beta(1.0).choice,
+            ChoiceRule::TwoChoice
+        );
+    }
+
+    #[test]
+    fn d_choice_builder_and_label() {
+        let cfg = MultiQueueConfig::with_queues(16).with_d(8);
+        assert_eq!(cfg.choice, ChoiceRule::DChoice(8));
+        assert_eq!(cfg.beta(), 1.0);
+        assert_eq!(cfg.label(), "multiqueue(n=16, d=8)");
+        let single = MultiQueueConfig::with_queues(16).with_d(1);
+        assert_eq!(single.beta(), 0.0);
     }
 
     #[test]
@@ -151,6 +225,12 @@ mod tests {
     #[should_panic(expected = "beta must be in [0, 1]")]
     fn invalid_beta_panics() {
         let _ = MultiQueueConfig::with_queues(2).with_beta(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "d must be positive")]
+    fn zero_d_panics() {
+        let _ = MultiQueueConfig::with_queues(2).with_d(0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! synchronise every operation on shared state anyway, so their session
 //! handle only needs to carry the per-session statistics. Implementing
 //! [`FlatOps`] gives such a queue a ready-made [`PqHandle`] type
-//! ([`FlatHandle`]) so it can implement [`SharedPq`] in a few lines:
+//! ([`FlatHandle`]) so it can implement [`SharedPq`](crate::SharedPq) in a few lines:
 //!
 //! ```
 //! use choice_pq::{FlatHandle, FlatOps, Key, PqHandle, SharedPq};

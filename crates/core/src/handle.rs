@@ -99,6 +99,11 @@ pub struct MqHandle<'q, V> {
     sticky_left: usize,
     /// Privately buffered inserts (at most `policy.insert_batch`).
     buffer: Vec<(Key, V)>,
+    /// Reusable lane-sample buffer for the configured choice rule.
+    scratch: Vec<usize>,
+    /// Reusable removal buffer backing [`MqHandle::delete_min_batch`] and
+    /// `delete_min`; empty between operations.
+    pops: Vec<(Key, V)>,
     /// Timestamped removals when `policy.instrument` is set.
     log: Vec<TimestampedRemoval>,
     stats: HandleStats,
@@ -127,6 +132,8 @@ impl<'q, V> MqHandle<'q, V> {
             } else {
                 0
             }),
+            scratch: Vec::with_capacity(queue.config().choice.max_samples().min(1024)),
+            pops: Vec::new(),
             log: Vec::new(),
             stats: HandleStats::default(),
         }
@@ -189,6 +196,46 @@ impl<'q, V> MqHandle<'q, V> {
     }
 }
 
+impl<V: Send> MqHandle<'_, V> {
+    /// Removes up to `max` small-keyed entries in one batched operation,
+    /// returning them (in ascending key order) as a draining iterator over
+    /// the handle's reusable pop buffer.
+    ///
+    /// The batch refinement mirrors insert batching: the choice rule samples
+    /// lanes once, the best lane is locked **once**, and up to `max` elements
+    /// are drained under that single lock — amortising both the random
+    /// choices and the lock traffic over the batch. When the sampled lanes
+    /// are empty the symmetric steal path scans for the globally best lane,
+    /// so a non-empty queue always yields at least one element. Because the
+    /// whole batch comes from one lane, rank quality degrades gracefully
+    /// with `max` (see `DESIGN.md`, "Choice rules & batching").
+    ///
+    /// Equivalent to [`PqHandle::delete_min_batch_into`] with a handle-owned
+    /// buffer; `delete_min_batch(1)` is observationally identical to
+    /// [`PqHandle::delete_min`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use choice_pq::{MultiQueue, MultiQueueConfig, PqHandle, SharedPq};
+    ///
+    /// let queue = MultiQueue::<u64>::new(MultiQueueConfig::with_queues(1));
+    /// let mut session = queue.register();
+    /// for key in [5, 1, 4, 2, 3] {
+    ///     session.insert(key, key);
+    /// }
+    /// let keys: Vec<u64> = session.delete_min_batch(3).map(|(k, _)| k).collect();
+    /// assert_eq!(keys, vec![1, 2, 3]);
+    /// ```
+    pub fn delete_min_batch(&mut self, max: usize) -> std::vec::Drain<'_, (Key, V)> {
+        debug_assert!(self.pops.is_empty(), "pop buffer leaked between ops");
+        let mut pops = std::mem::take(&mut self.pops);
+        self.delete_min_batch_into(max, &mut pops);
+        self.pops = pops;
+        self.pops.drain(..)
+    }
+}
+
 impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
     fn insert(&mut self, key: Key, value: V) {
         crate::traits::check_key(key);
@@ -210,18 +257,42 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
         if !self.buffer.is_empty() {
             self.flush();
         }
-        let result = self.queue.delete_min_with(&mut self.rng);
+        debug_assert!(self.pops.is_empty(), "pop buffer leaked between ops");
+        self.queue.drain_best_with(
+            &mut self.rng,
+            &mut self.scratch,
+            1,
+            &mut self.pops,
+            self.policy.instrument.then_some(&mut self.log),
+        );
+        let result = self.pops.pop();
         match &result {
-            Some((key, _)) => {
-                self.stats.removals += 1;
-                if self.policy.instrument {
-                    self.log
-                        .push(TimestampedRemoval::new(self.queue.next_timestamp(), *key));
-                }
-            }
+            Some(_) => self.stats.removals += 1,
             None => self.stats.failed_removals += 1,
         }
         result
+    }
+
+    fn delete_min_batch_into(&mut self, max: usize, out: &mut Vec<(Key, V)>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        if !self.buffer.is_empty() {
+            self.flush();
+        }
+        let drained = self.queue.drain_best_with(
+            &mut self.rng,
+            &mut self.scratch,
+            max,
+            out,
+            self.policy.instrument.then_some(&mut self.log),
+        );
+        if drained == 0 {
+            self.stats.failed_removals += 1;
+            return 0;
+        }
+        self.stats.removals += drained as u64;
+        drained
     }
 
     fn flush(&mut self) {
@@ -440,6 +511,73 @@ mod tests {
         h.flush();
         holder.join().unwrap();
         assert_eq!(q.approx_len(), 5);
+    }
+
+    #[test]
+    fn batch_delete_flushes_the_insert_buffer_first() {
+        // A session must observe its own buffered inserts through the batch
+        // path too.
+        let q = queue(4, 1.0);
+        let mut h = q.register_with(HandlePolicy::default().with_insert_batch(64));
+        h.insert(1, 10);
+        h.insert(2, 20);
+        assert_eq!(q.approx_len(), 0, "buffered inserts are private");
+        let got: Vec<(u64, u64)> = h.delete_min_batch(8).collect();
+        assert!(!got.is_empty());
+        assert!(got.contains(&(1, 10)) || got.contains(&(2, 20)));
+    }
+
+    #[test]
+    fn batch_delete_logs_every_removal_when_instrumented() {
+        let q = queue(4, 1.0);
+        let mut h = q.register_with(HandlePolicy::instrumented());
+        for k in 0..100u64 {
+            h.insert(k, k);
+        }
+        let mut removed = 0usize;
+        let mut out = Vec::new();
+        while h.delete_min_batch_into(7, &mut out) > 0 {
+            removed = out.len();
+        }
+        assert_eq!(removed, 100);
+        let log = h.take_log();
+        assert_eq!(log.len(), 100);
+        // One coherent timestamp per removal, in removal order.
+        assert!(log.windows(2).all(|w| w[0].timestamp < w[1].timestamp));
+        // Logged keys match the popped keys in order.
+        assert!(log
+            .iter()
+            .zip(out.iter())
+            .all(|(entry, (key, _))| entry.key == *key));
+    }
+
+    #[test]
+    fn batch_delete_updates_stats_like_single_deletes() {
+        let q = queue(4, 1.0);
+        let mut h = q.register();
+        for k in 0..10u64 {
+            h.insert(k, k);
+        }
+        let mut out = Vec::new();
+        let mut removed = 0u64;
+        loop {
+            let n = h.delete_min_batch_into(4, &mut out) as u64;
+            if n == 0 {
+                break;
+            }
+            removed += n;
+        }
+        assert_eq!(removed, 10);
+        let stats = h.stats();
+        assert_eq!(stats.inserts, 10);
+        assert_eq!(stats.removals, 10);
+        assert_eq!(
+            stats.failed_removals, 1,
+            "the final empty batch counts once"
+        );
+        // A zero-sized batch is a no-op, not a failed removal.
+        assert_eq!(h.delete_min_batch_into(0, &mut out), 0);
+        assert_eq!(h.stats().failed_removals, 1);
     }
 
     #[test]

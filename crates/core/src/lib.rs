@@ -6,18 +6,23 @@
 //!
 //! * **insert** picks a queue uniformly at random, acquires its lock (retrying
 //!   on a fresh random queue if the lock is contended) and pushes;
-//! * **deleteMin**, with probability `β`, samples two queues, peeks at both
-//!   tops, locks the queue holding the smaller (higher-priority) key and pops
-//!   it; with probability `1 − β` it pops from a single random queue. If the
-//!   lock cannot be acquired the whole operation restarts, exactly as in the
-//!   MultiQueue of Rihani, Sanders and Dementiev that the paper builds on.
+//! * **deleteMin** samples lanes according to the configured [`ChoiceRule`] —
+//!   two uniform lanes for the classic rule, one-or-two for the paper's
+//!   (1 + β) rule, or any `d ≥ 1` distinct lanes for the generalised
+//!   `d`-choice — peeks at the sampled tops, locks the lane holding the
+//!   smallest (highest-priority) key and pops it. If the lock cannot be
+//!   acquired the whole operation restarts, exactly as in the MultiQueue of
+//!   Rihani, Sanders and Dementiev that the paper builds on. The batched form
+//!   ([`MqHandle::delete_min_batch`]) drains up to `n` elements under that
+//!   single lane lock.
 //!
 //! The queue is *relaxed*: `delete_min` may return an element that is not the
 //! global minimum. The paper proves that in the sequential model the expected
 //! rank of the returned element is `O(n/β²)` and the expected maximum rank is
 //! `O((n/β)(log n + log 1/β))`, independent of the execution length; the
-//! companion `choice-process` crate reproduces those bounds and the
-//! `choice-bench` crate measures the concurrent structure directly.
+//! companion `choice-process` crate reproduces those bounds — driven by the
+//! *same* [`ChoiceRule`] value this crate executes — and the `choice-bench`
+//! crate measures the concurrent structure directly.
 //!
 //! # The session API
 //!
@@ -53,7 +58,7 @@ pub mod traits;
 
 #[allow(deprecated)]
 pub use compat::{ConcurrentPriorityQueue, LegacyPq};
-pub use config::MultiQueueConfig;
+pub use config::{ChoiceRule, MultiQueueConfig};
 pub use flat::{FlatHandle, FlatOps};
 pub use handle::{HandlePolicy, MqHandle};
 pub use queue::MultiQueue;

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crossbeam_utils::CachePadded;
 use parking_lot::Mutex;
 
+use rank_stats::inversion::TimestampedRemoval;
 use rank_stats::rng::{RandomSource, SplitMix64, Xoshiro256};
 use seq_pq::{BinaryHeap, SequentialPriorityQueue};
 
@@ -51,7 +52,24 @@ impl<V> Lane<V> {
 /// lookups.
 ///
 /// See the [crate-level documentation](crate) for the algorithm; see
-/// [`MultiQueueConfig`] for sizing and the β parameter.
+/// [`MultiQueueConfig`] for sizing and the choice rule (β / d).
+///
+/// # Example
+///
+/// ```
+/// use choice_pq::{MultiQueue, MultiQueueConfig, PqHandle, SharedPq};
+///
+/// // Four lanes, 4-choice deleteMin, batched removals.
+/// let queue = MultiQueue::<&'static str>::new(MultiQueueConfig::with_queues(4).with_d(4));
+/// let mut session = queue.register();
+/// session.insert(2, "b");
+/// session.insert(1, "a");
+/// session.insert(3, "c");
+/// // Drain a batch of up to 8 under a single lane lock.
+/// let batch: Vec<_> = session.delete_min_batch(8).collect();
+/// assert!(!batch.is_empty());
+/// assert!(queue.approx_len() < 3);
+/// ```
 #[derive(Debug)]
 pub struct MultiQueue<V> {
     lanes: Vec<CachePadded<Lane<V>>>,
@@ -232,69 +250,106 @@ impl<V> MultiQueue<V> {
         self.len.fetch_add(count, Ordering::Relaxed);
     }
 
-    /// Picks the victim lane for one deleteMin attempt following the (1 + β)
-    /// rule, using only the cached tops.
-    fn choose_victim(&self, rng: &mut Xoshiro256) -> Option<usize> {
+    /// Picks the victim lane for one deleteMin attempt following the
+    /// configured [`ChoiceRule`](crate::ChoiceRule), using only the cached
+    /// tops (no locks are taken, exactly like the original MultiQueue's
+    /// unsynchronised peek). `scratch` is the caller's reusable sample
+    /// buffer.
+    fn choose_victim(&self, rng: &mut Xoshiro256, scratch: &mut Vec<usize>) -> Option<usize> {
         let n = self.lanes.len();
-        let two_choice = n > 1 && rng.next_bool(self.config.beta);
-        if two_choice {
-            let (a, b) = rng.next_two_distinct(n);
-            let ka = self.lanes[a].top.load(Ordering::Relaxed);
-            let kb = self.lanes[b].top.load(Ordering::Relaxed);
-            match (ka == EMPTY_TOP, kb == EMPTY_TOP) {
-                (false, false) => Some(if ka <= kb { a } else { b }),
-                (false, true) => Some(a),
-                (true, false) => Some(b),
-                (true, true) => None,
-            }
-        } else {
-            let q = rng.next_index(n);
-            if self.lanes[q].top.load(Ordering::Relaxed) == EMPTY_TOP {
-                None
-            } else {
-                Some(q)
-            }
-        }
+        self.config.choice.choose_by_key(rng, n, scratch, |lane| {
+            let top = self.lanes[lane].top.load(Ordering::Relaxed);
+            (top != EMPTY_TOP).then_some(top)
+        })
     }
 
-    /// One full deleteMin: repeated (1 + β) attempts, then the deterministic
-    /// sweep fallback so the structure can always be drained.
-    pub(crate) fn delete_min_with(&self, rng: &mut Xoshiro256) -> Option<(Key, V)> {
+    /// The core removal step shared by `delete_min` and `delete_min_batch`:
+    /// repeated choice-rule attempts, then a single lane lock under which up
+    /// to `max` elements are drained (appended to `out`), then the
+    /// deterministic steal fallback so the structure can always be emptied.
+    /// Returns the number of elements drained; every drained element comes
+    /// from one lane, so one lock acquisition and one random choice are
+    /// amortised over the whole batch.
+    ///
+    /// When `log` is set (instrumented sessions), every drained element is
+    /// stamped with a coherent queue timestamp **while the lane lock is
+    /// held**, so the recorded removal order is the order the removals took
+    /// effect — concurrent batches cannot interleave inside each other's
+    /// logs.
+    pub(crate) fn drain_best_with(
+        &self,
+        rng: &mut Xoshiro256,
+        scratch: &mut Vec<usize>,
+        max: usize,
+        out: &mut Vec<(Key, V)>,
+        mut log: Option<&mut Vec<TimestampedRemoval>>,
+    ) -> usize {
+        if max == 0 {
+            return 0;
+        }
         for _ in 0..self.config.max_retries {
             if self.len.load(Ordering::Relaxed) == 0 {
-                return None;
+                return 0;
             }
-            let Some(victim) = self.choose_victim(rng) else {
-                // Both sampled lanes looked empty; retry with fresh samples.
+            let Some(victim) = self.choose_victim(rng, scratch) else {
+                // Every sampled lane looked empty; retry with fresh samples.
                 continue;
             };
             let Some(mut heap) = self.lanes[victim].heap.try_lock() else {
                 // Lock contention: restart the whole operation (paper's rule).
                 continue;
             };
-            match heap.pop() {
-                Some((key, value)) => {
-                    self.lanes[victim].refresh_top(&heap);
-                    self.len.fetch_sub(1, Ordering::Relaxed);
-                    return Some((key, value));
-                }
-                None => {
-                    // The lane was emptied between the peek and the lock.
-                    self.lanes[victim].refresh_top(&heap);
-                    continue;
-                }
+            let drained = self.drain_heap(&mut heap, max, out, log.as_deref_mut());
+            self.lanes[victim].refresh_top(&heap);
+            if drained > 0 {
+                self.len.fetch_sub(drained, Ordering::Relaxed);
+                return drained;
             }
+            // The lane was emptied between the peek and the lock; retry.
         }
-        // Retry budget exhausted: fall back to a deterministic sweep so the
+        // Retry budget exhausted: fall back to a deterministic steal so the
         // structure can always be drained (needed for termination in Dijkstra
         // and in the drain phase of benchmarks).
-        self.sweep_pop()
+        self.steal_best(max, out, log)
     }
 
-    /// Scans all lanes under their locks and pops from the one with the
-    /// globally smallest top. Linear in the lane count; only used as the
-    /// fallback path and by drain-style callers.
-    fn sweep_pop(&self) -> Option<(Key, V)> {
+    /// Pops up to `max` elements off a locked lane heap into `out`,
+    /// timestamping each into `log` when instrumented (the caller holds the
+    /// lane lock, making the stamps coherent with the drain).
+    fn drain_heap(
+        &self,
+        heap: &mut BinaryHeap<V>,
+        max: usize,
+        out: &mut Vec<(Key, V)>,
+        mut log: Option<&mut Vec<TimestampedRemoval>>,
+    ) -> usize {
+        let mut drained = 0;
+        while drained < max {
+            match heap.pop() {
+                Some((key, value)) => {
+                    if let Some(log) = log.as_deref_mut() {
+                        log.push(TimestampedRemoval::new(self.next_timestamp(), key));
+                    }
+                    out.push((key, value));
+                    drained += 1;
+                }
+                None => break,
+            }
+        }
+        drained
+    }
+
+    /// The steal path, symmetric to the sampled drain: scans all lanes and
+    /// drains up to `max` elements from the one with the globally smallest
+    /// top (falling through to the other lanes if it empties under foot).
+    /// Linear in the lane count; only used when the sampled lanes keep coming
+    /// up empty or contended.
+    fn steal_best(
+        &self,
+        max: usize,
+        out: &mut Vec<(Key, V)>,
+        mut log: Option<&mut Vec<TimestampedRemoval>>,
+    ) -> usize {
         // First pass without locks to find a candidate ordering cheaply.
         let mut best: Option<(Key, usize)> = None;
         for (i, lane) in self.lanes.iter().enumerate() {
@@ -312,13 +367,14 @@ impl<V> MultiQueue<V> {
         };
         for i in order {
             let mut heap = self.lanes[i].heap.lock();
-            if let Some((key, value)) = heap.pop() {
+            let drained = self.drain_heap(&mut heap, max, out, log.as_deref_mut());
+            if drained > 0 {
                 self.lanes[i].refresh_top(&heap);
-                self.len.fetch_sub(1, Ordering::Relaxed);
-                return Some((key, value));
+                self.len.fetch_sub(drained, Ordering::Relaxed);
+                return drained;
             }
         }
-        None
+        0
     }
 }
 

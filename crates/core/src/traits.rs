@@ -117,6 +117,38 @@ pub trait PqHandle<V>: Send {
     /// emptiness test should quiesce first.
     fn delete_min(&mut self) -> Option<(Key, V)>;
 
+    /// Removes up to `max` small-keyed entries in one batched operation,
+    /// appending them to `out` and returning how many were appended.
+    ///
+    /// The default implementation loops [`delete_min`](PqHandle::delete_min)
+    /// `max` times, which is correct for every queue; implementations with a
+    /// cheaper bulk path (the MultiQueue drains one lane under a single lock)
+    /// override it. A batch may legitimately return fewer than `max` entries
+    /// while the structure is non-empty — batching trades exhaustiveness for
+    /// amortised synchronisation — but a non-empty structure always yields at
+    /// least one entry.
+    ///
+    /// Statistics: a batch that returns `0` entries counts as one failed
+    /// removal in [`stats`](PqHandle::stats). Because the default
+    /// implementation detects the end of a partial batch by a `delete_min`
+    /// that comes back empty, it *also* records one failed removal when a
+    /// non-empty batch stops early at an exhausted structure; bulk overrides
+    /// (the MultiQueue) stop at the lane boundary instead and record none.
+    /// Compare failed-removal counts across queue types accordingly.
+    ///
+    /// `out` is caller-owned and only appended to, so callers can reuse one
+    /// buffer across calls.
+    fn delete_min_batch_into(&mut self, max: usize, out: &mut Vec<(Key, V)>) -> usize {
+        let before = out.len();
+        for _ in 0..max {
+            match self.delete_min() {
+                Some(entry) => out.push(entry),
+                None => break,
+            }
+        }
+        out.len() - before
+    }
+
     /// Publishes any privately buffered elements to the shared structure.
     ///
     /// A no-op for handles without batch buffers (the default).
@@ -139,6 +171,9 @@ impl<V, H: PqHandle<V> + ?Sized> PqHandle<V> for Box<H> {
     }
     fn delete_min(&mut self) -> Option<(Key, V)> {
         (**self).delete_min()
+    }
+    fn delete_min_batch_into(&mut self, max: usize, out: &mut Vec<(Key, V)>) -> usize {
+        (**self).delete_min_batch_into(max, out)
     }
     fn flush(&mut self) {
         (**self).flush();
@@ -171,6 +206,19 @@ pub trait SharedPq<V>: Send + Sync {
     /// Registration is cheap (an atomic id allocation plus RNG seeding where
     /// applicable) but not free; callers should register once per worker, not
     /// once per operation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use choice_pq::{MultiQueue, MultiQueueConfig, PqHandle, SharedPq};
+    ///
+    /// let queue = MultiQueue::<u32>::new(MultiQueueConfig::for_threads(2));
+    /// // One session per logical worker; all operations go through it.
+    /// let mut session = queue.register();
+    /// session.insert(7, 70);
+    /// assert_eq!(session.delete_min(), Some((7, 70)));
+    /// assert_eq!(session.stats().removals, 1);
+    /// ```
     fn register(&self) -> Self::Handle<'_>;
 
     /// An approximate element count (exact when the structure is quiescent).
@@ -332,6 +380,25 @@ mod tests {
     }
 
     #[test]
+    fn default_batch_impl_loops_delete_min() {
+        let q = Locked::new();
+        let mut h = q.register();
+        for k in [4u64, 2, 9, 1] {
+            h.insert(k, k * 10);
+        }
+        let mut out = Vec::new();
+        // The default implementation keeps popping across the whole structure.
+        assert_eq!(h.delete_min_batch_into(3, &mut out), 3);
+        assert_eq!(out, vec![(1, 10), (2, 20), (4, 40)]);
+        // Reuses the same buffer, appending.
+        assert_eq!(h.delete_min_batch_into(8, &mut out), 1);
+        assert_eq!(out.len(), 4);
+        assert_eq!(h.stats().removals, 4);
+        // Batch of zero touches nothing.
+        assert_eq!(h.delete_min_batch_into(0, &mut out), 0);
+    }
+
+    #[test]
     fn two_handles_share_one_queue() {
         let q = Locked::new();
         let mut a = q.register();
@@ -376,7 +443,11 @@ mod tests {
         h.insert(9, 90);
         h.flush();
         assert_eq!(h.delete_min(), Some((9, 90)));
-        assert_eq!(h.stats().inserts, 1);
+        h.insert(3, 30);
+        let mut out = Vec::new();
+        assert_eq!(h.delete_min_batch_into(4, &mut out), 1);
+        assert_eq!(out, vec![(3, 30)]);
+        assert_eq!(h.stats().inserts, 2);
         assert!(h.take_log().is_empty());
     }
 

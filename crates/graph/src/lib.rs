@@ -8,12 +8,12 @@
 //!
 //! This crate provides:
 //!
-//! * [`Graph`](graph::Graph) — a compact CSR (compressed sparse row) weighted
+//! * [`Graph`] — a compact CSR (compressed sparse row) weighted
 //!   directed graph;
 //! * [`generators`] — synthetic road-network-like graphs (grid and random
 //!   geometric graphs) plus Erdős–Rényi graphs, substituting for the paper's
 //!   proprietary road data (see `DESIGN.md`);
-//! * [`dijkstra`] — a sequential reference Dijkstra (binary heap and bucket
+//! * [`dijkstra`](fn@dijkstra) — a sequential reference Dijkstra (binary heap and bucket
 //!   queue variants) and a Bellman–Ford cross-check;
 //! * [`parallel`] — parallel SSSP over any [`SharedPq`](choice_pq::SharedPq)
 //!   (each worker registers its own session handle), with re-relaxation on

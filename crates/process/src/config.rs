@@ -8,50 +8,26 @@
 //! * the insertion bias: queue `i` is chosen with probability `π_i`, where
 //!   `1 − γ ≤ 1/(n·π_i) ≤ 1 + γ` for a constant `γ ∈ (0, 1)`.
 //!
-//! [`ProcessConfig`] is a builder capturing all three plus the RNG seed.
+//! [`ProcessConfig`] is a builder capturing all three plus the RNG seed. The
+//! removal rule is the workspace-wide [`ChoiceRule`] — the *same* type the
+//! concurrent `choice_pq::MultiQueue` is configured with — so a scenario's
+//! theory run and its real-queue run are parameterised by one value. Beyond
+//! the paper's three rules, [`ChoiceRule::DChoice`] generalises removals to
+//! the best of any `d ≥ 1` sampled queues.
 
 use rank_stats::rng::{RandomSource, SplitMix64};
 
-/// How removals choose their victim queue.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum RemovalRule {
-    /// Always remove from a single uniformly random queue (`β = 0`); this is
-    /// the divergent process of Theorem 6.
-    SingleChoice,
-    /// Always compare two uniformly random queues and remove the smaller top
-    /// label (`β = 1`); the plain MultiQueue rule.
-    TwoChoice,
-    /// With probability `β` act like [`RemovalRule::TwoChoice`], otherwise
-    /// like [`RemovalRule::SingleChoice`] — the paper's (1 + β) process.
-    OnePlusBeta(f64),
-}
+pub use rank_stats::choice::ChoiceRule;
 
-impl RemovalRule {
-    /// The effective two-choice probability `β` of this rule.
-    pub fn beta(&self) -> f64 {
-        match self {
-            RemovalRule::SingleChoice => 0.0,
-            RemovalRule::TwoChoice => 1.0,
-            RemovalRule::OnePlusBeta(beta) => *beta,
-        }
-    }
-
-    /// Builds the rule corresponding to a β value, normalising the endpoints.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `beta` is outside `[0, 1]`.
-    pub fn from_beta(beta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
-        if beta == 0.0 {
-            RemovalRule::SingleChoice
-        } else if beta == 1.0 {
-            RemovalRule::TwoChoice
-        } else {
-            RemovalRule::OnePlusBeta(beta)
-        }
-    }
-}
+/// The former process-local removal-rule enum; `ChoiceRule` carries the same
+/// variants (`SingleChoice`, `TwoChoice`, `OnePlusBeta`) plus the general
+/// `DChoice(d)`.
+#[deprecated(
+    since = "0.3.0",
+    note = "use rank_stats::choice::ChoiceRule (re-exported as \
+            choice_process::ChoiceRule), which the concurrent queue shares"
+)]
+pub type RemovalRule = ChoiceRule;
 
 /// The insertion distribution over queues.
 #[derive(Clone, Debug, PartialEq)]
@@ -136,8 +112,9 @@ fn normalise(weights: &[f64]) -> Vec<f64> {
 pub struct ProcessConfig {
     /// Number of queues `n`.
     pub queues: usize,
-    /// Removal rule (β).
-    pub removal: RemovalRule,
+    /// Removal rule: which queues a removal samples (β / d). Shared with the
+    /// concurrent queue (`choice_pq::MultiQueueConfig::choice`).
+    pub choice: ChoiceRule,
     /// Insertion distribution.
     pub bias: BiasSpec,
     /// RNG seed; every run with the same config is identical.
@@ -155,25 +132,39 @@ impl ProcessConfig {
         assert!(queues > 0, "need at least one queue");
         Self {
             queues,
-            removal: RemovalRule::TwoChoice,
+            choice: ChoiceRule::TwoChoice,
             bias: BiasSpec::Uniform,
             seed: 0xC0FF_EE00,
         }
     }
 
-    /// Sets the two-choice probability β.
+    /// Sets the two-choice probability β (endpoints normalised to the
+    /// single-/two-choice rules).
     ///
     /// # Panics
     ///
     /// Panics if `beta` is outside `[0, 1]`.
-    pub fn with_beta(mut self, beta: f64) -> Self {
-        self.removal = RemovalRule::from_beta(beta);
-        self
+    pub fn with_beta(self, beta: f64) -> Self {
+        self.with_choice(ChoiceRule::from_beta(beta))
+    }
+
+    /// Sets a uniform `d`-choice removal rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn with_d(self, d: usize) -> Self {
+        self.with_choice(ChoiceRule::uniform(d))
     }
 
     /// Sets the removal rule directly.
-    pub fn with_removal(mut self, rule: RemovalRule) -> Self {
-        self.removal = rule;
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule is invalid (see [`ChoiceRule::validate`]).
+    pub fn with_choice(mut self, choice: ChoiceRule) -> Self {
+        choice.validate();
+        self.choice = choice;
         self
     }
 
@@ -200,9 +191,9 @@ impl ProcessConfig {
         self.bias.probabilities(self.queues, self.seed)
     }
 
-    /// The effective β of this configuration.
+    /// The effective β of this configuration (see [`ChoiceRule::beta`]).
     pub fn beta(&self) -> f64 {
-        self.removal.beta()
+        self.choice.beta()
     }
 }
 
@@ -211,19 +202,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn removal_rule_beta_roundtrip() {
-        assert_eq!(RemovalRule::from_beta(0.0), RemovalRule::SingleChoice);
-        assert_eq!(RemovalRule::from_beta(1.0), RemovalRule::TwoChoice);
-        assert_eq!(RemovalRule::from_beta(0.5), RemovalRule::OnePlusBeta(0.5));
-        assert_eq!(RemovalRule::SingleChoice.beta(), 0.0);
-        assert_eq!(RemovalRule::TwoChoice.beta(), 1.0);
-        assert_eq!(RemovalRule::OnePlusBeta(0.25).beta(), 0.25);
+    fn choice_rule_beta_roundtrip() {
+        assert_eq!(ChoiceRule::from_beta(0.0), ChoiceRule::SingleChoice);
+        assert_eq!(ChoiceRule::from_beta(1.0), ChoiceRule::TwoChoice);
+        assert_eq!(ChoiceRule::from_beta(0.5), ChoiceRule::OnePlusBeta(0.5));
+        assert_eq!(ChoiceRule::SingleChoice.beta(), 0.0);
+        assert_eq!(ChoiceRule::TwoChoice.beta(), 1.0);
+        assert_eq!(ChoiceRule::OnePlusBeta(0.25).beta(), 0.25);
     }
 
     #[test]
     #[should_panic(expected = "beta must be in [0, 1]")]
     fn invalid_beta_panics() {
-        let _ = RemovalRule::from_beta(1.2);
+        let _ = ChoiceRule::from_beta(1.2);
+    }
+
+    #[test]
+    fn d_choice_config_builder() {
+        let cfg = ProcessConfig::new(8).with_d(4);
+        assert_eq!(cfg.choice, ChoiceRule::DChoice(4));
+        assert_eq!(cfg.beta(), 1.0);
+        assert_eq!(ProcessConfig::new(8).with_d(1).beta(), 0.0);
     }
 
     #[test]

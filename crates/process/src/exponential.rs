@@ -19,7 +19,7 @@
 
 use rank_stats::rng::{RandomSource, Xoshiro256};
 
-use crate::config::{ProcessConfig, RemovalRule};
+use crate::config::ProcessConfig;
 
 /// Lazy exponential process tracking only the top label of each bin.
 #[derive(Clone, Debug)]
@@ -30,6 +30,8 @@ pub struct ExponentialTopProcess {
     tops: Vec<f64>,
     rng: Xoshiro256,
     steps: u64,
+    /// Reusable sample buffer for the choice rule.
+    scratch: Vec<usize>,
 }
 
 impl ExponentialTopProcess {
@@ -48,6 +50,7 @@ impl ExponentialTopProcess {
             tops,
             rng,
             steps: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -71,24 +74,18 @@ impl ExponentialTopProcess {
         &self.probabilities
     }
 
-    /// Performs one (1 + β) removal step: the chosen bin's top label advances
-    /// by an `Exp(1/π_i)` increment. Returns the index of the chosen bin.
+    /// Performs one removal step under the configured choice rule: the chosen
+    /// bin's top label advances by an `Exp(1/π_i)` increment. Returns the
+    /// index of the chosen bin.
     pub fn step(&mut self) -> usize {
+        let rule = self.config.choice;
         let n = self.tops.len();
-        let two_choice = match self.config.removal {
-            RemovalRule::SingleChoice => false,
-            RemovalRule::TwoChoice => true,
-            RemovalRule::OnePlusBeta(beta) => self.rng.next_bool(beta),
-        };
-        let chosen = if !two_choice || n == 1 {
-            self.rng.next_index(n)
-        } else {
-            let (a, b) = self.rng.next_two_distinct(n);
-            if self.tops[a] <= self.tops[b] {
-                a
-            } else {
-                b
-            }
+        let chosen = {
+            let Self {
+                tops, rng, scratch, ..
+            } = self;
+            rule.choose_by_key(rng, n, scratch, |bin| Some(tops[bin]))
+                .expect("every bin always has a top label")
         };
         let mean = 1.0 / self.probabilities[chosen];
         self.tops[chosen] += self.rng.next_exponential(mean);
@@ -263,6 +260,24 @@ mod tests {
         assert!(
             spread_two < 20.0 * (n as f64) * (n as f64).ln(),
             "two-choice spread {spread_two} is not O(n log n)-ish"
+        );
+    }
+
+    #[test]
+    fn d_choice_tightens_the_top_spread() {
+        // More samples per step push harder towards the minimum top, so the
+        // spread shrinks monotonically in d.
+        let n = 32;
+        let steps = 100_000;
+        let mut two = ExponentialTopProcess::new(ProcessConfig::new(n).with_d(2).with_seed(7));
+        let mut eight = ExponentialTopProcess::new(ProcessConfig::new(n).with_d(8).with_seed(7));
+        two.run(steps);
+        eight.run(steps);
+        assert!(
+            eight.top_spread() < two.top_spread(),
+            "8-choice spread {} should beat two-choice spread {}",
+            eight.top_spread(),
+            two.top_spread()
         );
     }
 

@@ -16,7 +16,7 @@
 //!   *independent of how long the process runs* ([`sequential`]).
 //! * **Theorem 6** — the single-choice process (`β = 0`) diverges: its rank
 //!   cost grows as `Ω(√(t·n·log n))` ([`sequential`] with
-//!   [`RemovalRule::SingleChoice`](config::RemovalRule)).
+//!   [`ChoiceRule::SingleChoice`](config::ChoiceRule)).
 //! * **Theorem 2** — the rank distribution of the labelled process equals that
 //!   of an *exponential process* with real-valued labels ([`exponential`],
 //!   checked statistically in [`coupling`]).
@@ -24,6 +24,14 @@
 //!   process stays `O(n)` in expectation ([`potential`]).
 //! * **Appendix A** — under round-robin insertion the process reduces exactly
 //!   to a classic two-choice balls-into-bins process ([`round_robin`]).
+//!
+//! Every process is parameterised by the workspace-wide
+//! [`ChoiceRule`] — the same type that
+//! configures the concurrent `choice_pq::MultiQueue` — so a theory prediction
+//! and the matching real-queue experiment are driven by one rule value. In
+//! addition to the paper's single-/two-/(1 + β)-choice rules this admits the
+//! general `d`-choice rule (`ChoiceRule::DChoice(d)`), whose couplings the
+//! processes here share with the queue.
 //!
 //! # Example
 //!
@@ -50,7 +58,9 @@ pub mod potential;
 pub mod round_robin;
 pub mod sequential;
 
-pub use config::{BiasSpec, ProcessConfig, RemovalRule};
+#[allow(deprecated)]
+pub use config::RemovalRule;
+pub use config::{BiasSpec, ChoiceRule, ProcessConfig};
 pub use coupling::{distance_to_theory, rank_occupancy_distance, RankOccupancy};
 pub use exponential::{ExponentialInsertion, ExponentialTopProcess};
 pub use metrics::{RankCostSummary, RankTimeSeries};

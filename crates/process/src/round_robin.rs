@@ -14,12 +14,12 @@
 use std::collections::VecDeque;
 
 use rank_stats::order::OrderStatisticsSet;
-use rank_stats::rng::{RandomSource, Xoshiro256};
+use rank_stats::rng::Xoshiro256;
 
 use balls_bins::process::load_stats;
 use balls_bins::LoadStats;
 
-use crate::config::RemovalRule;
+use crate::config::ChoiceRule;
 use crate::metrics::{RankCostAccumulator, RankCostSummary};
 
 /// The labelled process under round-robin insertion, with its virtual-bin
@@ -30,26 +30,30 @@ pub struct RoundRobinProcess {
     present: OrderStatisticsSet,
     /// Virtual bin loads: removals per queue (the Appendix A reduction).
     removal_counts: Vec<u64>,
-    removal: RemovalRule,
+    choice: ChoiceRule,
     next_label: u64,
     rng: Xoshiro256,
+    /// Reusable sample buffer for the choice rule.
+    scratch: Vec<usize>,
 }
 
 impl RoundRobinProcess {
-    /// Creates the process with `queues` queues and the given removal rule.
+    /// Creates the process with `queues` queues and the given choice rule.
     ///
     /// # Panics
     ///
-    /// Panics if `queues == 0`.
-    pub fn new(queues: usize, removal: RemovalRule, seed: u64) -> Self {
+    /// Panics if `queues == 0` or the rule is invalid.
+    pub fn new(queues: usize, choice: ChoiceRule, seed: u64) -> Self {
         assert!(queues > 0, "need at least one queue");
+        choice.validate();
         Self {
             queues: vec![VecDeque::new(); queues],
             present: OrderStatisticsSet::with_capacity(1024),
             removal_counts: vec![0; queues],
-            removal,
+            choice,
             next_label: 0,
             rng: Xoshiro256::seeded(seed),
+            scratch: Vec::new(),
         }
     }
 
@@ -89,46 +93,38 @@ impl RoundRobinProcess {
     ///
     /// The key invariant of the Appendix A reduction — under round-robin
     /// insertion, "smaller top label" and "fewer removals so far" coincide —
-    /// is asserted in debug builds on every two-choice comparison.
+    /// is asserted in debug builds on every multi-sample comparison (it holds
+    /// for any `d`, not just the paper's two-choice case).
     pub fn remove(&mut self) -> Option<(usize, u64, u64)> {
+        let rule = self.choice;
         let n = self.queues.len();
-        let two_choice = match self.removal {
-            RemovalRule::SingleChoice => false,
-            RemovalRule::TwoChoice => true,
-            RemovalRule::OnePlusBeta(beta) => self.rng.next_bool(beta),
+        let chosen = {
+            let Self {
+                queues,
+                rng,
+                scratch,
+                ..
+            } = self;
+            rule.choose_by_key(rng, n, scratch, |q| queues[q].front().copied())?
         };
-        let chosen = if !two_choice || n == 1 {
-            let q = self.rng.next_index(n);
-            if self.queues[q].is_empty() {
-                return None;
-            }
-            q
-        } else {
-            let (a, b) = self.rng.next_two_distinct(n);
-            match (self.queues[a].front(), self.queues[b].front()) {
-                (Some(&la), Some(&lb)) => {
-                    let by_label = if la <= lb { a } else { b };
-                    // The reduction: comparing top labels is the same as
-                    // comparing virtual-bin loads (ties by label agree because
-                    // ties by load are broken by queue index = label order).
-                    let by_load = if (self.removal_counts[a], a) <= (self.removal_counts[b], b) {
-                        a
-                    } else {
-                        b
-                    };
-                    debug_assert_eq!(
-                        by_label,
-                        by_load,
-                        "round-robin reduction violated: labels ({la},{lb}), loads {:?}",
-                        (self.removal_counts[a], self.removal_counts[b])
-                    );
-                    by_label
-                }
-                (Some(_), None) => a,
-                (None, Some(_)) => b,
-                (None, None) => return None,
-            }
-        };
+        // The reduction: among the sampled non-empty queues, "smallest top
+        // label" and "fewest removals so far" (ties broken by queue index =
+        // label order) select the same queue.
+        #[cfg(debug_assertions)]
+        {
+            let by_load = self
+                .scratch
+                .iter()
+                .copied()
+                .filter(|&q| !self.queues[q].is_empty())
+                .min_by_key(|&q| (self.removal_counts[q], q))
+                .expect("a non-empty queue was chosen");
+            debug_assert_eq!(
+                chosen, by_load,
+                "round-robin reduction violated: sample {:?}, loads {:?}",
+                self.scratch, self.removal_counts
+            );
+        }
         let label = self.queues[chosen].pop_front().expect("non-empty");
         let rank = self
             .present
@@ -156,7 +152,7 @@ mod tests {
 
     #[test]
     fn round_robin_prefill_is_balanced() {
-        let mut p = RoundRobinProcess::new(8, RemovalRule::TwoChoice, 1);
+        let mut p = RoundRobinProcess::new(8, ChoiceRule::TwoChoice, 1);
         p.prefill(800);
         assert_eq!(p.total_present(), 800);
         // Every queue holds exactly 100 labels.
@@ -168,7 +164,7 @@ mod tests {
     fn reduction_invariant_holds_over_a_long_run() {
         // The debug_assert inside remove() checks the label/load equivalence
         // on every two-choice step; run enough steps to exercise it heavily.
-        let mut p = RoundRobinProcess::new(16, RemovalRule::TwoChoice, 7);
+        let mut p = RoundRobinProcess::new(16, ChoiceRule::TwoChoice, 7);
         p.prefill(16 * 2_000);
         let summary = p.run_removals(16_000);
         assert!(summary.removals > 15_000);
@@ -181,7 +177,7 @@ mod tests {
     fn two_choice_virtual_gap_is_tiny() {
         // Classic two-choice heavily-loaded bound: gap = O(log log n).
         let n = 32;
-        let mut p = RoundRobinProcess::new(n, RemovalRule::TwoChoice, 3);
+        let mut p = RoundRobinProcess::new(n, ChoiceRule::TwoChoice, 3);
         p.prefill(n as u64 * 5_000);
         p.run_removals(n as u64 * 3_000);
         let gap = p.virtual_bin_stats().gap_above_mean;
@@ -194,7 +190,7 @@ mod tests {
     #[test]
     fn single_choice_virtual_gap_is_large() {
         let n = 32;
-        let mut p = RoundRobinProcess::new(n, RemovalRule::SingleChoice, 3);
+        let mut p = RoundRobinProcess::new(n, ChoiceRule::SingleChoice, 3);
         p.prefill(n as u64 * 5_000);
         p.run_removals(n as u64 * 3_000);
         let gap = p.virtual_bin_stats().gap_above_mean;
@@ -207,7 +203,7 @@ mod tests {
     #[test]
     fn round_robin_two_choice_rank_is_order_n() {
         let n = 16;
-        let mut p = RoundRobinProcess::new(n, RemovalRule::TwoChoice, 9);
+        let mut p = RoundRobinProcess::new(n, ChoiceRule::TwoChoice, 9);
         p.prefill(n as u64 * 3_000);
         let summary = p.run_removals(n as u64 * 1_500);
         assert!(
@@ -219,7 +215,7 @@ mod tests {
 
     #[test]
     fn empty_process_returns_none() {
-        let mut p = RoundRobinProcess::new(4, RemovalRule::TwoChoice, 0);
+        let mut p = RoundRobinProcess::new(4, ChoiceRule::TwoChoice, 0);
         assert_eq!(p.remove(), None);
         assert_eq!(p.run_removals(5).removals, 0);
     }

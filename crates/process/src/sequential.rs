@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use rank_stats::order::OrderStatisticsSet;
 use rank_stats::rng::{RandomSource, Xoshiro256};
 
-use crate::config::{ProcessConfig, RemovalRule};
+use crate::config::ProcessConfig;
 use crate::metrics::{RankCostAccumulator, RankCostSummary, RankTimeSeries};
 
 /// One removal event of the sequential process.
@@ -47,6 +47,8 @@ pub struct SequentialProcess {
     next_label: u64,
     removals: u64,
     rng: Xoshiro256,
+    /// Reusable sample buffer for the choice rule.
+    scratch: Vec<usize>,
 }
 
 impl SequentialProcess {
@@ -70,6 +72,7 @@ impl SequentialProcess {
             cumulative,
             config,
             rng,
+            scratch: Vec::new(),
         }
     }
 
@@ -134,30 +137,19 @@ impl SequentialProcess {
     }
 
     /// Decides which queue the next removal should take from, following the
-    /// (1 + β) rule. Sampled empty queues fall through to the other sample;
-    /// returns `None` only when the sampled queues are all empty.
+    /// configured choice rule (single-, two-, `d`-, or (1 + β)-choice).
+    /// Sampled empty queues fall through to the other samples; returns `None`
+    /// only when the sampled queues are all empty.
     fn choose_removal_queue(&mut self) -> Option<usize> {
+        let rule = self.config.choice;
         let n = self.queues.len();
-        let two_choice = match self.config.removal {
-            RemovalRule::SingleChoice => false,
-            RemovalRule::TwoChoice => true,
-            RemovalRule::OnePlusBeta(beta) => self.rng.next_bool(beta),
-        };
-        if !two_choice || n == 1 {
-            let q = self.rng.next_index(n);
-            return if self.queues[q].is_empty() {
-                None
-            } else {
-                Some(q)
-            };
-        }
-        let (a, b) = self.rng.next_two_distinct(n);
-        match (self.queues[a].front(), self.queues[b].front()) {
-            (Some(&la), Some(&lb)) => Some(if la <= lb { a } else { b }),
-            (Some(_), None) => Some(a),
-            (None, Some(_)) => Some(b),
-            (None, None) => None,
-        }
+        let Self {
+            queues,
+            rng,
+            scratch,
+            ..
+        } = self;
+        rule.choose_by_key(rng, n, scratch, |q| queues[q].front().copied())
     }
 
     /// Performs one removal. Returns `None` if the sampled queues were empty
@@ -410,6 +402,25 @@ mod tests {
             r_10 < r_05 && r_05 < r_02,
             "mean rank should increase as beta decreases: {r_10}, {r_05}, {r_02}"
         );
+    }
+
+    #[test]
+    fn larger_d_means_smaller_rank() {
+        // The d-choice generalisation: more samples per removal find better
+        // tops, monotonically. d = n inspects every queue, so it always takes
+        // the global minimum (the smallest label overall sits on top of its
+        // queue): rank exactly 1.
+        let n = 8;
+        let run = |d: usize| {
+            let mut p = SequentialProcess::new(ProcessConfig::new(n).with_d(d).with_seed(5));
+            p.run_alternating(30_000, (n as u64) * 500).mean_rank
+        };
+        let (r1, r2, r4, r8) = (run(1), run(2), run(4), run(8));
+        assert!(
+            r1 > r2 && r2 > r4 && r4 > r8,
+            "mean rank should shrink with d: {r1}, {r2}, {r4}, {r8}"
+        );
+        assert_eq!(r8, 1.0, "d = n always removes the global minimum");
     }
 
     #[test]

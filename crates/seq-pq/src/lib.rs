@@ -5,15 +5,15 @@
 //! d-ary heaps). This crate provides several interchangeable sequential
 //! implementations behind the [`SequentialPriorityQueue`] trait:
 //!
-//! * [`BinaryHeap`](binary_heap::BinaryHeap) — an array-backed binary min-heap;
+//! * [`BinaryHeap`] — an array-backed binary min-heap;
 //!   the default lane used by the concurrent MultiQueue.
-//! * [`PairingHeap`](pairing_heap::PairingHeap) — a pointer-based pairing heap
+//! * [`PairingHeap`] — a pointer-based pairing heap
 //!   with `O(1)` insert and amortised `O(log n)` pop; useful when the workload
 //!   is insert-heavy.
-//! * [`SkipListPq`](skiplist::SkipListPq) — a randomized skiplist keeping all
+//! * [`SkipListPq`] — a randomized skiplist keeping all
 //!   elements in sorted order, mirroring the structure used by skiplist-based
 //!   concurrent priority queues such as Linden–Jonsson.
-//! * [`BucketQueue`](bucket_queue::BucketQueue) — a monotone bucket queue for
+//! * [`BucketQueue`] — a monotone bucket queue for
 //!   bounded integer priorities, the classic structure for Dijkstra with small
 //!   edge weights.
 //!

@@ -1,0 +1,455 @@
+//! The shared sampling rule behind every "power of choice" component.
+//!
+//! The paper's analysis, the balls-into-bins substrates, and the concurrent
+//! MultiQueue all revolve around the same primitive: *sample a few lanes
+//! uniformly at random and act on the best one*. [`ChoiceRule`] is the single
+//! description of that primitive, shared by
+//!
+//! * the concurrent queue (`choice_pq::MultiQueueConfig::choice`),
+//! * the theory processes (`choice_process::ProcessConfig::choice`), and
+//! * the balls-into-bins allocators (`balls_bins::AllocationProcess`),
+//!
+//! so a scenario can be simulated, analysed, and executed against the real
+//! structure with *one* rule value — theory predictions and measurements are
+//! guaranteed to describe the same sampling distribution.
+//!
+//! Two entry points matter to consumers:
+//!
+//! * [`ChoiceRule::sample_into`] fills a reusable scratch vector with the
+//!   sampled lane indices (distinct, uniform), and
+//! * [`ChoiceRule::choose_by_key`] additionally resolves the sample to the
+//!   lane with the smallest key, which is the whole deleteMin victim-selection
+//!   step of the MultiQueue and of the sequential processes.
+//!
+//! # Determinism
+//!
+//! For a fixed rule the RNG consumption pattern is fixed: `SingleChoice` and
+//! `DChoice(1)` draw one index, `DChoice(2)` draws via
+//! [`RandomSource::next_two_distinct`], and `OnePlusBeta(β)` with `β ∈ (0, 1)`
+//! draws one Bernoulli then one or two indices. For `n > 1` lanes these are
+//! exactly the draws the pre-`ChoiceRule` implementations made, so
+//! replay-deterministic traces are preserved (asserted by
+//! `tests/choice_semantics.rs` in the workspace root). The degenerate
+//! single-lane case is the one divergence: multi-sample rules short-circuit
+//! to "every lane" without consuming randomness where the old code drew (and
+//! discarded) an index, so `n == 1` traces captured before the refactor do
+//! not replay — with one lane every rule picks lane 0 regardless, only the
+//! downstream stream position differs.
+//!
+//! # Example
+//!
+//! ```
+//! use rank_stats::choice::ChoiceRule;
+//! use rank_stats::rng::Xoshiro256;
+//!
+//! let rule = ChoiceRule::DChoice(4);
+//! let mut rng = Xoshiro256::seeded(7);
+//! let mut scratch = Vec::new();
+//! // Keys of 8 lanes; lane 6 holds the smallest key among most samples.
+//! let keys = [9u64, 8, 7, 6, 5, 4, 1, 2];
+//! let victim = rule
+//!     .choose_by_key(&mut rng, keys.len(), &mut scratch, |lane| Some(keys[lane]))
+//!     .expect("every lane has a key");
+//! assert!(victim < keys.len());
+//! // The winner is the best of the 4 sampled lanes, so it beats at least
+//! // half of the field on average; with this seed it finds the global best.
+//! assert_eq!(victim, 6);
+//! ```
+
+use crate::rng::RandomSource;
+
+/// How a removal (or allocation) step samples its candidate lanes.
+///
+/// `SingleChoice`, `DChoice(2)` and `OnePlusBeta(β)` are the rules the paper
+/// analyses; `DChoice(d)` for `d > 2` generalises the two-choice rule to any
+/// number of samples (the classic `d`-choice of the balls-into-bins
+/// literature). See the crate-level docs of `choice_process` for which rank
+/// guarantees each rule carries.
+///
+/// # Example
+///
+/// ```
+/// use rank_stats::choice::ChoiceRule;
+///
+/// // The three families, and the β view that unifies them.
+/// assert_eq!(ChoiceRule::from_beta(1.0), ChoiceRule::TwoChoice);
+/// assert_eq!(ChoiceRule::SingleChoice.beta(), 0.0);
+/// assert_eq!(ChoiceRule::DChoice(8).max_samples(), 8);
+/// assert_eq!(ChoiceRule::OnePlusBeta(0.75).label(), "beta=0.75");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChoiceRule {
+    /// One uniformly random lane (the divergent single-choice process; the
+    /// degenerate `d = 1`).
+    SingleChoice,
+    /// The best of `d` distinct uniformly random lanes (classic `d`-choice;
+    /// `d = 2` is the plain MultiQueue rule).
+    DChoice(usize),
+    /// With probability `β` the best of two random lanes, a single random
+    /// lane otherwise — the (1 + β) rule of the paper.
+    OnePlusBeta(f64),
+}
+
+/// Shorthand so `ChoiceRule::TwoChoice` reads like the literature.
+#[allow(non_upper_case_globals)]
+impl ChoiceRule {
+    /// The two-choice rule (`DChoice(2)`).
+    pub const TwoChoice: ChoiceRule = ChoiceRule::DChoice(2);
+}
+
+impl ChoiceRule {
+    /// The classic two-choice rule (`DChoice(2)`).
+    pub const fn two_choice() -> Self {
+        ChoiceRule::DChoice(2)
+    }
+
+    /// The `d`-choice rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn uniform(d: usize) -> Self {
+        assert!(d > 0, "d must be positive");
+        ChoiceRule::DChoice(d)
+    }
+
+    /// Builds the rule corresponding to a two-choice probability `beta`,
+    /// normalising the endpoints (`0` → [`ChoiceRule::SingleChoice`], `1` →
+    /// [`ChoiceRule::TwoChoice`]); the endpoint representations draw the same
+    /// RNG stream as their `OnePlusBeta` spellings, so the normalisation is
+    /// observationally invisible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 1]`.
+    pub fn from_beta(beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        if beta == 0.0 {
+            ChoiceRule::SingleChoice
+        } else if beta == 1.0 {
+            ChoiceRule::TwoChoice
+        } else {
+            ChoiceRule::OnePlusBeta(beta)
+        }
+    }
+
+    /// The effective two-choice probability `β` of this rule: the probability
+    /// that a step compares at least two lanes. (`DChoice(d)` with `d ≥ 2`
+    /// always does, so its β is 1.)
+    pub fn beta(&self) -> f64 {
+        match self {
+            ChoiceRule::SingleChoice | ChoiceRule::DChoice(1) => 0.0,
+            ChoiceRule::DChoice(_) => 1.0,
+            ChoiceRule::OnePlusBeta(beta) => *beta,
+        }
+    }
+
+    /// The largest number of lanes one step may sample.
+    pub fn max_samples(&self) -> usize {
+        match self {
+            ChoiceRule::SingleChoice => 1,
+            ChoiceRule::DChoice(d) => *d,
+            ChoiceRule::OnePlusBeta(_) => 2,
+        }
+    }
+
+    /// Checks the rule's parameters, panicking on invalid ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `DChoice(d)` rule has `d == 0` or an `OnePlusBeta(beta)`
+    /// rule has `beta` outside `[0, 1]`.
+    pub fn validate(&self) {
+        match self {
+            ChoiceRule::SingleChoice => {}
+            ChoiceRule::DChoice(d) => assert!(*d > 0, "d must be positive"),
+            ChoiceRule::OnePlusBeta(beta) => assert!(
+                (0.0..=1.0).contains(beta),
+                "beta must be in [0, 1], got {beta}"
+            ),
+        }
+    }
+
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> String {
+        match self {
+            ChoiceRule::SingleChoice => "single-choice".to_string(),
+            ChoiceRule::DChoice(d) => format!("{d}-choice"),
+            ChoiceRule::OnePlusBeta(beta) => format!("(1+{beta})-choice"),
+        }
+    }
+
+    /// Compact label used in configuration strings and table rows, e.g.
+    /// `"d=4"` or `"beta=0.75"`.
+    pub fn label(&self) -> String {
+        match self {
+            ChoiceRule::SingleChoice => "d=1".to_string(),
+            ChoiceRule::DChoice(d) => format!("d={d}"),
+            ChoiceRule::OnePlusBeta(beta) => format!("beta={beta}"),
+        }
+    }
+
+    /// Samples this step's candidate lanes out of `0..n` into `out`
+    /// (cleared first). The sampled indices are distinct and uniform; when the
+    /// rule asks for more samples than there are lanes, every lane is
+    /// returned (without consuming randomness).
+    ///
+    /// `out` is caller-owned so hot paths can reuse one allocation across
+    /// calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or if the rule itself is invalid (see
+    /// [`ChoiceRule::validate`]).
+    pub fn sample_into<R: RandomSource + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        out: &mut Vec<usize>,
+    ) {
+        assert!(n > 0, "need at least one lane");
+        out.clear();
+        let d = match self {
+            ChoiceRule::SingleChoice => 1,
+            ChoiceRule::DChoice(d) => {
+                assert!(*d > 0, "d must be positive");
+                *d
+            }
+            ChoiceRule::OnePlusBeta(beta) => {
+                assert!(
+                    (0.0..=1.0).contains(beta),
+                    "beta must be in [0, 1], got {beta}"
+                );
+                if rng.next_bool(*beta) {
+                    2
+                } else {
+                    1
+                }
+            }
+        };
+        match d {
+            1 => out.push(rng.next_index(n)),
+            2 if n > 1 => {
+                let (a, b) = rng.next_two_distinct(n);
+                out.push(a);
+                out.push(b);
+            }
+            _ if d >= n => out.extend(0..n),
+            _ => {
+                // Rejection sampling keeps the scratch as the only storage;
+                // the containment scan is O(d) and d ≥ 3 here is small. The
+                // d ≥ n case above bounds the rejection rate.
+                while out.len() < d {
+                    let candidate = rng.next_index(n);
+                    if !out.contains(&candidate) {
+                        out.push(candidate);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one full choice step: samples the candidate lanes and returns the
+    /// one whose key is smallest. Lanes for which `key_of` returns `None`
+    /// (empty lanes) are skipped; returns `None` when every sampled lane is
+    /// empty. Ties keep the earlier sample, matching the two-choice
+    /// implementations this generalises.
+    ///
+    /// `scratch` is the reusable sample buffer of [`ChoiceRule::sample_into`].
+    pub fn choose_by_key<R, K, F>(
+        &self,
+        rng: &mut R,
+        n: usize,
+        scratch: &mut Vec<usize>,
+        mut key_of: F,
+    ) -> Option<usize>
+    where
+        R: RandomSource + ?Sized,
+        K: PartialOrd,
+        F: FnMut(usize) -> Option<K>,
+    {
+        self.sample_into(rng, n, scratch);
+        let mut best: Option<(K, usize)> = None;
+        for &lane in scratch.iter() {
+            if let Some(key) = key_of(lane) {
+                match &best {
+                    Some((best_key, _)) if *best_key <= key => {}
+                    _ => best = Some((key, lane)),
+                }
+            }
+        }
+        best.map(|(_, lane)| lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn beta_roundtrip_and_normalisation() {
+        assert_eq!(ChoiceRule::from_beta(0.0), ChoiceRule::SingleChoice);
+        assert_eq!(ChoiceRule::from_beta(1.0), ChoiceRule::DChoice(2));
+        assert_eq!(ChoiceRule::from_beta(0.5), ChoiceRule::OnePlusBeta(0.5));
+        assert_eq!(ChoiceRule::SingleChoice.beta(), 0.0);
+        assert_eq!(ChoiceRule::DChoice(1).beta(), 0.0);
+        assert_eq!(ChoiceRule::DChoice(8).beta(), 1.0);
+        assert_eq!(ChoiceRule::OnePlusBeta(0.25).beta(), 0.25);
+        assert_eq!(ChoiceRule::TwoChoice, ChoiceRule::two_choice());
+        assert_eq!(ChoiceRule::uniform(3), ChoiceRule::DChoice(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0, 1]")]
+    fn invalid_beta_panics() {
+        let _ = ChoiceRule::from_beta(1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "d must be positive")]
+    fn zero_d_panics() {
+        let _ = ChoiceRule::uniform(0);
+    }
+
+    #[test]
+    fn max_samples_per_rule() {
+        assert_eq!(ChoiceRule::SingleChoice.max_samples(), 1);
+        assert_eq!(ChoiceRule::DChoice(5).max_samples(), 5);
+        assert_eq!(ChoiceRule::OnePlusBeta(0.3).max_samples(), 2);
+    }
+
+    #[test]
+    fn names_and_labels() {
+        assert_eq!(ChoiceRule::SingleChoice.name(), "single-choice");
+        assert_eq!(ChoiceRule::DChoice(4).name(), "4-choice");
+        assert_eq!(ChoiceRule::OnePlusBeta(0.5).name(), "(1+0.5)-choice");
+        assert_eq!(ChoiceRule::SingleChoice.label(), "d=1");
+        assert_eq!(ChoiceRule::DChoice(4).label(), "d=4");
+        assert_eq!(ChoiceRule::OnePlusBeta(0.5).label(), "beta=0.5");
+    }
+
+    #[test]
+    fn samples_are_distinct_and_in_range() {
+        let mut rng = Xoshiro256::seeded(3);
+        let mut out = Vec::new();
+        for d in 1..=10usize {
+            for n in 1..=12usize {
+                ChoiceRule::DChoice(d).sample_into(&mut rng, n, &mut out);
+                assert_eq!(out.len(), d.min(n), "d={d} n={n}");
+                assert!(out.iter().all(|&i| i < n));
+                let mut sorted = out.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), out.len(), "duplicates for d={d} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_plus_beta_samples_one_or_two() {
+        let mut rng = Xoshiro256::seeded(5);
+        let mut out = Vec::new();
+        let mut singles = 0u32;
+        let mut doubles = 0u32;
+        for _ in 0..4_000 {
+            ChoiceRule::OnePlusBeta(0.5).sample_into(&mut rng, 8, &mut out);
+            match out.len() {
+                1 => singles += 1,
+                2 => doubles += 1,
+                other => panic!("unexpected sample count {other}"),
+            }
+        }
+        // β = 0.5: both outcomes around 2000, far from the 4000 extremes.
+        assert!(singles > 1_500 && doubles > 1_500, "{singles}/{doubles}");
+    }
+
+    #[test]
+    fn d_of_one_matches_single_choice_stream() {
+        let mut a = Xoshiro256::seeded(11);
+        let mut b = Xoshiro256::seeded(11);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for _ in 0..500 {
+            ChoiceRule::SingleChoice.sample_into(&mut a, 16, &mut out_a);
+            ChoiceRule::DChoice(1).sample_into(&mut b, 16, &mut out_b);
+            assert_eq!(out_a, out_b);
+        }
+    }
+
+    #[test]
+    fn beta_one_matches_two_choice_stream() {
+        let mut a = Xoshiro256::seeded(13);
+        let mut b = Xoshiro256::seeded(13);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for _ in 0..500 {
+            ChoiceRule::OnePlusBeta(1.0).sample_into(&mut a, 16, &mut out_a);
+            ChoiceRule::TwoChoice.sample_into(&mut b, 16, &mut out_b);
+            assert_eq!(out_a, out_b);
+        }
+    }
+
+    #[test]
+    fn choose_by_key_picks_the_smallest_sampled_key() {
+        let mut rng = Xoshiro256::seeded(17);
+        let mut scratch = Vec::new();
+        let keys = [50u64, 40, 30, 20, 10, 60, 70, 80];
+        // d = n: every lane is examined, so the global minimum must win.
+        let victim = ChoiceRule::DChoice(8)
+            .choose_by_key(&mut rng, 8, &mut scratch, |i| Some(keys[i]))
+            .unwrap();
+        assert_eq!(victim, 4);
+    }
+
+    #[test]
+    fn choose_by_key_skips_empty_lanes() {
+        let mut rng = Xoshiro256::seeded(19);
+        let mut scratch = Vec::new();
+        // Only lane 2 is non-empty; d = n guarantees it is sampled.
+        let victim = ChoiceRule::DChoice(4)
+            .choose_by_key(&mut rng, 4, &mut scratch, |i| (i == 2).then_some(5u64));
+        assert_eq!(victim, Some(2));
+        // All lanes empty → None.
+        let victim =
+            ChoiceRule::DChoice(4).choose_by_key(&mut rng, 4, &mut scratch, |_| None::<u64>);
+        assert_eq!(victim, None);
+    }
+
+    #[test]
+    fn choose_by_key_breaks_ties_towards_the_first_sample() {
+        // All keys equal: the first sampled lane must win, matching the
+        // `ka <= kb` tie-break of the historical two-choice implementations.
+        let mut scratch = Vec::new();
+        for seed in 0..50 {
+            let mut paired = Xoshiro256::seeded(seed);
+            let mut chooser = Xoshiro256::seeded(seed);
+            let (a, _) = paired.next_two_distinct(8);
+            let victim = ChoiceRule::TwoChoice
+                .choose_by_key(&mut chooser, 8, &mut scratch, |_| Some(1u64))
+                .unwrap();
+            assert_eq!(victim, a);
+        }
+    }
+
+    #[test]
+    fn d_larger_than_n_examines_every_lane_without_randomness() {
+        let mut rng = Xoshiro256::seeded(23);
+        let before = rng.clone();
+        let mut out = Vec::new();
+        ChoiceRule::DChoice(64).sample_into(&mut rng, 4, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        // No randomness was consumed.
+        let mut a = rng;
+        let mut b = before;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one lane")]
+    fn zero_lanes_panics() {
+        let mut rng = Xoshiro256::seeded(1);
+        let mut out = Vec::new();
+        ChoiceRule::TwoChoice.sample_into(&mut rng, 0, &mut out);
+    }
+}

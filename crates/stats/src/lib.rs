@@ -3,8 +3,11 @@
 //! This crate contains the small, dependency-free building blocks that every
 //! other crate in the workspace relies on:
 //!
+//! * [`choice`] — the shared [`ChoiceRule`] sampling rule
+//!   (single-choice, `d`-choice, (1 + β)) used identically by the concurrent
+//!   MultiQueue, the theory processes and the balls-into-bins allocators.
 //! * [`rng`] — deterministic, fast pseudo-random number generators
-//!   ([`SplitMix64`](rng::SplitMix64) and [`Xoshiro256`](rng::Xoshiro256)) used on
+//!   ([`SplitMix64`] and [`Xoshiro256`]) used on
 //!   the hot paths of the MultiQueue and of the simulated processes. Using our
 //!   own PRNGs keeps every experiment exactly reproducible from a seed.
 //! * [`fenwick`] — a Fenwick (binary indexed) tree used for *exact* rank
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod choice;
 pub mod fenwick;
 pub mod histogram;
 pub mod inversion;
@@ -47,6 +51,7 @@ pub mod rng;
 pub mod summary;
 pub mod timing;
 
+pub use choice::ChoiceRule;
 pub use fenwick::FenwickTree;
 pub use histogram::{ExactHistogram, LogHistogram};
 pub use inversion::{InversionCounter, TimestampedRemoval};

@@ -3,7 +3,7 @@
 //! The sequential process inserts labels `0..M` and repeatedly asks: "what is
 //! the rank of label `x` among the labels still present?" and "which label is
 //! currently the `k`-th smallest?". [`OrderStatisticsSet`] answers both in
-//! `O(log M)` using a [`FenwickTree`](crate::fenwick::FenwickTree), and grows
+//! `O(log M)` using a [`FenwickTree`], and grows
 //! its universe on demand so callers never need to pre-declare `M`.
 
 use crate::fenwick::FenwickTree;

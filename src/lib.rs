@@ -69,8 +69,7 @@ pub mod prelude {
         SharedPq,
     };
     pub use choice_process::{
-        BiasSpec, ExponentialTopProcess, ProcessConfig, RankCostSummary, RemovalRule,
-        SequentialProcess,
+        BiasSpec, ExponentialTopProcess, ProcessConfig, RankCostSummary, SequentialProcess,
     };
     pub use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
     pub use rank_stats::inversion::InversionCounter;

@@ -1,0 +1,238 @@
+//! Semantics of the configurable choice rule and of batched deletion.
+//!
+//! Three families of guarantees, all named by the PR that introduced
+//! `ChoiceRule`:
+//!
+//! 1. **d = 1 degenerates to uniform single-lane sampling** — `DChoice(1)`
+//!    is stream-identical to `SingleChoice`, and its victim lanes are
+//!    uniformly distributed.
+//! 2. **d = 2 reproduces the pre-`ChoiceRule` replay traces** — the golden
+//!    traces below were captured from the engine *before* victim selection
+//!    was routed through `ChoiceRule`; the default two-choice configuration
+//!    must keep replaying them bit-for-bit.
+//! 3. **`delete_min_batch(1)` is observationally identical to
+//!    `delete_min`** — same elements, same order, same statistics.
+
+use power_of_choice::multiqueue::ChoiceRule;
+use power_of_choice::prelude::*;
+use proptest::prelude::*;
+
+fn queue_with(choice: ChoiceRule, lanes: usize, seed: u64) -> MultiQueue<u64> {
+    MultiQueue::new(
+        MultiQueueConfig::with_queues(lanes)
+            .with_choice(choice)
+            .with_seed(seed),
+    )
+}
+
+/// Inserts a fixed scrambled key sequence and drains, returning popped keys.
+fn scripted_trace(q: &MultiQueue<u64>, inserts: u64) -> Vec<u64> {
+    let mut h = q.register();
+    for k in 0..inserts {
+        h.insert(k * 7 % inserts, k);
+    }
+    let mut out = Vec::new();
+    while let Some((k, _)) = h.delete_min() {
+        out.push(k);
+    }
+    out
+}
+
+/// Golden trace captured from the pre-`ChoiceRule` engine (flat β = 1
+/// two-choice, 8 lanes, seed 42, 32 scrambled inserts): the refactored
+/// engine must replay it exactly.
+#[test]
+fn two_choice_reproduces_the_pre_choicerule_golden_trace() {
+    let golden = [
+        0u64, 11, 3, 2, 5, 7, 6, 9, 13, 10, 1, 24, 8, 18, 4, 12, 27, 16, 17, 21, 14, 30, 29, 15,
+        23, 20, 26, 31, 19, 22, 25, 28,
+    ];
+    let q = queue_with(ChoiceRule::TwoChoice, 8, 42);
+    assert_eq!(scripted_trace(&q, 32), golden);
+    // with_beta(1.0) normalises to the same rule and the same trace.
+    let q = MultiQueue::<u64>::new(
+        MultiQueueConfig::with_queues(8)
+            .with_beta(1.0)
+            .with_seed(42),
+    );
+    assert_eq!(scripted_trace(&q, 32), golden);
+}
+
+/// Same capture for the (1 + β) rule (β = 0.75, 4 lanes, seed 7).
+#[test]
+fn one_plus_beta_reproduces_the_pre_choicerule_golden_trace() {
+    let golden = [
+        1u64, 7, 0, 3, 6, 8, 2, 9, 13, 10, 12, 15, 4, 14, 16, 19, 29, 18, 5, 22, 24, 31, 25, 27,
+        11, 17, 26, 20, 21, 30, 23, 28,
+    ];
+    let q = queue_with(ChoiceRule::OnePlusBeta(0.75), 4, 7);
+    assert_eq!(scripted_trace(&q, 32), golden);
+}
+
+/// d = 1 victim lanes are uniform: run the sequential process (which records
+/// the victim queue of every removal) and check no queue is over- or
+/// under-sampled beyond loose binomial slack.
+#[test]
+fn d1_single_lane_sampling_is_uniform() {
+    let n = 8usize;
+    let removals = 40_000u64;
+    let mut p = SequentialProcess::new(ProcessConfig::new(n).with_d(1).with_seed(99));
+    p.prefill(removals + 10_000);
+    let mut counts = vec![0u64; n];
+    for _ in 0..removals {
+        if let Some(r) = p.remove() {
+            counts[r.queue] += 1;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    let mean = total as f64 / n as f64;
+    for (queue, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64 - mean).abs() < 0.1 * mean,
+            "queue {queue} sampled {c} times, mean {mean}: not uniform"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `DChoice(1)` and `SingleChoice` are the same process: identical
+    /// removal streams on the concurrent queue for any seed and lane count.
+    #[test]
+    fn prop_d1_degenerates_to_single_choice(lanes in 1usize..10, seed in 0u64..500, ops in 1u64..300) {
+        let qa = queue_with(ChoiceRule::DChoice(1), lanes, seed);
+        let qb = queue_with(ChoiceRule::SingleChoice, lanes, seed);
+        let mut ha = qa.register();
+        let mut hb = qb.register();
+        for k in 0..ops {
+            ha.insert(k, k);
+            hb.insert(k, k);
+        }
+        for _ in 0..=ops {
+            prop_assert_eq!(ha.delete_min(), hb.delete_min());
+        }
+    }
+
+    /// `OnePlusBeta(1.0)` and the normalised `TwoChoice` draw the same
+    /// stream, so `with_beta(1.0)` configurations replay against explicit
+    /// d = 2 ones.
+    #[test]
+    fn prop_beta_one_equals_two_choice(lanes in 1usize..10, seed in 0u64..500, ops in 1u64..300) {
+        let qa = queue_with(ChoiceRule::OnePlusBeta(1.0), lanes, seed);
+        let qb = queue_with(ChoiceRule::DChoice(2), lanes, seed);
+        let mut ha = qa.register();
+        let mut hb = qb.register();
+        for k in 0..ops {
+            ha.insert(k * 13 % ops, k);
+            hb.insert(k * 13 % ops, k);
+        }
+        for _ in 0..=ops {
+            prop_assert_eq!(ha.delete_min(), hb.delete_min());
+        }
+    }
+
+    /// `delete_min_batch(1)` is observationally identical to `delete_min`:
+    /// same elements in the same order under an interleaved insert/remove
+    /// schedule, and the same session statistics.
+    #[test]
+    fn prop_batch_of_one_is_delete_min(
+        lanes in 1usize..10,
+        seed in 0u64..500,
+        d in 1usize..5,
+        rounds in 1u64..60,
+    ) {
+        let qa = queue_with(ChoiceRule::DChoice(d), lanes, seed);
+        let qb = queue_with(ChoiceRule::DChoice(d), lanes, seed);
+        let mut ha = qa.register();
+        let mut hb = qb.register();
+        for round in 0..rounds {
+            for j in 0..3u64 {
+                let key = (round * 31 + j * 7) % 97;
+                ha.insert(key, round);
+                hb.insert(key, round);
+            }
+            let single = ha.delete_min();
+            let batched: Vec<(u64, u64)> = hb.delete_min_batch(1).collect();
+            prop_assert_eq!(single.map(|e| vec![e]).unwrap_or_default(), batched);
+        }
+        // Drain both to the end through the two paths.
+        loop {
+            let single = ha.delete_min();
+            let batched: Vec<(u64, u64)> = hb.delete_min_batch(1).collect();
+            prop_assert_eq!(single.map(|e| vec![e]).unwrap_or_default(), batched.clone());
+            if batched.is_empty() {
+                break;
+            }
+        }
+        prop_assert_eq!(ha.stats(), hb.stats());
+    }
+
+    /// Batched deletion conserves elements: interleaved batch inserts and
+    /// batch removals of arbitrary sizes return every key exactly once.
+    #[test]
+    fn prop_batched_drain_conserves_elements(
+        lanes in 1usize..10,
+        seed in 0u64..500,
+        d in 1usize..5,
+        batch in 1usize..20,
+        count in 1u64..400,
+    ) {
+        let q = queue_with(ChoiceRule::DChoice(d), lanes, seed);
+        let mut h = q.register();
+        for k in 0..count {
+            h.insert(k, k);
+        }
+        let mut seen = Vec::new();
+        let mut failures = 0;
+        while seen.len() < count as usize {
+            let got: Vec<u64> = h.delete_min_batch(batch).map(|(k, _)| k).collect();
+            // Within one batch keys come off one lane heap: ascending order.
+            prop_assert!(got.windows(2).all(|w| w[0] <= w[1]));
+            if got.is_empty() {
+                failures += 1;
+                prop_assert!(failures < 3, "non-empty queue failed to yield a batch");
+            }
+            seen.extend(got);
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..count).collect::<Vec<_>>());
+        prop_assert!(q.is_empty());
+    }
+}
+
+/// The steal path: when the sampled lanes miss the only occupied lane and the
+/// retry budget is tiny, a batch must still come back via the deterministic
+/// steal scan.
+#[test]
+fn batch_steal_path_finds_the_lone_occupied_lane() {
+    for seed in 0..20u64 {
+        let q = MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(16)
+                .with_d(1)
+                .with_seed(seed)
+                .with_max_retries(1),
+        );
+        let mut h = q.register();
+        h.insert(5, 50);
+        let got: Vec<(u64, u64)> = h.delete_min_batch(4).collect();
+        assert_eq!(got, vec![(5, 50)], "seed {seed}");
+        assert!(q.is_empty());
+    }
+}
+
+/// A d ≥ n rule inspects every lane, so sequential removals are exact even
+/// across many lanes.
+#[test]
+fn d_at_least_n_is_an_exact_sequential_queue() {
+    let q = queue_with(ChoiceRule::DChoice(16), 8, 3);
+    let mut h = q.register();
+    for k in [9u64, 4, 7, 1, 8, 2, 6, 3, 5, 0] {
+        h.insert(k, k);
+    }
+    let mut out = Vec::new();
+    while let Some((k, _)) = h.delete_min() {
+        out.push(k);
+    }
+    assert_eq!(out, (0..10u64).collect::<Vec<_>>());
+}

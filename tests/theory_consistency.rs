@@ -4,7 +4,6 @@
 
 use power_of_choice::balls_bins::{ChoiceRule, LongLivedProcess};
 use power_of_choice::prelude::*;
-use power_of_choice::process::config::RemovalRule;
 use power_of_choice::process::coupling::distance_to_theory;
 use power_of_choice::process::{rank_occupancy_distance, RankOccupancy, RoundRobinProcess};
 
@@ -33,7 +32,7 @@ fn round_robin_reduction_matches_balls_into_bins() {
     let n = 32;
     let steps = n as u64 * 2_000;
 
-    let mut labelled = RoundRobinProcess::new(n, RemovalRule::TwoChoice, 13);
+    let mut labelled = RoundRobinProcess::new(n, ChoiceRule::TwoChoice, 13);
     labelled.prefill(steps + n as u64 * 100);
     labelled.run_removals(steps);
     let labelled_gap = labelled.virtual_bin_stats().gap_above_mean;
