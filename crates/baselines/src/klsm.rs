@@ -208,7 +208,10 @@ impl<V: Send> PqHandle<V> for KLsmHandle<'_, V> {
         if result.is_some() {
             self.stats.removals += 1;
         } else {
+            // `delete_min_at` ends with an exhaustive locked steal scan over
+            // every slot, so `None` is a quiescent-empty observation.
             self.stats.failed_removals += 1;
+            self.stats.empty_polls += 1;
         }
         result
     }

@@ -21,6 +21,6 @@ pub mod workloads;
 pub use queues::{build_queue, QueueSpec};
 pub use report::{print_header, print_row, print_section};
 pub use workloads::{
-    d_sweep_workload, rank_quality_workload, sssp_workload, throughput_workload, DSweepResult,
-    RankQualityResult, ThroughputResult,
+    d_sweep_workload, rank_quality_workload, scheduler_workload, sssp_workload,
+    throughput_workload, DSweepResult, RankQualityResult, ThroughputResult,
 };

@@ -1,9 +1,12 @@
-//! The three concurrent workloads of the paper's evaluation section.
+//! The concurrent workloads of the paper's evaluation section, plus the
+//! scheduler-level workload of the `choice-sched` subsystem.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use choice_pq::{DynSharedPq, HandlePolicy, MultiQueue, MultiQueueConfig, PqHandle, SharedPq};
+use choice_sched::traffic::TrafficTask;
+use choice_sched::{run_scenario, ScenarioReport, SchedulerConfig, TrafficSpec};
 use rank_stats::inversion::InversionCounter;
 use rank_stats::rng::{RandomSource, Xoshiro256};
 use rank_stats::timing::OpsTimer;
@@ -251,6 +254,30 @@ pub fn d_sweep_workload(
     }
 }
 
+/// The scheduler workload behind `t8_scheduler`: one open-loop traffic
+/// scenario executed by a [`choice_sched::Scheduler`] worker pool over the
+/// given (type-erased) queue.
+///
+/// `workers` worker threads drain the queue with per-poll batches of
+/// `delete_batch` while the traffic engine injects `spec.tasks` tasks
+/// following the spec's arrival process, concurrently and open-loop (the
+/// injector never waits for the scheduler). The report carries end-to-end
+/// throughput (tasks/second over the whole run), per-class lateness
+/// distributions, deadline-inversion statistics, and the per-worker queue
+/// counters (`empty_polls` / `contended_retries`).
+///
+/// This is the first workload where queue quality surfaces as an
+/// *application* metric — lateness — rather than rank.
+pub fn scheduler_workload(
+    queue: Arc<dyn DynSharedPq<TrafficTask>>,
+    workers: usize,
+    delete_batch: usize,
+    spec: &TrafficSpec,
+) -> ScenarioReport {
+    let config = SchedulerConfig::new(workers).with_delete_batch(delete_batch);
+    run_scenario(&*queue, config, spec)
+}
+
 /// The Figure 3 workload: parallel SSSP from node 0 over the given queue.
 /// Returns `(seconds, stale_fraction)`.
 pub fn sssp_workload(
@@ -333,6 +360,28 @@ mod tests {
             wide.rank.mean_rank,
             narrow.rank.mean_rank
         );
+    }
+
+    #[test]
+    fn scheduler_workload_executes_every_injected_task() {
+        use choice_sched::{ArrivalPattern, TrafficClass};
+        use std::time::Duration;
+        let spec = TrafficSpec {
+            pattern: ArrivalPattern::Steady { rate: 500_000.0 },
+            classes: vec![
+                TrafficClass::new("interactive", 3.0, Duration::from_micros(500), 16),
+                TrafficClass::new("batch", 1.0, Duration::from_millis(20), 64),
+            ],
+            tasks: 2_000,
+            seed: 5,
+        };
+        for queue_spec in [QueueSpec::multiqueue_d(2), QueueSpec::CoarseHeap] {
+            let q = build_queue::<TrafficTask>(queue_spec, 2, 7);
+            let report = scheduler_workload(q, 2, 4, &spec);
+            assert_eq!(report.sched.executed, 2_000, "{}", report.label);
+            assert_eq!(report.lateness.executed(), 2_000);
+            assert!(report.sched.tasks_per_second > 0.0);
+        }
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl<V, Q: FlatOps<V> + ?Sized> PqHandle<V> for FlatHandle<'_, Q, V> {
         if result.is_some() {
             self.stats.removals += 1;
         } else {
+            // Flat structures synchronise every operation, so a `None` is an
+            // authoritative emptiness observation, never a lost race.
             self.stats.failed_removals += 1;
+            self.stats.empty_polls += 1;
         }
         result
     }

@@ -258,17 +258,23 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
             self.flush();
         }
         debug_assert!(self.pops.is_empty(), "pop buffer leaked between ops");
-        self.queue.drain_best_with(
+        let outcome = self.queue.drain_best_with(
             &mut self.rng,
             &mut self.scratch,
             1,
             &mut self.pops,
             self.policy.instrument.then_some(&mut self.log),
         );
+        self.stats.contended_retries += outcome.contended_retries;
         let result = self.pops.pop();
         match &result {
             Some(_) => self.stats.removals += 1,
-            None => self.stats.failed_removals += 1,
+            None => {
+                self.stats.failed_removals += 1;
+                if outcome.observed_empty {
+                    self.stats.empty_polls += 1;
+                }
+            }
         }
         result
     }
@@ -280,19 +286,23 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
         if !self.buffer.is_empty() {
             self.flush();
         }
-        let drained = self.queue.drain_best_with(
+        let outcome = self.queue.drain_best_with(
             &mut self.rng,
             &mut self.scratch,
             max,
             out,
             self.policy.instrument.then_some(&mut self.log),
         );
-        if drained == 0 {
+        self.stats.contended_retries += outcome.contended_retries;
+        if outcome.drained == 0 {
             self.stats.failed_removals += 1;
+            if outcome.observed_empty {
+                self.stats.empty_polls += 1;
+            }
             return 0;
         }
-        self.stats.removals += drained as u64;
-        drained
+        self.stats.removals += outcome.drained as u64;
+        outcome.drained
     }
 
     fn flush(&mut self) {
@@ -589,6 +599,69 @@ mod tests {
         // The buffered element must be visible to this session's removal.
         assert_eq!(h.delete_min(), Some((1, 10)));
         assert_eq!(h.delete_min(), None);
+    }
+
+    #[test]
+    fn empty_polls_count_quiescent_empty_observations() {
+        let q = queue(4, 1.0);
+        let mut h = q.register();
+        // Empty queue: every failed removal is an empty poll, no retries.
+        assert_eq!(h.delete_min(), None);
+        let mut out = Vec::new();
+        assert_eq!(h.delete_min_batch_into(8, &mut out), 0);
+        let stats = h.stats();
+        assert_eq!(stats.failed_removals, 2);
+        assert_eq!(stats.empty_polls, 2);
+        assert_eq!(stats.contended_retries, 0);
+        // A zero-sized batch is a no-op: neither a failure nor an empty poll.
+        assert_eq!(h.delete_min_batch_into(0, &mut out), 0);
+        assert_eq!(h.stats().empty_polls, 2);
+        // Successful removals never count as empty polls.
+        h.insert(1, 1);
+        assert_eq!(h.delete_min(), Some((1, 1)));
+        assert_eq!(h.stats().empty_polls, 2);
+        assert_eq!(h.stats().failed_removals, 2);
+    }
+
+    #[test]
+    fn contended_retries_count_lost_races_not_emptiness() {
+        // One lane, held hostage for a while: the delete must burn its retry
+        // budget (counted), then succeed through the blocking steal path —
+        // and the failure mode must NOT be reported as emptiness.
+        let q = std::sync::Arc::new(MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(1)
+                .with_seed(3)
+                .with_max_retries(8),
+        ));
+        {
+            let mut h = q.register();
+            h.insert(5, 50);
+        }
+        let q2 = std::sync::Arc::clone(&q);
+        let holder = std::thread::spawn(move || {
+            q2.with_lane_locked(0, || {
+                std::thread::sleep(std::time::Duration::from_millis(80));
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut h = q.register();
+        assert_eq!(h.delete_min(), Some((5, 50)));
+        holder.join().unwrap();
+        let stats = h.stats();
+        assert_eq!(stats.removals, 1);
+        assert_eq!(stats.empty_polls, 0);
+        assert!(
+            stats.contended_retries >= 1,
+            "the held lane must be visible as contended retries: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn register_policy_honours_the_policy_on_the_multiqueue() {
+        use crate::traits::SharedPq;
+        let q = queue(4, 1.0);
+        let h = q.register_policy(HandlePolicy::default().with_insert_batch(16));
+        assert_eq!(h.policy().insert_batch, 16);
     }
 
     #[test]

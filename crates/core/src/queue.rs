@@ -18,6 +18,32 @@ use crate::traits::{Key, SharedPq};
 /// insert time.
 const EMPTY_TOP: u64 = u64::MAX;
 
+/// What one [`MultiQueue::drain_best_with`] call did, beyond the drained
+/// elements themselves: the retry accounting the handle layer turns into
+/// [`HandleStats`](crate::HandleStats) counters.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DrainOutcome {
+    /// Number of elements appended to the caller's buffer.
+    pub drained: usize,
+    /// Retry-loop iterations lost to contention or peek/lock races.
+    pub contended_retries: u64,
+    /// Whether a zero-element result came from a quiescent-empty observation
+    /// (`len` read as zero, or the locked steal scan found every lane empty)
+    /// rather than from `max == 0`.
+    pub observed_empty: bool,
+}
+
+impl DrainOutcome {
+    /// The `max == 0` no-op outcome.
+    fn nothing() -> Self {
+        Self {
+            drained: 0,
+            contended_retries: 0,
+            observed_empty: false,
+        }
+    }
+}
+
 /// One internal lane: a locked sequential heap plus a lock-free hint of its
 /// current top key (used by `delete_min` to compare two lanes without taking
 /// either lock, exactly like the original MultiQueue's unsynchronised peek).
@@ -267,9 +293,17 @@ impl<V> MultiQueue<V> {
     /// repeated choice-rule attempts, then a single lane lock under which up
     /// to `max` elements are drained (appended to `out`), then the
     /// deterministic steal fallback so the structure can always be emptied.
-    /// Returns the number of elements drained; every drained element comes
-    /// from one lane, so one lock acquisition and one random choice are
-    /// amortised over the whole batch.
+    /// Every drained element comes from one lane, so one lock acquisition and
+    /// one random choice are amortised over the whole batch.
+    ///
+    /// The returned [`DrainOutcome`] carries, besides the drain count, the
+    /// retry accounting the handle layer folds into
+    /// [`HandleStats`](crate::HandleStats): how many retry-loop iterations
+    /// were lost to contention or peek/lock races, and whether a zero-element
+    /// result came from a *quiescent-empty observation* (the element count
+    /// read as zero, or the exhaustive locked steal scan found nothing) —
+    /// the distinction schedulers need between "no work exists" and "work
+    /// exists but this attempt lost races".
     ///
     /// When `log` is set (instrumented sessions), every drained element is
     /// stamped with a coherent queue timestamp **while the lane lock is
@@ -283,34 +317,55 @@ impl<V> MultiQueue<V> {
         max: usize,
         out: &mut Vec<(Key, V)>,
         mut log: Option<&mut Vec<TimestampedRemoval>>,
-    ) -> usize {
+    ) -> DrainOutcome {
         if max == 0 {
-            return 0;
+            return DrainOutcome::nothing();
         }
+        let mut contended_retries = 0u64;
         for _ in 0..self.config.max_retries {
             if self.len.load(Ordering::Relaxed) == 0 {
-                return 0;
+                return DrainOutcome {
+                    drained: 0,
+                    contended_retries,
+                    observed_empty: true,
+                };
             }
             let Some(victim) = self.choose_victim(rng, scratch) else {
-                // Every sampled lane looked empty; retry with fresh samples.
+                // Every sampled top looked empty while the structure was not:
+                // the elements live in unsampled lanes. Retry with fresh
+                // samples.
+                contended_retries += 1;
                 continue;
             };
             let Some(mut heap) = self.lanes[victim].heap.try_lock() else {
                 // Lock contention: restart the whole operation (paper's rule).
+                contended_retries += 1;
                 continue;
             };
             let drained = self.drain_heap(&mut heap, max, out, log.as_deref_mut());
             self.lanes[victim].refresh_top(&heap);
             if drained > 0 {
                 self.len.fetch_sub(drained, Ordering::Relaxed);
-                return drained;
+                return DrainOutcome {
+                    drained,
+                    contended_retries,
+                    observed_empty: false,
+                };
             }
             // The lane was emptied between the peek and the lock; retry.
+            contended_retries += 1;
         }
         // Retry budget exhausted: fall back to a deterministic steal so the
         // structure can always be drained (needed for termination in Dijkstra
         // and in the drain phase of benchmarks).
-        self.steal_best(max, out, log)
+        let drained = self.steal_best(max, out, log);
+        DrainOutcome {
+            drained,
+            contended_retries,
+            // The steal scan locked every lane and found nothing: that is an
+            // exhaustive (momentarily linearizable) emptiness observation.
+            observed_empty: drained == 0,
+        }
     }
 
     /// Pops up to `max` elements off a locked lane heap into `out`,
@@ -386,6 +441,10 @@ impl<V: Send> SharedPq<V> for MultiQueue<V> {
 
     fn register(&self) -> MqHandle<'_, V> {
         self.register_with(HandlePolicy::default())
+    }
+
+    fn register_policy(&self, policy: HandlePolicy) -> MqHandle<'_, V> {
+        self.register_with(policy)
     }
 
     fn approx_len(&self) -> usize {

@@ -74,10 +74,25 @@ pub struct HandleStats {
     /// Number of `delete_min` calls that found the structure (apparently)
     /// empty.
     pub failed_removals: u64,
+    /// Subset of [`failed_removals`](HandleStats::failed_removals) where the
+    /// structure was observed **quiescently empty** — the element count read
+    /// as zero, or an exhaustive locked scan found nothing — as opposed to a
+    /// removal lost to contention races. Schedulers use this to tell "no work
+    /// exists right now" (back off, consult termination) apart from "work
+    /// exists but this session lost races" (retry immediately), which
+    /// [`contended_retries`](HandleStats::contended_retries) accounts.
+    pub empty_polls: u64,
+    /// Internal retry-loop iterations lost to contention or peek/lock races
+    /// (a sampled lane's lock was held, every sampled top looked empty while
+    /// the structure was not, or a lane emptied between the unsynchronised
+    /// peek and the lock). Always `0` for exact centralized structures, which
+    /// block instead of retrying. Retries are *not* operations and do not
+    /// count towards [`operations`](HandleStats::operations).
+    pub contended_retries: u64,
 }
 
 impl HandleStats {
-    /// Total operations issued through the handle.
+    /// Total operations issued through the handle (retries excluded).
     pub fn operations(&self) -> u64 {
         self.inserts + self.removals + self.failed_removals
     }
@@ -221,6 +236,21 @@ pub trait SharedPq<V>: Send + Sync {
     /// ```
     fn register(&self) -> Self::Handle<'_>;
 
+    /// Opens a new session with an explicit per-session [`HandlePolicy`].
+    ///
+    /// The policy knobs (sticky lanes, insert batching, instrumentation) are
+    /// MultiQueue refinements; structures without the corresponding machinery
+    /// accept any policy and ignore the knobs that do not apply, so generic
+    /// consumers (the scheduler, the bench harness) can plumb one policy
+    /// through every backend. The default implementation ignores the policy
+    /// entirely; the MultiQueue overrides it to honour all knobs.
+    ///
+    /// [`HandlePolicy`]: crate::handle::HandlePolicy
+    fn register_policy(&self, policy: crate::handle::HandlePolicy) -> Self::Handle<'_> {
+        let _ = policy;
+        self.register()
+    }
+
     /// An approximate element count (exact when the structure is quiescent).
     ///
     /// Elements sitting in unflushed handle buffers are *not* counted.
@@ -246,6 +276,14 @@ pub trait DynSharedPq<V: 'static>: Send + Sync {
     /// Opens a new boxed session on this queue.
     fn register_dyn(&self) -> Box<dyn PqHandle<V> + '_>;
 
+    /// Opens a new boxed session with an explicit [`HandlePolicy`] (see
+    /// [`SharedPq::register_policy`]; ignored by structures without
+    /// per-session machinery).
+    ///
+    /// [`HandlePolicy`]: crate::handle::HandlePolicy
+    fn register_policy_dyn(&self, policy: crate::handle::HandlePolicy)
+        -> Box<dyn PqHandle<V> + '_>;
+
     /// See [`SharedPq::approx_len`]. (The `_dyn` suffix keeps concrete queue
     /// types unambiguous when both traits are in scope; on an erased queue,
     /// prefer the [`SharedPq`] methods, which `dyn DynSharedPq` implements.)
@@ -261,6 +299,12 @@ pub trait DynSharedPq<V: 'static>: Send + Sync {
 impl<V: 'static, Q: SharedPq<V>> DynSharedPq<V> for Q {
     fn register_dyn(&self) -> Box<dyn PqHandle<V> + '_> {
         Box::new(self.register())
+    }
+    fn register_policy_dyn(
+        &self,
+        policy: crate::handle::HandlePolicy,
+    ) -> Box<dyn PqHandle<V> + '_> {
+        Box::new(self.register_policy(policy))
     }
     fn approx_len_dyn(&self) -> usize {
         SharedPq::approx_len(self)
@@ -278,6 +322,9 @@ impl<V: 'static> SharedPq<V> for dyn DynSharedPq<V> {
 
     fn register(&self) -> Self::Handle<'_> {
         self.register_dyn()
+    }
+    fn register_policy(&self, policy: crate::handle::HandlePolicy) -> Self::Handle<'_> {
+        self.register_policy_dyn(policy)
     }
     fn approx_len(&self) -> usize {
         self.approx_len_dyn()
@@ -346,7 +393,10 @@ mod tests {
                     Some(items.swap_remove(i))
                 }
                 None => {
+                    // A locked scan that finds nothing is a quiescent-empty
+                    // observation, not a lost race.
                     self.stats.failed_removals += 1;
+                    self.stats.empty_polls += 1;
                     None
                 }
             }
@@ -372,11 +422,28 @@ mod tests {
             HandleStats {
                 inserts: 2,
                 removals: 2,
-                failed_removals: 1
+                failed_removals: 1,
+                empty_polls: 1,
+                contended_retries: 0,
             }
         );
-        assert_eq!(h.stats().operations(), 5);
+        assert_eq!(h.stats().operations(), 5, "retries are not operations");
         assert!(h.take_log().is_empty(), "no instrumentation by default");
+    }
+
+    #[test]
+    fn register_policy_defaults_to_plain_register() {
+        let q = Locked::new();
+        // `Locked` has no per-session machinery; the policy is ignored but a
+        // working session still comes back.
+        let mut h = q.register_policy(crate::handle::HandlePolicy::instrumented());
+        h.insert(1, 10);
+        assert_eq!(h.delete_min(), Some((1, 10)));
+        // Through the erased form too.
+        let e: &dyn DynSharedPq<u64> = &q;
+        let mut h = e.register_policy_dyn(crate::handle::HandlePolicy::default());
+        assert_eq!(h.delete_min(), None);
+        assert_eq!(h.stats().empty_polls, 1);
     }
 
     #[test]

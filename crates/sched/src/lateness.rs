@@ -1,0 +1,159 @@
+//! Per-class lateness accounting.
+//!
+//! The paper's quality metric for a relaxed queue is the *rank* of a removed
+//! element. At the scheduler layer the metric users actually feel is
+//! **lateness**: how far past its deadline a task started executing. This
+//! module turns the workspace's histogram substrate
+//! ([`rank_stats::histogram::LogHistogram`]) into a per-priority-class
+//! lateness tracker; the traffic engine records into one tracker per worker
+//! and merges them afterwards (same pattern as the per-handle rank logs).
+//!
+//! Lateness is recorded in nanoseconds; a task that starts at or before its
+//! deadline records `0` and counts as *on time*. The log-bucketed quantiles
+//! are upper bounds within a factor of two — the right precision for a
+//! metric spanning nanoseconds to seconds.
+
+use rank_stats::histogram::LogHistogram;
+
+/// Lateness distribution of one priority class.
+#[derive(Clone, Debug, Default)]
+pub struct ClassLateness {
+    /// Tasks of this class executed.
+    pub executed: u64,
+    /// Tasks that started at or before their deadline.
+    pub on_time: u64,
+    /// Lateness histogram in nanoseconds (on-time tasks record `0`).
+    pub lateness_ns: LogHistogram,
+}
+
+impl ClassLateness {
+    /// Fraction of executed tasks that ran on time (1.0 when nothing ran).
+    pub fn on_time_fraction(&self) -> f64 {
+        if self.executed == 0 {
+            1.0
+        } else {
+            self.on_time as f64 / self.executed as f64
+        }
+    }
+
+    /// Upper bound on the `q`-quantile of lateness, in microseconds
+    /// (factor-of-two precision; `0` when nothing ran).
+    pub fn lateness_quantile_us(&self, q: f64) -> u64 {
+        self.lateness_ns
+            .quantile_upper_bound(q)
+            .map(|ns| ns / 1_000)
+            .unwrap_or(0)
+    }
+
+    /// Mean lateness in microseconds.
+    pub fn mean_lateness_us(&self) -> f64 {
+        self.lateness_ns.mean() / 1_000.0
+    }
+}
+
+/// Per-class lateness tracker: one [`ClassLateness`] per priority class.
+#[derive(Clone, Debug)]
+pub struct LatenessTracker {
+    classes: Vec<ClassLateness>,
+}
+
+impl LatenessTracker {
+    /// Creates a tracker for `classes` priority classes.
+    pub fn new(classes: usize) -> Self {
+        Self {
+            classes: (0..classes).map(|_| ClassLateness::default()).collect(),
+        }
+    }
+
+    /// Records one task execution: `lateness_ns == 0` means on time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record(&mut self, class: usize, lateness_ns: u64) {
+        let c = &mut self.classes[class];
+        c.executed += 1;
+        if lateness_ns == 0 {
+            c.on_time += 1;
+        }
+        c.lateness_ns.record(lateness_ns);
+    }
+
+    /// Merges another tracker (e.g. another worker's) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &LatenessTracker) {
+        assert_eq!(
+            self.classes.len(),
+            other.classes.len(),
+            "cannot merge trackers with different class counts"
+        );
+        for (mine, theirs) in self.classes.iter_mut().zip(&other.classes) {
+            mine.executed += theirs.executed;
+            mine.on_time += theirs.on_time;
+            mine.lateness_ns.merge(&theirs.lateness_ns);
+        }
+    }
+
+    /// The per-class distributions.
+    pub fn classes(&self) -> &[ClassLateness] {
+        &self.classes
+    }
+
+    /// Total tasks recorded across all classes.
+    pub fn executed(&self) -> u64 {
+        self.classes.iter().map(|c| c.executed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_classifies_on_time() {
+        let mut t = LatenessTracker::new(2);
+        t.record(0, 0);
+        t.record(0, 1_500);
+        t.record(1, 0);
+        assert_eq!(t.executed(), 3);
+        let c0 = &t.classes()[0];
+        assert_eq!(c0.executed, 2);
+        assert_eq!(c0.on_time, 1);
+        assert!((c0.on_time_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(t.classes()[1].on_time_fraction(), 1.0);
+        // 1_500 ns lives in the (1024, 2048] bucket → 2 µs upper bound.
+        assert_eq!(c0.lateness_quantile_us(1.0), 2);
+        assert!((c0.mean_lateness_us() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_per_class() {
+        let mut a = LatenessTracker::new(1);
+        let mut b = LatenessTracker::new(1);
+        a.record(0, 0);
+        b.record(0, 10_000);
+        b.record(0, 0);
+        a.merge(&b);
+        assert_eq!(a.classes()[0].executed, 3);
+        assert_eq!(a.classes()[0].on_time, 2);
+        assert_eq!(a.classes()[0].lateness_ns.count(), 3);
+    }
+
+    #[test]
+    fn empty_tracker_is_benign() {
+        let t = LatenessTracker::new(3);
+        assert_eq!(t.executed(), 0);
+        assert_eq!(t.classes()[2].lateness_quantile_us(0.99), 0);
+        assert_eq!(t.classes()[0].on_time_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different class counts")]
+    fn mismatched_merge_panics() {
+        let mut a = LatenessTracker::new(1);
+        a.merge(&LatenessTracker::new(2));
+    }
+}

@@ -7,14 +7,24 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Environment knobs (used by the CI smoke run): `QUICKSTART_ITEMS` (items
+//! per thread, default 50000), `QUICKSTART_THREADS` (default 4).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use power_of_choice::prelude::*;
 
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
-    let threads = 4;
-    let per_thread_items = 50_000u64;
+    let threads = env_u64("QUICKSTART_THREADS", 4) as usize;
+    let per_thread_items = env_u64("QUICKSTART_ITEMS", 50_000);
 
     // The paper's recommended sizing: c = 2 queues per thread, beta = 0.75.
     let config = MultiQueueConfig::for_threads(threads).with_beta(0.75);

@@ -61,6 +61,10 @@ pub use pq_baselines as baselines;
 /// Graphs, generators and sequential/parallel Dijkstra.
 pub use sssp_graph as graph;
 
+/// The relaxed-priority task scheduler and open-loop traffic engine — the
+/// paper's motivating application class, built on the session API.
+pub use choice_sched as sched;
+
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use balls_bins::{AllocationProcess, ChoiceRule};
@@ -70,6 +74,9 @@ pub mod prelude {
     };
     pub use choice_process::{
         BiasSpec, ExponentialTopProcess, ProcessConfig, RankCostSummary, SequentialProcess,
+    };
+    pub use choice_sched::{
+        BackoffPolicy, LatenessTracker, Scheduler, SchedulerConfig, SchedulerReport, TaskCtx,
     };
     pub use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
     pub use rank_stats::inversion::InversionCounter;
