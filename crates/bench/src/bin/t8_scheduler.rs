@@ -23,22 +23,16 @@
 //! k-LSM sits between.
 //!
 //! Environment knobs: `SCHED_BENCH_TASKS` (default 60000),
-//! `SCHED_BENCH_WORKERS` (default 4).
+//! `SCHED_BENCH_WORKERS` (default 4); `BENCH_JSON=1` additionally emits one
+//! JSON object per row to stderr (see `choice_bench::report`).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use choice_bench::report::{print_header, print_row, print_section};
-use choice_bench::{build_queue, scheduler_workload, QueueSpec};
+use choice_bench::report::{emit_json_row, print_header, print_row, print_section, JsonValue};
+use choice_bench::{build_queue, env_u64, scheduler_workload, QueueSpec};
 use choice_sched::traffic::TrafficTask;
 use choice_sched::{ArrivalPattern, ScenarioReport, TrafficClass, TrafficSpec};
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// One benched configuration: how to build the queue and how the scheduler
 /// drains it.
@@ -140,7 +134,12 @@ fn main() {
             let queue: Arc<dyn choice_pq::DynSharedPq<TrafficTask>> =
                 build_queue(config.spec, workers, seed);
             let report = scheduler_workload(queue, workers, config.delete_batch, &spec);
-            print_scenario_row(&config.spec.label(), config.delete_batch, &report);
+            print_scenario_row(
+                &config.spec.label(),
+                &pattern.label(),
+                config.delete_batch,
+                &report,
+            );
         }
     }
 
@@ -152,7 +151,7 @@ fn main() {
     );
 }
 
-fn print_scenario_row(backend: &str, delete_batch: usize, report: &ScenarioReport) {
+fn print_scenario_row(backend: &str, pattern: &str, delete_batch: usize, report: &ScenarioReport) {
     let executed = report.sched.executed.max(1);
     let inversions_per_k = report.sched.inversions.count() as f64 * 1_000.0 / executed as f64;
     let mut cells = vec![
@@ -165,4 +164,35 @@ fn print_scenario_row(backend: &str, delete_batch: usize, report: &ScenarioRepor
         cells.push(class.lateness_quantile_us(0.99).to_string());
     }
     print_row(&cells);
+
+    let pool = report.sched.merged_stats();
+    let mut fields = vec![
+        ("backend", JsonValue::from(backend)),
+        ("pattern", JsonValue::from(pattern)),
+        ("delete_batch", JsonValue::from(delete_batch as u64)),
+        ("executed", JsonValue::from(report.sched.executed)),
+        (
+            "ktask_per_s",
+            JsonValue::from(report.sched.tasks_per_second / 1e3),
+        ),
+        ("inversions_per_k", JsonValue::from(inversions_per_k)),
+        ("empty_polls", JsonValue::from(pool.empty_polls)),
+        ("contended_retries", JsonValue::from(pool.contended_retries)),
+    ];
+    let p99: Vec<(String, u64)> = report
+        .lateness
+        .classes()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            (
+                format!("p99_lateness_us_class{i}"),
+                c.lateness_quantile_us(0.99),
+            )
+        })
+        .collect();
+    for (name, value) in &p99 {
+        fields.push((name.as_str(), JsonValue::from(*value)));
+    }
+    emit_json_row("t8", &fields);
 }

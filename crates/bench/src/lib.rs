@@ -19,7 +19,18 @@ pub mod report;
 pub mod workloads;
 
 pub use queues::{build_queue, QueueSpec};
-pub use report::{print_header, print_row, print_section};
+pub use report::{emit_json_row, json_enabled, print_header, print_row, print_section, JsonValue};
+
+/// Reads a `u64` knob from the environment (`SCHED_BENCH_*`,
+/// `SERVICE_BENCH_*`, `BENCH_*`, …), falling back to `default` when the
+/// variable is unset or unparsable — the one scaling mechanism every bench
+/// binary shares with the CI smoke steps.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 pub use workloads::{
     d_sweep_workload, rank_quality_workload, scheduler_workload, sssp_workload,
     throughput_workload, DSweepResult, RankQualityResult, ThroughputResult,

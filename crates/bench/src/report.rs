@@ -1,7 +1,14 @@
-//! Plain-text table output helpers.
+//! Plain-text table output helpers, plus opt-in machine-readable rows.
 //!
 //! Every binary prints one or more tables with a fixed-width layout so the
 //! output can be pasted into EXPERIMENTS.md verbatim and diffed across runs.
+//!
+//! Setting `BENCH_JSON=1` additionally emits one JSON object per data row
+//! to **stderr** (tables stay on stdout, so the two streams separate
+//! cleanly): `{"experiment":"t9",...}`, one line each — the groundwork for
+//! a perf-trajectory file that scripts can append to without parsing the
+//! human tables. No serde exists in this offline workspace, so the emitter
+//! is a small hand-rolled one over [`JsonValue`].
 
 /// Prints a section banner (the experiment id and its paper counterpart).
 pub fn print_section(id: &str, title: &str) {
@@ -71,6 +78,91 @@ pub fn print_sweep_row(
     ]);
 }
 
+/// One field value of a machine-readable row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A string (escaped on output).
+    Str(String),
+    /// An unsigned counter.
+    U64(u64),
+    /// A float (emitted with enough digits to round-trip the table value;
+    /// non-finite values degrade to `null`, which JSON numbers cannot carry).
+    F64(f64),
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+
+/// Whether `BENCH_JSON=1` is set (checked per call: tests and harnesses may
+/// toggle it between rows).
+pub fn json_enabled() -> bool {
+    std::env::var("BENCH_JSON").as_deref() == Ok("1")
+}
+
+/// Escapes `s` into `out` as JSON string contents (quotes not included).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one row as a single-line JSON object (`experiment` first, then
+/// the fields in the order given).
+pub fn json_row_string(experiment: &str, fields: &[(&str, JsonValue)]) -> String {
+    let mut line = String::with_capacity(64);
+    line.push_str("{\"experiment\":\"");
+    escape_json(experiment, &mut line);
+    line.push('"');
+    for (name, value) in fields {
+        line.push_str(",\"");
+        escape_json(name, &mut line);
+        line.push_str("\":");
+        match value {
+            JsonValue::Str(s) => {
+                line.push('"');
+                escape_json(s, &mut line);
+                line.push('"');
+            }
+            JsonValue::U64(v) => line.push_str(&v.to_string()),
+            JsonValue::F64(v) if v.is_finite() => line.push_str(&format!("{v}")),
+            JsonValue::F64(_) => line.push_str("null"),
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// Emits one machine-readable row to stderr when `BENCH_JSON=1`; a no-op
+/// otherwise. Call it right next to the matching [`print_row`].
+pub fn emit_json_row(experiment: &str, fields: &[(&str, JsonValue)]) {
+    if json_enabled() {
+        eprintln!("{}", json_row_string(experiment, fields));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +181,40 @@ mod tests {
         print_row(&["multiqueue".into(), "4".into(), "1.234".into()]);
         print_sweep_header();
         print_sweep_row(4, 64, 2, 3_200_000.0, 5.25, 41);
+    }
+
+    #[test]
+    fn json_rows_render_ordered_escaped_fields() {
+        let line = json_row_string(
+            "t9",
+            &[
+                ("backend", JsonValue::from("multiqueue(beta=0.75, c=2)")),
+                ("ops", JsonValue::from(120_000u64)),
+                ("kops_per_s", JsonValue::from(345.25f64)),
+                ("note", JsonValue::Str("a \"quoted\"\nline".to_string())),
+                ("bad", JsonValue::F64(f64::NAN)),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"experiment\":\"t9\",\"backend\":\"multiqueue(beta=0.75, c=2)\",\
+             \"ops\":120000,\"kops_per_s\":345.25,\
+             \"note\":\"a \\\"quoted\\\"\\nline\",\"bad\":null}"
+        );
+    }
+
+    #[test]
+    fn emit_json_row_is_gated_on_the_env_knob() {
+        // The knob is read per call; emitting with it unset must be a no-op
+        // (observable only as "does not panic" here — the gating logic is
+        // what's under test).
+        std::env::remove_var("BENCH_JSON");
+        assert!(!json_enabled());
+        emit_json_row("t0", &[("x", JsonValue::from(1u64))]);
+        std::env::set_var("BENCH_JSON", "1");
+        assert!(json_enabled());
+        emit_json_row("t0", &[("x", JsonValue::from(1u64))]);
+        std::env::remove_var("BENCH_JSON");
+        assert!(!json_enabled());
     }
 }

@@ -49,15 +49,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod compat;
 pub mod config;
 pub mod flat;
 pub mod handle;
 pub mod queue;
 pub mod traits;
 
-#[allow(deprecated)]
-pub use compat::{ConcurrentPriorityQueue, LegacyPq};
 pub use config::{ChoiceRule, MultiQueueConfig};
 pub use flat::{FlatHandle, FlatOps};
 pub use handle::{HandlePolicy, MqHandle};

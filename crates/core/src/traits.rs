@@ -96,6 +96,23 @@ impl HandleStats {
     pub fn operations(&self) -> u64 {
         self.inserts + self.removals + self.failed_removals
     }
+
+    /// Accumulates another handle's counters into this one.
+    ///
+    /// Handles count per session; anything that reports across sessions — a
+    /// scheduler pool, a server aggregating live connections — folds the
+    /// per-handle values together with this. Addition is saturating so a
+    /// fold over pathological counters degrades to a pinned value instead
+    /// of a panic in debug builds.
+    pub fn merge(&mut self, other: &HandleStats) {
+        self.inserts = self.inserts.saturating_add(other.inserts);
+        self.removals = self.removals.saturating_add(other.removals);
+        self.failed_removals = self.failed_removals.saturating_add(other.failed_removals);
+        self.empty_polls = self.empty_polls.saturating_add(other.empty_polls);
+        self.contended_retries = self
+            .contended_retries
+            .saturating_add(other.contended_retries);
+    }
 }
 
 /// An owned, single-session view of a [`SharedPq`].
@@ -516,6 +533,48 @@ mod tests {
         assert_eq!(out, vec![(3, 30)]);
         assert_eq!(h.stats().inserts, 2);
         assert!(h.take_log().is_empty());
+    }
+
+    #[test]
+    fn stats_merge_accumulates_every_counter() {
+        let mut total = HandleStats::default();
+        let a = HandleStats {
+            inserts: 3,
+            removals: 2,
+            failed_removals: 1,
+            empty_polls: 1,
+            contended_retries: 7,
+        };
+        let b = HandleStats {
+            inserts: 10,
+            removals: 20,
+            failed_removals: 30,
+            empty_polls: 25,
+            contended_retries: 0,
+        };
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(
+            total,
+            HandleStats {
+                inserts: 13,
+                removals: 22,
+                failed_removals: 31,
+                empty_polls: 26,
+                contended_retries: 7,
+            }
+        );
+        // Merging an empty stats value is the identity.
+        let before = total;
+        total.merge(&HandleStats::default());
+        assert_eq!(total, before);
+        // Saturates instead of overflowing.
+        let mut pinned = HandleStats {
+            inserts: u64::MAX - 1,
+            ..HandleStats::default()
+        };
+        pinned.merge(&a);
+        assert_eq!(pinned.inserts, u64::MAX);
     }
 
     #[test]

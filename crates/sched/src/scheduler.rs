@@ -279,14 +279,24 @@ pub struct SchedulerReport {
 }
 
 impl SchedulerReport {
+    /// The pool-wide queue counters: every worker session's
+    /// [`HandleStats`] folded together with [`HandleStats::merge`].
+    pub fn merged_stats(&self) -> HandleStats {
+        let mut totals = HandleStats::default();
+        for worker in &self.workers {
+            totals.merge(&worker.stats);
+        }
+        totals
+    }
+
     /// Sum of `empty_polls` over all worker sessions.
     pub fn empty_polls(&self) -> u64 {
-        self.workers.iter().map(|w| w.stats.empty_polls).sum()
+        self.merged_stats().empty_polls
     }
 
     /// Sum of `contended_retries` over all worker sessions.
     pub fn contended_retries(&self) -> u64 {
-        self.workers.iter().map(|w| w.stats.contended_retries).sum()
+        self.merged_stats().contended_retries
     }
 }
 

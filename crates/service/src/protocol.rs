@@ -1,0 +1,926 @@
+//! The choice-wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every frame — in both directions — has the same 6-byte header:
+//!
+//! ```text
+//! [ length: u32 LE ][ version: u8 ][ opcode: u8 ][ payload ... ]
+//! ```
+//!
+//! `length` counts everything after the length field itself (version byte,
+//! opcode byte, payload), so a reader can always consume exactly one frame
+//! knowing only the first four bytes. The version byte rides in every frame
+//! rather than a one-shot handshake: it keeps the protocol stateless per
+//! frame (a mid-stream corruption cannot silently re-version a connection)
+//! and costs one byte. The current version is [`WIRE_VERSION`].
+//!
+//! Integers are little-endian throughout. Payloads are fixed-layout —
+//! nothing is self-describing — which keeps encode/decode branch-free and
+//! the frames small: an `Insert` is 22 bytes on the wire, a `DeleteMin` 6.
+//!
+//! Decoding is *total*: any byte sequence produces either a frame or a
+//! [`WireError`], never a panic (property-tested, including truncations and
+//! garbage). Truncation is reported as [`WireError::Truncated`] so stream
+//! readers can distinguish "wait for more bytes" from "the peer sent
+//! nonsense" ([`WireError::is_incomplete`]).
+//!
+//! The payload value type is fixed to `u64` pairs (`key`, `value`): the
+//! service is a *priority-queue* service, and an opaque 8-byte value is
+//! enough to carry an id into whatever store holds the real payload —
+//! exactly how the in-process queues are used by the SSSP and scheduler
+//! layers.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use choice_pq::{HandleStats, Key};
+
+/// The protocol version this build speaks (echoed in every frame).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard ceiling on `length` (version + opcode + payload, bytes). Large
+/// enough for a [`MAX_BATCH`]-entry batch response, small enough that a
+/// malicious length prefix cannot make either side allocate unboundedly.
+pub const MAX_FRAME_LEN: u32 = 2 + 4 + MAX_BATCH * 16;
+
+/// Largest `DeleteMinBatch` size the protocol will carry in one frame.
+/// Servers clamp larger requests to their own (possibly smaller) limit.
+pub const MAX_BATCH: u32 = 4096;
+
+/// Everything that can go wrong turning bytes into frames.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends mid-frame; `needed` more bytes are required before
+    /// decoding can be retried. On a stream this means "read more"; at
+    /// end-of-stream it means the peer died mid-frame.
+    Truncated {
+        /// Additional bytes required to complete the frame.
+        needed: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is too small to hold
+    /// the mandatory version and opcode bytes).
+    BadLength(u32),
+    /// The version byte does not match [`WIRE_VERSION`].
+    UnknownVersion(u8),
+    /// The opcode byte names no known frame type (for the direction being
+    /// decoded).
+    UnknownOpcode(u8),
+    /// The opcode was recognised but the payload does not have the exact
+    /// layout that opcode requires.
+    MalformedPayload {
+        /// The offending opcode.
+        opcode: u8,
+        /// What the layout check expected.
+        expected: &'static str,
+    },
+}
+
+impl WireError {
+    /// Whether this error means "the bytes so far are a valid prefix, keep
+    /// reading" rather than "the peer sent garbage".
+    pub fn is_incomplete(&self) -> bool {
+        matches!(self, WireError::Truncated { .. })
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed } => {
+                write!(f, "frame truncated: {needed} more byte(s) required")
+            }
+            WireError::BadLength(len) => write!(
+                f,
+                "frame length {len} outside the valid range 2..={MAX_FRAME_LEN}"
+            ),
+            WireError::UnknownVersion(v) => {
+                write!(
+                    f,
+                    "unsupported wire version {v} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::MalformedPayload { opcode, expected } => {
+                write!(
+                    f,
+                    "malformed payload for opcode {opcode:#04x}: expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Client → server frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Insert one `(key, value)` entry.
+    Insert {
+        /// Priority key (smaller = more urgent). `Key::MAX` is reserved and
+        /// answered with [`ErrorCode::ReservedKey`], never a panic.
+        key: Key,
+        /// Opaque 8-byte payload.
+        value: u64,
+    },
+    /// Remove one small-keyed entry.
+    DeleteMin,
+    /// Remove up to `max` small-keyed entries in one batched operation.
+    DeleteMinBatch {
+        /// Requested batch size; the server clamps it to its own limit.
+        max: u32,
+    },
+    /// Read the (relaxed) element count.
+    ApproxLen,
+    /// Read the server's aggregated per-session [`HandleStats`].
+    Stats,
+    /// Ask the server process to shut down (drains cleanly; the response is
+    /// [`Response::ShuttingDown`]).
+    Shutdown,
+}
+
+/// Server → client frames.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The insert was published.
+    Inserted,
+    /// A `DeleteMin` produced this entry.
+    Entry {
+        /// The removed key.
+        key: Key,
+        /// The removed value.
+        value: u64,
+    },
+    /// A `DeleteMin` observed the structure empty.
+    Empty,
+    /// A `DeleteMinBatch` produced these entries (possibly none).
+    Batch(Vec<(Key, u64)>),
+    /// The current approximate element count.
+    Len(u64),
+    /// Aggregated statistics over every session the server has served.
+    Stats(ServiceStats),
+    /// Acknowledges a [`Request::Shutdown`]; the connection closes after
+    /// this frame.
+    ShuttingDown,
+    /// The request was understood but refused.
+    Error {
+        /// Machine-readable refusal reason.
+        code: ErrorCode,
+        /// Human-readable detail (UTF-8; lossily decoded if the peer lies).
+        detail: String,
+    },
+}
+
+/// Machine-readable refusal reasons carried by [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The insert key was `Key::MAX`, which the queues reserve as their
+    /// empty-lane sentinel.
+    ReservedKey,
+    /// The client's frame could not be decoded (version, opcode or payload);
+    /// the server closes the connection after sending this.
+    Protocol,
+    /// The server is shutting down and no longer serves operations.
+    Unavailable,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::ReservedKey => 1,
+            ErrorCode::Protocol => 2,
+            ErrorCode::Unavailable => 3,
+        }
+    }
+
+    fn from_u8(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(ErrorCode::ReservedKey),
+            2 => Some(ErrorCode::Protocol),
+            3 => Some(ErrorCode::Unavailable),
+            _ => None,
+        }
+    }
+}
+
+/// The aggregate carried by [`Response::Stats`]: how many sessions the
+/// server has opened (one per accepted connection) and the merged
+/// [`HandleStats`] over all of them — live connections contribute their
+/// current counters, closed ones their final counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Connections accepted over the server's lifetime.
+    pub sessions: u64,
+    /// Per-session counters folded with [`HandleStats::merge`].
+    pub totals: HandleStats,
+}
+
+// Request opcodes.
+const OP_INSERT: u8 = 0x01;
+const OP_DELETE_MIN: u8 = 0x02;
+const OP_DELETE_MIN_BATCH: u8 = 0x03;
+const OP_APPROX_LEN: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+const OP_SHUTDOWN: u8 = 0x06;
+
+// Response opcodes (high bit set).
+const OP_INSERTED: u8 = 0x81;
+const OP_ENTRY: u8 = 0x82;
+const OP_EMPTY: u8 = 0x83;
+const OP_BATCH: u8 = 0x84;
+const OP_LEN: u8 = 0x85;
+const OP_STATS_REPLY: u8 = 0x86;
+const OP_SHUTTING_DOWN: u8 = 0x87;
+const OP_ERROR: u8 = 0xFF;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Fixed-layout payload reader: every `take_*` either yields the next field
+/// or reports the frame malformed (payload truncation inside a complete
+/// frame is malformation, not [`WireError::Truncated`] — the length prefix
+/// promised more than the opcode's layout found).
+struct Payload<'a> {
+    bytes: &'a [u8],
+    opcode: u8,
+    expected: &'static str,
+}
+
+impl<'a> Payload<'a> {
+    fn new(bytes: &'a [u8], opcode: u8, expected: &'static str) -> Self {
+        Self {
+            bytes,
+            opcode,
+            expected,
+        }
+    }
+
+    fn malformed(&self) -> WireError {
+        WireError::MalformedPayload {
+            opcode: self.opcode,
+            expected: self.expected,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() < n {
+            return Err(self.malformed());
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(self.malformed())
+        }
+    }
+}
+
+/// Appends one framed message (header + payload) to `out`.
+fn encode_frame(out: &mut Vec<u8>, opcode: u8, build: impl FnOnce(&mut Vec<u8>)) {
+    let len_at = out.len();
+    put_u32(out, 0); // patched below
+    out.push(WIRE_VERSION);
+    out.push(opcode);
+    build(out);
+    let len = (out.len() - len_at - 4) as u32;
+    debug_assert!(len <= MAX_FRAME_LEN, "encoder produced an oversized frame");
+    out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Splits one frame off the front of `buf`: returns the opcode, its payload
+/// slice, and the total number of bytes the frame occupies.
+fn split_frame(buf: &[u8]) -> Result<(u8, &[u8], usize), WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated {
+            needed: 4 - buf.len(),
+        });
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if !(2..=MAX_FRAME_LEN).contains(&len) {
+        return Err(WireError::BadLength(len));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            needed: total - buf.len(),
+        });
+    }
+    let version = buf[4];
+    if version != WIRE_VERSION {
+        return Err(WireError::UnknownVersion(version));
+    }
+    Ok((buf[5], &buf[6..total], total))
+}
+
+impl Request {
+    /// Appends this request as one frame to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Request::Insert { key, value } => encode_frame(out, OP_INSERT, |out| {
+                put_u64(out, key);
+                put_u64(out, value);
+            }),
+            Request::DeleteMin => encode_frame(out, OP_DELETE_MIN, |_| {}),
+            Request::DeleteMinBatch { max } => encode_frame(out, OP_DELETE_MIN_BATCH, |out| {
+                put_u32(out, max);
+            }),
+            Request::ApproxLen => encode_frame(out, OP_APPROX_LEN, |_| {}),
+            Request::Stats => encode_frame(out, OP_STATS, |_| {}),
+            Request::Shutdown => encode_frame(out, OP_SHUTDOWN, |_| {}),
+        }
+    }
+
+    /// Decodes one request frame from the front of `buf`, returning it and
+    /// the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Request, usize), WireError> {
+        let (opcode, payload, total) = split_frame(buf)?;
+        let request = match opcode {
+            OP_INSERT => {
+                let mut p = Payload::new(payload, opcode, "key u64 + value u64");
+                let key = p.take_u64()?;
+                let value = p.take_u64()?;
+                p.finish()?;
+                Request::Insert { key, value }
+            }
+            OP_DELETE_MIN => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Request::DeleteMin
+            }
+            OP_DELETE_MIN_BATCH => {
+                let mut p = Payload::new(payload, opcode, "max u32");
+                let max = p.take_u32()?;
+                p.finish()?;
+                Request::DeleteMinBatch { max }
+            }
+            OP_APPROX_LEN => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Request::ApproxLen
+            }
+            OP_STATS => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Request::Stats
+            }
+            OP_SHUTDOWN => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Request::Shutdown
+            }
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        Ok((request, total))
+    }
+}
+
+impl Response {
+    /// Appends this response as one frame to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch holds more than [`MAX_BATCH`] entries — the server
+    /// clamps every batch below that before building the response.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Inserted => encode_frame(out, OP_INSERTED, |_| {}),
+            Response::Entry { key, value } => encode_frame(out, OP_ENTRY, |out| {
+                put_u64(out, *key);
+                put_u64(out, *value);
+            }),
+            Response::Empty => encode_frame(out, OP_EMPTY, |_| {}),
+            Response::Batch(entries) => {
+                assert!(
+                    entries.len() <= MAX_BATCH as usize,
+                    "batch of {} exceeds the wire limit {MAX_BATCH}",
+                    entries.len()
+                );
+                encode_frame(out, OP_BATCH, |out| {
+                    put_u32(out, entries.len() as u32);
+                    for (key, value) in entries {
+                        put_u64(out, *key);
+                        put_u64(out, *value);
+                    }
+                })
+            }
+            Response::Len(len) => encode_frame(out, OP_LEN, |out| put_u64(out, *len)),
+            Response::Stats(stats) => encode_frame(out, OP_STATS_REPLY, |out| {
+                put_u64(out, stats.sessions);
+                put_u64(out, stats.totals.inserts);
+                put_u64(out, stats.totals.removals);
+                put_u64(out, stats.totals.failed_removals);
+                put_u64(out, stats.totals.empty_polls);
+                put_u64(out, stats.totals.contended_retries);
+            }),
+            Response::ShuttingDown => encode_frame(out, OP_SHUTTING_DOWN, |_| {}),
+            Response::Error { code, detail } => {
+                // Bound the detail so the frame stays within MAX_FRAME_LEN
+                // whatever the caller passes (truncate on a char boundary).
+                let mut detail = detail.as_str();
+                let cap = (MAX_FRAME_LEN - 3) as usize;
+                if detail.len() > cap {
+                    let mut end = cap;
+                    while !detail.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    detail = &detail[..end];
+                }
+                encode_frame(out, OP_ERROR, |out| {
+                    out.push(code.to_u8());
+                    out.extend_from_slice(detail.as_bytes());
+                })
+            }
+        }
+    }
+
+    /// Decodes one response frame from the front of `buf`, returning it and
+    /// the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Response, usize), WireError> {
+        let (opcode, payload, total) = split_frame(buf)?;
+        let response = match opcode {
+            OP_INSERTED => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Response::Inserted
+            }
+            OP_ENTRY => {
+                let mut p = Payload::new(payload, opcode, "key u64 + value u64");
+                let key = p.take_u64()?;
+                let value = p.take_u64()?;
+                p.finish()?;
+                Response::Entry { key, value }
+            }
+            OP_EMPTY => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Response::Empty
+            }
+            OP_BATCH => {
+                let mut p = Payload::new(payload, opcode, "count u32 + count entries");
+                let count = p.take_u32()?;
+                if count > MAX_BATCH {
+                    return Err(p.malformed());
+                }
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let key = p.take_u64()?;
+                    let value = p.take_u64()?;
+                    entries.push((key, value));
+                }
+                p.finish()?;
+                Response::Batch(entries)
+            }
+            OP_LEN => {
+                let mut p = Payload::new(payload, opcode, "len u64");
+                let len = p.take_u64()?;
+                p.finish()?;
+                Response::Len(len)
+            }
+            OP_STATS_REPLY => {
+                let mut p = Payload::new(payload, opcode, "6 u64 counters");
+                let stats = ServiceStats {
+                    sessions: p.take_u64()?,
+                    totals: HandleStats {
+                        inserts: p.take_u64()?,
+                        removals: p.take_u64()?,
+                        failed_removals: p.take_u64()?,
+                        empty_polls: p.take_u64()?,
+                        contended_retries: p.take_u64()?,
+                    },
+                };
+                p.finish()?;
+                Response::Stats(stats)
+            }
+            OP_SHUTTING_DOWN => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Response::ShuttingDown
+            }
+            OP_ERROR => {
+                let mut p = Payload::new(payload, opcode, "code u8 + utf8 detail");
+                let raw = p.take_u8()?;
+                let code = ErrorCode::from_u8(raw).ok_or_else(|| p.malformed())?;
+                let detail = String::from_utf8_lossy(p.bytes).into_owned();
+                Response::Error { code, detail }
+            }
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        Ok((response, total))
+    }
+}
+
+/// Encodes a `Batch` response frame from borrowed entries — byte-identical
+/// to `Response::Batch(entries.to_vec()).encode(out)` without giving up the
+/// caller's buffer, so a server can reuse one entries vector across
+/// requests.
+///
+/// # Panics
+///
+/// Panics if `entries` holds more than [`MAX_BATCH`] elements (servers
+/// clamp every batch below that).
+pub fn encode_batch_response(out: &mut Vec<u8>, entries: &[(Key, u64)]) {
+    assert!(
+        entries.len() <= MAX_BATCH as usize,
+        "batch of {} exceeds the wire limit {MAX_BATCH}",
+        entries.len()
+    );
+    encode_frame(out, OP_BATCH, |out| {
+        put_u32(out, entries.len() as u32);
+        for (key, value) in entries {
+            put_u64(out, *key);
+            put_u64(out, *value);
+        }
+    })
+}
+
+/// Reads exactly one frame's bytes from a blocking stream into `scratch`
+/// (cleared first), returning `Ok(false)` on a clean end-of-stream at a
+/// frame boundary.
+///
+/// Used by both sides: the server reads request frames, the client response
+/// frames; the caller then decodes `scratch` with the matching `decode`.
+/// A stream that dies mid-frame surfaces as [`WireError::Truncated`]
+/// wrapped in [`io::ErrorKind::UnexpectedEof`]; a bad length prefix as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame_bytes<R: Read>(reader: &mut R, scratch: &mut Vec<u8>) -> io::Result<bool> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    WireError::Truncated {
+                        needed: header.len() - filled,
+                    },
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if !(2..=MAX_FRAME_LEN).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::BadLength(len),
+        ));
+    }
+    scratch.clear();
+    scratch.extend_from_slice(&header);
+    scratch.resize(4 + len as usize, 0);
+    reader.read_exact(&mut scratch[4..]).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                WireError::Truncated { needed: 1 },
+            )
+        } else {
+            e
+        }
+    })?;
+    Ok(true)
+}
+
+/// Encodes and writes one response frame (no flush — the caller owns the
+/// credit-window flush policy).
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    scratch.clear();
+    response.encode(scratch);
+    writer.write_all(scratch)
+}
+
+/// Encodes and writes one request frame (no flush).
+pub fn write_request<W: Write>(
+    writer: &mut W,
+    request: &Request,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    scratch.clear();
+    request.encode(scratch);
+    writer.write_all(scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_request(r: Request) {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let (decoded, used) = Request::decode(&buf).expect("round-trip");
+        assert_eq!(decoded, r);
+        assert_eq!(used, buf.len());
+    }
+
+    fn roundtrip_response(r: Response) {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let (decoded, used) = Response::decode(&buf).expect("round-trip");
+        assert_eq!(decoded, r);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        roundtrip_request(Request::Insert { key: 7, value: 70 });
+        roundtrip_request(Request::Insert {
+            key: Key::MAX - 1,
+            value: u64::MAX,
+        });
+        roundtrip_request(Request::DeleteMin);
+        roundtrip_request(Request::DeleteMinBatch { max: 0 });
+        roundtrip_request(Request::DeleteMinBatch { max: u32::MAX });
+        roundtrip_request(Request::ApproxLen);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_variant_round_trips() {
+        roundtrip_response(Response::Inserted);
+        roundtrip_response(Response::Entry { key: 1, value: 2 });
+        roundtrip_response(Response::Empty);
+        roundtrip_response(Response::Batch(vec![]));
+        roundtrip_response(Response::Batch(vec![(1, 10), (2, 20), (u64::MAX, 0)]));
+        roundtrip_response(Response::Len(123));
+        roundtrip_response(Response::Stats(ServiceStats {
+            sessions: 3,
+            totals: HandleStats {
+                inserts: 1,
+                removals: 2,
+                failed_removals: 3,
+                empty_polls: 4,
+                contended_retries: 5,
+            },
+        }));
+        roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::ReservedKey,
+            detail: "key u64::MAX is reserved".to_string(),
+        });
+    }
+
+    #[test]
+    fn frames_decode_from_a_concatenated_stream() {
+        let mut buf = Vec::new();
+        Request::Insert { key: 1, value: 2 }.encode(&mut buf);
+        Request::DeleteMin.encode(&mut buf);
+        Request::Stats.encode(&mut buf);
+        let (first, n1) = Request::decode(&buf).unwrap();
+        assert_eq!(first, Request::Insert { key: 1, value: 2 });
+        let (second, n2) = Request::decode(&buf[n1..]).unwrap();
+        assert_eq!(second, Request::DeleteMin);
+        let (third, n3) = Request::decode(&buf[n1 + n2..]).unwrap();
+        assert_eq!(third, Request::Stats);
+        assert_eq!(n1 + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn truncated_prefixes_ask_for_more_bytes() {
+        let mut buf = Vec::new();
+        Request::Insert { key: 9, value: 9 }.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let err = Request::decode(&buf[..cut]).expect_err("truncation must fail");
+            assert!(
+                err.is_incomplete(),
+                "cut at {cut}/{} should be Truncated, got {err:?}",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn version_and_opcode_are_validated() {
+        let mut buf = Vec::new();
+        Request::DeleteMin.encode(&mut buf);
+        let mut wrong_version = buf.clone();
+        wrong_version[4] = 9;
+        assert_eq!(
+            Request::decode(&wrong_version),
+            Err(WireError::UnknownVersion(9))
+        );
+        let mut wrong_opcode = buf.clone();
+        wrong_opcode[5] = 0x7E;
+        assert_eq!(
+            Request::decode(&wrong_opcode),
+            Err(WireError::UnknownOpcode(0x7E))
+        );
+        // A response opcode is not a request.
+        let mut response = Vec::new();
+        Response::Empty.encode(&mut response);
+        assert_eq!(
+            Request::decode(&response),
+            Err(WireError::UnknownOpcode(OP_EMPTY))
+        );
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected_without_allocating() {
+        // Length 0 and 1 cannot hold version + opcode.
+        for len in [0u32, 1] {
+            let mut buf = len.to_le_bytes().to_vec();
+            buf.extend_from_slice(&[0; 8]);
+            assert_eq!(Request::decode(&buf), Err(WireError::BadLength(len)));
+        }
+        // A huge length prefix must fail fast, not wait for 4 GiB.
+        let mut buf = u32::MAX.to_le_bytes().to_vec();
+        buf.push(WIRE_VERSION);
+        buf.push(OP_DELETE_MIN);
+        assert_eq!(Request::decode(&buf), Err(WireError::BadLength(u32::MAX)));
+    }
+
+    #[test]
+    fn payload_layout_is_enforced_exactly() {
+        // Insert with a short payload: length says 10, layout needs 16.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, OP_INSERT, |out| out.extend_from_slice(&[0; 8]));
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::MalformedPayload {
+                opcode: OP_INSERT,
+                ..
+            })
+        ));
+        // DeleteMin with trailing bytes.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, OP_DELETE_MIN, |out| out.push(0));
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        // Batch response whose count promises more entries than the frame
+        // carries.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, OP_BATCH, |out| put_u32(out, 3));
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        // Batch count beyond the wire limit is refused before allocation.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, OP_BATCH, |out| put_u32(out, MAX_BATCH + 1));
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_error_detail_is_truncated_to_fit() {
+        let huge = "é".repeat(MAX_FRAME_LEN as usize); // 2 bytes per char
+        let mut buf = Vec::new();
+        Response::Error {
+            code: ErrorCode::Protocol,
+            detail: huge,
+        }
+        .encode(&mut buf);
+        let (decoded, used) = Response::decode(&buf).expect("truncated detail still decodes");
+        assert_eq!(used, buf.len());
+        match decoded {
+            Response::Error { code, detail } => {
+                assert_eq!(code, ErrorCode::Protocol);
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn borrowed_batch_encoder_matches_the_owned_one() {
+        for entries in [vec![], vec![(1u64, 10u64)], vec![(5, 50), (2, 20), (9, 90)]] {
+            let mut borrowed = Vec::new();
+            encode_batch_response(&mut borrowed, &entries);
+            let mut owned = Vec::new();
+            Response::Batch(entries).encode(&mut owned);
+            assert_eq!(borrowed, owned, "the two encoders must stay in lockstep");
+        }
+    }
+
+    #[test]
+    fn read_frame_bytes_round_trips_and_reports_clean_eof() {
+        let mut wire = Vec::new();
+        Request::Insert { key: 4, value: 44 }.encode(&mut wire);
+        Request::ApproxLen.encode(&mut wire);
+        let mut cursor = io::Cursor::new(wire);
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(&mut cursor, &mut frame).unwrap());
+        assert_eq!(
+            Request::decode(&frame).unwrap().0,
+            Request::Insert { key: 4, value: 44 }
+        );
+        assert!(read_frame_bytes(&mut cursor, &mut frame).unwrap());
+        assert_eq!(Request::decode(&frame).unwrap().0, Request::ApproxLen);
+        assert!(!read_frame_bytes(&mut cursor, &mut frame).unwrap());
+    }
+
+    #[test]
+    fn read_frame_bytes_flags_mid_frame_death() {
+        let mut wire = Vec::new();
+        Request::Insert { key: 4, value: 44 }.encode(&mut wire);
+        wire.truncate(wire.len() - 3);
+        let mut cursor = io::Cursor::new(wire);
+        let mut frame = Vec::new();
+        let err = read_frame_bytes(&mut cursor, &mut frame).expect_err("mid-frame EOF");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn requests_round_trip(key in 0u64..u64::MAX, value in 0u64..=u64::MAX, max in 0u32..=u32::MAX, pick in 0u8..6) {
+            let request = match pick {
+                0 => Request::Insert { key, value },
+                1 => Request::DeleteMin,
+                2 => Request::DeleteMinBatch { max },
+                3 => Request::ApproxLen,
+                4 => Request::Stats,
+                _ => Request::Shutdown,
+            };
+            let mut buf = Vec::new();
+            request.encode(&mut buf);
+            let (decoded, used) = Request::decode(&buf).expect("encoded frames decode");
+            prop_assert_eq!(decoded, request);
+            prop_assert_eq!(used, buf.len());
+        }
+
+        #[test]
+        fn responses_round_trip(
+            entries in proptest::collection::vec(0u64..=u64::MAX, 0..32),
+            n in 0u64..=u64::MAX,
+            pick in 0u8..8,
+        ) {
+            let pairs: Vec<(u64, u64)> = entries.iter().map(|&k| (k, k ^ 0xABCD)).collect();
+            let response = match pick {
+                0 => Response::Inserted,
+                1 => Response::Entry { key: n, value: !n },
+                2 => Response::Empty,
+                3 => Response::Batch(pairs),
+                4 => Response::Len(n),
+                5 => Response::Stats(ServiceStats {
+                    sessions: n,
+                    totals: HandleStats {
+                        inserts: n,
+                        removals: n / 2,
+                        failed_removals: n / 3,
+                        empty_polls: n / 4,
+                        contended_retries: n / 5,
+                    },
+                }),
+                6 => Response::ShuttingDown,
+                _ => Response::Error {
+                    code: ErrorCode::Unavailable,
+                    detail: format!("n = {n}"),
+                },
+            };
+            let mut buf = Vec::new();
+            response.encode(&mut buf);
+            let (decoded, used) = Response::decode(&buf).expect("encoded frames decode");
+            prop_assert_eq!(decoded, response);
+            prop_assert_eq!(used, buf.len());
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic_the_decoders(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+            // Totality: garbage in, error (or a frame) out — never a panic,
+            // and on success the consumed length stays within the buffer.
+            if let Ok((_, used)) = Request::decode(&bytes) {
+                prop_assert!(used <= bytes.len());
+            }
+            if let Ok((_, used)) = Response::decode(&bytes) {
+                prop_assert!(used <= bytes.len());
+            }
+        }
+
+        #[test]
+        fn every_truncation_of_a_valid_frame_is_incomplete(key in 0u64..100, cut_seed in 0u64..=u64::MAX) {
+            let mut buf = Vec::new();
+            Request::Insert { key, value: key }.encode(&mut buf);
+            let cut = (cut_seed % buf.len() as u64) as usize;
+            let err = Request::decode(&buf[..cut]).expect_err("prefix cannot be a whole frame");
+            prop_assert!(err.is_incomplete(), "cut {cut}: {err:?}");
+        }
+    }
+}

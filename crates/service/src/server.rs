@@ -1,0 +1,632 @@
+//! The choice-wire server: one queue, one session per connection.
+//!
+//! # Session-per-connection
+//!
+//! The in-process API is organised per *thread*: you [`register`] a session
+//! and every operation flows through the returned handle. The server maps
+//! that structure onto the network one-to-one — each accepted TCP connection
+//! registers its own session on the shared queue (via
+//! [`DynSharedPq::register_policy_dyn`], so any backend serves) and every
+//! frame on that connection executes through that handle. The session API's
+//! guarantees come along for free: a per-connection deterministic RNG
+//! stream, sticky lanes / insert batching / instrumentation selected by the
+//! server-wide [`HandlePolicy`], and per-connection [`HandleStats`].
+//!
+//! # Backpressure: the credit window
+//!
+//! Clients pipeline: they may send up to their credit window of requests
+//! before reading a response. The server mirrors the window on the response
+//! side — responses accumulate in the connection's write buffer and are
+//! flushed either when the window fills or when the request stream pauses —
+//! so one syscall carries up to a window of responses, and a client that
+//! stops reading eventually blocks the connection's writes (TCP does the
+//! rest) without unbounded buffering on either side. The window is
+//! advertised nowhere and negotiated never: both sides simply bound
+//! themselves, which composes safely for any pair of limits.
+//!
+//! # Shutdown
+//!
+//! A [`Request::Shutdown`] frame (or [`PqServer::shutdown`] from the owning
+//! process) flips a shared flag. The accept loop notices within one poll
+//! interval; connection handlers notice at their next read timeout or
+//! request boundary, answer in-flight work, and close. Joining the server
+//! then observes every session's final counters.
+//!
+//! [`register`]: choice_pq::SharedPq::register
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use choice_pq::{DynSharedPq, HandlePolicy, HandleStats, Key, PqHandle};
+use parking_lot::Mutex;
+
+use crate::protocol::{ErrorCode, Request, Response, ServiceStats, WireError, MAX_BATCH};
+
+/// Server-side configuration: the per-session policy and the service limits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Session policy applied to every connection's handle (sticky lanes,
+    /// insert batching, instrumentation — see [`HandlePolicy`]). Backends
+    /// without the corresponding machinery ignore the knobs that do not
+    /// apply.
+    pub policy: HandlePolicy,
+    /// Upper bound the server imposes on `DeleteMinBatch` sizes (requests
+    /// asking for more are clamped, not refused). Also bounded by the wire
+    /// limit [`MAX_BATCH`].
+    pub max_batch: u32,
+    /// Response credit window: how many responses may accumulate in a
+    /// connection's write buffer before a flush is forced. Mirrors the
+    /// client's pipelining window; `1` degenerates to flush-per-response.
+    pub credit_window: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            policy: HandlePolicy::default(),
+            max_batch: MAX_BATCH,
+            credit_window: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the per-session [`HandlePolicy`].
+    pub fn with_policy(mut self, policy: HandlePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the server-side batch clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn with_max_batch(mut self, max_batch: u32) -> Self {
+        assert!(max_batch > 0, "max batch must be positive");
+        self.max_batch = max_batch.min(MAX_BATCH);
+        self
+    }
+
+    /// Sets the response credit window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `credit_window == 0`.
+    pub fn with_credit_window(mut self, credit_window: usize) -> Self {
+        assert!(credit_window > 0, "credit window must be positive");
+        self.credit_window = credit_window;
+        self
+    }
+}
+
+/// How often blocked accept/read calls re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// One connection's slot in the stats registry: the session's counters as
+/// of its most recently completed request (final counters once closed).
+type StatsSlot = Arc<Mutex<HandleStats>>;
+
+/// Shared across the accept loop and every connection handler.
+struct Shared {
+    queue: Arc<dyn DynSharedPq<u64>>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    sessions_opened: AtomicU64,
+    /// Every session ever opened keeps its slot here, so Stats aggregates
+    /// live *and* finished sessions (bounded by connection count, 16 bytes
+    /// a piece — fine for a diagnostic surface).
+    stats: Mutex<Vec<StatsSlot>>,
+    /// Raw streams of the *live* connections (removed on handler exit).
+    /// Shutdown closes them so a handler blocked in a write — a peer that
+    /// pipelines but never reads — is unstuck immediately; without this,
+    /// `join` could wait forever on a stalled connection.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl Shared {
+    fn aggregate_stats(&self) -> ServiceStats {
+        let mut totals = HandleStats::default();
+        for slot in self.stats.lock().iter() {
+            totals.merge(&slot.lock());
+        }
+        ServiceStats {
+            sessions: self.sessions_opened.load(Ordering::Relaxed),
+            totals,
+        }
+    }
+}
+
+/// A running choice-wire server.
+///
+/// Bind with [`PqServer::spawn`]; the accept loop and every connection run
+/// on background threads until a shutdown (wire frame or
+/// [`shutdown`](PqServer::shutdown)), after which [`join`](PqServer::join)
+/// — or drop — reaps them. The queue stays owned by the caller (it is
+/// behind an `Arc`), so its contents survive the server and can be
+/// inspected after `join`.
+pub struct PqServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl PqServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving `queue`.
+    pub fn spawn(
+        queue: Arc<dyn DynSharedPq<u64>>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<PqServer> {
+        assert!(config.credit_window > 0, "credit window must be positive");
+        assert!(config.max_batch > 0, "max batch must be positive");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            queue,
+            config,
+            shutdown: AtomicBool::new(false),
+            sessions_opened: AtomicU64::new(0),
+            stats: Mutex::new(Vec::new()),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("choice-wire-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(PqServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown (local or wire-initiated) has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown without waiting: the accept loop stops within one
+    /// poll interval and connections close at their next request boundary.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Close the live sockets too: a handler blocked writing to a peer
+        // that stopped reading would otherwise never observe the flag, and
+        // `join` would hang on it. Closed-socket errors end those handlers
+        // promptly; handlers idle in a read notice within one poll interval
+        // either way.
+        for (_, conn) in self.shared.conns.lock().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// The aggregated per-session statistics (live sessions contribute the
+    /// counters of their most recently completed request).
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.aggregate_stats()
+    }
+
+    /// Shuts down and joins every server thread, returning the final
+    /// aggregated statistics.
+    pub fn join(mut self) -> ServiceStats {
+        self.join_inner();
+        self.shared.aggregate_stats()
+    }
+
+    fn join_inner(&mut self) {
+        self.shutdown();
+        if let Some(accept) = self.accept_thread.take() {
+            let connections = accept.join().expect("accept loop panicked");
+            for conn in connections {
+                let _ = conn.join();
+            }
+        }
+    }
+}
+
+impl Drop for PqServer {
+    fn drop(&mut self) {
+        self.join_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>> {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("choice-wire-conn".into())
+                    .spawn(move || {
+                        // Connection-level I/O errors (peer vanished, reset)
+                        // close that connection only; the queue and the
+                        // other sessions are unaffected.
+                        let _ = serve_connection(stream, conn_shared);
+                    });
+                match handle {
+                    Ok(handle) => connections.push(handle),
+                    Err(_) => continue, // thread exhaustion: drop the conn
+                }
+                // Opportunistically reap finished handlers so a long-lived
+                // server does not accumulate dead JoinHandles.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    connections
+}
+
+/// Serves one connection: a session on the queue, a buffered framing loop,
+/// and the credit-window flush policy.
+///
+/// The receive path reads whole chunks into a growable buffer and decodes
+/// every complete frame it holds before reading again — a partial frame at
+/// the buffer's tail simply waits for the next chunk (never discarded, so a
+/// read timeout can never desynchronise the stream), and one `read` syscall
+/// typically carries a whole pipeline window of requests.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Reads poll so the handler notices shutdown while idle.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = stream.try_clone()?;
+
+    let conn_id = shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    shared.conns.lock().push((conn_id, stream.try_clone()?));
+    let mut writer = BufWriter::new(stream);
+
+    let slot: StatsSlot = Arc::new(Mutex::new(HandleStats::default()));
+    shared.stats.lock().push(Arc::clone(&slot));
+
+    let mut session = shared.queue.register_policy_dyn(shared.config.policy);
+    let mut inbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut out_scratch = Vec::new();
+    let mut batch_buf: Vec<(Key, u64)> = Vec::new();
+    // Responses written since the last flush; the credit window bounds it.
+    let mut unflushed = 0usize;
+
+    let result = 'conn: loop {
+        // Decode and execute every complete frame currently buffered.
+        let mut consumed = 0usize;
+        while consumed < inbuf.len() {
+            let request = match Request::decode(&inbuf[consumed..]) {
+                Ok((request, used)) => {
+                    consumed += used;
+                    request
+                }
+                Err(e) if e.is_incomplete() => break, // tail frame: read more
+                Err(wire_error) => {
+                    // Protocol violations are answered (best-effort) and
+                    // then the connection is closed: after a framing error
+                    // the byte stream cannot re-synchronise.
+                    let response = Response::Error {
+                        code: ErrorCode::Protocol,
+                        detail: wire_error.to_string(),
+                    };
+                    crate::protocol::write_response(&mut writer, &response, &mut out_scratch)?;
+                    writer.flush()?;
+                    break 'conn Err(io::Error::new(io::ErrorKind::InvalidData, wire_error));
+                }
+            };
+            let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+            let mut is_shutdown_ack = false;
+            if let (Request::DeleteMinBatch { max }, false) = (request, shutting_down) {
+                // The hot batched path keeps its entries vector: drain into
+                // it, encode from the borrow, reuse the allocation next
+                // request.
+                let clamped = max.min(shared.config.max_batch) as usize;
+                batch_buf.clear();
+                session.delete_min_batch_into(clamped, &mut batch_buf);
+                out_scratch.clear();
+                crate::protocol::encode_batch_response(&mut out_scratch, &batch_buf);
+                writer.write_all(&out_scratch)?;
+            } else {
+                let response = execute(request, &mut *session, &shared, shutting_down);
+                is_shutdown_ack = matches!(response, Response::ShuttingDown);
+                crate::protocol::write_response(&mut writer, &response, &mut out_scratch)?;
+            }
+            unflushed += 1;
+            // Publish this session's counters after every request so the
+            // Stats op (served by any connection) sees near-current totals.
+            // The slot mutex is uncontended except during an actual Stats
+            // aggregation.
+            *slot.lock() = session.stats();
+            if is_shutdown_ack {
+                writer.flush()?;
+                break 'conn Ok(());
+            }
+            if unflushed >= shared.config.credit_window {
+                writer.flush()?;
+                unflushed = 0;
+            }
+        }
+        inbuf.drain(..consumed);
+
+        // The buffered requests are answered; the stream is about to block,
+        // which ends the credit round — flush.
+        if unflushed > 0 {
+            writer.flush()?;
+            unflushed = 0;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                break 'conn if inbuf.is_empty() {
+                    Ok(()) // clean disconnect at a frame boundary
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        WireError::Truncated { needed: 1 },
+                    ))
+                };
+            }
+            Ok(n) => inbuf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle (possibly mid-frame): nothing was consumed, nothing
+                // is lost. Just check for shutdown and poll again.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break 'conn Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => break 'conn Err(e),
+        }
+    };
+    // The session drops here, flushing any policy-buffered inserts back to
+    // the shared queue; record its final counters and deregister the
+    // stream (the stats slot stays: closed sessions keep counting).
+    let final_stats = session.stats();
+    drop(session);
+    *slot.lock() = final_stats;
+    shared.conns.lock().retain(|(id, _)| *id != conn_id);
+    result
+}
+
+/// Executes one decoded request against the connection's session (the
+/// batched-removal path lives in [`serve_connection`], which owns the
+/// reusable entries buffer).
+fn execute(
+    request: Request,
+    session: &mut dyn PqHandle<u64>,
+    shared: &Shared,
+    shutting_down: bool,
+) -> Response {
+    if shutting_down && !matches!(request, Request::Shutdown | Request::Stats) {
+        return Response::Error {
+            code: ErrorCode::Unavailable,
+            detail: "server is shutting down".to_string(),
+        };
+    }
+    match request {
+        Request::Insert { key, value } => {
+            if key == Key::MAX {
+                // The in-process API panics on the reserved key (programmer
+                // error); a remote peer gets a refusal frame instead.
+                return Response::Error {
+                    code: ErrorCode::ReservedKey,
+                    detail: "key u64::MAX is reserved as the empty-lane sentinel".to_string(),
+                };
+            }
+            session.insert(key, value);
+            Response::Inserted
+        }
+        Request::DeleteMin => match session.delete_min() {
+            Some((key, value)) => Response::Entry { key, value },
+            None => Response::Empty,
+        },
+        Request::DeleteMinBatch { max } => {
+            // Only reachable during shutdown (the guard above answered) or
+            // never — the live path is inlined in `serve_connection`.
+            let clamped = max.min(shared.config.max_batch) as usize;
+            let mut entries = Vec::new();
+            session.delete_min_batch_into(clamped, &mut entries);
+            Response::Batch(entries)
+        }
+        Request::ApproxLen => Response::Len(shared.queue.approx_len_dyn() as u64),
+        Request::Stats => {
+            // Fold the *requesting* session's live counters over its slot
+            // snapshot's position by publishing first — the caller updates
+            // the slot after execute returns, so aggregate over the current
+            // registry is at most one request stale per session.
+            Response::Stats(shared.aggregate_stats())
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::read_frame_bytes;
+    use choice_pq::{MultiQueue, MultiQueueConfig};
+
+    fn spawn_server(config: ServerConfig) -> PqServer {
+        let queue: Arc<dyn DynSharedPq<u64>> = Arc::new(MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(4).with_seed(9),
+        ));
+        PqServer::spawn(queue, "127.0.0.1:0", config).expect("bind ephemeral")
+    }
+
+    /// Raw-socket round trip without the client type: the server speaks the
+    /// protocol to anything that frames correctly.
+    #[test]
+    fn raw_socket_insert_and_delete_roundtrip() {
+        let server = spawn_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        Request::Insert { key: 5, value: 50 }.encode(&mut wire);
+        Request::DeleteMin.encode(&mut wire);
+        Request::DeleteMin.encode(&mut wire);
+        stream.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        assert_eq!(Response::decode(&frame).unwrap().0, Response::Inserted);
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        assert_eq!(
+            Response::decode(&frame).unwrap().0,
+            Response::Entry { key: 5, value: 50 }
+        );
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        assert_eq!(Response::decode(&frame).unwrap().0, Response::Empty);
+        drop(stream);
+        let stats = server.join();
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.totals.inserts, 1);
+        assert_eq!(stats.totals.removals, 1);
+        assert_eq!(stats.totals.failed_removals, 1);
+    }
+
+    #[test]
+    fn reserved_key_is_refused_not_a_panic() {
+        let server = spawn_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        Request::Insert {
+            key: Key::MAX,
+            value: 0,
+        }
+        .encode(&mut wire);
+        Request::ApproxLen.encode(&mut wire);
+        stream.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        match Response::decode(&frame).unwrap().0 {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::ReservedKey),
+            other => panic!("expected a refusal, got {other:?}"),
+        }
+        // The connection survives a refusal (only framing errors close it).
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        assert_eq!(Response::decode(&frame).unwrap().0, Response::Len(0));
+    }
+
+    #[test]
+    fn garbage_bytes_get_a_protocol_error_then_a_close() {
+        let server = spawn_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A syntactically valid length prefix followed by a bad version.
+        let mut garbage = 2u32.to_le_bytes().to_vec();
+        garbage.extend_from_slice(&[0x42, 0x01]);
+        stream.write_all(&garbage).unwrap();
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        match Response::decode(&frame).unwrap().0 {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+        // ...and then EOF: the server closed the poisoned stream.
+        assert!(!read_frame_bytes(&mut stream, &mut frame).unwrap());
+        // The server itself is still alive for new, well-behaved peers.
+        let mut fresh = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        Request::ApproxLen.encode(&mut wire);
+        fresh.write_all(&wire).unwrap();
+        assert!(read_frame_bytes(&mut fresh, &mut frame).unwrap());
+        assert_eq!(Response::decode(&frame).unwrap().0, Response::Len(0));
+    }
+
+    #[test]
+    fn wire_shutdown_stops_the_server() {
+        let server = spawn_server(ServerConfig::default());
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut wire = Vec::new();
+        Request::Shutdown.encode(&mut wire);
+        stream.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        assert_eq!(Response::decode(&frame).unwrap().0, Response::ShuttingDown);
+        assert!(server.is_shutting_down());
+        server.join();
+        // The port is released: a fresh connect is refused (or immediately
+        // reset); either way no frames flow.
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || read_frame_bytes(&mut TcpStream::connect(addr).unwrap(), &mut frame)
+                    .map(|more| !more)
+                    .unwrap_or(true)
+        );
+    }
+
+    #[test]
+    fn batch_requests_are_clamped_to_the_server_limit() {
+        let server = spawn_server(ServerConfig::default().with_max_batch(4));
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        for k in 0..16u64 {
+            Request::Insert { key: k, value: k }.encode(&mut wire);
+        }
+        Request::DeleteMinBatch { max: u32::MAX }.encode(&mut wire);
+        stream.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        for _ in 0..16 {
+            assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+            assert_eq!(Response::decode(&frame).unwrap().0, Response::Inserted);
+        }
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        match Response::decode(&frame).unwrap().0 {
+            Response::Batch(entries) => {
+                assert!(
+                    (1..=4).contains(&entries.len()),
+                    "clamp to 4, got {}",
+                    entries.len()
+                );
+                // Within one batch keys come off one lane in ascending order.
+                assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+            }
+            other => panic!("expected a batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_completes_despite_live_connections() {
+        // An open connection that never sends (or never reads) must not
+        // stall join: shutdown closes the live sockets, so handlers stuck
+        // in reads *or* writes exit promptly.
+        let server = spawn_server(ServerConfig::default());
+        let _idle = TcpStream::connect(server.local_addr()).unwrap();
+        let started = std::time::Instant::now();
+        server.join();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "join must not wait on the idle connection"
+        );
+    }
+
+    #[test]
+    fn config_builders_validate() {
+        let c = ServerConfig::default()
+            .with_policy(HandlePolicy::default().with_insert_batch(8))
+            .with_max_batch(100)
+            .with_credit_window(7);
+        assert_eq!(c.policy.insert_batch, 8);
+        assert_eq!(c.max_batch, 100);
+        assert_eq!(c.credit_window, 7);
+        assert!(std::panic::catch_unwind(|| ServerConfig::default().with_max_batch(0)).is_err());
+        assert!(
+            std::panic::catch_unwind(|| ServerConfig::default().with_credit_window(0)).is_err()
+        );
+    }
+}

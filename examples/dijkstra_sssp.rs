@@ -7,14 +7,19 @@
 //! ```text
 //! cargo run --release --example dijkstra_sssp
 //! ```
+//!
+//! Environment knobs (used by the CI smoke run): `SSSP_GRID` (grid side
+//! length, default 200), `SSSP_THREADS` (parallel workers, default 4).
 
 use std::time::Instant;
 
 use power_of_choice::prelude::*;
+use power_of_choice::util::env_u64;
 
 fn main() {
-    // A sparse road-like graph: 200x200 grid, random weights in [1, 1000].
-    let graph = grid_graph(200, 200, 1_000, 7);
+    // A sparse road-like graph: side×side grid, random weights in [1, 1000].
+    let side = env_u64("SSSP_GRID", 200).max(2) as usize;
+    let graph = grid_graph(side, side, 1_000, 7);
     println!(
         "graph: {} nodes, {} directed edges (synthetic stand-in for a road network)",
         graph.nodes(),
@@ -26,7 +31,7 @@ fn main() {
     let reference = dijkstra(&graph, 0);
     println!("sequential Dijkstra: {:?}", t0.elapsed());
 
-    let threads = 4;
+    let threads = env_u64("SSSP_THREADS", 4).max(1) as usize;
 
     // Relaxed MultiQueue, beta = 0.75 (the paper's sweet spot). Each SSSP
     // worker registers its own session handle on it.

@@ -14,13 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use power_of_choice::prelude::*;
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+use power_of_choice::util::env_u64;
 
 fn main() {
     let threads = env_u64("QUICKSTART_THREADS", 4) as usize;

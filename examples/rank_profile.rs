@@ -11,13 +11,18 @@
 //! ```text
 //! cargo run --release --example rank_profile
 //! ```
+//!
+//! Environment knobs (used by the CI smoke run): `RANK_STEPS` (process steps
+//! per configuration, default 100000), `RANK_QUEUES` (number of queues n,
+//! default 16).
 
 use power_of_choice::prelude::*;
 use power_of_choice::process::potential::{PotentialParams, PotentialSnapshot};
+use power_of_choice::util::env_u64;
 
 fn main() {
-    let n = 16usize;
-    let steps = 100_000u64;
+    let n = env_u64("RANK_QUEUES", 16).max(2) as usize;
+    let steps = env_u64("RANK_STEPS", 100_000).max(1);
     let floor = (n as u64) * 500;
 
     println!("sequential (1 + beta) process with n = {n} queues, {steps} steps");

@@ -28,13 +28,7 @@ use std::time::Duration;
 
 use power_of_choice::prelude::*;
 use power_of_choice::sched::{ArrivalPattern, TrafficClass, TrafficSpec};
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+use power_of_choice::util::env_u64;
 
 fn main() {
     let workers = env_u64("SCHED_WORKERS", 4) as usize;

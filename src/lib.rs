@@ -65,6 +65,24 @@ pub use sssp_graph as graph;
 /// paper's motivating application class, built on the session API.
 pub use choice_sched as sched;
 
+/// The TCP priority-queue service: wire protocol, session-per-connection
+/// server and blocking pipelined client ("choice-wire").
+pub use choice_wire as service;
+
+/// Small helpers shared by the examples and downstream harnesses.
+pub mod util {
+    /// Reads a `u64` knob from the environment (e.g. `QUICKSTART_ITEMS`,
+    /// `SERVICE_CLIENTS`), falling back to `default` when the variable is
+    /// unset or unparsable. The CI smoke steps scale every example down
+    /// through knobs read with this.
+    pub fn env_u64(name: &str, default: u64) -> u64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use balls_bins::{AllocationProcess, ChoiceRule};
@@ -78,6 +96,7 @@ pub mod prelude {
     pub use choice_sched::{
         BackoffPolicy, LatenessTracker, Scheduler, SchedulerConfig, SchedulerReport, TaskCtx,
     };
+    pub use choice_wire::{PqClient, PqServer, ServerConfig, ServiceStats};
     pub use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
     pub use rank_stats::inversion::InversionCounter;
     pub use seq_pq::{BinaryHeap, PairingHeap, SequentialPriorityQueue, SkipListPq};

@@ -227,20 +227,30 @@ fn handle_stats_are_per_session() {
     assert_eq!(b.stats().failed_removals, 0);
 }
 
-/// The deprecated flat trait still works through the `LegacyPq` adapter (one
-/// release of compatibility for out-of-tree code).
+/// Per-session counters fold into queue-wide totals with
+/// `HandleStats::merge` — the aggregation the service's Stats op and the
+/// scheduler report are built on.
 #[test]
-#[allow(deprecated)]
-fn legacy_adapter_bridges_old_code() {
-    use power_of_choice::multiqueue::{ConcurrentPriorityQueue, LegacyPq};
-    let q = LegacyPq::new(queue(4, 1.0, 6));
-    q.insert(2, 20);
-    q.insert(1, 10);
-    assert_eq!(q.approx_len(), 2);
-    let mut keys = Vec::new();
-    while let Some((k, _)) = q.delete_min() {
-        keys.push(k);
+fn stats_merge_across_sessions_accounts_every_operation() {
+    let q = queue(4, 1.0, 6);
+    let mut a = q.register();
+    let mut b = q.register();
+    for k in 0..10u64 {
+        a.insert(k, k);
     }
-    keys.sort_unstable();
-    assert_eq!(keys, vec![1, 2]);
+    let mut popped = 0;
+    while b.delete_min().is_some() {
+        popped += 1;
+    }
+    assert_eq!(popped, 10);
+    let mut total = HandleStats::default();
+    total.merge(&a.stats());
+    total.merge(&b.stats());
+    assert_eq!(total.inserts, 10);
+    assert_eq!(total.removals, 10);
+    assert_eq!(total.failed_removals, 1, "b's final empty poll");
+    assert_eq!(
+        total.operations(),
+        a.stats().operations() + b.stats().operations()
+    );
 }

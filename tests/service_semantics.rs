@@ -1,0 +1,172 @@
+//! Integration tests for the choice-wire service: exactly-once delivery and
+//! key conservation over loopback TCP, across concurrent clients, on every
+//! backend the paper compares.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use power_of_choice::prelude::*;
+use power_of_choice::service::{ClientError, ErrorCode, Request, Response};
+
+/// The four backends behind the service, type-erased exactly as the bench
+/// harness builds them.
+fn backends(clients: usize, seed: u64) -> Vec<(&'static str, Arc<dyn DynSharedPq<u64>>)> {
+    vec![
+        (
+            "multiqueue",
+            Arc::new(MultiQueue::new(
+                MultiQueueConfig::for_threads(clients)
+                    .with_beta(0.75)
+                    .with_seed(seed),
+            )),
+        ),
+        ("coarse-heap", Arc::new(CoarseHeap::new())),
+        (
+            "klsm",
+            Arc::new(KLsmQueue::new(
+                KLsmConfig::for_threads(clients).with_relaxation(256),
+            )),
+        ),
+        ("skiplist", Arc::new(SkipListQueue::with_seed(seed))),
+    ]
+}
+
+/// Four concurrent clients insert disjoint key ranges and then drain the
+/// queue through batched removals. Every key must come back exactly once
+/// across all clients (no loss, no duplication), on every backend.
+#[test]
+fn exactly_once_and_key_conservation_across_four_clients() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: u64 = 2_000;
+    const TOTAL: u64 = CLIENTS as u64 * PER_CLIENT;
+
+    for (name, queue) in backends(CLIENTS, 7) {
+        let server = PqServer::spawn(Arc::clone(&queue), "127.0.0.1:0", ServerConfig::default())
+            .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let inserted_barrier = Barrier::new(CLIENTS);
+        let collected = AtomicU64::new(0);
+
+        let popped: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..CLIENTS as u64)
+                .map(|c| {
+                    let inserted_barrier = &inserted_barrier;
+                    let collected = &collected;
+                    scope.spawn(move || {
+                        let mut client = PqClient::connect_with_window(addr, 32).expect("connect");
+                        // Insert this client's disjoint range, pipelined.
+                        for key in (c * PER_CLIENT)..((c + 1) * PER_CLIENT) {
+                            if let Some((response, _)) = client
+                                .submit(&Request::Insert {
+                                    key,
+                                    value: key ^ 0xA5A5,
+                                })
+                                .expect("pipelined insert")
+                            {
+                                assert_eq!(response, Response::Inserted, "{name}");
+                            }
+                        }
+                        client
+                            .drain_all(|(response, _)| {
+                                assert_eq!(response, Response::Inserted, "{name}")
+                            })
+                            .expect("insert acks");
+                        // All inserts acknowledged (and the default policy
+                        // buffers nothing), so once every client reaches
+                        // this point the queue holds exactly TOTAL entries.
+                        inserted_barrier.wait();
+
+                        // Drain cooperatively until the fleet has seen every
+                        // entry. A batch may come back empty transiently
+                        // (relaxed emptiness is best-effort); only the
+                        // shared count terminates.
+                        let mut mine = Vec::new();
+                        while collected.load(Ordering::SeqCst) < TOTAL {
+                            let entries = client.delete_min_batch(32).expect("batched removal");
+                            if entries.is_empty() {
+                                std::thread::yield_now();
+                                continue;
+                            }
+                            collected.fetch_add(entries.len() as u64, Ordering::SeqCst);
+                            for (key, value) in entries {
+                                assert_eq!(value, key ^ 0xA5A5, "{name}: payload mangled");
+                                mine.push(key);
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+
+        let mut all: Vec<u64> = popped.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..TOTAL).collect::<Vec<u64>>(),
+            "{name}: every key exactly once"
+        );
+
+        // The server saw it all: 4 sessions, TOTAL inserts, TOTAL removals.
+        let stats = server.join();
+        assert_eq!(stats.sessions, CLIENTS as u64, "{name}");
+        assert_eq!(stats.totals.inserts, TOTAL, "{name}");
+        assert_eq!(stats.totals.removals, TOTAL, "{name}");
+        assert!(queue.is_empty_dyn(), "{name}: nothing strands in the queue");
+    }
+}
+
+/// The quiescent element count is visible over the wire, and the Stats op
+/// aggregates every session's counters (the `HandleStats::merge` path).
+#[test]
+fn approx_len_and_stats_aggregate_across_sessions() {
+    let queue: Arc<dyn DynSharedPq<u64>> = Arc::new(MultiQueue::new(
+        MultiQueueConfig::for_threads(2).with_seed(11),
+    ));
+    let server =
+        PqServer::spawn(Arc::clone(&queue), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut a = PqClient::connect(server.local_addr()).unwrap();
+    let mut b = PqClient::connect(server.local_addr()).unwrap();
+    for key in 0..100u64 {
+        a.insert(key, key).unwrap();
+    }
+    for _ in 0..40 {
+        assert!(b.delete_min().unwrap().is_some());
+    }
+    assert_eq!(a.approx_len().unwrap(), 60);
+    // Either session observes the merged totals.
+    for client in [&mut a, &mut b] {
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.totals.inserts, 100);
+        assert_eq!(stats.totals.removals, 40);
+    }
+    b.shutdown_server().unwrap();
+    let final_stats = server.join();
+    // Only queue operations count: ApproxLen / Stats / Shutdown are service
+    // ops, not session ops.
+    assert_eq!(final_stats.totals.operations(), 140);
+}
+
+/// Remote refusals and protocol violations surface as typed errors without
+/// disturbing other sessions.
+#[test]
+fn refusals_are_per_session_not_per_server() {
+    let queue: Arc<dyn DynSharedPq<u64>> = Arc::new(MultiQueue::new(
+        MultiQueueConfig::for_threads(2).with_seed(3),
+    ));
+    let server =
+        PqServer::spawn(Arc::clone(&queue), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut good = PqClient::connect(server.local_addr()).unwrap();
+    let mut bad = PqClient::connect(server.local_addr()).unwrap();
+    match bad.insert(u64::MAX, 0) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ReservedKey),
+        other => panic!("expected the reserved-key refusal, got {other:?}"),
+    }
+    // The well-behaved session is untouched, and the refused session itself
+    // stays usable (only framing errors close a connection).
+    good.insert(1, 10).unwrap();
+    bad.insert(2, 20).unwrap();
+    assert_eq!(good.approx_len().unwrap(), 2);
+}
