@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use choice_pq::{ChoiceRule, DynSharedPq, MultiQueue, MultiQueueConfig};
+use choice_pq::{ChoiceRule, DynSharedPq, ElasticPolicy, MultiQueue, MultiQueueConfig};
 use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
 
 /// Which concurrent priority queue to benchmark.
@@ -21,6 +21,17 @@ pub enum QueueSpec {
         /// Number of lanes sampled per deleteMin.
         d: usize,
         /// Queues-per-thread factor.
+        queues_per_thread: usize,
+    },
+    /// The sharded **elastic** d-choice MultiQueue (`t10_elastic`): lane
+    /// capacity `c·threads`, the default [`ElasticPolicy`] controller
+    /// resizing the active set from live contention/sparseness rates.
+    MultiQueueElastic {
+        /// Number of lanes sampled per deleteMin.
+        d: usize,
+        /// Insert shard count.
+        shards: usize,
+        /// Queues-per-thread capacity factor (the elastic *ceiling*).
         queues_per_thread: usize,
     },
     /// The coarse-locked exact binary heap.
@@ -51,6 +62,16 @@ impl QueueSpec {
         }
     }
 
+    /// The elastic MultiQueue with an over-provisioned `c = 4` lane ceiling
+    /// (the controller decides how much of it to use).
+    pub fn multiqueue_elastic(d: usize, shards: usize) -> Self {
+        QueueSpec::MultiQueueElastic {
+            d,
+            shards,
+            queues_per_thread: 4,
+        }
+    }
+
     /// Short name used in table rows.
     pub fn label(&self) -> String {
         match self {
@@ -62,6 +83,11 @@ impl QueueSpec {
                 d,
                 queues_per_thread,
             } => format!("multiqueue(d={d}, c={queues_per_thread})"),
+            QueueSpec::MultiQueueElastic {
+                d,
+                shards,
+                queues_per_thread,
+            } => format!("mq-elastic(d={d}, s={shards}, c={queues_per_thread})"),
             QueueSpec::CoarseHeap => "coarse-heap".to_string(),
             QueueSpec::SkipList => "skiplist".to_string(),
             QueueSpec::KLsm { relaxation } => format!("klsm(k={relaxation})"),
@@ -109,6 +135,17 @@ pub fn build_queue<V: Send + 'static>(
                 .with_choice(ChoiceRule::uniform(d))
                 .with_seed(seed),
         )),
+        QueueSpec::MultiQueueElastic {
+            d,
+            shards,
+            queues_per_thread,
+        } => Arc::new(MultiQueue::new(
+            MultiQueueConfig::for_threads_with_factor(threads, queues_per_thread)
+                .with_choice(ChoiceRule::uniform(d))
+                .with_shards(shards)
+                .with_elastic(ElasticPolicy::default())
+                .with_seed(seed),
+        )),
         QueueSpec::CoarseHeap => Arc::new(CoarseHeap::new()),
         QueueSpec::SkipList => Arc::new(SkipListQueue::with_seed(seed)),
         QueueSpec::KLsm { relaxation } => Arc::new(KLsmQueue::new(
@@ -153,6 +190,20 @@ mod tests {
         // 4 threads * 2 queues/thread = 8 lanes; we can only check indirectly
         // through the name, which embeds the config.
         assert!(q.name().contains("n=8"));
+    }
+
+    #[test]
+    fn elastic_spec_builds_a_resizable_queue() {
+        let spec = QueueSpec::multiqueue_elastic(4, 2);
+        assert_eq!(spec.label(), "mq-elastic(d=4, s=2, c=4)");
+        let q = build_queue::<u64>(spec, 2, 7);
+        let shape = q.topology_dyn();
+        assert_eq!(shape.max_lanes, 8, "2 threads × c=4 capacity");
+        assert!(shape.active_lanes < shape.max_lanes, "starts at the floor");
+        assert_eq!(shape.shards, 2);
+        let mut h = q.register_dyn();
+        h.insert(1, 10);
+        assert_eq!(h.delete_min(), Some((1, 10)));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! types.
 
 use rank_stats::inversion::TimestampedRemoval;
-use rank_stats::rng::{RandomSource, Xoshiro256};
+use rank_stats::rng::Xoshiro256;
 
 use crate::queue::MultiQueue;
 use crate::traits::{HandleStats, Key, PqHandle};
@@ -35,8 +35,14 @@ use crate::traits::{HandleStats, Key, PqHandle};
 pub struct HandlePolicy {
     /// Number of consecutive inserts served from the same sticky lane before
     /// a fresh random lane is chosen. `0` disables stickiness (every insert
-    /// picks a fresh random lane, the paper's rule).
+    /// picks a fresh random lane, the paper's rule). On a sharded queue the
+    /// sticky lane is drawn within the handle's shard.
     pub sticky_ops: usize,
+    /// Explicit insert-shard pin for this session (reduced modulo the
+    /// queue's shard count). `None` (the default) assigns the shard from the
+    /// handle id round-robin — `id % shards` — which spreads a worker pool
+    /// evenly. Irrelevant on unsharded queues (`shards == 1`).
+    pub shard: Option<usize>,
     /// Insert batch size. `0` or `1` publishes every insert immediately;
     /// larger values buffer up to that many inserts privately and publish
     /// them together under one lane lock. Buffered elements are invisible to
@@ -71,6 +77,13 @@ impl HandlePolicy {
         self
     }
 
+    /// Pins the session to an explicit insert shard (reduced modulo the
+    /// queue's shard count at registration).
+    pub fn with_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Enables or disables removal logging.
     pub fn with_instrumentation(mut self, instrument: bool) -> Self {
         self.instrument = instrument;
@@ -94,6 +107,9 @@ pub struct MqHandle<'q, V> {
     id: u64,
     policy: HandlePolicy,
     rng: Xoshiro256,
+    /// The insert shard this session publishes into (always `0` when the
+    /// queue is unsharded).
+    shard: usize,
     /// Current sticky insert lane and how many more inserts may use it.
     sticky_lane: usize,
     sticky_left: usize,
@@ -116,11 +132,17 @@ impl<'q, V> MqHandle<'q, V> {
         rng: Xoshiro256,
         policy: HandlePolicy,
     ) -> Self {
+        let shards = queue.config().shards;
+        let shard = match policy.shard {
+            Some(pinned) => pinned % shards,
+            None => (id % shards as u64) as usize,
+        };
         Self {
             queue,
             id,
             policy,
             rng,
+            shard,
             sticky_lane: 0,
             sticky_left: 0,
             // Cap the preallocation: insert_batch is an unvalidated public
@@ -156,6 +178,13 @@ impl<'q, V> MqHandle<'q, V> {
         self.queue
     }
 
+    /// The insert shard this session publishes into (`0` on unsharded
+    /// queues). Pinned by [`HandlePolicy::with_shard`], otherwise assigned
+    /// round-robin from the handle id.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
     /// Number of privately buffered (not yet published) inserts.
     pub fn buffered(&self) -> usize {
         self.buffer.len()
@@ -167,13 +196,18 @@ impl<'q, V> MqHandle<'q, V> {
         self.sticky_lane
     }
 
-    /// The sticky lane hint for one insert, refreshing it when exhausted.
+    /// The sticky lane hint for one insert, refreshing it (within the
+    /// session's shard, over the currently active lanes) when exhausted. A
+    /// hint that goes stale across a shrink is simply ignored by the insert
+    /// path.
     fn insert_hint(&mut self) -> Option<usize> {
         if self.policy.sticky_ops == 0 {
             return None;
         }
         if self.sticky_left == 0 {
-            self.sticky_lane = self.rng.next_index(self.queue.lanes());
+            self.sticky_lane =
+                self.queue
+                    .stride_lane(&mut self.rng, self.shard, self.queue.active_lanes());
             self.sticky_left = self.policy.sticky_ops;
         }
         self.sticky_left -= 1;
@@ -190,9 +224,13 @@ impl<'q, V> MqHandle<'q, V> {
         let hint = self.insert_hint();
         // Split borrows: buffer and rng are distinct fields.
         let Self {
-            queue, rng, buffer, ..
+            queue,
+            rng,
+            buffer,
+            shard,
+            ..
         } = self;
-        queue.insert_batch_with(rng, hint, buffer);
+        queue.insert_batch_with(rng, *shard, hint, buffer);
     }
 }
 
@@ -247,7 +285,8 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
             }
         } else {
             let hint = self.insert_hint();
-            self.queue.insert_with(&mut self.rng, hint, key, value);
+            self.queue
+                .insert_with(&mut self.rng, self.shard, hint, key, value);
         }
     }
 
@@ -669,11 +708,13 @@ mod tests {
         let p = HandlePolicy::plain()
             .with_sticky_ops(4)
             .with_insert_batch(16)
+            .with_shard(3)
             .with_instrumentation(true);
         assert_eq!(
             p,
             HandlePolicy {
                 sticky_ops: 4,
+                shard: Some(3),
                 insert_batch: 16,
                 instrument: true
             }
@@ -682,5 +723,19 @@ mod tests {
         let h = q.register_with(p);
         assert_eq!(h.policy(), p);
         assert_eq!(h.queue().lanes(), 4);
+        // An unsharded queue reduces every pin to shard 0.
+        assert_eq!(h.shard(), 0);
+    }
+
+    #[test]
+    fn shard_assignment_is_round_robin_unless_pinned() {
+        let q =
+            MultiQueue::<u64>::new(MultiQueueConfig::with_queues(8).with_shards(4).with_seed(7));
+        let a = q.register();
+        let b = q.register();
+        let c = q.register_with(HandlePolicy::default().with_shard(7));
+        assert_eq!(a.shard(), 0);
+        assert_eq!(b.shard(), 1);
+        assert_eq!(c.shard(), 3, "pins reduce modulo the shard count");
     }
 }

@@ -55,8 +55,10 @@ pub mod handle;
 pub mod queue;
 pub mod traits;
 
-pub use config::{ChoiceRule, MultiQueueConfig};
+pub use config::{ChoiceRule, ElasticPolicy, MultiQueueConfig};
 pub use flat::{FlatHandle, FlatOps};
 pub use handle::{HandlePolicy, MqHandle};
 pub use queue::MultiQueue;
-pub use traits::{check_key, DynSharedPq, HandleStats, Key, PqHandle, SharedPq, RESERVED_KEY};
+pub use traits::{
+    check_key, DynSharedPq, HandleStats, Key, PqHandle, QueueTopology, SharedPq, RESERVED_KEY,
+};

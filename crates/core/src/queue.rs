@@ -1,4 +1,50 @@
-//! The concurrent (1 + β) MultiQueue.
+//! The concurrent (1 + β) MultiQueue — sharded and elastic.
+//!
+//! # Lanes, shards and the active prefix
+//!
+//! The queue allocates `config.queues` lanes up front but only the first
+//! `active` of them participate in normal operation. The pair
+//! `(epoch, active)` is packed into one `AtomicU64` (the **lane table**), so
+//! every reader observes a consistent resize state from a single load — a
+//! concurrent `delete_min` can never see a torn resize. The active lanes are
+//! partitioned into `config.shards` *insert shards* by stride (shard `s`
+//! owns lanes `s, s + shards, …`): a lane's shard never changes, and any
+//! active count `≥ shards` keeps every shard non-empty.
+//!
+//! Handles publish inserts into their own shard (sticky-lane generalised to
+//! sticky-shard) while `delete_min` samples across **all** active lanes, so
+//! the paper's rank argument is unchanged — sharding only narrows where a
+//! given session's inserts land, which buys cache locality exactly like
+//! sticky lanes did, one level up.
+//!
+//! # The elastic resize protocol
+//!
+//! Resizes (cooperative, triggered by an [`ElasticPolicy`] controller or by
+//! [`MultiQueue::resize_active`]) are serialised by a resize mutex and obey
+//! one invariant: **an element can only ever sit in a lane that was active
+//! when it was pushed, and retiring a lane moves its contents back into the
+//! active prefix before the resize completes.** Concretely:
+//!
+//! * *Grow* bumps the lane table; newly activated lanes start empty (they
+//!   were drained when retired, or never used).
+//! * *Shrink* first bumps the lane table (epoch + 1, smaller active count),
+//!   then locks each retired lane in turn, drains it with the same
+//!   `drain_heap` core the public removal paths use, and re-publishes the
+//!   elements into the surviving prefix.
+//! * *Insert* validates its target lane **after** acquiring the lane lock:
+//!   if the lane table no longer covers the lane, the insert releases and
+//!   retries elsewhere. Because the retirement drain needs that same lock
+//!   and runs strictly after the table bump, every push either happens
+//!   before the drain (and is moved) or observes the retirement (and goes
+//!   elsewhere) — key conservation by construction, no epoch re-validation
+//!   on the read side needed.
+//! * Lanes below [`MultiQueueConfig::min_active_lanes`] are never retired,
+//!   so the blocking fallbacks (retry budget exhausted) target those and
+//!   need no validation loop.
+//!
+//! See `DESIGN.md` §7 for the full argument.
+//!
+//! [`ElasticPolicy`]: crate::config::ElasticPolicy
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -11,22 +57,32 @@ use seq_pq::{BinaryHeap, SequentialPriorityQueue};
 
 use crate::config::MultiQueueConfig;
 use crate::handle::{HandlePolicy, MqHandle};
-use crate::traits::{Key, SharedPq};
+use crate::traits::{Key, QueueTopology, SharedPq};
 
 /// Sentinel stored in a lane's cached-top slot when the lane is empty.
 /// [`check_key`](crate::check_key) keeps real keys out of this value at
 /// insert time.
 const EMPTY_TOP: u64 = u64::MAX;
 
+/// Low half of the packed lane table: the active lane count.
+const ACTIVE_MASK: u64 = 0xFFFF_FFFF;
+
 /// What one [`MultiQueue::drain_best_with`] call did, beyond the drained
 /// elements themselves: the retry accounting the handle layer turns into
-/// [`HandleStats`](crate::HandleStats) counters.
+/// [`HandleStats`](crate::HandleStats) counters and the elastic controller
+/// turns into resize decisions.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct DrainOutcome {
     /// Number of elements appended to the caller's buffer.
     pub drained: usize,
-    /// Retry-loop iterations lost to contention or peek/lock races.
+    /// Retry-loop iterations lost to contention or peek/lock races (the
+    /// total the handle layer reports; includes `sparse_retries`).
     pub contended_retries: u64,
+    /// Subset of `contended_retries` where every *sampled* top looked empty
+    /// while the structure was not — the over-provisioning signal the
+    /// elastic controller shrinks on, as opposed to lost lock races (which
+    /// it grows on).
+    pub sparse_retries: u64,
     /// Whether a zero-element result came from a quiescent-empty observation
     /// (`len` read as zero, or the locked steal scan found every lane empty)
     /// rather than from `max == 0`.
@@ -39,6 +95,7 @@ impl DrainOutcome {
         Self {
             drained: 0,
             contended_retries: 0,
+            sparse_retries: 0,
             observed_empty: false,
         }
     }
@@ -68,6 +125,21 @@ impl<V> Lane<V> {
     }
 }
 
+/// The elastic controller's mutable state (all touched off the lock-free hot
+/// path only when [`MultiQueueConfig::elastic`] is set).
+#[derive(Debug, Default)]
+struct Elastic {
+    /// Operations observed since the last controller decision.
+    window_ops: AtomicU64,
+    /// Try-lock failures (insert and delete side) in the current window.
+    window_lock: AtomicU64,
+    /// Sparse delete samples (all sampled tops empty, structure non-empty)
+    /// in the current window.
+    window_sparse: AtomicU64,
+    /// Decision windows left to skip after the last resize (hysteresis).
+    cooldown: AtomicU64,
+}
+
 /// The relaxed concurrent priority queue of the paper.
 ///
 /// All operations go through registered session handles
@@ -78,7 +150,9 @@ impl<V> Lane<V> {
 /// lookups.
 ///
 /// See the [crate-level documentation](crate) for the algorithm; see
-/// [`MultiQueueConfig`] for sizing and the choice rule (β / d).
+/// [`MultiQueueConfig`] for sizing, the choice rule (β / d), sharding and
+/// elasticity; see the [module documentation](self) for the resize
+/// protocol.
 ///
 /// # Example
 ///
@@ -99,6 +173,16 @@ impl<V> Lane<V> {
 #[derive(Debug)]
 pub struct MultiQueue<V> {
     lanes: Vec<CachePadded<Lane<V>>>,
+    /// Packed `(epoch << 32) | active` lane table; a single load gives a
+    /// consistent resize view. Written only under `resize_mutex`.
+    lane_table: AtomicU64,
+    /// Serialises resizes; held across the whole shrink drain, so a grow
+    /// can never interleave with a retirement in progress.
+    resize_mutex: Mutex<()>,
+    /// Completed grow / shrink events (diagnostics + [`QueueTopology`]).
+    grow_events: AtomicU64,
+    shrink_events: AtomicU64,
+    elastic: Elastic,
     len: AtomicUsize,
     /// Monotonic id source for registered handles.
     next_handle_id: AtomicU64,
@@ -109,13 +193,25 @@ pub struct MultiQueue<V> {
 }
 
 impl<V> MultiQueue<V> {
-    /// Creates an empty MultiQueue.
+    /// Creates an empty MultiQueue. An elastic configuration starts at its
+    /// [`min_active_lanes`](MultiQueueConfig::min_active_lanes) floor; a
+    /// static one starts (and stays) at full capacity.
     pub fn new(config: MultiQueueConfig) -> Self {
+        assert!(
+            config.shards <= config.queues,
+            "shard count exceeds the lane capacity"
+        );
         let lanes = (0..config.queues)
             .map(|_| CachePadded::new(Lane::new()))
             .collect();
+        let initial_active = config.min_active_lanes() as u64;
         Self {
             lanes,
+            lane_table: AtomicU64::new(initial_active),
+            resize_mutex: Mutex::new(()),
+            grow_events: AtomicU64::new(0),
+            shrink_events: AtomicU64::new(0),
+            elastic: Elastic::default(),
             len: AtomicUsize::new(0),
             next_handle_id: AtomicU64::new(0),
             clock: AtomicU64::new(0),
@@ -128,9 +224,22 @@ impl<V> MultiQueue<V> {
         &self.config
     }
 
-    /// Number of internal lanes (`n`).
+    /// Number of allocated internal lanes (the capacity `n`; see
+    /// [`active_lanes`](MultiQueue::active_lanes) for the live count).
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Number of currently active lanes (the prefix participating in
+    /// inserts and sampled removals). Equal to [`lanes`](MultiQueue::lanes)
+    /// for a static configuration.
+    pub fn active_lanes(&self) -> usize {
+        (self.lane_table.load(Ordering::Acquire) & ACTIVE_MASK) as usize
+    }
+
+    /// The resize epoch: incremented by every completed grow or shrink.
+    pub fn resize_epoch(&self) -> u64 {
+        self.lane_table.load(Ordering::Acquire) >> 32
     }
 
     /// Number of handles registered so far (never decreases; dropped handles
@@ -139,8 +248,8 @@ impl<V> MultiQueue<V> {
         self.next_handle_id.load(Ordering::Relaxed)
     }
 
-    /// The cached top key of every lane (`None` for empty lanes); a
-    /// diagnostic snapshot, not linearizable.
+    /// The cached top key of every allocated lane (`None` for empty lanes);
+    /// a diagnostic snapshot, not linearizable.
     pub fn lane_tops(&self) -> Vec<Option<Key>> {
         self.lanes
             .iter()
@@ -155,8 +264,9 @@ impl<V> MultiQueue<V> {
             .collect()
     }
 
-    /// Per-lane element counts; takes every lane lock, so only meaningful when
-    /// the structure is quiescent (tests and diagnostics).
+    /// Per-lane element counts over every allocated lane (retired lanes read
+    /// zero once their drain completed); takes every lane lock, so only
+    /// meaningful when the structure is quiescent (tests and diagnostics).
     pub fn lane_lengths(&self) -> Vec<usize> {
         self.lanes.iter().map(|l| l.heap.lock().len()).collect()
     }
@@ -199,42 +309,206 @@ impl<V> MultiQueue<V> {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Inserts `(key, value)`, trying `hint` first when present, then random
-    /// lanes, then blocking on one lane once the retry budget is exhausted
-    /// (heavy oversubscription).
+    /// A random lane of `shard` below `limit` (strided shard layout). With
+    /// one shard this is a uniform draw over `[0, limit)`, bit-compatible
+    /// with the pre-sharding engine's streams.
+    pub(crate) fn stride_lane(&self, rng: &mut Xoshiro256, shard: usize, limit: usize) -> usize {
+        let shards = self.config.shards;
+        if shards == 1 {
+            return rng.next_index(limit);
+        }
+        debug_assert!(shard < shards && shard < limit, "shard outside the table");
+        let in_shard = (limit - shard).div_ceil(shards);
+        shard + shards * rng.next_index(in_shard)
+    }
+
+    /// Resizes the active lane set to `target` (clamped to
+    /// `[min_active_lanes, queues]`), draining retired lanes back into the
+    /// surviving prefix on shrink. Returns whether the active count changed.
+    ///
+    /// Safe to call concurrently with any other operation (resizes are
+    /// serialised internally); also the entry point tests use to force
+    /// grow/shrink events. A no-op (returning `false`) when `target` clamps
+    /// to the current count.
+    pub fn resize_active(&self, target: usize) -> bool {
+        let guard = self.resize_mutex.lock();
+        self.resize_locked(&guard, target)
+    }
+
+    /// The resize body; the caller holds `resize_mutex`.
+    fn resize_locked(&self, _guard: &parking_lot::MutexGuard<'_, ()>, target: usize) -> bool {
+        let target = target.clamp(self.config.min_active_lanes(), self.lanes.len());
+        let table = self.lane_table.load(Ordering::Acquire);
+        let active = (table & ACTIVE_MASK) as usize;
+        if target == active {
+            return false;
+        }
+        let epoch = (table >> 32) + 1;
+        // Publish the new table first: after this store no insert can commit
+        // into a lane `>= target` (the push-side validation holds the lane
+        // lock the drain below will need).
+        self.lane_table
+            .store((epoch << 32) | target as u64, Ordering::Release);
+        if target > active {
+            self.grow_events.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Retire lanes [target, active): drain each one and re-publish
+            // its elements into the surviving prefix. One lane lock at a
+            // time — never two — so the lock order cannot deadlock against
+            // operations. `len` is untouched: the elements never leave the
+            // structure.
+            // The drain reuses the same `drain_heap` core as the public
+            // removal paths — uninstrumented (`log: None`): moved elements
+            // never leave the structure, so a shrink is invisible to the
+            // rank methodology.
+            let mut moved: Vec<(Key, V)> = Vec::new();
+            for retired in target..active {
+                let mut heap = self.lanes[retired].heap.lock();
+                self.drain_heap(&mut heap, usize::MAX, &mut moved, None);
+                self.lanes[retired].refresh_top(&heap);
+            }
+            // Spread the refugees across the surviving lanes in chunks, one
+            // destination lock at a time (never two lane locks at once).
+            // Order within a chunk is irrelevant — the destination heap
+            // re-sorts — so draining off the tail is fine and allocation-free.
+            if !moved.is_empty() {
+                let chunk = moved.len().div_ceil(target);
+                let mut dst = 0usize;
+                while !moved.is_empty() {
+                    let take = chunk.min(moved.len());
+                    let mut heap = self.lanes[dst % target].heap.lock();
+                    for (key, value) in moved.drain(moved.len() - take..) {
+                        heap.push(key, value);
+                    }
+                    self.lanes[dst % target].refresh_top(&heap);
+                    dst += 1;
+                }
+            }
+            self.shrink_events.fetch_add(1, Ordering::Relaxed);
+        }
+        // A fresh resize opens the hysteresis window.
+        if let Some(policy) = &self.config.elastic {
+            self.elastic
+                .cooldown
+                .store(u64::from(policy.cooldown_checks), Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Folds one operation's contention accounting into the controller
+    /// window and runs a resize decision when the window closes. Called with
+    /// **no lane locks held**. A no-op for static configurations.
+    fn elastic_tick(&self, ops: u64, lock_retries: u64, sparse_retries: u64) {
+        let Some(policy) = &self.config.elastic else {
+            return;
+        };
+        if lock_retries > 0 {
+            self.elastic
+                .window_lock
+                .fetch_add(lock_retries, Ordering::Relaxed);
+        }
+        if sparse_retries > 0 {
+            self.elastic
+                .window_sparse
+                .fetch_add(sparse_retries, Ordering::Relaxed);
+        }
+        let seen = self.elastic.window_ops.fetch_add(ops, Ordering::Relaxed) + ops;
+        if seen < policy.check_interval {
+            return;
+        }
+        // Window closed: at most one thread becomes the controller (the
+        // others keep operating; they will close a later window).
+        let Some(guard) = self.resize_mutex.try_lock() else {
+            return;
+        };
+        let window_ops = self.elastic.window_ops.swap(0, Ordering::Relaxed);
+        if window_ops < policy.check_interval {
+            // Another controller consumed this window between our counter
+            // bump and the lock. Return the partial count we just stole so
+            // the next window's rate denominator stays honest (its lock and
+            // sparse increments are already recorded against it).
+            self.elastic
+                .window_ops
+                .fetch_add(window_ops, Ordering::Relaxed);
+            return;
+        }
+        let lock = self.elastic.window_lock.swap(0, Ordering::Relaxed);
+        let sparse = self.elastic.window_sparse.swap(0, Ordering::Relaxed);
+        let cooldown = self.elastic.cooldown.load(Ordering::Relaxed);
+        if cooldown > 0 {
+            self.elastic.cooldown.store(cooldown - 1, Ordering::Relaxed);
+            return;
+        }
+        let lock_rate = lock as f64 / window_ops as f64;
+        let sparse_rate = sparse as f64 / window_ops as f64;
+        let active = self.active_lanes();
+        if lock_rate > policy.grow_threshold && active < self.lanes.len() {
+            // Contention collapse forming: double the active set.
+            self.resize_locked(&guard, (active * 2).min(self.lanes.len()));
+        } else if sparse_rate > policy.shrink_threshold
+            && lock_rate < policy.grow_threshold * 0.5
+            && active > self.config.min_active_lanes()
+        {
+            // Over-provisioned: sampled lanes keep coming up empty while
+            // locks are uncontended. Halve the active set.
+            self.resize_locked(&guard, active / 2);
+        }
+    }
+
+    /// Inserts `(key, value)` into the handle's shard, trying `hint` first
+    /// when present (and still active), then random shard lanes, then
+    /// blocking on a permanently active shard lane once the retry budget is
+    /// exhausted (heavy oversubscription). Every acquisition re-validates
+    /// the lane against the lane table under the lock (module docs).
     pub(crate) fn insert_with(
         &self,
         rng: &mut Xoshiro256,
+        shard: usize,
         hint: Option<usize>,
         key: Key,
         value: V,
     ) {
         debug_assert!(key != EMPTY_TOP, "keys are validated at the handle layer");
-        let n = self.lanes.len();
+        let mut lock_retries = 0u64;
         let mut value = Some(value);
         let mut push = |q: usize, heap: &mut BinaryHeap<V>| {
             heap.push(key, value.take().expect("value not yet consumed"));
             self.lanes[q].refresh_top(heap);
             self.len.fetch_add(1, Ordering::Relaxed);
         };
-        if let Some(q) = hint {
-            debug_assert!(q < n, "lane hint out of range");
-            if let Some(mut heap) = self.lanes[q].heap.try_lock() {
-                push(q, &mut heap);
-                return;
+        'published: {
+            if let Some(q) = hint {
+                // A sticky hint can go stale across a shrink; skip it then.
+                if q < self.active_lanes() {
+                    if let Some(mut heap) = self.lanes[q].heap.try_lock() {
+                        if q < self.active_lanes() {
+                            push(q, &mut heap);
+                            break 'published;
+                        }
+                    } else {
+                        lock_retries += 1;
+                    }
+                }
             }
-        }
-        for _ in 0..self.config.max_retries {
-            let q = rng.next_index(n);
-            if let Some(mut heap) = self.lanes[q].heap.try_lock() {
-                push(q, &mut heap);
-                return;
+            for _ in 0..self.config.max_retries {
+                let q = self.stride_lane(rng, shard, self.active_lanes());
+                if let Some(mut heap) = self.lanes[q].heap.try_lock() {
+                    // Re-validate under the lock: the lane may have been
+                    // retired (and drained) while we raced for it.
+                    if q < self.active_lanes() {
+                        push(q, &mut heap);
+                        break 'published;
+                    }
+                }
+                lock_retries += 1;
             }
+            // Retry budget exhausted (heavy oversubscription): block on a
+            // floor lane, which is never retired, so no validation loop.
+            let q = self.stride_lane(rng, shard, self.config.min_active_lanes());
+            let mut heap = self.lanes[q].heap.lock();
+            push(q, &mut heap);
         }
-        // Retry budget exhausted (heavy oversubscription): block on one lane.
-        let q = rng.next_index(n);
-        let mut heap = self.lanes[q].heap.lock();
-        push(q, &mut heap);
+        self.elastic_tick(1, lock_retries, 0);
     }
 
     /// Publishes a whole insert batch under a single lane lock (the batched
@@ -243,74 +517,108 @@ impl<V> MultiQueue<V> {
     pub(crate) fn insert_batch_with(
         &self,
         rng: &mut Xoshiro256,
+        shard: usize,
         hint: Option<usize>,
         batch: &mut Vec<(Key, V)>,
     ) {
         if batch.is_empty() {
             return;
         }
-        let n = self.lanes.len();
         let count = batch.len();
-        let mut target = hint.unwrap_or_else(|| rng.next_index(n));
-        debug_assert!(target < n, "lane hint out of range");
-        // Same contention strategy as single inserts: bounded try-lock
-        // attempts on fresh random lanes (moving the whole batch rather than
-        // spinning on a contended one), then block on one lane so a stalled
-        // holder cannot make a flush busy-spin forever.
-        let mut heap = None;
-        for _ in 0..self.config.max_retries {
-            if let Some(locked) = self.lanes[target].heap.try_lock() {
-                heap = Some(locked);
-                break;
+        let mut lock_retries = 0u64;
+        let mut publish = |q: usize, heap: &mut BinaryHeap<V>| {
+            for (key, value) in batch.drain(..) {
+                heap.push(key, value);
             }
-            target = rng.next_index(n);
+            self.lanes[q].refresh_top(heap);
+        };
+        // Same contention strategy as single inserts: bounded try-lock
+        // attempts on fresh random shard lanes (moving the whole batch
+        // rather than spinning on a contended one), then block on a floor
+        // lane so a stalled holder cannot make a flush busy-spin forever.
+        // Acquisitions re-validate the lane table under the lock.
+        'published: {
+            let mut target = match hint {
+                Some(q) if q < self.active_lanes() => q,
+                _ => self.stride_lane(rng, shard, self.active_lanes()),
+            };
+            for _ in 0..self.config.max_retries {
+                if let Some(mut heap) = self.lanes[target].heap.try_lock() {
+                    if target < self.active_lanes() {
+                        publish(target, &mut heap);
+                        break 'published;
+                    }
+                }
+                lock_retries += 1;
+                target = self.stride_lane(rng, shard, self.active_lanes());
+            }
+            let target = self.stride_lane(rng, shard, self.config.min_active_lanes());
+            let mut heap = self.lanes[target].heap.lock();
+            publish(target, &mut heap);
         }
-        let mut heap = heap.unwrap_or_else(|| {
-            target = rng.next_index(n);
-            self.lanes[target].heap.lock()
-        });
-        for (key, value) in batch.drain(..) {
-            heap.push(key, value);
-        }
-        self.lanes[target].refresh_top(&heap);
         self.len.fetch_add(count, Ordering::Relaxed);
+        self.elastic_tick(count as u64, lock_retries, 0);
     }
 
     /// Picks the victim lane for one deleteMin attempt following the
-    /// configured [`ChoiceRule`](crate::ChoiceRule), using only the cached
-    /// tops (no locks are taken, exactly like the original MultiQueue's
-    /// unsynchronised peek). `scratch` is the caller's reusable sample
-    /// buffer.
+    /// configured [`ChoiceRule`](crate::ChoiceRule) over the **active**
+    /// lanes, using only the cached tops (no locks are taken, exactly like
+    /// the original MultiQueue's unsynchronised peek). `scratch` is the
+    /// caller's reusable sample buffer.
     fn choose_victim(&self, rng: &mut Xoshiro256, scratch: &mut Vec<usize>) -> Option<usize> {
-        let n = self.lanes.len();
-        self.config.choice.choose_by_key(rng, n, scratch, |lane| {
-            let top = self.lanes[lane].top.load(Ordering::Relaxed);
-            (top != EMPTY_TOP).then_some(top)
-        })
+        let active = self.active_lanes();
+        self.config
+            .choice
+            .choose_by_key(rng, active, scratch, |lane| {
+                let top = self.lanes[lane].top.load(Ordering::Relaxed);
+                (top != EMPTY_TOP).then_some(top)
+            })
     }
 
     /// The core removal step shared by `delete_min` and `delete_min_batch`:
-    /// repeated choice-rule attempts, then a single lane lock under which up
-    /// to `max` elements are drained (appended to `out`), then the
-    /// deterministic steal fallback so the structure can always be emptied.
-    /// Every drained element comes from one lane, so one lock acquisition and
-    /// one random choice are amortised over the whole batch.
+    /// repeated choice-rule attempts over the active lanes, then a single
+    /// lane lock under which up to `max` elements are drained (appended to
+    /// `out`), then the deterministic steal fallback so the structure can
+    /// always be emptied. Every drained element comes from one lane, so one
+    /// lock acquisition and one random choice are amortised over the whole
+    /// batch.
     ///
     /// The returned [`DrainOutcome`] carries, besides the drain count, the
     /// retry accounting the handle layer folds into
     /// [`HandleStats`](crate::HandleStats): how many retry-loop iterations
-    /// were lost to contention or peek/lock races, and whether a zero-element
-    /// result came from a *quiescent-empty observation* (the element count
-    /// read as zero, or the exhaustive locked steal scan found nothing) —
-    /// the distinction schedulers need between "no work exists" and "work
-    /// exists but this attempt lost races".
+    /// were lost to contention or peek/lock races (with the sparse-sample
+    /// subset broken out for the elastic controller), and whether a
+    /// zero-element result came from a *quiescent-empty observation* (the
+    /// element count read as zero, or the exhaustive locked steal scan found
+    /// nothing) — the distinction schedulers need between "no work exists"
+    /// and "work exists but this attempt lost races".
     ///
     /// When `log` is set (instrumented sessions), every drained element is
     /// stamped with a coherent queue timestamp **while the lane lock is
     /// held**, so the recorded removal order is the order the removals took
     /// effect — concurrent batches cannot interleave inside each other's
-    /// logs.
+    /// logs. Elements moved by a shrink are not logged: they never leave the
+    /// structure.
     pub(crate) fn drain_best_with(
+        &self,
+        rng: &mut Xoshiro256,
+        scratch: &mut Vec<usize>,
+        max: usize,
+        out: &mut Vec<(Key, V)>,
+        log: Option<&mut Vec<TimestampedRemoval>>,
+    ) -> DrainOutcome {
+        let outcome = self.drain_best_inner(rng, scratch, max, out, log);
+        self.elastic_tick(
+            (outcome.drained as u64).max(1),
+            outcome.contended_retries - outcome.sparse_retries,
+            outcome.sparse_retries,
+        );
+        outcome
+    }
+
+    /// [`drain_best_with`](MultiQueue::drain_best_with) minus the controller
+    /// tick (which must run with no lane lock held).
+    fn drain_best_inner(
         &self,
         rng: &mut Xoshiro256,
         scratch: &mut Vec<usize>,
@@ -322,19 +630,22 @@ impl<V> MultiQueue<V> {
             return DrainOutcome::nothing();
         }
         let mut contended_retries = 0u64;
+        let mut sparse_retries = 0u64;
         for _ in 0..self.config.max_retries {
             if self.len.load(Ordering::Relaxed) == 0 {
                 return DrainOutcome {
                     drained: 0,
                     contended_retries,
+                    sparse_retries,
                     observed_empty: true,
                 };
             }
             let Some(victim) = self.choose_victim(rng, scratch) else {
                 // Every sampled top looked empty while the structure was not:
                 // the elements live in unsampled lanes. Retry with fresh
-                // samples.
+                // samples (and tell the controller the lanes look sparse).
                 contended_retries += 1;
+                sparse_retries += 1;
                 continue;
             };
             let Some(mut heap) = self.lanes[victim].heap.try_lock() else {
@@ -349,6 +660,7 @@ impl<V> MultiQueue<V> {
                 return DrainOutcome {
                     drained,
                     contended_retries,
+                    sparse_retries,
                     observed_empty: false,
                 };
             }
@@ -362,6 +674,7 @@ impl<V> MultiQueue<V> {
         DrainOutcome {
             drained,
             contended_retries,
+            sparse_retries,
             // The steal scan locked every lane and found nothing: that is an
             // exhaustive (momentarily linearizable) emptiness observation.
             observed_empty: drained == 0,
@@ -394,11 +707,12 @@ impl<V> MultiQueue<V> {
         drained
     }
 
-    /// The steal path, symmetric to the sampled drain: scans all lanes and
-    /// drains up to `max` elements from the one with the globally smallest
-    /// top (falling through to the other lanes if it empties under foot).
-    /// Linear in the lane count; only used when the sampled lanes keep coming
-    /// up empty or contended.
+    /// The steal path, symmetric to the sampled drain: scans **all
+    /// allocated lanes** (not just the active prefix, so nothing mid-resize
+    /// can hide from it) and drains up to `max` elements from the one with
+    /// the globally smallest top (falling through to the other lanes if it
+    /// empties under foot). Linear in the lane count; only used when the
+    /// sampled lanes keep coming up empty or contended.
     fn steal_best(
         &self,
         max: usize,
@@ -451,6 +765,16 @@ impl<V: Send> SharedPq<V> for MultiQueue<V> {
         self.len.load(Ordering::Relaxed)
     }
 
+    fn topology(&self) -> QueueTopology {
+        QueueTopology {
+            active_lanes: self.active_lanes(),
+            max_lanes: self.lanes.len(),
+            shards: self.config.shards,
+            grows: self.grow_events.load(Ordering::Relaxed),
+            shrinks: self.shrink_events.load(Ordering::Relaxed),
+        }
+    }
+
     fn name(&self) -> String {
         self.config.label()
     }
@@ -459,6 +783,7 @@ impl<V: Send> SharedPq<V> for MultiQueue<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ElasticPolicy;
     use crate::traits::PqHandle;
     use std::collections::HashSet;
 
@@ -467,6 +792,14 @@ mod tests {
             MultiQueueConfig::with_queues(queues)
                 .with_beta(beta)
                 .with_seed(42),
+        )
+    }
+
+    fn elastic_queue(queues: usize, min: usize) -> MultiQueue<u64> {
+        MultiQueue::new(
+            MultiQueueConfig::with_queues(queues)
+                .with_seed(42)
+                .with_elastic(ElasticPolicy::default().with_min_lanes(min)),
         )
     }
 
@@ -487,6 +820,8 @@ mod tests {
         assert_eq!(q.approx_len(), 0);
         assert_eq!(q.register().delete_min(), None);
         assert_eq!(q.lanes(), 4);
+        assert_eq!(q.active_lanes(), 4, "static queues start at capacity");
+        assert_eq!(q.resize_epoch(), 0);
         assert_eq!(q.lane_tops(), vec![None; 4]);
         assert!(q.name().contains("multiqueue"));
     }
@@ -702,6 +1037,276 @@ mod tests {
             h.delete_min();
         }
         assert_eq!(q.approx_len(), 60);
+    }
+
+    #[test]
+    fn elastic_queue_starts_at_the_floor() {
+        let q = elastic_queue(16, 4);
+        assert_eq!(q.lanes(), 16);
+        assert_eq!(q.active_lanes(), 4);
+        assert_eq!(q.resize_epoch(), 0);
+        let shape = q.topology();
+        assert_eq!(shape.active_lanes, 4);
+        assert_eq!(shape.max_lanes, 16);
+        assert_eq!(shape.shards, 1);
+        assert_eq!(shape.resize_events(), 0);
+    }
+
+    #[test]
+    fn manual_resize_moves_the_active_prefix_and_epoch() {
+        let q = elastic_queue(16, 2);
+        assert!(q.resize_active(8));
+        assert_eq!(q.active_lanes(), 8);
+        assert_eq!(q.resize_epoch(), 1);
+        assert!(q.resize_active(2));
+        assert_eq!(q.active_lanes(), 2);
+        assert_eq!(q.resize_epoch(), 2);
+        // Clamped targets that land on the current count are no-ops.
+        assert!(!q.resize_active(0), "clamps to the floor (already there)");
+        assert!(!q.resize_active(2));
+        assert!(q.resize_active(1_000_000), "clamps to capacity");
+        assert_eq!(q.active_lanes(), 16);
+        let shape = q.topology();
+        assert_eq!(shape.grows, 2);
+        assert_eq!(shape.shrinks, 1);
+        assert_eq!(shape.resize_events(), 3);
+    }
+
+    #[test]
+    fn static_queue_refuses_to_resize() {
+        let q = queue(8, 1.0);
+        // min_active_lanes == queues for static configs: every target clamps
+        // to the full capacity.
+        assert!(!q.resize_active(2));
+        assert_eq!(q.active_lanes(), 8);
+    }
+
+    #[test]
+    fn shrink_conserves_every_element() {
+        let q = elastic_queue(16, 2);
+        q.resize_active(16);
+        let mut h = q.register();
+        for k in 0..2_000u64 {
+            h.insert(k, k);
+        }
+        // Everything below the live tide line moves into the prefix.
+        assert!(q.resize_active(2));
+        assert_eq!(q.approx_len(), 2_000, "a shrink never changes the count");
+        let lengths = q.lane_lengths();
+        assert_eq!(lengths.iter().sum::<usize>(), 2_000);
+        assert!(
+            lengths[2..].iter().all(|&l| l == 0),
+            "retired lanes must be empty after the shrink: {lengths:?}"
+        );
+        drop(h);
+        let mut out = drain(&q);
+        out.sort_unstable();
+        assert_eq!(out, (0..2_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grow_exposes_new_lanes_to_inserts() {
+        let q = elastic_queue(8, 2);
+        let mut h = q.register();
+        for k in 0..64u64 {
+            h.insert(k, k);
+        }
+        let lengths = q.lane_lengths();
+        assert!(
+            lengths[2..].iter().all(|&l| l == 0),
+            "only the active prefix may hold elements: {lengths:?}"
+        );
+        q.resize_active(8);
+        for k in 64..4_096u64 {
+            h.insert(k, k);
+        }
+        let lengths = q.lane_lengths();
+        assert!(
+            lengths[2..].iter().any(|&l| l > 0),
+            "grown lanes must start taking inserts: {lengths:?}"
+        );
+        drop(h);
+        assert_eq!(drain(&q).len(), 4_096);
+    }
+
+    #[test]
+    fn concurrent_resizes_conserve_elements() {
+        // The conformance property at engine level: hammer inserts/deletes
+        // from several threads while a controller thread forces grows and
+        // shrinks; every key must come out exactly once.
+        let threads = 4;
+        let per_thread = 2_000u64;
+        let q = MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(16)
+                .with_seed(11)
+                .with_elastic(ElasticPolicy::default().with_min_lanes(2)),
+        );
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let removed: Vec<u64> = std::thread::scope(|scope| {
+            let resizer = scope.spawn(|| {
+                let mut flip = false;
+                while !stop.load(Ordering::Relaxed) {
+                    q.resize_active(if flip { 16 } else { 2 });
+                    flip = !flip;
+                    std::thread::yield_now();
+                }
+            });
+            let mut workers = Vec::new();
+            for t in 0..threads {
+                let q = &q;
+                workers.push(scope.spawn(move || {
+                    let mut handle = q.register();
+                    let base = t as u64 * per_thread;
+                    let mut got = Vec::new();
+                    for i in 0..per_thread {
+                        handle.insert(base + i, base + i);
+                        if i % 2 == 1 {
+                            if let Some((k, _)) = handle.delete_min() {
+                                got.push(k);
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            let removed = workers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            stop.store(true, Ordering::Relaxed);
+            resizer.join().unwrap();
+            removed
+        });
+        let mut all = removed;
+        all.extend(drain(&q));
+        all.sort_unstable();
+        assert_eq!(all, (0..threads as u64 * per_thread).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn controller_grows_under_forced_lock_contention() {
+        // Hold the only non-floor... actually: hold one of the two active
+        // lanes so half the try-locks fail, then push operations through.
+        // The controller must react by growing the active set.
+        let q = std::sync::Arc::new(MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(8).with_seed(5).with_elastic(
+                ElasticPolicy::default()
+                    .with_min_lanes(2)
+                    .with_check_interval(64)
+                    .with_thresholds(0.05, 0.9)
+                    .with_cooldown_checks(0),
+            ),
+        ));
+        assert_eq!(q.active_lanes(), 2);
+        let q2 = std::sync::Arc::clone(&q);
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let b2 = std::sync::Arc::clone(&barrier);
+        let holder = std::thread::spawn(move || {
+            q2.with_lane_locked(0, || {
+                b2.wait(); // lane 0 held from here on
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            })
+        });
+        barrier.wait();
+        let mut h = q.register();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut k = 0u64;
+        while q.active_lanes() == 2 && std::time::Instant::now() < deadline {
+            h.insert(k, k);
+            k += 1;
+        }
+        holder.join().unwrap();
+        assert!(
+            q.active_lanes() > 2,
+            "sustained lock contention must grow the active set"
+        );
+        assert!(q.topology().grows >= 1);
+    }
+
+    #[test]
+    fn controller_shrinks_sparse_idle_lanes() {
+        // Many active lanes, a single element bouncing: almost every sampled
+        // top is empty, so the sparse rate is high and contention zero — the
+        // controller must shrink towards the floor.
+        let q = MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(16).with_seed(5).with_elastic(
+                ElasticPolicy::default()
+                    .with_min_lanes(2)
+                    .with_check_interval(128)
+                    .with_thresholds(0.5, 0.05)
+                    .with_cooldown_checks(0),
+            ),
+        );
+        q.resize_active(16);
+        assert_eq!(q.active_lanes(), 16);
+        let mut h = q.register();
+        for round in 0..50_000u64 {
+            h.insert(round % 1_000, 0);
+            h.delete_min();
+            if q.active_lanes() == 2 {
+                break;
+            }
+        }
+        assert!(
+            q.active_lanes() < 16,
+            "a sparse workload must shrink the active set (still at {})",
+            q.active_lanes()
+        );
+        assert!(q.topology().shrinks >= 1);
+    }
+
+    #[test]
+    fn sharded_inserts_stay_in_their_stride() {
+        let q =
+            MultiQueue::<u64>::new(MultiQueueConfig::with_queues(8).with_shards(4).with_seed(3));
+        // Handle ids 0..4 map to shards 0..4 by default.
+        let mut handles: Vec<_> = (0..4).map(|_| q.register()).collect();
+        for (s, h) in handles.iter_mut().enumerate() {
+            for k in 0..64u64 {
+                h.insert(k * 4 + s as u64, 0);
+            }
+        }
+        let lengths = q.lane_lengths();
+        assert_eq!(lengths.iter().sum::<usize>(), 256);
+        // Shard s owns lanes {s, s+4}: each shard's 64 inserts landed there.
+        for s in 0..4 {
+            assert_eq!(
+                lengths[s] + lengths[s + 4],
+                64,
+                "shard {s} inserts must stay in its stride: {lengths:?}"
+            );
+        }
+        drop(handles);
+        assert_eq!(drain(&q).len(), 256);
+    }
+
+    #[test]
+    fn sharded_elastic_keeps_every_shard_populated() {
+        // With 4 shards the floor clamps to 4 even though min_lanes = 1, so
+        // every shard always owns at least one active lane.
+        let q = MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(16)
+                .with_shards(4)
+                .with_seed(9)
+                .with_elastic(ElasticPolicy::default().with_min_lanes(1)),
+        );
+        assert_eq!(q.active_lanes(), 4);
+        let mut handles: Vec<_> = (0..4).map(|_| q.register()).collect();
+        for (s, h) in handles.iter_mut().enumerate() {
+            for k in 0..32u64 {
+                h.insert(k * 8 + s as u64, 0);
+            }
+        }
+        q.resize_active(16);
+        for (s, h) in handles.iter_mut().enumerate() {
+            for k in 32..64u64 {
+                h.insert(k * 8 + s as u64, 0);
+            }
+        }
+        q.resize_active(4);
+        assert_eq!(q.approx_len(), 4 * 64);
+        drop(handles);
+        assert_eq!(drain(&q).len(), 4 * 64);
     }
 
     #[test]

@@ -115,6 +115,48 @@ impl HandleStats {
     }
 }
 
+/// A snapshot of a queue's internal layout, returned by
+/// [`SharedPq::topology`].
+///
+/// For the elastic MultiQueue this reports the live lane table (active
+/// prefix, capacity, shard count, resize history); centralized structures
+/// report the trivial [`QueueTopology::centralized`] shape. Diagnostic, not
+/// linearizable: an elastic queue may resize between the load of the lane
+/// table and the loads of the event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueTopology {
+    /// Currently active lanes (the prefix of the allocated lane table).
+    pub active_lanes: usize,
+    /// Allocated lane capacity (the ceiling of `active_lanes`).
+    pub max_lanes: usize,
+    /// Insert shard count the active lanes are partitioned into.
+    pub shards: usize,
+    /// Completed grow events since construction.
+    pub grows: u64,
+    /// Completed shrink events since construction.
+    pub shrinks: u64,
+}
+
+impl QueueTopology {
+    /// The shape of a centralized (single-structure) queue: one permanent
+    /// lane, one shard, no resize history. The default for every backend
+    /// without a lane table.
+    pub fn centralized() -> Self {
+        Self {
+            active_lanes: 1,
+            max_lanes: 1,
+            shards: 1,
+            grows: 0,
+            shrinks: 0,
+        }
+    }
+
+    /// Total completed resizes (grows plus shrinks).
+    pub fn resize_events(&self) -> u64 {
+        self.grows + self.shrinks
+    }
+}
+
 /// An owned, single-session view of a [`SharedPq`].
 ///
 /// All methods take `&mut self`: a handle is owned by exactly one logical
@@ -279,6 +321,14 @@ pub trait SharedPq<V>: Send + Sync {
         self.approx_len() == 0
     }
 
+    /// A snapshot of the structure's internal layout (lane table, shards,
+    /// resize history). The default reports the trivial
+    /// [`QueueTopology::centralized`] shape; the MultiQueue overrides it
+    /// with its live lane table.
+    fn topology(&self) -> QueueTopology {
+        QueueTopology::centralized()
+    }
+
     /// A short human-readable name used in benchmark tables.
     fn name(&self) -> String;
 }
@@ -309,6 +359,9 @@ pub trait DynSharedPq<V: 'static>: Send + Sync {
     /// See [`SharedPq::is_empty`].
     fn is_empty_dyn(&self) -> bool;
 
+    /// See [`SharedPq::topology`].
+    fn topology_dyn(&self) -> QueueTopology;
+
     /// See [`SharedPq::name`].
     fn name_dyn(&self) -> String;
 }
@@ -329,6 +382,9 @@ impl<V: 'static, Q: SharedPq<V>> DynSharedPq<V> for Q {
     fn is_empty_dyn(&self) -> bool {
         SharedPq::is_empty(self)
     }
+    fn topology_dyn(&self) -> QueueTopology {
+        SharedPq::topology(self)
+    }
     fn name_dyn(&self) -> String {
         SharedPq::name(self)
     }
@@ -348,6 +404,9 @@ impl<V: 'static> SharedPq<V> for dyn DynSharedPq<V> {
     }
     fn is_empty(&self) -> bool {
         self.is_empty_dyn()
+    }
+    fn topology(&self) -> QueueTopology {
+        self.topology_dyn()
     }
     fn name(&self) -> String {
         self.name_dyn()
@@ -568,13 +627,78 @@ mod tests {
         let before = total;
         total.merge(&HandleStats::default());
         assert_eq!(total, before);
-        // Saturates instead of overflowing.
-        let mut pinned = HandleStats {
-            inserts: u64::MAX - 1,
-            ..HandleStats::default()
+    }
+
+    /// Pins the intended overflow behaviour of [`HandleStats::merge`]:
+    /// **saturating**, per field, never wrapping and never panicking. A
+    /// long-lived server folds per-session counters forever; a pathological
+    /// (or adversarial) session must degrade the aggregate to a pinned
+    /// `u64::MAX`, not wrap it back to a small number or abort a debug
+    /// build.
+    #[test]
+    fn stats_merge_saturates_every_field_independently() {
+        let maxed = HandleStats {
+            inserts: u64::MAX,
+            removals: u64::MAX,
+            failed_removals: u64::MAX,
+            empty_polls: u64::MAX,
+            contended_retries: u64::MAX,
         };
-        pinned.merge(&a);
-        assert_eq!(pinned.inserts, u64::MAX);
+        let small = HandleStats {
+            inserts: 1,
+            removals: 2,
+            failed_removals: 3,
+            empty_polls: 4,
+            contended_retries: 5,
+        };
+        // MAX + anything pins at MAX (both merge directions).
+        let mut a = maxed;
+        a.merge(&small);
+        assert_eq!(a, maxed, "saturation must pin, not wrap");
+        let mut b = small;
+        b.merge(&maxed);
+        assert_eq!(b, maxed);
+        // Each field saturates independently: overflow one, the others add
+        // normally.
+        for field in 0..5usize {
+            let mut near = HandleStats::default();
+            fn pick_field(field: usize) -> impl Fn(&mut HandleStats) -> &mut u64 {
+                move |s| match field {
+                    0 => &mut s.inserts,
+                    1 => &mut s.removals,
+                    2 => &mut s.failed_removals,
+                    3 => &mut s.empty_polls,
+                    _ => &mut s.contended_retries,
+                }
+            }
+            let pick = pick_field(field);
+            *pick(&mut near) = u64::MAX - 1;
+            near.merge(&small);
+            assert_eq!(*pick(&mut near), u64::MAX, "field {field} must saturate");
+            let mut expected = small;
+            *pick(&mut expected) = u64::MAX;
+            assert_eq!(near, expected, "field {field}: the others add normally");
+        }
+        // Saturation composes: once pinned, further merges stay pinned.
+        let mut pinned = maxed;
+        pinned.merge(&small);
+        pinned.merge(&small);
+        assert_eq!(pinned, maxed);
+    }
+
+    #[test]
+    fn default_topology_is_the_centralized_shape() {
+        let q = Locked::new();
+        let shape = q.topology();
+        assert_eq!(shape, QueueTopology::centralized());
+        assert_eq!(shape.active_lanes, 1);
+        assert_eq!(shape.max_lanes, 1);
+        assert_eq!(shape.shards, 1);
+        assert_eq!(shape.resize_events(), 0);
+        // Through the erased form too.
+        let e: &dyn DynSharedPq<u64> = &q;
+        assert_eq!(e.topology_dyn(), QueueTopology::centralized());
+        assert_eq!(SharedPq::topology(e), QueueTopology::centralized());
     }
 
     #[test]

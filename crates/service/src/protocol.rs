@@ -35,7 +35,12 @@ use std::io::{self, Read, Write};
 use choice_pq::{HandleStats, Key};
 
 /// The protocol version this build speaks (echoed in every frame).
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version history: v1 carried a 7-counter Stats payload; v2 (current)
+/// extended it with the queue-topology triple (`active_lanes`, `max_lanes`,
+/// `resize_events`) reported by elastic backends. Fixed layouts are not
+/// self-describing, so any layout change is a version bump.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on `length` (version + opcode + payload, bytes). Large
 /// enough for a [`MAX_BATCH`]-entry batch response, small enough that a
@@ -203,15 +208,25 @@ impl ErrorCode {
 }
 
 /// The aggregate carried by [`Response::Stats`]: how many sessions the
-/// server has opened (one per accepted connection) and the merged
+/// server has opened (one per accepted connection), the merged
 /// [`HandleStats`] over all of them — live connections contribute their
-/// current counters, closed ones their final counters.
+/// current counters, closed ones their final counters — and a snapshot of
+/// the backing queue's lane topology (how elastic backends report their
+/// current size and resize history to remote operators).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Connections accepted over the server's lifetime.
     pub sessions: u64,
     /// Per-session counters folded with [`HandleStats::merge`].
     pub totals: HandleStats,
+    /// Currently active lanes of the backing queue (`1` for centralized
+    /// backends, which report the trivial topology).
+    pub active_lanes: u64,
+    /// Allocated lane capacity of the backing queue.
+    pub max_lanes: u64,
+    /// Completed resize events (grows plus shrinks) since the queue was
+    /// built; always `0` for non-elastic backends.
+    pub resize_events: u64,
 }
 
 // Request opcodes.
@@ -428,6 +443,10 @@ impl Response {
                 put_u64(out, stats.totals.failed_removals);
                 put_u64(out, stats.totals.empty_polls);
                 put_u64(out, stats.totals.contended_retries);
+                // v2 topology triple (keep last: the layout is positional).
+                put_u64(out, stats.active_lanes);
+                put_u64(out, stats.max_lanes);
+                put_u64(out, stats.resize_events);
             }),
             Response::ShuttingDown => encode_frame(out, OP_SHUTTING_DOWN, |_| {}),
             Response::Error { code, detail } => {
@@ -492,7 +511,7 @@ impl Response {
                 Response::Len(len)
             }
             OP_STATS_REPLY => {
-                let mut p = Payload::new(payload, opcode, "6 u64 counters");
+                let mut p = Payload::new(payload, opcode, "9 u64 counters");
                 let stats = ServiceStats {
                     sessions: p.take_u64()?,
                     totals: HandleStats {
@@ -502,6 +521,9 @@ impl Response {
                         empty_polls: p.take_u64()?,
                         contended_retries: p.take_u64()?,
                     },
+                    active_lanes: p.take_u64()?,
+                    max_lanes: p.take_u64()?,
+                    resize_events: p.take_u64()?,
                 };
                 p.finish()?;
                 Response::Stats(stats)
@@ -674,6 +696,9 @@ mod tests {
                 empty_polls: 4,
                 contended_retries: 5,
             },
+            active_lanes: 6,
+            max_lanes: 16,
+            resize_events: 7,
         }));
         roundtrip_response(Response::ShuttingDown);
         roundtrip_response(Response::Error {
@@ -709,6 +734,125 @@ mod tests {
                 buf.len()
             );
         }
+    }
+
+    /// A fully-populated v2 Stats response (all nine counters distinct so a
+    /// field-order regression cannot cancel out).
+    fn full_stats() -> ServiceStats {
+        ServiceStats {
+            sessions: 0x0101,
+            totals: HandleStats {
+                inserts: 0x0202,
+                removals: 0x0303,
+                failed_removals: 0x0404,
+                empty_polls: 0x0505,
+                contended_retries: 0x0606,
+            },
+            active_lanes: 0x0707,
+            max_lanes: 0x0808,
+            resize_events: 0x0909,
+        }
+    }
+
+    /// Every truncation of a Stats reply — including cuts landing exactly on
+    /// the frame-boundary offsets of the v2 topology fields — must report
+    /// `Truncated` (the stream-reader "wait for more" signal), never decode
+    /// a partial aggregate and never classify the prefix as garbage.
+    #[test]
+    fn stats_reply_truncations_are_incomplete_at_every_offset() {
+        let mut buf = Vec::new();
+        Response::Stats(full_stats()).encode(&mut buf);
+        // Header (4 len + 1 version + 1 opcode) + 9 × u64 payload.
+        assert_eq!(buf.len(), 6 + 9 * 8, "v2 Stats layout is 9 u64 counters");
+        for cut in 0..buf.len() {
+            let err = Response::decode(&buf[..cut]).expect_err("truncation must fail");
+            assert!(
+                err.is_incomplete(),
+                "cut at {cut}/{} should be Truncated, got {err:?}",
+                buf.len()
+            );
+        }
+        // The boundaries of the three new fields, named explicitly: a cut
+        // right after each preceding field leaves the new field missing.
+        let payload_at = 6;
+        for (field, index) in [("active_lanes", 6), ("max_lanes", 7), ("resize_events", 8)] {
+            let cut = payload_at + index * 8;
+            let err = Response::decode(&buf[..cut]).expect_err("boundary cut");
+            assert!(err.is_incomplete(), "{field} boundary at {cut}: {err:?}");
+            // One byte into the field is still incomplete.
+            let err = Response::decode(&buf[..cut + 1]).expect_err("mid-field cut");
+            assert!(
+                err.is_incomplete(),
+                "inside {field} at {}: {err:?}",
+                cut + 1
+            );
+        }
+    }
+
+    /// A frame whose *length prefix* already excludes the v2 fields (the v1
+    /// 7-counter layout) is a malformed payload, not a silent short decode:
+    /// the opcode's layout check is exact in both directions.
+    #[test]
+    fn v1_sized_stats_payload_is_rejected_as_malformed() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, OP_STATS_REPLY, |out| {
+            for counter in 0..6u64 {
+                put_u64(out, counter);
+            }
+        });
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::MalformedPayload {
+                opcode: OP_STATS_REPLY,
+                ..
+            })
+        ));
+        // One trailing extra counter is rejected the same way.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, OP_STATS_REPLY, |out| {
+            for counter in 0..10u64 {
+                put_u64(out, counter);
+            }
+        });
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+    }
+
+    /// The checked-in regression corpus (`proptest-regressions/protocol.txt`):
+    /// byte sequences that exercised decoder edge cases — hostile lengths,
+    /// version skew, payload-layout violations, every-offset truncations of
+    /// the widest frames. Each line is `hex-bytes [# comment]`; both
+    /// decoders must stay total over every entry, and valid frames must
+    /// consume exactly what they claim.
+    #[test]
+    fn regression_corpus_keeps_the_decoders_total() {
+        let corpus = include_str!("../proptest-regressions/protocol.txt");
+        let mut cases = 0usize;
+        for (lineno, line) in corpus.lines().enumerate() {
+            let data = line.split('#').next().unwrap_or("").trim();
+            if data.is_empty() {
+                continue;
+            }
+            let bytes: Vec<u8> = data
+                .split_whitespace()
+                .map(|h| {
+                    u8::from_str_radix(h, 16)
+                        .unwrap_or_else(|_| panic!("bad hex {h:?} on corpus line {}", lineno + 1))
+                })
+                .collect();
+            // Totality: a frame or an error, never a panic; on success the
+            // consumed length stays within the buffer.
+            if let Ok((_, used)) = Request::decode(&bytes) {
+                assert!(used <= bytes.len(), "corpus line {}", lineno + 1);
+            }
+            if let Ok((_, used)) = Response::decode(&bytes) {
+                assert!(used <= bytes.len(), "corpus line {}", lineno + 1);
+            }
+            cases += 1;
+        }
+        assert!(cases >= 20, "corpus unexpectedly small: {cases} entries");
     }
 
     #[test]
@@ -888,6 +1032,9 @@ mod tests {
                         empty_polls: n / 4,
                         contended_retries: n / 5,
                     },
+                    active_lanes: n / 6,
+                    max_lanes: n / 6 + 8,
+                    resize_events: n / 7,
                 }),
                 6 => Response::ShuttingDown,
                 _ => Response::Error {

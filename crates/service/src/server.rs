@@ -134,9 +134,15 @@ impl Shared {
         for slot in self.stats.lock().iter() {
             totals.merge(&slot.lock());
         }
+        // The lane-table snapshot rides along so remote operators can watch
+        // an elastic backend resize itself under their load.
+        let topology = self.queue.topology_dyn();
         ServiceStats {
             sessions: self.sessions_opened.load(Ordering::Relaxed),
             totals,
+            active_lanes: topology.active_lanes as u64,
+            max_lanes: topology.max_lanes as u64,
+            resize_events: topology.resize_events(),
         }
     }
 }
@@ -598,6 +604,110 @@ mod tests {
             }
             other => panic!("expected a batch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_report_the_elastic_lane_topology_over_the_wire() {
+        use choice_pq::ElasticPolicy;
+        let queue = Arc::new(MultiQueue::<u64>::new(
+            MultiQueueConfig::with_queues(16)
+                .with_seed(4)
+                .with_elastic(ElasticPolicy::default().with_min_lanes(2)),
+        ));
+        let erased: Arc<dyn DynSharedPq<u64>> = Arc::clone(&queue) as _;
+        let server = PqServer::spawn(erased, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+        queue.resize_active(8);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        Request::Stats.encode(&mut wire);
+        stream.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        match Response::decode(&frame).unwrap().0 {
+            Response::Stats(stats) => {
+                assert_eq!(stats.active_lanes, 8);
+                assert_eq!(stats.max_lanes, 16);
+                assert!(stats.resize_events >= 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(stream);
+        let final_stats = server.join();
+        assert_eq!(final_stats.max_lanes, 16);
+    }
+
+    /// Sessions opening and closing *while* Stats aggregations run: the
+    /// aggregate must never panic, never lose a closed session's counters,
+    /// and the final join must account every insert exactly.
+    #[test]
+    fn stats_aggregation_is_stable_while_sessions_close_mid_aggregation() {
+        let server = spawn_server(ServerConfig::default());
+        let addr = server.local_addr();
+        let churn_threads = 4;
+        let conns_per_thread = 8;
+        let inserts_per_conn = 25u64;
+        std::thread::scope(|scope| {
+            for t in 0..churn_threads {
+                scope.spawn(move || {
+                    for c in 0..conns_per_thread {
+                        let mut stream = TcpStream::connect(addr).unwrap();
+                        let mut wire = Vec::new();
+                        for i in 0..inserts_per_conn {
+                            Request::Insert {
+                                key: (t * 1_000 + c * 100) as u64 + i,
+                                value: 0,
+                            }
+                            .encode(&mut wire);
+                        }
+                        stream.write_all(&wire).unwrap();
+                        let mut frame = Vec::new();
+                        for _ in 0..inserts_per_conn {
+                            assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+                        }
+                        // Closing here races the aggregator below: the slot
+                        // must survive the session.
+                        drop(stream);
+                    }
+                });
+            }
+            // The aggregator: hammer Stats from its own connection while the
+            // churn threads open and close sessions. Totals must be
+            // monotonically non-decreasing (slots are never removed, merge
+            // saturates, counters only grow).
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let mut last_inserts = 0u64;
+                let mut frame = Vec::new();
+                for _ in 0..50 {
+                    let mut wire = Vec::new();
+                    Request::Stats.encode(&mut wire);
+                    stream.write_all(&wire).unwrap();
+                    assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+                    match Response::decode(&frame).unwrap().0 {
+                        Response::Stats(stats) => {
+                            assert!(
+                                stats.totals.inserts >= last_inserts,
+                                "aggregate went backwards: {} < {last_inserts}",
+                                stats.totals.inserts
+                            );
+                            last_inserts = stats.totals.inserts;
+                        }
+                        other => panic!("expected stats, got {other:?}"),
+                    }
+                }
+            });
+        });
+        let stats = server.join();
+        let expected = churn_threads as u64 * conns_per_thread as u64 * inserts_per_conn;
+        assert_eq!(
+            stats.totals.inserts, expected,
+            "closed sessions keep counting in the final aggregate"
+        );
+        // The aggregator connection plus every churn connection.
+        assert_eq!(
+            stats.sessions,
+            (churn_threads * conns_per_thread) as u64 + 1
+        );
     }
 
     #[test]

@@ -8,8 +8,14 @@
 //!
 //! Differences from real proptest: no shrinking (the failing case's number is
 //! reported; the run is deterministic per test name, so failures reproduce),
-//! and no persistence files. Each test derives its RNG seed from its module
-//! path, so adding tests does not perturb other tests' cases.
+//! and no persistence files — regression corpora are checked in explicitly
+//! (see `crates/service/proptest-regressions/`) and replayed by dedicated
+//! tests. Each test derives its RNG seed from its module path, so adding
+//! tests does not perturb other tests' cases.
+//!
+//! Like real proptest, the `PROPTEST_CASES` environment variable overrides
+//! the per-block case count (the CI stress job runs the suites with
+//! `PROPTEST_CASES=256`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +42,25 @@ impl ProptestConfig {
     /// Configuration running `cases` random cases.
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
+    }
+
+    /// The case count actually run: the `PROPTEST_CASES` environment
+    /// variable when set to a positive integer (matching real proptest's
+    /// override, used by the CI stress job), this configuration's `cases`
+    /// otherwise.
+    pub fn effective_cases(&self) -> u32 {
+        self.cases_with_override(std::env::var("PROPTEST_CASES").ok().as_deref())
+    }
+
+    /// [`effective_cases`](ProptestConfig::effective_cases) with the
+    /// override value passed explicitly — the pure core, testable without
+    /// mutating process-global environment (setenv racing getenv across
+    /// parallel test threads is undefined behaviour on glibc).
+    fn cases_with_override(&self, env_value: Option<&str>) -> u32 {
+        env_value
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.cases)
     }
 }
 
@@ -273,9 +298,10 @@ macro_rules! proptest {
         #[test]
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
             let mut rng =
                 $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
                     $(let $argpat = $crate::Strategy::sample(&($strat), &mut rng);)+
                     $body
@@ -285,7 +311,7 @@ macro_rules! proptest {
                     panic!(
                         "proptest case {}/{} for `{}` failed: {}",
                         case + 1,
-                        config.cases,
+                        cases,
                         stringify!($name),
                         error
                     );
@@ -301,6 +327,24 @@ macro_rules! proptest {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn proptest_cases_override_parses_like_real_proptest() {
+        // Exercised through the pure core — no env mutation, which would
+        // race the parallel proptest blocks in this same binary reading
+        // `PROPTEST_CASES` through `effective_cases`.
+        let config = ProptestConfig::with_cases(3);
+        assert_eq!(config.cases_with_override(Some("7")), 7);
+        assert_eq!(
+            config.cases_with_override(Some("0")),
+            3,
+            "zero is not a valid override"
+        );
+        assert_eq!(config.cases_with_override(Some("not-a-number")), 3);
+        assert_eq!(config.cases_with_override(Some("")), 3);
+        assert_eq!(config.cases_with_override(None), 3);
+        assert_eq!(ProptestConfig::with_cases(64).cases, 64);
+    }
 
     #[test]
     fn rng_is_deterministic_per_name() {

@@ -87,8 +87,8 @@ pub mod util {
 pub mod prelude {
     pub use balls_bins::{AllocationProcess, ChoiceRule};
     pub use choice_pq::{
-        DynSharedPq, HandlePolicy, HandleStats, Key, MultiQueue, MultiQueueConfig, PqHandle,
-        SharedPq,
+        DynSharedPq, ElasticPolicy, HandlePolicy, HandleStats, Key, MultiQueue, MultiQueueConfig,
+        PqHandle, QueueTopology, SharedPq,
     };
     pub use choice_process::{
         BiasSpec, ExponentialTopProcess, ProcessConfig, RankCostSummary, SequentialProcess,
