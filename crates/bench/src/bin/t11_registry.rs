@@ -1,0 +1,557 @@
+//! T11 — the registry workload: many named queues behind one server, and
+//! quota isolation under a noisy neighbour.
+//!
+//! Two scenarios, both end to end over loopback TCP against the v3
+//! choice-wire server fronting a [`QueueRegistry`]:
+//!
+//! **Spread** — the same total operation budget pushed through 1 / 8 / 64
+//! named queues (few-huge-queues vs many-small-queues). Every client cycles
+//! its pipelined session across the queue namespace in blocks of `UseQueue`
+//! rebinds. The registry pitch is that per-queue relaxation keeps this flat:
+//! a queue per tenant costs lanes, not a shared serialisation point, so
+//! throughput should not collapse as the namespace grows (small-queue rows
+//! pay only the rebind round trips and colder per-queue lanes).
+//!
+//! **Noisy neighbour** — a paced *victim* tenant (open-loop EDF arrivals,
+//! lateness measured per popped task against its embedded deadline, exactly
+//! the `sched::lateness` convention) shares the server with a saturating
+//! *aggressor* tenant on its own queue. Three phases per sample: the victim
+//! **solo** (baseline); the aggressor **unlimited** (interference visible as
+//! victim p99 lateness); the aggressor behind an ops/sec **quota** token
+//! bucket (refusals shed it — each `QuotaExceeded` is the backoff signal a
+//! well-behaved client waits on — and the victim's throughput and p99
+//! lateness return to within ~10% of solo). Aggressor refusals are recorded
+//! through [`LatenessTracker::record_refusal`], so its reported completion
+//! fraction is demand-relative, first-class shed accounting.
+//!
+//! Every reported number is the **median of `T11_SAMPLES` runs** (default
+//! 5). Environment knobs: `T11_SAMPLES`, `T11_CLIENTS` (spread clients,
+//! default 4), `T11_SPREAD_OPS` (arrivals per spread client, default
+//! 20000), `T11_VICTIM_OPS` (default 20000), `T11_VICTIM_RATE` (arrivals/s,
+//! default 40000), `T11_AGGRESSOR_RATE` (quota ops/s, default 2000),
+//! `T11_WINDOW` (pipeline window, default 64), `T11_STRICT=1` (assert the
+//! 10% isolation bounds — the acceptance gate), `BENCH_JSON=1` (one JSON
+//! object per row to stderr; redirect to `BENCH_t11.json`).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use choice_bench::env_u64;
+use choice_bench::report::{emit_json_row, print_header, print_row, print_section, JsonValue};
+use choice_sched::LatenessTracker;
+use choice_wire::{
+    BackendSpec, PqClient, PqServer, QueueRegistry, QuotaSpec, Request, Response, ServerConfig,
+};
+
+/// Median of a sample vector (odd or even length; NaN-free inputs).
+fn median(mut samples: Vec<f64>) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario A: queue-count spread
+// ---------------------------------------------------------------------------
+
+/// One spread run: `queues` named queues, `clients` pipelined clients each
+/// pushing `ops_per_client` inserts (plus one `DeleteMinBatch(8)` per 8
+/// inserts), rebinding across the namespace in blocks. Returns (total wire
+/// ops, ops/s).
+fn run_spread(queues: u64, clients: usize, ops_per_client: u64, window: usize) -> (u64, f64) {
+    const BLOCK: u64 = 256;
+    const BATCH: u32 = 8;
+    let registry = Arc::new(QueueRegistry::default());
+    for q in 0..queues {
+        registry
+            .create(
+                &format!("t/{q}"),
+                BackendSpec::MultiQueue {
+                    lanes: 2 * clients as u32,
+                    d: 2,
+                },
+                QuotaSpec::unlimited(),
+            )
+            .expect("spread namespace fits the registry");
+    }
+    let server = PqServer::spawn_registry(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default().with_credit_window(window),
+    )
+    .expect("bind ephemeral loopback port");
+    let addr = server.local_addr();
+
+    let timer = Instant::now();
+    let ops: u64 = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..clients as u64)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = PqClient::connect_with_window(addr, window).expect("connect");
+                    let mut operations = 0u64;
+                    let mut bound = u64::MAX;
+                    for i in 0..ops_per_client {
+                        // Rotate the binding across the namespace per block;
+                        // a rebind is a synchronous round trip, so it also
+                        // drains the pipeline.
+                        let q = (c + i / BLOCK) % queues;
+                        if q != bound {
+                            client.use_queue(&format!("t/{q}")).expect("rebind");
+                            bound = q;
+                        }
+                        let key = c * ops_per_client + i;
+                        client
+                            .submit(&Request::Insert { key, value: key })
+                            .expect("pipelined insert");
+                        operations += 1;
+                        if (i + 1) % u64::from(BATCH) == 0 {
+                            client
+                                .submit(&Request::DeleteMinBatch { max: BATCH })
+                                .expect("pipelined batch removal");
+                            operations += 1;
+                        }
+                    }
+                    client.drain_all(|_| {}).expect("acks");
+                    operations
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).sum()
+    });
+    let elapsed = timer.elapsed().as_secs_f64();
+    server.shutdown();
+    server.join();
+    (ops, ops as f64 / elapsed.max(1e-9))
+}
+
+// ---------------------------------------------------------------------------
+// Scenario B: noisy neighbour
+// ---------------------------------------------------------------------------
+
+/// Outcome of one victim run: completed wire ops, wall-clock, and the
+/// lateness distribution of every task it popped.
+struct VictimOutcome {
+    ops: u64,
+    elapsed_s: f64,
+    lateness: LatenessTracker,
+}
+
+/// The paced victim: open-loop steady arrivals at `rate`/s, EDF keys
+/// (arrival + deadline, in ns since the run epoch), one synchronous insert
+/// per arrival and one `DeleteMinBatch(4)` per 4 arrivals; the lateness of
+/// a popped task is measured on receipt against the deadline in its key.
+fn run_victim(addr: SocketAddr, ops: u64, rate: f64) -> VictimOutcome {
+    const DEADLINE: Duration = Duration::from_millis(2);
+    let mut client = PqClient::connect(addr).expect("victim connect");
+    client.use_queue("victim").expect("victim bind");
+    let mut lateness = LatenessTracker::new(1);
+    let mut completed = 0u64;
+    let interval_ns = 1e9 / rate;
+    let epoch = Instant::now();
+    for i in 0..ops {
+        let at = Duration::from_nanos((interval_ns * i as f64) as u64);
+        let now = epoch.elapsed();
+        if at > now {
+            std::thread::sleep(at - now);
+        }
+        let key = (at + DEADLINE).as_nanos() as u64;
+        client.insert(key, i).expect("victim insert");
+        completed += 1;
+        if (i + 1) % 4 == 0 {
+            let entries = client.delete_min_batch(4).expect("victim removal");
+            completed += 1;
+            let now_ns = epoch.elapsed().as_nanos() as u64;
+            for (deadline_ns, _) in entries {
+                lateness.record(0, now_ns.saturating_sub(deadline_ns));
+            }
+        }
+    }
+    // Bounded final drain so the tail of the backlog is measured too.
+    for _ in 0..16 {
+        let entries = client.delete_min_batch(64).expect("victim final drain");
+        if entries.is_empty() {
+            break;
+        }
+        completed += 1;
+        let now_ns = epoch.elapsed().as_nanos() as u64;
+        for (deadline_ns, _) in entries {
+            lateness.record(0, now_ns.saturating_sub(deadline_ns));
+        }
+    }
+    VictimOutcome {
+        ops: completed,
+        elapsed_s: epoch.elapsed().as_secs_f64(),
+        lateness,
+    }
+}
+
+/// Outcome of one aggressor run: answered operations and quota refusals
+/// (demand-relative, via the lateness tracker's refusal accounting).
+struct AggressorOutcome {
+    completed: u64,
+    refused: u64,
+}
+
+/// The saturating aggressor: unpaced pipelined inserts (plus one
+/// `DeleteMinBatch(8)` per 8 inserts) on its own queue until `stop`. A
+/// `QuotaExceeded` response is treated as the shed signal it is: count it
+/// as a refusal and back off briefly before offering more load.
+fn run_aggressor(addr: SocketAddr, window: usize, stop: &AtomicBool) -> AggressorOutcome {
+    const BACKOFF: Duration = Duration::from_micros(200);
+    let mut client = PqClient::connect_with_window(addr, window).expect("aggressor connect");
+    client.use_queue("aggressor").expect("aggressor bind");
+    let mut tracker = LatenessTracker::new(1);
+    let mut i = 0u64;
+    let handle = |response: Response, tracker: &mut LatenessTracker| -> bool {
+        if matches!(response, Response::Error { .. }) {
+            tracker.record_refusal(0);
+            true
+        } else {
+            tracker.record(0, 0);
+            false
+        }
+    };
+    while !stop.load(Ordering::Relaxed) {
+        i += 1;
+        let mut refused = false;
+        if let Some((response, _)) = client
+            .submit(&Request::Insert { key: i, value: i })
+            .expect("aggressor insert")
+        {
+            refused |= handle(response, &mut tracker);
+        }
+        if i.is_multiple_of(8) {
+            if let Some((response, _)) = client
+                .submit(&Request::DeleteMinBatch { max: 8 })
+                .expect("aggressor removal")
+            {
+                refused |= handle(response, &mut tracker);
+            }
+        }
+        if refused {
+            std::thread::sleep(BACKOFF);
+        }
+    }
+    client
+        .drain_all(|(response, _)| {
+            handle(response, &mut tracker);
+        })
+        .expect("aggressor drain");
+    AggressorOutcome {
+        completed: tracker.executed(),
+        refused: tracker.refused(),
+    }
+}
+
+/// The aggressor's quota in each noisy-neighbour phase.
+#[derive(Clone, Copy)]
+enum Neighbour {
+    /// No aggressor at all — the victim's baseline.
+    Absent,
+    /// An aggressor with no quota: full interference.
+    Unlimited,
+    /// An aggressor behind an ops/sec token bucket.
+    RateLimited { ops_per_sec: u64 },
+}
+
+impl Neighbour {
+    fn label(self) -> &'static str {
+        match self {
+            Neighbour::Absent => "solo",
+            Neighbour::Unlimited => "unlimited",
+            Neighbour::RateLimited { .. } => "quota",
+        }
+    }
+}
+
+/// One noisy-neighbour phase: victim (+ optional aggressor) against a fresh
+/// server; returns the victim outcome and the aggressor's counters.
+fn run_phase(
+    neighbour: Neighbour,
+    victim_ops: u64,
+    victim_rate: f64,
+    window: usize,
+    aggressors: usize,
+) -> (VictimOutcome, AggressorOutcome) {
+    let registry = Arc::new(QueueRegistry::default());
+    registry
+        .create(
+            "victim",
+            BackendSpec::MultiQueue { lanes: 4, d: 2 },
+            QuotaSpec::unlimited(),
+        )
+        .unwrap();
+    match neighbour {
+        Neighbour::Absent => {}
+        Neighbour::Unlimited => {
+            registry
+                .create(
+                    "aggressor",
+                    BackendSpec::MultiQueue { lanes: 4, d: 2 },
+                    QuotaSpec::unlimited(),
+                )
+                .unwrap();
+        }
+        Neighbour::RateLimited { ops_per_sec } => {
+            registry
+                .create(
+                    "aggressor",
+                    BackendSpec::MultiQueue { lanes: 4, d: 2 },
+                    QuotaSpec::unlimited().with_rate(ops_per_sec, ops_per_sec / 4),
+                )
+                .unwrap();
+        }
+    }
+    let server = PqServer::spawn_registry(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default().with_credit_window(window),
+    )
+    .expect("bind ephemeral loopback port");
+    let addr = server.local_addr();
+
+    let stop = AtomicBool::new(false);
+    let (victim, aggressor) = std::thread::scope(|scope| {
+        // The aggressor is a small fleet of connections all bound to the
+        // same "aggressor" queue: the quota is a per-tenant budget, shared
+        // across every session of the tenant, not a per-connection one.
+        let fleet: Vec<_> = match neighbour {
+            Neighbour::Absent => Vec::new(),
+            _ => (0..aggressors)
+                .map(|_| scope.spawn(|| run_aggressor(addr, window, &stop)))
+                .collect(),
+        };
+        let victim = run_victim(addr, victim_ops, victim_rate);
+        stop.store(true, Ordering::Relaxed);
+        let aggressor = fleet.into_iter().map(|j| j.join().unwrap()).fold(
+            AggressorOutcome {
+                completed: 0,
+                refused: 0,
+            },
+            |acc, outcome| AggressorOutcome {
+                completed: acc.completed + outcome.completed,
+                refused: acc.refused + outcome.refused,
+            },
+        );
+        (victim, aggressor)
+    });
+    server.shutdown();
+    server.join();
+    (victim, aggressor)
+}
+
+/// Per-phase medians across samples.
+struct PhaseSummary {
+    victim_kops: f64,
+    victim_p99_us: f64,
+    aggressor_ops: f64,
+    aggressor_refusals: f64,
+    refusal_share: f64,
+}
+
+fn summarise(samples: &[(VictimOutcome, AggressorOutcome)]) -> PhaseSummary {
+    let victim_kops = median(
+        samples
+            .iter()
+            .map(|(v, _)| v.ops as f64 / v.elapsed_s.max(1e-9) / 1e3)
+            .collect(),
+    );
+    let victim_p99_us = median(
+        samples
+            .iter()
+            .map(|(v, _)| v.lateness.classes()[0].lateness_quantile_us(0.99) as f64)
+            .collect(),
+    );
+    let aggressor_ops = median(samples.iter().map(|(_, a)| a.completed as f64).collect());
+    let aggressor_refusals = median(samples.iter().map(|(_, a)| a.refused as f64).collect());
+    let refusal_share = median(
+        samples
+            .iter()
+            .map(|(_, a)| {
+                let demand = a.completed + a.refused;
+                if demand == 0 {
+                    0.0
+                } else {
+                    a.refused as f64 / demand as f64
+                }
+            })
+            .collect(),
+    );
+    PhaseSummary {
+        victim_kops,
+        victim_p99_us,
+        aggressor_ops,
+        aggressor_refusals,
+        refusal_share,
+    }
+}
+
+fn main() {
+    let samples = env_u64("T11_SAMPLES", 5).max(1);
+    let clients = env_u64("T11_CLIENTS", 4) as usize;
+    let spread_ops = env_u64("T11_SPREAD_OPS", 20_000);
+    let victim_ops = env_u64("T11_VICTIM_OPS", 20_000);
+    let victim_rate = env_u64("T11_VICTIM_RATE", 40_000) as f64;
+    let aggressor_rate = env_u64("T11_AGGRESSOR_RATE", 2_000);
+    let aggressors = env_u64("T11_AGGRESSORS", 3) as usize;
+    let window = env_u64("T11_WINDOW", 64) as usize;
+    let strict = std::env::var("T11_STRICT").as_deref() == Ok("1");
+
+    print_section(
+        "T11",
+        "choice-registry: queue-count spread and noisy-neighbour quota isolation",
+    );
+    println!(
+        "median of {samples} samples; spread: {clients} clients × {spread_ops} arrivals; \
+         noisy neighbour: victim {victim_ops} arrivals @ {victim_rate:.0}/s (EDF, 2ms \
+         deadline) vs {aggressors} saturating aggressor connections sharing one \
+         tenant queue (quota {aggressor_rate} ops/s)"
+    );
+
+    // -- Scenario A: spread ------------------------------------------------
+    println!();
+    println!("-- spread: one namespace, 1 / 8 / 64 queues, same total budget --");
+    print_header(&["queues", "ops", "kops/s"]);
+    let mut total_operations = 0u64;
+    for queues in [1u64, 8, 64] {
+        let runs: Vec<(u64, f64)> = (0..samples)
+            .map(|_| run_spread(queues, clients, spread_ops, window))
+            .collect();
+        let ops = runs[0].0;
+        total_operations += runs.iter().map(|(o, _)| o).sum::<u64>();
+        let kops = median(runs.iter().map(|(_, r)| r / 1e3).collect());
+        print_row(&[queues.to_string(), ops.to_string(), format!("{kops:.1}")]);
+        emit_json_row(
+            "t11",
+            &[
+                ("scenario", JsonValue::from("spread")),
+                ("queues", JsonValue::from(queues)),
+                ("clients", JsonValue::from(clients as u64)),
+                ("samples", JsonValue::from(samples)),
+                ("ops", JsonValue::from(ops)),
+                ("kops_per_s", JsonValue::from(kops)),
+            ],
+        );
+    }
+
+    // -- Scenario B: noisy neighbour ---------------------------------------
+    println!();
+    println!("-- noisy neighbour: victim vs aggressor, per-queue quotas --");
+    print_header(&[
+        "phase",
+        "victim kops/s",
+        "victim p99 µs",
+        "aggr ops",
+        "aggr refusals",
+        "shed %",
+    ]);
+    let phases = [
+        Neighbour::Absent,
+        Neighbour::Unlimited,
+        Neighbour::RateLimited {
+            ops_per_sec: aggressor_rate,
+        },
+    ];
+    let mut summaries = Vec::new();
+    for neighbour in phases {
+        let runs: Vec<(VictimOutcome, AggressorOutcome)> = (0..samples)
+            .map(|_| run_phase(neighbour, victim_ops, victim_rate, window, aggressors))
+            .collect();
+        total_operations += runs.iter().map(|(v, _)| v.ops).sum::<u64>();
+        let summary = summarise(&runs);
+        print_row(&[
+            neighbour.label().to_string(),
+            format!("{:.1}", summary.victim_kops),
+            format!("{:.0}", summary.victim_p99_us),
+            format!("{:.0}", summary.aggressor_ops),
+            format!("{:.0}", summary.aggressor_refusals),
+            format!("{:.1}", summary.refusal_share * 100.0),
+        ]);
+        emit_json_row(
+            "t11",
+            &[
+                ("scenario", JsonValue::from("noisy-neighbour")),
+                ("phase", JsonValue::from(neighbour.label())),
+                ("samples", JsonValue::from(samples)),
+                ("aggressor_connections", JsonValue::from(aggressors as u64)),
+                ("victim_ops", JsonValue::from(victim_ops)),
+                ("victim_rate", JsonValue::from(victim_rate)),
+                ("victim_kops_per_s", JsonValue::from(summary.victim_kops)),
+                (
+                    "victim_p99_lateness_us",
+                    JsonValue::from(summary.victim_p99_us),
+                ),
+                ("aggressor_ops", JsonValue::from(summary.aggressor_ops)),
+                (
+                    "aggressor_refusals",
+                    JsonValue::from(summary.aggressor_refusals),
+                ),
+                (
+                    "aggressor_refusal_share",
+                    JsonValue::from(summary.refusal_share),
+                ),
+            ],
+        );
+        summaries.push(summary);
+    }
+
+    let (solo, unlimited, quota) = (&summaries[0], &summaries[1], &summaries[2]);
+    let throughput_ratio = quota.victim_kops / solo.victim_kops.max(1e-9);
+    // A near-zero solo p99 makes a pure ratio meaningless on a log-bucketed
+    // histogram, so the lateness gate carries a small additive floor.
+    let p99_bound_us = (solo.victim_p99_us * 1.10).max(solo.victim_p99_us + 250.0);
+    println!();
+    println!(
+        "isolation: victim throughput quota/solo = {throughput_ratio:.3} \
+         (unlimited/solo = {:.3}); victim p99 solo {:.0}µs → unlimited {:.0}µs → \
+         quota {:.0}µs (gate ≤ {:.0}µs); quota phase shed {:.1}% of aggressor demand",
+        unlimited.victim_kops / solo.victim_kops.max(1e-9),
+        solo.victim_p99_us,
+        unlimited.victim_p99_us,
+        quota.victim_p99_us,
+        p99_bound_us,
+        quota.refusal_share * 100.0,
+    );
+    if strict {
+        assert!(
+            quota.aggressor_refusals > 0.0,
+            "T11_STRICT: the quota never refused the aggressor"
+        );
+        assert!(
+            throughput_ratio >= 0.90,
+            "T11_STRICT: victim throughput under a quota-limited aggressor fell \
+             below 90% of solo ({:.1} vs {:.1} kops/s)",
+            quota.victim_kops,
+            solo.victim_kops,
+        );
+        assert!(
+            quota.victim_p99_us <= p99_bound_us,
+            "T11_STRICT: victim p99 lateness under a quota-limited aggressor \
+             ({:.0}µs) exceeded the solo-derived bound ({:.0}µs)",
+            quota.victim_p99_us,
+            p99_bound_us,
+        );
+    }
+
+    // The CI smoke step relies on this: a run that silently did nothing is
+    // a failure, not a fast success.
+    assert!(
+        total_operations > 0,
+        "t11 completed zero operations — the service never answered"
+    );
+    println!();
+    println!(
+        "Expected shape: spread rows stay within the rebind overhead of each \
+         other (queues are isolation units, not serialisation points); the \
+         unlimited phase inflates victim p99 lateness, the quota phase sheds \
+         the aggressor by typed refusals and restores the victim to its solo \
+         baseline."
+    );
+}

@@ -89,10 +89,20 @@ pub struct HandleStats {
     /// block instead of retrying. Retries are *not* operations and do not
     /// count towards [`operations`](HandleStats::operations).
     pub contended_retries: u64,
+    /// Operations refused by an *enclosing* admission layer (quota, rate or
+    /// lifecycle shedding in a service/registry wrapper) before they reached
+    /// the queue. Queues themselves never increment this — a handle's own
+    /// counter is always `0` — but it rides in `HandleStats` so per-tenant
+    /// aggregates carry attempted-but-shed work through the same
+    /// [`merge`](HandleStats::merge) path as everything else. Refusals are
+    /// not queue operations and do not count towards
+    /// [`operations`](HandleStats::operations).
+    pub refusals: u64,
 }
 
 impl HandleStats {
-    /// Total operations issued through the handle (retries excluded).
+    /// Total operations issued through the handle (retries and refusals
+    /// excluded).
     pub fn operations(&self) -> u64 {
         self.inserts + self.removals + self.failed_removals
     }
@@ -112,6 +122,7 @@ impl HandleStats {
         self.contended_retries = self
             .contended_retries
             .saturating_add(other.contended_retries);
+        self.refusals = self.refusals.saturating_add(other.refusals);
     }
 }
 
@@ -501,6 +512,7 @@ mod tests {
                 failed_removals: 1,
                 empty_polls: 1,
                 contended_retries: 0,
+                refusals: 0,
             }
         );
         assert_eq!(h.stats().operations(), 5, "retries are not operations");
@@ -603,6 +615,7 @@ mod tests {
             failed_removals: 1,
             empty_polls: 1,
             contended_retries: 7,
+            refusals: 4,
         };
         let b = HandleStats {
             inserts: 10,
@@ -610,6 +623,7 @@ mod tests {
             failed_removals: 30,
             empty_polls: 25,
             contended_retries: 0,
+            refusals: 40,
         };
         total.merge(&a);
         total.merge(&b);
@@ -621,6 +635,7 @@ mod tests {
                 failed_removals: 31,
                 empty_polls: 26,
                 contended_retries: 7,
+                refusals: 44,
             }
         );
         // Merging an empty stats value is the identity.
@@ -643,6 +658,7 @@ mod tests {
             failed_removals: u64::MAX,
             empty_polls: u64::MAX,
             contended_retries: u64::MAX,
+            refusals: u64::MAX,
         };
         let small = HandleStats {
             inserts: 1,
@@ -650,6 +666,7 @@ mod tests {
             failed_removals: 3,
             empty_polls: 4,
             contended_retries: 5,
+            refusals: 6,
         };
         // MAX + anything pins at MAX (both merge directions).
         let mut a = maxed;
@@ -660,7 +677,7 @@ mod tests {
         assert_eq!(b, maxed);
         // Each field saturates independently: overflow one, the others add
         // normally.
-        for field in 0..5usize {
+        for field in 0..6usize {
             let mut near = HandleStats::default();
             fn pick_field(field: usize) -> impl Fn(&mut HandleStats) -> &mut u64 {
                 move |s| match field {
@@ -668,7 +685,8 @@ mod tests {
                     1 => &mut s.removals,
                     2 => &mut s.failed_removals,
                     3 => &mut s.empty_polls,
-                    _ => &mut s.contended_retries,
+                    4 => &mut s.contended_retries,
+                    _ => &mut s.refusals,
                 }
             }
             let pick = pick_field(field);

@@ -1,0 +1,979 @@
+//! The queue registry: named queues, lazy instantiation, session bindings,
+//! quota enforcement and per-queue statistics.
+//!
+//! # Lifecycle
+//!
+//! A queue is **created** from a [`BackendSpec`] + [`QuotaSpec`] description
+//! (or **installed** pre-built, the backward-compat path for single-queue
+//! servers). Creation does not build the structure: the first
+//! [`QueueBinding`] that actually operates on it does, seeded
+//! deterministically from the registry seed and the queue name. A queue is
+//! **dropped** by name; the entry leaves the namespace immediately (the name
+//! can be recreated) and every live binding observes the tombstone on its
+//! next admitted operation, getting a typed refusal — never a panic, and
+//! never a dangling session.
+//!
+//! # Statistics
+//!
+//! Each entry keeps one slot per *live* binding plus a single rolled-up
+//! accumulator for every binding that has closed — connection churn costs
+//! O(1) retained memory per queue, not O(sessions ever). A closing binding
+//! merges its final counters into the roll-up and removes its slot under
+//! one lock, so aggregates taken concurrently never double-count and never
+//! go backwards. Refusals are counted on the entry (they have no session
+//! stats slot of their own) and folded into the aggregate's
+//! `HandleStats::refusals`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use choice_pq::{DynSharedPq, HandlePolicy, HandleStats, Key, PqHandle, QueueTopology};
+use parking_lot::Mutex;
+use rank_stats::tokens::TokenBucket;
+
+use crate::spec::{BackendSpec, QuotaSpec};
+
+/// Hard ceiling on the number of queues any registry may hold (the wire
+/// protocol sizes its list/stats frames against this).
+pub const MAX_QUEUES: usize = 1024;
+
+/// The queue every v2 (single-queue) client is bound to.
+pub const DEFAULT_QUEUE: &str = "default";
+
+/// Maximum queue-name length in bytes (names ride in one-byte-length wire
+/// fields with room to spare).
+pub const MAX_NAME_LEN: usize = 64;
+
+/// Whether `name` is a legal queue name: 1..=[`MAX_NAME_LEN`] bytes of
+/// ASCII alphanumerics plus `- _ . /`.
+pub fn valid_name(name: &str) -> bool {
+    (1..=MAX_NAME_LEN).contains(&name.len())
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'/'))
+}
+
+/// Everything a registry lifecycle or bind call can fail with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is empty, too long, or holds characters outside the allowed
+    /// set.
+    BadName(String),
+    /// `create`/`install` target already exists.
+    Exists(String),
+    /// The named queue does not exist (never created, or dropped).
+    NotFound(String),
+    /// The registry is at its queue-count ceiling.
+    Full {
+        /// The configured ceiling that was hit.
+        limit: usize,
+    },
+    /// The queue's concurrent-session quota is exhausted.
+    SessionLimit {
+        /// The queue being bound.
+        name: String,
+        /// Its session ceiling.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::BadName(name) => write!(
+                f,
+                "invalid queue name {name:?} (1..={MAX_NAME_LEN} bytes of [A-Za-z0-9._/-])"
+            ),
+            RegistryError::Exists(name) => write!(f, "queue {name:?} already exists"),
+            RegistryError::NotFound(name) => write!(f, "no queue named {name:?}"),
+            RegistryError::Full { limit } => {
+                write!(f, "registry is full ({limit} queues)")
+            }
+            RegistryError::SessionLimit { name, limit } => {
+                write!(f, "queue {name:?} is at its session quota ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Why an admitted-path operation was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Refusal {
+    /// The queue's token bucket could not cover the operation.
+    Rate {
+        /// Whether the operation was background class (shed at the urgent
+        /// reserve rather than at empty).
+        background: bool,
+    },
+    /// The in-flight element quota is exhausted.
+    InFlight,
+    /// The queue was dropped while this binding was live.
+    Dropped,
+}
+
+impl fmt::Display for Refusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Refusal::Rate { background: true } => {
+                write!(f, "rate quota exhausted (background class shed first)")
+            }
+            Refusal::Rate { background: false } => write!(f, "rate quota exhausted"),
+            Refusal::InFlight => write!(f, "in-flight element quota exhausted"),
+            Refusal::Dropped => write!(f, "queue was dropped"),
+        }
+    }
+}
+
+/// A point-in-time view of one registry entry, used by queue listings and
+/// the per-queue Stats breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueSnapshot {
+    /// The queue's registry name.
+    pub name: String,
+    /// Backend label (see [`BackendSpec::label`]; installed queues report
+    /// the queue's own name string).
+    pub backend: String,
+    /// Whether the backing structure has been built yet.
+    pub instantiated: bool,
+    /// Sessions ever bound to this queue.
+    pub sessions_total: u64,
+    /// Sessions currently bound.
+    pub sessions_live: u64,
+    /// Aggregated per-session counters (live slots + closed roll-up), with
+    /// the entry's refusal count folded into `totals.refusals`.
+    pub totals: HandleStats,
+    /// Approximate element count (`0` while uninstantiated).
+    pub approx_len: u64,
+    /// Lane topology (`None` while uninstantiated).
+    pub topology: Option<QueueTopology>,
+}
+
+/// Live + closed session counters of one entry, moved under a single lock
+/// so a closing binding's "merge into roll-up, remove slot" is atomic with
+/// respect to aggregation (totals can never double-count or go backwards).
+struct StatsInner {
+    live: Vec<Arc<Mutex<HandleStats>>>,
+    closed: HandleStats,
+}
+
+/// One named queue: description, lazily-built structure, quota state.
+struct QueueEntry {
+    name: String,
+    backend_label: String,
+    spec: Option<BackendSpec>,
+    quota: QuotaSpec,
+    seed: u64,
+    queue: OnceLock<Arc<dyn DynSharedPq<u64>>>,
+    dropped: AtomicBool,
+    /// Admitted-but-not-yet-removed element estimate (saturating).
+    inflight: AtomicU64,
+    sessions_live: AtomicU64,
+    sessions_total: AtomicU64,
+    refusals_rate_urgent: AtomicU64,
+    refusals_rate_background: AtomicU64,
+    refusals_inflight: AtomicU64,
+    refusals_dropped: AtomicU64,
+    /// Refusals decided outside the quota machinery (e.g. the service
+    /// layer's reserved-key check), attributed here so per-queue totals
+    /// stay complete.
+    refusals_external: AtomicU64,
+    bucket: Option<Mutex<TokenBucket>>,
+    stats: Mutex<StatsInner>,
+}
+
+impl QueueEntry {
+    fn new(name: &str, spec: Option<BackendSpec>, quota: QuotaSpec, seed: u64) -> Self {
+        let bucket = if quota.ops_per_sec > 0 {
+            Some(Mutex::new(TokenBucket::new(
+                quota.ops_per_sec as f64,
+                quota.effective_burst().max(1) as f64,
+            )))
+        } else {
+            None
+        };
+        Self {
+            name: name.to_string(),
+            backend_label: spec
+                .as_ref()
+                .map(|s| s.label())
+                .unwrap_or_else(|| "installed".to_string()),
+            spec,
+            quota,
+            seed,
+            queue: OnceLock::new(),
+            dropped: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            sessions_live: AtomicU64::new(0),
+            sessions_total: AtomicU64::new(0),
+            refusals_rate_urgent: AtomicU64::new(0),
+            refusals_rate_background: AtomicU64::new(0),
+            refusals_inflight: AtomicU64::new(0),
+            refusals_dropped: AtomicU64::new(0),
+            refusals_external: AtomicU64::new(0),
+            bucket,
+            stats: Mutex::new(StatsInner {
+                live: Vec::new(),
+                closed: HandleStats::default(),
+            }),
+        }
+    }
+
+    /// The backing queue, built on first use.
+    fn queue(&self) -> &Arc<dyn DynSharedPq<u64>> {
+        self.queue.get_or_init(|| {
+            self.spec
+                .as_ref()
+                .expect("entry without a spec must be pre-installed")
+                .build(self.seed)
+        })
+    }
+
+    fn total_refusals(&self) -> u64 {
+        self.refusals_rate_urgent
+            .load(Ordering::Relaxed)
+            .saturating_add(self.refusals_rate_background.load(Ordering::Relaxed))
+            .saturating_add(self.refusals_inflight.load(Ordering::Relaxed))
+            .saturating_add(self.refusals_dropped.load(Ordering::Relaxed))
+            .saturating_add(self.refusals_external.load(Ordering::Relaxed))
+    }
+
+    /// Aggregated counters: closed roll-up + every live slot + refusals.
+    fn aggregate(&self) -> HandleStats {
+        let inner = self.stats.lock();
+        let mut totals = inner.closed;
+        for slot in &inner.live {
+            totals.merge(&slot.lock());
+        }
+        drop(inner);
+        totals.refusals = totals.refusals.saturating_add(self.total_refusals());
+        totals
+    }
+
+    fn snapshot(&self) -> QueueSnapshot {
+        let instantiated = self.queue.get().is_some();
+        let (approx_len, topology) = match self.queue.get() {
+            Some(q) => (q.approx_len_dyn() as u64, Some(q.topology_dyn())),
+            None => (0, None),
+        };
+        QueueSnapshot {
+            name: self.name.clone(),
+            backend: self.backend_label.clone(),
+            instantiated,
+            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            sessions_live: self.sessions_live.load(Ordering::Relaxed),
+            totals: self.aggregate(),
+            approx_len,
+            topology,
+        }
+    }
+}
+
+/// Registry-wide configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Queue-count ceiling (at most [`MAX_QUEUES`]).
+    pub max_queues: usize,
+    /// Base RNG seed; each queue derives its own seed from this and its
+    /// name, so a registry full of queues stays deterministic per name.
+    pub seed: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            max_queues: 256,
+            seed: 0x5EED_4E57, // "nest"
+        }
+    }
+}
+
+impl RegistryConfig {
+    /// Sets the queue-count ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_queues` is `0` or exceeds [`MAX_QUEUES`].
+    pub fn with_max_queues(mut self, max_queues: usize) -> Self {
+        assert!(
+            (1..=MAX_QUEUES).contains(&max_queues),
+            "max_queues must be in 1..={MAX_QUEUES}"
+        );
+        self.max_queues = max_queues;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// FNV-1a over the queue name: mixed into the registry seed so each queue's
+/// RNG stream is deterministic per (registry seed, name).
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A registry of named queues with per-queue quotas.
+///
+/// Thread-safe: lifecycle calls, binds and snapshots may race freely. The
+/// namespace lock is held only for map operations — never while building a
+/// queue or taking stats locks.
+pub struct QueueRegistry {
+    queues: Mutex<BTreeMap<String, Arc<QueueEntry>>>,
+    config: RegistryConfig,
+    /// Monotonic origin for token-bucket timestamps.
+    epoch: Instant,
+    /// Refusals answered without any queue bound (e.g. session ops from a
+    /// connection whose queue vanished) — kept out of per-queue rows but
+    /// folded into service-level totals.
+    unbound_refusals: AtomicU64,
+    /// Roll-up of dropped queues' final aggregates, so service-level totals
+    /// stay monotonic across `drop_queue` (per-queue rows for dropped
+    /// queues disappear; their history does not).
+    retired: Mutex<HandleStats>,
+}
+
+impl QueueRegistry {
+    /// Creates an empty registry.
+    pub fn new(config: RegistryConfig) -> Self {
+        Self {
+            queues: Mutex::new(BTreeMap::new()),
+            config,
+            epoch: Instant::now(),
+            unbound_refusals: AtomicU64::new(0),
+            retired: Mutex::new(HandleStats::default()),
+        }
+    }
+
+    /// The configured ceiling.
+    pub fn max_queues(&self) -> usize {
+        self.config.max_queues
+    }
+
+    /// Number of queues currently registered.
+    pub fn len(&self) -> usize {
+        self.queues.lock().len()
+    }
+
+    /// Whether the registry holds no queues.
+    pub fn is_empty(&self) -> bool {
+        self.queues.lock().is_empty()
+    }
+
+    /// Whether a queue named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.queues.lock().contains_key(name)
+    }
+
+    /// Registers a new queue described by `backend` + `quota`. The backing
+    /// structure is built lazily on first use.
+    pub fn create(
+        &self,
+        name: &str,
+        backend: BackendSpec,
+        quota: QuotaSpec,
+    ) -> Result<(), RegistryError> {
+        self.insert_entry(name, Some(backend), None, quota)
+    }
+
+    /// Registers a pre-built queue under `name` (the compat path: a server
+    /// given one queue installs it as [`DEFAULT_QUEUE`]).
+    pub fn install(
+        &self,
+        name: &str,
+        queue: Arc<dyn DynSharedPq<u64>>,
+        quota: QuotaSpec,
+    ) -> Result<(), RegistryError> {
+        self.insert_entry(name, None, Some(queue), quota)
+    }
+
+    fn insert_entry(
+        &self,
+        name: &str,
+        spec: Option<BackendSpec>,
+        prebuilt: Option<Arc<dyn DynSharedPq<u64>>>,
+        quota: QuotaSpec,
+    ) -> Result<(), RegistryError> {
+        if !valid_name(name) {
+            return Err(RegistryError::BadName(name.to_string()));
+        }
+        let seed = self.config.seed ^ name_hash(name);
+        let entry = Arc::new(QueueEntry::new(name, spec, quota, seed));
+        if let Some(queue) = prebuilt {
+            let _ = entry.queue.set(queue);
+        }
+        let mut map = self.queues.lock();
+        if map.contains_key(name) {
+            return Err(RegistryError::Exists(name.to_string()));
+        }
+        if map.len() >= self.config.max_queues {
+            return Err(RegistryError::Full {
+                limit: self.config.max_queues,
+            });
+        }
+        map.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// Drops the named queue: the name leaves the namespace immediately and
+    /// live bindings observe a [`Refusal::Dropped`] tombstone on their next
+    /// admitted operation. The queue's aggregate counters (as of the drop)
+    /// move into the retired roll-up so service-level totals stay
+    /// monotonic; per-queue rows for it disappear.
+    pub fn drop_queue(&self, name: &str) -> Result<(), RegistryError> {
+        let entry = self
+            .queues
+            .lock()
+            .remove(name)
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))?;
+        entry.dropped.store(true, Ordering::SeqCst);
+        self.retired.lock().merge(&entry.aggregate());
+        Ok(())
+    }
+
+    /// Opens a session binding on the named queue (counted against its
+    /// session quota until the binding drops).
+    pub fn bind(&self, name: &str) -> Result<QueueBinding, RegistryError> {
+        let entry = self
+            .queues
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))?;
+        let max = entry.quota.max_sessions;
+        if max > 0 {
+            let claimed =
+                entry
+                    .sessions_live
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                        (v < max).then_some(v + 1)
+                    });
+            if claimed.is_err() {
+                return Err(RegistryError::SessionLimit {
+                    name: name.to_string(),
+                    limit: max,
+                });
+            }
+        } else {
+            entry.sessions_live.fetch_add(1, Ordering::SeqCst);
+        }
+        entry.sessions_total.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(Mutex::new(HandleStats::default()));
+        entry.stats.lock().live.push(Arc::clone(&slot));
+        Ok(QueueBinding {
+            entry,
+            slot,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Snapshots every queue, sorted by name.
+    pub fn stats(&self) -> Vec<QueueSnapshot> {
+        let entries: Vec<Arc<QueueEntry>> = self.queues.lock().values().cloned().collect();
+        entries.iter().map(|e| e.snapshot()).collect()
+    }
+
+    /// The retired roll-up: final aggregates of every dropped queue.
+    pub fn retired_totals(&self) -> HandleStats {
+        *self.retired.lock()
+    }
+
+    /// Counts one refusal that no queue can be charged for.
+    pub fn note_unbound_refusal(&self) {
+        self.unbound_refusals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Refusals answered without a bound queue.
+    pub fn unbound_refusals(&self) -> u64 {
+        self.unbound_refusals.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the registry's construction (the token-bucket
+    /// clock, exposed for tests and simulations).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for QueueRegistry {
+    fn default() -> Self {
+        Self::new(RegistryConfig::default())
+    }
+}
+
+impl fmt::Debug for QueueRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueRegistry")
+            .field("queues", &self.len())
+            .field("max_queues", &self.config.max_queues)
+            .finish()
+    }
+}
+
+/// One session's claim on a named queue: the admission gate every service
+/// operation passes through, plus this session's stats slot. Dropping the
+/// binding releases the session-quota slot and rolls the session's final
+/// counters into the queue's closed accumulator.
+pub struct QueueBinding {
+    entry: Arc<QueueEntry>,
+    slot: Arc<Mutex<HandleStats>>,
+    epoch: Instant,
+}
+
+impl QueueBinding {
+    /// The bound queue's name.
+    pub fn name(&self) -> &str {
+        &self.entry.name
+    }
+
+    /// The bound queue's quota record.
+    pub fn quota(&self) -> &QuotaSpec {
+        &self.entry.quota
+    }
+
+    /// Whether the queue was dropped out from under this binding.
+    pub fn is_dropped(&self) -> bool {
+        self.entry.dropped.load(Ordering::SeqCst)
+    }
+
+    /// The backing queue (built on first call).
+    pub fn queue(&self) -> &Arc<dyn DynSharedPq<u64>> {
+        self.entry.queue()
+    }
+
+    /// Opens a session handle on the backing queue (the handle borrows this
+    /// binding, exactly as in-process handles borrow their queue).
+    pub fn register(&self, policy: HandlePolicy) -> Box<dyn PqHandle<u64> + '_> {
+        self.entry.queue().register_policy_dyn(policy)
+    }
+
+    /// Admission check for an insert of `key`. Charges the in-flight quota
+    /// and one rate token; an insert whose key falls in the background
+    /// class is refused while the bucket sits below the urgent reserve
+    /// (half the burst).
+    pub fn admit_insert(&self, key: Key) -> Result<(), Refusal> {
+        self.admit(true, key)
+    }
+
+    /// Admission check for a removal-side operation (delete-min, batch).
+    /// Charges one urgent-class rate token; the in-flight quota is not
+    /// consulted (removals free it).
+    pub fn admit_removal(&self) -> Result<(), Refusal> {
+        self.admit(false, 0)
+    }
+
+    fn admit(&self, is_insert: bool, key: Key) -> Result<(), Refusal> {
+        if self.entry.dropped.load(Ordering::SeqCst) {
+            self.entry.refusals_dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(Refusal::Dropped);
+        }
+        let mut inflight_claimed = false;
+        if is_insert {
+            let max = self.entry.quota.max_inflight;
+            if max > 0 {
+                let claimed =
+                    self.entry
+                        .inflight
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                            (v < max).then_some(v + 1)
+                        });
+                if claimed.is_err() {
+                    self.entry.refusals_inflight.fetch_add(1, Ordering::Relaxed);
+                    return Err(Refusal::InFlight);
+                }
+            } else {
+                self.entry.inflight.fetch_add(1, Ordering::Relaxed);
+            }
+            inflight_claimed = true;
+        }
+        if let Some(bucket) = &self.entry.bucket {
+            let background = is_insert && key >= self.entry.quota.shed_key_bound;
+            let now_ns = self.epoch.elapsed().as_nanos() as u64;
+            let mut bucket = bucket.lock();
+            let reserve = if background {
+                bucket.capacity() * 0.5
+            } else {
+                0.0
+            };
+            if !bucket.try_take(now_ns, 1.0, reserve) {
+                drop(bucket);
+                if inflight_claimed {
+                    // Give the optimistic in-flight claim back.
+                    let _ =
+                        self.entry
+                            .inflight
+                            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                                Some(v.saturating_sub(1))
+                            });
+                }
+                let counter = if background {
+                    &self.entry.refusals_rate_background
+                } else {
+                    &self.entry.refusals_rate_urgent
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                return Err(Refusal::Rate { background });
+            }
+        }
+        Ok(())
+    }
+
+    /// Credits `n` successful removals back to the in-flight quota.
+    pub fn note_removed(&self, n: u64) {
+        if n > 0 {
+            let _ = self
+                .entry
+                .inflight
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                    Some(v.saturating_sub(n))
+                });
+        }
+    }
+
+    /// Counts one refusal decided outside the quota machinery (e.g. a
+    /// reserved-key refusal at the service layer) against this queue.
+    pub fn note_external_refusal(&self) {
+        self.entry.refusals_external.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes this session's current handle counters to its stats slot
+    /// (the aggregate reads them from there).
+    pub fn publish_stats(&self, stats: HandleStats) {
+        *self.slot.lock() = stats;
+    }
+
+    /// This binding's queue snapshot (for tests and diagnostics).
+    pub fn snapshot(&self) -> QueueSnapshot {
+        self.entry.snapshot()
+    }
+}
+
+impl fmt::Debug for QueueBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueBinding")
+            .field("queue", &self.entry.name)
+            .field("dropped", &self.is_dropped())
+            .finish()
+    }
+}
+
+impl Drop for QueueBinding {
+    fn drop(&mut self) {
+        // Merge-and-remove under one lock so concurrent aggregation sees
+        // either (live slot) or (roll-up including it), never both/neither.
+        let finals = *self.slot.lock();
+        let mut inner = self.entry.stats.lock();
+        inner.closed.merge(&finals);
+        inner.live.retain(|s| !Arc::ptr_eq(s, &self.slot));
+        drop(inner);
+        self.entry.sessions_live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mq() -> BackendSpec {
+        BackendSpec::MultiQueue { lanes: 4, d: 2 }
+    }
+
+    #[test]
+    fn create_bind_operate_drop_lifecycle() {
+        let reg = QueueRegistry::default();
+        reg.create("tenant/a", mq(), QuotaSpec::unlimited())
+            .unwrap();
+        assert!(reg.contains("tenant/a"));
+        assert_eq!(reg.len(), 1);
+        // Creation is lazy: nothing instantiated yet.
+        assert!(!reg.stats()[0].instantiated);
+
+        let binding = reg.bind("tenant/a").unwrap();
+        let mut session = binding.register(HandlePolicy::default());
+        binding.admit_insert(5).unwrap();
+        session.insert(5, 50);
+        binding.admit_removal().unwrap();
+        assert_eq!(session.delete_min(), Some((5, 50)));
+        binding.note_removed(1);
+        binding.publish_stats(session.stats());
+        drop(session);
+        drop(binding);
+
+        let snap = &reg.stats()[0];
+        assert!(snap.instantiated);
+        assert_eq!(snap.totals.inserts, 1);
+        assert_eq!(snap.totals.removals, 1);
+        assert_eq!(snap.sessions_total, 1);
+        assert_eq!(snap.sessions_live, 0);
+
+        reg.drop_queue("tenant/a").unwrap();
+        assert!(!reg.contains("tenant/a"));
+        assert_eq!(
+            reg.drop_queue("tenant/a"),
+            Err(RegistryError::NotFound("tenant/a".to_string()))
+        );
+        // History survives in the retired roll-up.
+        assert_eq!(reg.retired_totals().inserts, 1);
+        // The name is immediately reusable.
+        reg.create("tenant/a", mq(), QuotaSpec::unlimited())
+            .unwrap();
+    }
+
+    #[test]
+    fn lazy_instantiation_is_deterministic_per_name() {
+        let reg_a = QueueRegistry::new(RegistryConfig::default().with_seed(7));
+        let reg_b = QueueRegistry::new(RegistryConfig::default().with_seed(7));
+        for reg in [&reg_a, &reg_b] {
+            reg.create("q", mq(), QuotaSpec::unlimited()).unwrap();
+        }
+        let ba = reg_a.bind("q").unwrap();
+        let bb = reg_b.bind("q").unwrap();
+        assert_eq!(ba.queue().name_dyn(), bb.queue().name_dyn());
+    }
+
+    #[test]
+    fn namespace_errors_are_typed() {
+        let reg = QueueRegistry::new(RegistryConfig::default().with_max_queues(2));
+        assert!(matches!(
+            reg.create("", mq(), QuotaSpec::unlimited()),
+            Err(RegistryError::BadName(_))
+        ));
+        assert!(matches!(
+            reg.create("no spaces", mq(), QuotaSpec::unlimited()),
+            Err(RegistryError::BadName(_))
+        ));
+        assert!(matches!(
+            reg.create(&"x".repeat(MAX_NAME_LEN + 1), mq(), QuotaSpec::unlimited()),
+            Err(RegistryError::BadName(_))
+        ));
+        reg.create("a", mq(), QuotaSpec::unlimited()).unwrap();
+        assert_eq!(
+            reg.create("a", mq(), QuotaSpec::unlimited()),
+            Err(RegistryError::Exists("a".to_string()))
+        );
+        reg.create("b", mq(), QuotaSpec::unlimited()).unwrap();
+        assert_eq!(
+            reg.create("c", mq(), QuotaSpec::unlimited()),
+            Err(RegistryError::Full { limit: 2 })
+        );
+        assert!(matches!(
+            reg.bind("missing"),
+            Err(RegistryError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn session_quota_bounds_concurrent_bindings() {
+        let reg = QueueRegistry::default();
+        reg.create("q", mq(), QuotaSpec::unlimited().with_max_sessions(2))
+            .unwrap();
+        let b1 = reg.bind("q").unwrap();
+        let _b2 = reg.bind("q").unwrap();
+        assert_eq!(
+            reg.bind("q").map(drop),
+            Err(RegistryError::SessionLimit {
+                name: "q".to_string(),
+                limit: 2
+            }),
+            "third bind refused"
+        );
+        drop(b1);
+        // Releasing a binding frees its quota slot.
+        let _b3 = reg.bind("q").unwrap();
+    }
+
+    #[test]
+    fn inflight_quota_refuses_then_recovers_on_removal() {
+        let reg = QueueRegistry::default();
+        reg.create("q", mq(), QuotaSpec::unlimited().with_max_inflight(2))
+            .unwrap();
+        let b = reg.bind("q").unwrap();
+        b.admit_insert(1).unwrap();
+        b.admit_insert(2).unwrap();
+        assert_eq!(b.admit_insert(3), Err(Refusal::InFlight));
+        // Removals do not consult the in-flight quota...
+        b.admit_removal().unwrap();
+        // ...and crediting one removal frees one insert.
+        b.note_removed(1);
+        b.admit_insert(3).unwrap();
+        assert_eq!(b.snapshot().totals.refusals, 1);
+    }
+
+    #[test]
+    fn rate_quota_sheds_background_before_urgent() {
+        let reg = QueueRegistry::default();
+        // 10 tokens of burst; keys >= 100 are background and must leave 5
+        // tokens of urgent reserve.
+        reg.create(
+            "q",
+            mq(),
+            QuotaSpec::unlimited()
+                .with_rate(1, 10)
+                .with_shed_key_bound(100),
+        )
+        .unwrap();
+        let b = reg.bind("q").unwrap();
+        // Background inserts are admitted down to the reserve...
+        let mut background_ok = 0;
+        loop {
+            match b.admit_insert(100) {
+                Ok(()) => background_ok += 1,
+                Err(Refusal::Rate { background: true }) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(background_ok <= 10, "reserve never kicked in");
+        }
+        assert_eq!(background_ok, 5, "half the burst is urgent reserve");
+        // ...while urgent inserts keep going through the reserve.
+        let mut urgent_ok = 0;
+        loop {
+            match b.admit_insert(1) {
+                Ok(()) => urgent_ok += 1,
+                Err(Refusal::Rate { background: false }) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(urgent_ok <= 10, "bucket never drained");
+        }
+        assert_eq!(urgent_ok, 5, "urgent traffic spends the reserve");
+        let snap = b.snapshot();
+        assert_eq!(snap.totals.refusals, 2);
+    }
+
+    #[test]
+    fn rate_refusal_returns_the_inflight_claim() {
+        let reg = QueueRegistry::default();
+        reg.create(
+            "q",
+            mq(),
+            QuotaSpec::unlimited().with_max_inflight(10).with_rate(1, 2),
+        )
+        .unwrap();
+        let b = reg.bind("q").unwrap();
+        b.admit_insert(1).unwrap();
+        b.admit_insert(1).unwrap();
+        assert!(matches!(b.admit_insert(1), Err(Refusal::Rate { .. })));
+        // Two admitted inserts hold two in-flight slots; the refused one
+        // holds none — 8 more removals' worth of budget remain.
+        b.note_removed(2);
+        b.admit_removal().unwrap_err(); // bucket empty: removal shed too
+        let snap = b.snapshot();
+        assert_eq!(snap.totals.refusals, 2);
+    }
+
+    #[test]
+    fn dropped_queue_refuses_with_a_tombstone_and_counts_it() {
+        let reg = QueueRegistry::default();
+        reg.create("q", mq(), QuotaSpec::unlimited()).unwrap();
+        let b = reg.bind("q").unwrap();
+        b.admit_insert(1).unwrap();
+        reg.drop_queue("q").unwrap();
+        assert!(b.is_dropped());
+        assert_eq!(b.admit_insert(2), Err(Refusal::Dropped));
+        assert_eq!(b.admit_removal(), Err(Refusal::Dropped));
+        // The binding itself never panics; dropping it releases cleanly.
+        drop(b);
+    }
+
+    #[test]
+    fn closed_sessions_roll_up_into_one_accumulator() {
+        let reg = QueueRegistry::default();
+        reg.create("q", mq(), QuotaSpec::unlimited()).unwrap();
+        for round in 0..100u64 {
+            let b = reg.bind("q").unwrap();
+            let mut s = b.register(HandlePolicy::default());
+            s.insert(round, round);
+            b.publish_stats(s.stats());
+            drop(s);
+            drop(b);
+        }
+        let snap = &reg.stats()[0];
+        assert_eq!(snap.totals.inserts, 100);
+        assert_eq!(snap.sessions_total, 100);
+        assert_eq!(snap.sessions_live, 0);
+        // The roll-up is bounded: the entry's live list is empty, and the
+        // closed accumulator is a single HandleStats regardless of churn.
+        assert_eq!(reg.bind("q").unwrap().snapshot().sessions_live, 1);
+    }
+
+    #[test]
+    fn aggregate_is_monotonic_under_concurrent_churn() {
+        let reg = QueueRegistry::default();
+        reg.create("q", mq(), QuotaSpec::unlimited()).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..50u64 {
+                        let b = reg.bind("q").unwrap();
+                        let mut s = b.register(HandlePolicy::default());
+                        s.insert(i, i);
+                        b.publish_stats(s.stats());
+                        drop(s);
+                        drop(b);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                let mut last = 0u64;
+                for _ in 0..200 {
+                    let inserts = reg.stats()[0].totals.inserts;
+                    assert!(inserts >= last, "aggregate went backwards");
+                    last = inserts;
+                }
+            });
+        });
+        assert_eq!(reg.stats()[0].totals.inserts, 200);
+    }
+
+    #[test]
+    fn snapshots_come_back_sorted_by_name() {
+        let reg = QueueRegistry::default();
+        for name in ["zeta", "alpha", "mid"] {
+            reg.create(name, mq(), QuotaSpec::unlimited()).unwrap();
+        }
+        let names: Vec<String> = reg.stats().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn installed_queues_share_state_with_the_caller() {
+        let reg = QueueRegistry::default();
+        let queue = mq().build(3);
+        {
+            let mut h = queue.register_dyn();
+            h.insert(9, 90);
+        }
+        reg.install("default", Arc::clone(&queue), QuotaSpec::unlimited())
+            .unwrap();
+        let b = reg.bind("default").unwrap();
+        let mut s = b.register(HandlePolicy::default());
+        assert_eq!(s.delete_min(), Some((9, 90)), "same underlying structure");
+        assert_eq!(b.snapshot().backend, "installed");
+    }
+
+    #[test]
+    fn name_validation_accepts_the_documented_charset() {
+        for good in [
+            "a",
+            "tenant/queue-1",
+            "A_b.c/d-9",
+            &"x".repeat(MAX_NAME_LEN),
+        ] {
+            assert!(valid_name(good), "{good:?}");
+        }
+        for bad in ["", "é", "a b", "a\nb", &"x".repeat(MAX_NAME_LEN + 1)] {
+            assert!(!valid_name(bad), "{bad:?}");
+        }
+    }
+}

@@ -12,6 +12,15 @@
 //! deadline records `0` and counts as *on time*. The log-bucketed quantiles
 //! are upper bounds within a factor of two — the right precision for a
 //! metric spanning nanoseconds to seconds.
+//!
+//! Under admission control a task has a third outcome besides on-time and
+//! late: **refused** — shed by a quota or rate limiter before it ever
+//! reached a queue. Refusals are first-class here
+//! ([`LatenessTracker::record_refusal`]): they count toward a class's
+//! demand but not toward its executed work, so the on-time fraction stays
+//! an honest property of what actually ran while
+//! [`ClassLateness::completion_fraction`] reports how much of the offered
+//! load was served at all.
 
 use rank_stats::histogram::LogHistogram;
 
@@ -22,17 +31,38 @@ pub struct ClassLateness {
     pub executed: u64,
     /// Tasks that started at or before their deadline.
     pub on_time: u64,
+    /// Tasks of this class shed by an admission layer (quota, rate limit,
+    /// queue lifecycle) before execution. Refused tasks record no lateness:
+    /// they never ran.
+    pub refused: u64,
     /// Lateness histogram in nanoseconds (on-time tasks record `0`).
     pub lateness_ns: LogHistogram,
 }
 
 impl ClassLateness {
     /// Fraction of executed tasks that ran on time (1.0 when nothing ran).
+    /// Refused tasks are excluded — this measures the quality of what ran.
     pub fn on_time_fraction(&self) -> f64 {
         if self.executed == 0 {
             1.0
         } else {
             self.on_time as f64 / self.executed as f64
+        }
+    }
+
+    /// Total demand this class offered: executed plus refused tasks.
+    pub fn demand(&self) -> u64 {
+        self.executed + self.refused
+    }
+
+    /// Fraction of offered tasks that were actually executed rather than
+    /// shed (1.0 when nothing was offered).
+    pub fn completion_fraction(&self) -> f64 {
+        let demand = self.demand();
+        if demand == 0 {
+            1.0
+        } else {
+            self.executed as f64 / demand as f64
         }
     }
 
@@ -79,6 +109,16 @@ impl LatenessTracker {
         c.lateness_ns.record(lateness_ns);
     }
 
+    /// Records one task of `class` refused by admission control (the task
+    /// never executed, so no lateness is recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record_refusal(&mut self, class: usize) {
+        self.classes[class].refused += 1;
+    }
+
     /// Merges another tracker (e.g. another worker's) into this one.
     ///
     /// # Panics
@@ -93,6 +133,7 @@ impl LatenessTracker {
         for (mine, theirs) in self.classes.iter_mut().zip(&other.classes) {
             mine.executed += theirs.executed;
             mine.on_time += theirs.on_time;
+            mine.refused += theirs.refused;
             mine.lateness_ns.merge(&theirs.lateness_ns);
         }
     }
@@ -105,6 +146,11 @@ impl LatenessTracker {
     /// Total tasks recorded across all classes.
     pub fn executed(&self) -> u64 {
         self.classes.iter().map(|c| c.executed).sum()
+    }
+
+    /// Total refusals recorded across all classes.
+    pub fn refused(&self) -> u64 {
+        self.classes.iter().map(|c| c.refused).sum()
     }
 }
 
@@ -136,10 +182,32 @@ mod tests {
         a.record(0, 0);
         b.record(0, 10_000);
         b.record(0, 0);
+        b.record_refusal(0);
         a.merge(&b);
         assert_eq!(a.classes()[0].executed, 3);
         assert_eq!(a.classes()[0].on_time, 2);
+        assert_eq!(a.classes()[0].refused, 1);
         assert_eq!(a.classes()[0].lateness_ns.count(), 3);
+    }
+
+    #[test]
+    fn refusals_count_toward_demand_not_execution() {
+        let mut t = LatenessTracker::new(2);
+        t.record(0, 0);
+        t.record(0, 500);
+        t.record_refusal(0);
+        t.record_refusal(0);
+        assert_eq!(t.executed(), 2);
+        assert_eq!(t.refused(), 2);
+        let c0 = &t.classes()[0];
+        assert_eq!(c0.demand(), 4);
+        assert!((c0.completion_fraction() - 0.5).abs() < 1e-12);
+        // On-time fraction measures only what ran: 1 of 2 executed on time.
+        assert!((c0.on_time_fraction() - 0.5).abs() < 1e-12);
+        // Refusals record no lateness samples.
+        assert_eq!(c0.lateness_ns.count(), 2);
+        // An untouched class reports full completion.
+        assert_eq!(t.classes()[1].completion_fraction(), 1.0);
     }
 
     #[test]

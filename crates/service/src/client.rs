@@ -32,8 +32,11 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use choice_pq::Key;
+use choice_registry::{BackendSpec, QuotaSpec};
 
-use crate::protocol::{read_frame_bytes, ErrorCode, Request, Response, ServiceStats, WireError};
+use crate::protocol::{
+    read_frame_bytes, ErrorCode, QueueListRow, Request, Response, ServiceStats, WireError,
+};
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
@@ -253,6 +256,59 @@ impl PqClient {
             other => Err(ClientError::Unexpected(other)),
         }
     }
+
+    /// Registers a named queue on the server (one round trip). The backend
+    /// is built lazily server-side on first use.
+    pub fn create_queue(
+        &mut self,
+        name: &str,
+        backend: BackendSpec,
+        quota: QuotaSpec,
+    ) -> Result<(), ClientError> {
+        let request = Request::CreateQueue {
+            name: name.to_string(),
+            backend,
+            quota,
+        };
+        match Self::ok_or_remote(self.call(&request)?)? {
+            Response::QueueCreated => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Drops a named queue (one round trip); sessions still bound to it get
+    /// typed `QueueDropped` refusals from then on.
+    pub fn drop_queue(&mut self, name: &str) -> Result<(), ClientError> {
+        let request = Request::DropQueue {
+            name: name.to_string(),
+        };
+        match Self::ok_or_remote(self.call(&request)?)? {
+            Response::QueueDropped => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Lists every queue on the server, sorted by name (one round trip).
+    pub fn list_queues(&mut self) -> Result<Vec<QueueListRow>, ClientError> {
+        match Self::ok_or_remote(self.call(&Request::ListQueues)?)? {
+            Response::QueueList(rows) => Ok(rows),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Rebinds this connection's session to the named queue (one round
+    /// trip). The old session's counters roll up into its queue; subsequent
+    /// operations run against the new one. On a refusal the old binding is
+    /// kept.
+    pub fn use_queue(&mut self, name: &str) -> Result<(), ClientError> {
+        let request = Request::UseQueue {
+            name: name.to_string(),
+        };
+        match Self::ok_or_remote(self.call(&request)?)? {
+            Response::Using => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
 }
 
 impl fmt::Debug for PqClient {
@@ -342,6 +398,39 @@ mod tests {
         // The session is still usable afterwards.
         client.insert(1, 1).unwrap();
         assert_eq!(client.delete_min().unwrap(), Some((1, 1)));
+    }
+
+    #[test]
+    fn queue_lifecycle_round_trips_through_the_client() {
+        let server = server();
+        let mut client = PqClient::connect(server.local_addr()).unwrap();
+        client
+            .create_queue(
+                "tenant/a",
+                BackendSpec::MultiQueue { lanes: 4, d: 2 },
+                QuotaSpec::unlimited().with_max_inflight(1),
+            )
+            .unwrap();
+        client.use_queue("tenant/a").unwrap();
+        client.insert(1, 10).unwrap();
+        // The in-flight quota surfaces as a typed remote error.
+        match client.insert(2, 20) {
+            Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QuotaExceeded),
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        let rows = client.list_queues().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].name, "tenant/a");
+        assert_eq!(rows[1].refusals, 1);
+        client.drop_queue("tenant/a").unwrap();
+        match client.use_queue("tenant/a") {
+            Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::NoSuchQueue),
+            other => panic!("expected NoSuchQueue, got {other:?}"),
+        }
+        // Recover by rebinding to the default queue.
+        client.use_queue("default").unwrap();
+        client.insert(9, 90).unwrap();
+        assert_eq!(client.delete_min().unwrap(), Some((9, 90)));
     }
 
     #[test]

@@ -5,16 +5,25 @@
 //!
 //! * [`protocol`] — a versioned, length-prefixed binary wire protocol:
 //!   `Insert` / `DeleteMin` / `DeleteMinBatch(n)` / `ApproxLen` / `Stats` /
-//!   `Shutdown` frames with total, panic-free decoding and explicit error
-//!   types for truncated and malformed bytes.
-//! * [`server`] — a multi-threaded server mapping **one connection to one
-//!   queue session**: each accepted connection registers its own handle
-//!   (deterministic per-connection RNG falls out of the session API), any
+//!   `Shutdown` frames plus the v3 queue-lifecycle ops `CreateQueue` /
+//!   `DropQueue` / `ListQueues` / `UseQueue`, with total, panic-free
+//!   decoding and explicit error types for truncated and malformed bytes.
+//!   Version-2 clients keep working: the server answers every frame at the
+//!   version it arrived with, and a v2 session is simply bound to the
+//!   `"default"` queue forever.
+//! * [`server`] — a multi-threaded server fronting a
+//!   [`QueueRegistry`] of **named queues**:
+//!   each accepted connection binds a queue (the `"default"` queue until it
+//!   issues `UseQueue`) and registers its own session handle (deterministic
+//!   per-connection RNG falls out of the session API). Any
 //!   [`DynSharedPq`](choice_pq::DynSharedPq) backend serves, a
 //!   [`HandlePolicy`](choice_pq::HandlePolicy) from the server config
-//!   applies to every session, a credit window bounds response buffering,
+//!   applies to every session, per-queue
+//!   [`QuotaSpec`] quotas shed work as typed
+//!   `QuotaExceeded` refusals, a credit window bounds response buffering,
 //!   and a `Stats` op aggregates
-//!   [`HandleStats`](choice_pq::HandleStats) across sessions.
+//!   [`HandleStats`](choice_pq::HandleStats) across sessions with a
+//!   per-queue breakdown.
 //! * [`client`] — a blocking, pipelined client: synchronous one-round-trip
 //!   methods plus a windowed [`submit`](client::PqClient::submit) path that
 //!   keeps up to a credit window of requests in flight and hands back
@@ -61,6 +70,12 @@ pub mod server;
 
 pub use client::{ClientError, PqClient, TimedResponse};
 pub use protocol::{
-    ErrorCode, Request, Response, ServiceStats, WireError, MAX_BATCH, MAX_FRAME_LEN, WIRE_VERSION,
+    ErrorCode, QueueListRow, QueueStats, Request, Response, ServiceStats, WireError, MAX_BATCH,
+    MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
 };
 pub use server::{PqServer, ServerConfig};
+
+// Registry vocabulary used in the service API surface (queue specs, quotas,
+// and the registry itself for `PqServer::spawn_registry`), re-exported so
+// wire users don't need a direct `choice-registry` dependency.
+pub use choice_registry::{BackendSpec, QueueRegistry, QuotaSpec, RegistryConfig, DEFAULT_QUEUE};

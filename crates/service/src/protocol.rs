@@ -11,11 +11,14 @@
 //! knowing only the first four bytes. The version byte rides in every frame
 //! rather than a one-shot handshake: it keeps the protocol stateless per
 //! frame (a mid-stream corruption cannot silently re-version a connection)
-//! and costs one byte. The current version is [`WIRE_VERSION`].
+//! and costs one byte. The current version is [`WIRE_VERSION`]; every
+//! version down to [`MIN_WIRE_VERSION`] still decodes, and responders echo
+//! the request's version so old clients keep working unchanged.
 //!
 //! Integers are little-endian throughout. Payloads are fixed-layout —
 //! nothing is self-describing — which keeps encode/decode branch-free and
 //! the frames small: an `Insert` is 22 bytes on the wire, a `DeleteMin` 6.
+//! Queue names ride as a one-byte length followed by 1..=64 bytes of UTF-8.
 //!
 //! Decoding is *total*: any byte sequence produces either a frame or a
 //! [`WireError`], never a panic (property-tested, including truncations and
@@ -33,19 +36,31 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use choice_pq::{HandleStats, Key};
+use choice_registry::{BackendSpec, QuotaSpec, MAX_NAME_LEN, MAX_QUEUES};
 
-/// The protocol version this build speaks (echoed in every frame).
+/// The protocol version this build speaks (the default for every encoded
+/// frame).
 ///
-/// Version history: v1 carried a 7-counter Stats payload; v2 (current)
-/// extended it with the queue-topology triple (`active_lanes`, `max_lanes`,
-/// `resize_events`) reported by elastic backends. Fixed layouts are not
-/// self-describing, so any layout change is a version bump.
-pub const WIRE_VERSION: u8 = 2;
+/// Version history: v1 carried a 7-counter Stats payload; v2 extended it
+/// with the queue-topology triple (`active_lanes`, `max_lanes`,
+/// `resize_events`); v3 (current) adds the queue-registry operations
+/// (`CreateQueue` / `DropQueue` / `ListQueues` / `UseQueue`), a `refusals`
+/// counter, and a per-queue breakdown in the Stats reply. Fixed layouts are
+/// not self-describing, so any layout change is a version bump.
+pub const WIRE_VERSION: u8 = 3;
+
+/// The oldest version this build still decodes and answers. v2 frames
+/// carry no registry opcodes and receive the legacy 9-counter Stats
+/// layout; a v2 peer is implicitly bound to the server's default queue and
+/// never observes v3 at all.
+pub const MIN_WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on `length` (version + opcode + payload, bytes). Large
-/// enough for a [`MAX_BATCH`]-entry batch response, small enough that a
-/// malicious length prefix cannot make either side allocate unboundedly.
-pub const MAX_FRAME_LEN: u32 = 2 + 4 + MAX_BATCH * 16;
+/// enough for a [`MAX_BATCH`]-entry batch response and for a Stats or
+/// ListQueues reply carrying [`MAX_QUEUES`] per-queue rows, small enough
+/// that a malicious length prefix cannot make either side allocate
+/// unboundedly.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024;
 
 /// Largest `DeleteMinBatch` size the protocol will carry in one frame.
 /// Servers clamp larger requests to their own (possibly smaller) limit.
@@ -64,10 +79,12 @@ pub enum WireError {
     /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is too small to hold
     /// the mandatory version and opcode bytes).
     BadLength(u32),
-    /// The version byte does not match [`WIRE_VERSION`].
+    /// The version byte falls outside
+    /// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`].
     UnknownVersion(u8),
     /// The opcode byte names no known frame type (for the direction being
-    /// decoded).
+    /// decoded) — including v3-only opcodes arriving in an older-version
+    /// frame, which that version never assigned.
     UnknownOpcode(u8),
     /// The opcode was recognised but the payload does not have the exact
     /// layout that opcode requires.
@@ -100,7 +117,7 @@ impl fmt::Display for WireError {
             WireError::UnknownVersion(v) => {
                 write!(
                     f,
-                    "unsupported wire version {v} (this build speaks {WIRE_VERSION})"
+                    "unsupported wire version {v} (this build speaks {MIN_WIRE_VERSION}..={WIRE_VERSION})"
                 )
             }
             WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
@@ -117,9 +134,9 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Client → server frames.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
-    /// Insert one `(key, value)` entry.
+    /// Insert one `(key, value)` entry into the session's bound queue.
     Insert {
         /// Priority key (smaller = more urgent). `Key::MAX` is reserved and
         /// answered with [`ErrorCode::ReservedKey`], never a panic.
@@ -127,20 +144,47 @@ pub enum Request {
         /// Opaque 8-byte payload.
         value: u64,
     },
-    /// Remove one small-keyed entry.
+    /// Remove one small-keyed entry from the bound queue.
     DeleteMin,
     /// Remove up to `max` small-keyed entries in one batched operation.
     DeleteMinBatch {
         /// Requested batch size; the server clamps it to its own limit.
         max: u32,
     },
-    /// Read the (relaxed) element count.
+    /// Read the bound queue's (relaxed) element count.
     ApproxLen,
-    /// Read the server's aggregated per-session [`HandleStats`].
+    /// Read the server's aggregated statistics, including (v3) the
+    /// per-queue breakdown.
     Stats,
     /// Ask the server process to shut down (drains cleanly; the response is
     /// [`Response::ShuttingDown`]).
     Shutdown,
+    /// v3: register a new named queue built from a declarative backend spec
+    /// and a resource quota. Creation is lazy — the structure is built on
+    /// first use.
+    CreateQueue {
+        /// Registry name, 1..=[`MAX_NAME_LEN`] bytes.
+        name: String,
+        /// Which backend to build and how to size it.
+        backend: BackendSpec,
+        /// The queue's resource budget.
+        quota: QuotaSpec,
+    },
+    /// v3: drop a named queue. Sessions bound to it receive typed
+    /// [`ErrorCode::QueueDropped`] refusals from then on.
+    DropQueue {
+        /// The queue to drop.
+        name: String,
+    },
+    /// v3: list every registered queue.
+    ListQueues,
+    /// v3: rebind this connection's session to the named queue. On success
+    /// the old session ends (its counters roll up into its queue) and a
+    /// fresh session opens on the target.
+    UseQueue {
+        /// The queue to bind.
+        name: String,
+    },
 }
 
 /// Server → client frames.
@@ -166,6 +210,15 @@ pub enum Response {
     /// Acknowledges a [`Request::Shutdown`]; the connection closes after
     /// this frame.
     ShuttingDown,
+    /// v3: acknowledges a [`Request::CreateQueue`].
+    QueueCreated,
+    /// v3: acknowledges a [`Request::DropQueue`].
+    QueueDropped,
+    /// v3: answers a [`Request::ListQueues`].
+    QueueList(Vec<QueueListRow>),
+    /// v3: acknowledges a [`Request::UseQueue`]; subsequent session
+    /// operations run against the new queue.
+    Using,
     /// The request was understood but refused.
     Error {
         /// Machine-readable refusal reason.
@@ -175,7 +228,29 @@ pub enum Response {
     },
 }
 
+/// One row of a [`Response::QueueList`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueueListRow {
+    /// The queue's registry name.
+    pub name: String,
+    /// Backend label, e.g. `multiqueue(n=8, d=2)` (1..=[`MAX_NAME_LEN`]
+    /// bytes on the wire).
+    pub backend: String,
+    /// Whether the backing structure has been built yet (creation is lazy).
+    pub instantiated: bool,
+    /// Sessions ever bound to this queue.
+    pub sessions: u64,
+    /// Approximate element count (`0` while uninstantiated).
+    pub approx_len: u64,
+    /// Operations refused by this queue's admission control.
+    pub refusals: u64,
+}
+
 /// Machine-readable refusal reasons carried by [`Response::Error`].
+///
+/// Codes above [`ErrorCode::Unavailable`] are v3 additions; when a response
+/// must be encoded for a v2 peer they are mapped down to `Unavailable`
+/// (the strongest "not served" signal that version can express).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ErrorCode {
     /// The insert key was `Key::MAX`, which the queues reserve as their
@@ -186,6 +261,21 @@ pub enum ErrorCode {
     Protocol,
     /// The server is shutting down and no longer serves operations.
     Unavailable,
+    /// v3: a per-queue quota (in-flight elements, session count, or op
+    /// rate) refused the operation.
+    QuotaExceeded,
+    /// v3: the named queue does not exist (never created, dropped, or the
+    /// session's queue vanished).
+    NoSuchQueue,
+    /// v3: `CreateQueue` targeted a name that already exists.
+    QueueExists,
+    /// v3: the session's queue was dropped while the session was live.
+    QueueDropped,
+    /// v3: the registry is at its queue-count ceiling.
+    RegistryFull,
+    /// v3: the queue name is empty, too long, or holds characters outside
+    /// `[A-Za-z0-9._/-]`.
+    BadQueueName,
 }
 
 impl ErrorCode {
@@ -194,6 +284,23 @@ impl ErrorCode {
             ErrorCode::ReservedKey => 1,
             ErrorCode::Protocol => 2,
             ErrorCode::Unavailable => 3,
+            ErrorCode::QuotaExceeded => 4,
+            ErrorCode::NoSuchQueue => 5,
+            ErrorCode::QueueExists => 6,
+            ErrorCode::QueueDropped => 7,
+            ErrorCode::RegistryFull => 8,
+            ErrorCode::BadQueueName => 9,
+        }
+    }
+
+    /// The byte actually sent for `version`: v3 codes collapse to
+    /// `Unavailable` on a v2 frame.
+    fn to_wire(self, version: u8) -> u8 {
+        let code = self.to_u8();
+        if version < 3 && code > ErrorCode::Unavailable.to_u8() {
+            ErrorCode::Unavailable.to_u8()
+        } else {
+            code
         }
     }
 
@@ -202,31 +309,55 @@ impl ErrorCode {
             1 => Some(ErrorCode::ReservedKey),
             2 => Some(ErrorCode::Protocol),
             3 => Some(ErrorCode::Unavailable),
+            4 => Some(ErrorCode::QuotaExceeded),
+            5 => Some(ErrorCode::NoSuchQueue),
+            6 => Some(ErrorCode::QueueExists),
+            7 => Some(ErrorCode::QueueDropped),
+            8 => Some(ErrorCode::RegistryFull),
+            9 => Some(ErrorCode::BadQueueName),
             _ => None,
         }
     }
 }
 
-/// The aggregate carried by [`Response::Stats`]: how many sessions the
-/// server has opened (one per accepted connection), the merged
-/// [`HandleStats`] over all of them — live connections contribute their
-/// current counters, closed ones their final counters — and a snapshot of
-/// the backing queue's lane topology (how elastic backends report their
-/// current size and resize history to remote operators).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Per-queue entry in a v3 [`ServiceStats`] breakdown.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// The queue's registry name.
+    pub name: String,
+    /// Sessions ever bound to this queue (a connection that rebinds counts
+    /// once per binding).
+    pub sessions: u64,
+    /// The queue's merged per-session counters, refusals included.
+    pub totals: HandleStats,
+    /// Approximate element count at aggregation time.
+    pub approx_len: u64,
+}
+
+/// The aggregate carried by [`Response::Stats`]: how many connections the
+/// server has accepted, the merged [`HandleStats`] over every session on
+/// every queue — live connections contribute their current counters,
+/// closed ones their final counters, dropped queues their counters as of
+/// the drop — a snapshot of the backing queues' summed lane topology, and
+/// (v3) the per-queue breakdown.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Connections accepted over the server's lifetime.
     pub sessions: u64,
-    /// Per-session counters folded with [`HandleStats::merge`].
+    /// Per-session counters folded with [`HandleStats::merge`], including
+    /// refusals issued by admission control.
     pub totals: HandleStats,
-    /// Currently active lanes of the backing queue (`1` for centralized
-    /// backends, which report the trivial topology).
+    /// Currently active lanes summed over the instantiated queues (`1` per
+    /// centralized backend, which reports the trivial topology).
     pub active_lanes: u64,
-    /// Allocated lane capacity of the backing queue.
+    /// Allocated lane capacity summed over the instantiated queues.
     pub max_lanes: u64,
-    /// Completed resize events (grows plus shrinks) since the queue was
-    /// built; always `0` for non-elastic backends.
+    /// Completed resize events (grows plus shrinks) summed over the
+    /// instantiated queues; `0` for non-elastic backends.
     pub resize_events: u64,
+    /// v3: per-queue breakdown, sorted by name. Empty when decoded from a
+    /// v2 frame (the legacy layout has no rows).
+    pub queues: Vec<QueueStats>,
 }
 
 // Request opcodes.
@@ -236,6 +367,10 @@ const OP_DELETE_MIN_BATCH: u8 = 0x03;
 const OP_APPROX_LEN: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
+const OP_CREATE_QUEUE: u8 = 0x07;
+const OP_DROP_QUEUE: u8 = 0x08;
+const OP_LIST_QUEUES: u8 = 0x09;
+const OP_USE_QUEUE: u8 = 0x0A;
 
 // Response opcodes (high bit set).
 const OP_INSERTED: u8 = 0x81;
@@ -245,7 +380,27 @@ const OP_BATCH: u8 = 0x84;
 const OP_LEN: u8 = 0x85;
 const OP_STATS_REPLY: u8 = 0x86;
 const OP_SHUTTING_DOWN: u8 = 0x87;
+const OP_QUEUE_CREATED: u8 = 0x88;
+const OP_QUEUE_DROPPED: u8 = 0x89;
+const OP_QUEUE_LIST: u8 = 0x8A;
+const OP_USING: u8 = 0x8B;
 const OP_ERROR: u8 = 0xFF;
+
+/// Whether a request opcode exists only from v3 on.
+fn request_opcode_needs_v3(opcode: u8) -> bool {
+    matches!(
+        opcode,
+        OP_CREATE_QUEUE | OP_DROP_QUEUE | OP_LIST_QUEUES | OP_USE_QUEUE
+    )
+}
+
+/// Whether a response opcode exists only from v3 on.
+fn response_opcode_needs_v3(opcode: u8) -> bool {
+    matches!(
+        opcode,
+        OP_QUEUE_CREATED | OP_QUEUE_DROPPED | OP_QUEUE_LIST | OP_USING
+    )
+}
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -253,6 +408,22 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed name/label field.
+///
+/// # Panics
+///
+/// Panics if `name` is empty or longer than [`MAX_NAME_LEN`] bytes —
+/// callers validate names before they reach an encoder.
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    assert!(
+        (1..=MAX_NAME_LEN).contains(&name.len()),
+        "wire names must be 1..={MAX_NAME_LEN} bytes, got {}",
+        name.len()
+    );
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
 }
 
 /// Fixed-layout payload reader: every `take_*` either yields the next field
@@ -302,6 +473,20 @@ impl<'a> Payload<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// A length-prefixed name/label field: 1..=[`MAX_NAME_LEN`] bytes of
+    /// valid UTF-8, anything else is malformed.
+    fn take_name(&mut self) -> Result<String, WireError> {
+        let len = self.take_u8()? as usize;
+        if !(1..=MAX_NAME_LEN).contains(&len) {
+            return Err(self.malformed());
+        }
+        let bytes = self.take(len)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => Err(self.malformed()),
+        }
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.bytes.is_empty() {
             Ok(())
@@ -311,11 +496,12 @@ impl<'a> Payload<'a> {
     }
 }
 
-/// Appends one framed message (header + payload) to `out`.
-fn encode_frame(out: &mut Vec<u8>, opcode: u8, build: impl FnOnce(&mut Vec<u8>)) {
+/// Appends one framed message (header + payload) to `out`, stamping the
+/// given version byte.
+fn encode_frame(out: &mut Vec<u8>, version: u8, opcode: u8, build: impl FnOnce(&mut Vec<u8>)) {
     let len_at = out.len();
     put_u32(out, 0); // patched below
-    out.push(WIRE_VERSION);
+    out.push(version);
     out.push(opcode);
     build(out);
     let len = (out.len() - len_at - 4) as u32;
@@ -323,9 +509,9 @@ fn encode_frame(out: &mut Vec<u8>, opcode: u8, build: impl FnOnce(&mut Vec<u8>))
     out[len_at..len_at + 4].copy_from_slice(&len.to_le_bytes());
 }
 
-/// Splits one frame off the front of `buf`: returns the opcode, its payload
-/// slice, and the total number of bytes the frame occupies.
-fn split_frame(buf: &[u8]) -> Result<(u8, &[u8], usize), WireError> {
+/// Splits one frame off the front of `buf`: returns the frame's version,
+/// opcode, payload slice, and the total number of bytes it occupies.
+fn split_frame(buf: &[u8]) -> Result<(u8, u8, &[u8], usize), WireError> {
     if buf.len() < 4 {
         return Err(WireError::Truncated {
             needed: 4 - buf.len(),
@@ -342,34 +528,79 @@ fn split_frame(buf: &[u8]) -> Result<(u8, &[u8], usize), WireError> {
         });
     }
     let version = buf[4];
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::UnknownVersion(version));
     }
-    Ok((buf[5], &buf[6..total], total))
+    Ok((version, buf[5], &buf[6..total], total))
 }
 
 impl Request {
-    /// Appends this request as one frame to `out`.
+    /// Appends this request as one frame at [`WIRE_VERSION`].
     pub fn encode(&self, out: &mut Vec<u8>) {
-        match *self {
-            Request::Insert { key, value } => encode_frame(out, OP_INSERT, |out| {
-                put_u64(out, key);
-                put_u64(out, value);
+        self.encode_versioned(out, WIRE_VERSION);
+    }
+
+    /// Appends this request as one frame stamped with `version`. The
+    /// payload layout of the shared opcodes is identical across supported
+    /// versions; encoding a v3-only request at v2 produces a frame peers
+    /// reject as [`WireError::UnknownOpcode`] (useful for compatibility
+    /// tests, never for production traffic).
+    pub fn encode_versioned(&self, out: &mut Vec<u8>, version: u8) {
+        match self {
+            Request::Insert { key, value } => encode_frame(out, version, OP_INSERT, |out| {
+                put_u64(out, *key);
+                put_u64(out, *value);
             }),
-            Request::DeleteMin => encode_frame(out, OP_DELETE_MIN, |_| {}),
-            Request::DeleteMinBatch { max } => encode_frame(out, OP_DELETE_MIN_BATCH, |out| {
-                put_u32(out, max);
+            Request::DeleteMin => encode_frame(out, version, OP_DELETE_MIN, |_| {}),
+            Request::DeleteMinBatch { max } => {
+                encode_frame(out, version, OP_DELETE_MIN_BATCH, |out| {
+                    put_u32(out, *max);
+                })
+            }
+            Request::ApproxLen => encode_frame(out, version, OP_APPROX_LEN, |_| {}),
+            Request::Stats => encode_frame(out, version, OP_STATS, |_| {}),
+            Request::Shutdown => encode_frame(out, version, OP_SHUTDOWN, |_| {}),
+            Request::CreateQueue {
+                name,
+                backend,
+                quota,
+            } => encode_frame(out, version, OP_CREATE_QUEUE, |out| {
+                put_name(out, name);
+                out.push(backend.code());
+                let (p1, p2, p3) = backend.params();
+                put_u32(out, p1);
+                put_u32(out, p2);
+                put_u32(out, p3);
+                put_u64(out, quota.max_inflight);
+                put_u64(out, quota.max_sessions);
+                put_u64(out, quota.ops_per_sec);
+                put_u64(out, quota.burst);
+                put_u64(out, quota.shed_key_bound);
             }),
-            Request::ApproxLen => encode_frame(out, OP_APPROX_LEN, |_| {}),
-            Request::Stats => encode_frame(out, OP_STATS, |_| {}),
-            Request::Shutdown => encode_frame(out, OP_SHUTDOWN, |_| {}),
+            Request::DropQueue { name } => encode_frame(out, version, OP_DROP_QUEUE, |out| {
+                put_name(out, name);
+            }),
+            Request::ListQueues => encode_frame(out, version, OP_LIST_QUEUES, |_| {}),
+            Request::UseQueue { name } => encode_frame(out, version, OP_USE_QUEUE, |out| {
+                put_name(out, name);
+            }),
         }
     }
 
     /// Decodes one request frame from the front of `buf`, returning it and
     /// the number of bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<(Request, usize), WireError> {
-        let (opcode, payload, total) = split_frame(buf)?;
+        Self::decode_versioned(buf).map(|(request, _, used)| (request, used))
+    }
+
+    /// Decodes one request frame, also returning the version byte it
+    /// carried — servers echo that version in the response so older peers
+    /// receive frames they can decode.
+    pub fn decode_versioned(buf: &[u8]) -> Result<(Request, u8, usize), WireError> {
+        let (version, opcode, payload, total) = split_frame(buf)?;
+        if request_opcode_needs_v3(opcode) && version < 3 {
+            return Err(WireError::UnknownOpcode(opcode));
+        }
         let request = match opcode {
             OP_INSERT => {
                 let mut p = Payload::new(payload, opcode, "key u64 + value u64");
@@ -400,34 +631,91 @@ impl Request {
                 Payload::new(payload, opcode, "empty payload").finish()?;
                 Request::Shutdown
             }
+            OP_CREATE_QUEUE => {
+                let mut p = Payload::new(
+                    payload,
+                    opcode,
+                    "name + backend code u8 + 3 u32 params + 5 u64 quota fields",
+                );
+                let name = p.take_name()?;
+                let code = p.take_u8()?;
+                let p1 = p.take_u32()?;
+                let p2 = p.take_u32()?;
+                let p3 = p.take_u32()?;
+                let backend =
+                    BackendSpec::from_wire(code, p1, p2, p3).ok_or_else(|| p.malformed())?;
+                let quota = QuotaSpec {
+                    max_inflight: p.take_u64()?,
+                    max_sessions: p.take_u64()?,
+                    ops_per_sec: p.take_u64()?,
+                    burst: p.take_u64()?,
+                    shed_key_bound: p.take_u64()?,
+                };
+                p.finish()?;
+                Request::CreateQueue {
+                    name,
+                    backend,
+                    quota,
+                }
+            }
+            OP_DROP_QUEUE => {
+                let mut p = Payload::new(payload, opcode, "name (u8 len + 1..=64 utf8 bytes)");
+                let name = p.take_name()?;
+                p.finish()?;
+                Request::DropQueue { name }
+            }
+            OP_LIST_QUEUES => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Request::ListQueues
+            }
+            OP_USE_QUEUE => {
+                let mut p = Payload::new(payload, opcode, "name (u8 len + 1..=64 utf8 bytes)");
+                let name = p.take_name()?;
+                p.finish()?;
+                Request::UseQueue { name }
+            }
             other => return Err(WireError::UnknownOpcode(other)),
         };
-        Ok((request, total))
+        Ok((request, version, total))
     }
 }
 
 impl Response {
-    /// Appends this response as one frame to `out`.
+    /// Appends this response as one frame at [`WIRE_VERSION`].
     ///
     /// # Panics
     ///
-    /// Panics if a batch holds more than [`MAX_BATCH`] entries — the server
-    /// clamps every batch below that before building the response.
+    /// Panics if a batch holds more than [`MAX_BATCH`] entries or a queue
+    /// list more than [`MAX_QUEUES`] rows — servers bound both before
+    /// building the response.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_versioned(out, WIRE_VERSION);
+    }
+
+    /// Appends this response as one frame stamped with `version`,
+    /// downgrading the payload where the older layout requires it: a v2
+    /// Stats reply carries the legacy 9-counter layout (no `refusals`, no
+    /// per-queue rows) and v3 error codes collapse to
+    /// [`ErrorCode::Unavailable`].
+    ///
+    /// # Panics
+    ///
+    /// As [`encode`](Response::encode).
+    pub fn encode_versioned(&self, out: &mut Vec<u8>, version: u8) {
         match self {
-            Response::Inserted => encode_frame(out, OP_INSERTED, |_| {}),
-            Response::Entry { key, value } => encode_frame(out, OP_ENTRY, |out| {
+            Response::Inserted => encode_frame(out, version, OP_INSERTED, |_| {}),
+            Response::Entry { key, value } => encode_frame(out, version, OP_ENTRY, |out| {
                 put_u64(out, *key);
                 put_u64(out, *value);
             }),
-            Response::Empty => encode_frame(out, OP_EMPTY, |_| {}),
+            Response::Empty => encode_frame(out, version, OP_EMPTY, |_| {}),
             Response::Batch(entries) => {
                 assert!(
                     entries.len() <= MAX_BATCH as usize,
                     "batch of {} exceeds the wire limit {MAX_BATCH}",
                     entries.len()
                 );
-                encode_frame(out, OP_BATCH, |out| {
+                encode_frame(out, version, OP_BATCH, |out| {
                     put_u32(out, entries.len() as u32);
                     for (key, value) in entries {
                         put_u64(out, *key);
@@ -435,20 +723,63 @@ impl Response {
                     }
                 })
             }
-            Response::Len(len) => encode_frame(out, OP_LEN, |out| put_u64(out, *len)),
-            Response::Stats(stats) => encode_frame(out, OP_STATS_REPLY, |out| {
+            Response::Len(len) => encode_frame(out, version, OP_LEN, |out| put_u64(out, *len)),
+            Response::Stats(stats) => encode_frame(out, version, OP_STATS_REPLY, |out| {
                 put_u64(out, stats.sessions);
                 put_u64(out, stats.totals.inserts);
                 put_u64(out, stats.totals.removals);
                 put_u64(out, stats.totals.failed_removals);
                 put_u64(out, stats.totals.empty_polls);
                 put_u64(out, stats.totals.contended_retries);
-                // v2 topology triple (keep last: the layout is positional).
+                if version >= 3 {
+                    put_u64(out, stats.totals.refusals);
+                }
+                // Topology triple (positional; last of the v2 layout).
                 put_u64(out, stats.active_lanes);
                 put_u64(out, stats.max_lanes);
                 put_u64(out, stats.resize_events);
+                if version >= 3 {
+                    assert!(
+                        stats.queues.len() <= MAX_QUEUES,
+                        "stats with {} queue rows exceeds the wire limit {MAX_QUEUES}",
+                        stats.queues.len()
+                    );
+                    put_u32(out, stats.queues.len() as u32);
+                    for queue in &stats.queues {
+                        put_name(out, &queue.name);
+                        put_u64(out, queue.sessions);
+                        put_u64(out, queue.totals.inserts);
+                        put_u64(out, queue.totals.removals);
+                        put_u64(out, queue.totals.failed_removals);
+                        put_u64(out, queue.totals.empty_polls);
+                        put_u64(out, queue.totals.contended_retries);
+                        put_u64(out, queue.totals.refusals);
+                        put_u64(out, queue.approx_len);
+                    }
+                }
             }),
-            Response::ShuttingDown => encode_frame(out, OP_SHUTTING_DOWN, |_| {}),
+            Response::ShuttingDown => encode_frame(out, version, OP_SHUTTING_DOWN, |_| {}),
+            Response::QueueCreated => encode_frame(out, version, OP_QUEUE_CREATED, |_| {}),
+            Response::QueueDropped => encode_frame(out, version, OP_QUEUE_DROPPED, |_| {}),
+            Response::QueueList(rows) => {
+                assert!(
+                    rows.len() <= MAX_QUEUES,
+                    "queue list of {} rows exceeds the wire limit {MAX_QUEUES}",
+                    rows.len()
+                );
+                encode_frame(out, version, OP_QUEUE_LIST, |out| {
+                    put_u32(out, rows.len() as u32);
+                    for row in rows {
+                        put_name(out, &row.name);
+                        put_name(out, &row.backend);
+                        out.push(row.instantiated as u8);
+                        put_u64(out, row.sessions);
+                        put_u64(out, row.approx_len);
+                        put_u64(out, row.refusals);
+                    }
+                })
+            }
+            Response::Using => encode_frame(out, version, OP_USING, |_| {}),
             Response::Error { code, detail } => {
                 // Bound the detail so the frame stays within MAX_FRAME_LEN
                 // whatever the caller passes (truncate on a char boundary).
@@ -461,8 +792,8 @@ impl Response {
                     }
                     detail = &detail[..end];
                 }
-                encode_frame(out, OP_ERROR, |out| {
-                    out.push(code.to_u8());
+                encode_frame(out, version, OP_ERROR, |out| {
+                    out.push(code.to_wire(version));
                     out.extend_from_slice(detail.as_bytes());
                 })
             }
@@ -472,7 +803,17 @@ impl Response {
     /// Decodes one response frame from the front of `buf`, returning it and
     /// the number of bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<(Response, usize), WireError> {
-        let (opcode, payload, total) = split_frame(buf)?;
+        Self::decode_versioned(buf).map(|(response, _, used)| (response, used))
+    }
+
+    /// Decodes one response frame, also returning the version byte it
+    /// carried. A v2 Stats frame decodes with `refusals == 0` and no
+    /// per-queue rows — the legacy layout does not carry them.
+    pub fn decode_versioned(buf: &[u8]) -> Result<(Response, u8, usize), WireError> {
+        let (version, opcode, payload, total) = split_frame(buf)?;
+        if response_opcode_needs_v3(opcode) && version < 3 {
+            return Err(WireError::UnknownOpcode(opcode));
+        }
         let response = match opcode {
             OP_INSERTED => {
                 Payload::new(payload, opcode, "empty payload").finish()?;
@@ -511,26 +852,108 @@ impl Response {
                 Response::Len(len)
             }
             OP_STATS_REPLY => {
-                let mut p = Payload::new(payload, opcode, "9 u64 counters");
-                let stats = ServiceStats {
-                    sessions: p.take_u64()?,
-                    totals: HandleStats {
-                        inserts: p.take_u64()?,
-                        removals: p.take_u64()?,
-                        failed_removals: p.take_u64()?,
-                        empty_polls: p.take_u64()?,
-                        contended_retries: p.take_u64()?,
-                    },
-                    active_lanes: p.take_u64()?,
-                    max_lanes: p.take_u64()?,
-                    resize_events: p.take_u64()?,
+                let expected = if version >= 3 {
+                    "10 u64 counters + queue_count u32 + per-queue rows"
+                } else {
+                    "9 u64 counters"
                 };
+                let mut p = Payload::new(payload, opcode, expected);
+                let sessions = p.take_u64()?;
+                let inserts = p.take_u64()?;
+                let removals = p.take_u64()?;
+                let failed_removals = p.take_u64()?;
+                let empty_polls = p.take_u64()?;
+                let contended_retries = p.take_u64()?;
+                let refusals = if version >= 3 { p.take_u64()? } else { 0 };
+                let active_lanes = p.take_u64()?;
+                let max_lanes = p.take_u64()?;
+                let resize_events = p.take_u64()?;
+                let mut queues = Vec::new();
+                if version >= 3 {
+                    let count = p.take_u32()?;
+                    if count as usize > MAX_QUEUES {
+                        return Err(p.malformed());
+                    }
+                    queues.reserve(count as usize);
+                    for _ in 0..count {
+                        let name = p.take_name()?;
+                        let sessions = p.take_u64()?;
+                        let totals = HandleStats {
+                            inserts: p.take_u64()?,
+                            removals: p.take_u64()?,
+                            failed_removals: p.take_u64()?,
+                            empty_polls: p.take_u64()?,
+                            contended_retries: p.take_u64()?,
+                            refusals: p.take_u64()?,
+                        };
+                        let approx_len = p.take_u64()?;
+                        queues.push(QueueStats {
+                            name,
+                            sessions,
+                            totals,
+                            approx_len,
+                        });
+                    }
+                }
                 p.finish()?;
-                Response::Stats(stats)
+                Response::Stats(ServiceStats {
+                    sessions,
+                    totals: HandleStats {
+                        inserts,
+                        removals,
+                        failed_removals,
+                        empty_polls,
+                        contended_retries,
+                        refusals,
+                    },
+                    active_lanes,
+                    max_lanes,
+                    resize_events,
+                    queues,
+                })
             }
             OP_SHUTTING_DOWN => {
                 Payload::new(payload, opcode, "empty payload").finish()?;
                 Response::ShuttingDown
+            }
+            OP_QUEUE_CREATED => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Response::QueueCreated
+            }
+            OP_QUEUE_DROPPED => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Response::QueueDropped
+            }
+            OP_QUEUE_LIST => {
+                let mut p = Payload::new(payload, opcode, "count u32 + count queue rows");
+                let count = p.take_u32()?;
+                if count as usize > MAX_QUEUES {
+                    return Err(p.malformed());
+                }
+                let mut rows = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let name = p.take_name()?;
+                    let backend = p.take_name()?;
+                    let instantiated = match p.take_u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(p.malformed()),
+                    };
+                    rows.push(QueueListRow {
+                        name,
+                        backend,
+                        instantiated,
+                        sessions: p.take_u64()?,
+                        approx_len: p.take_u64()?,
+                        refusals: p.take_u64()?,
+                    });
+                }
+                p.finish()?;
+                Response::QueueList(rows)
+            }
+            OP_USING => {
+                Payload::new(payload, opcode, "empty payload").finish()?;
+                Response::Using
             }
             OP_ERROR => {
                 let mut p = Payload::new(payload, opcode, "code u8 + utf8 detail");
@@ -541,26 +964,26 @@ impl Response {
             }
             other => return Err(WireError::UnknownOpcode(other)),
         };
-        Ok((response, total))
+        Ok((response, version, total))
     }
 }
 
-/// Encodes a `Batch` response frame from borrowed entries — byte-identical
-/// to `Response::Batch(entries.to_vec()).encode(out)` without giving up the
-/// caller's buffer, so a server can reuse one entries vector across
-/// requests.
+/// Encodes a `Batch` response frame from borrowed entries at `version` —
+/// byte-identical to `Response::Batch(entries.to_vec())
+/// .encode_versioned(out, version)` without giving up the caller's buffer,
+/// so a server can reuse one entries vector across requests.
 ///
 /// # Panics
 ///
 /// Panics if `entries` holds more than [`MAX_BATCH`] elements (servers
 /// clamp every batch below that).
-pub fn encode_batch_response(out: &mut Vec<u8>, entries: &[(Key, u64)]) {
+pub fn encode_batch_response(out: &mut Vec<u8>, entries: &[(Key, u64)], version: u8) {
     assert!(
         entries.len() <= MAX_BATCH as usize,
         "batch of {} exceeds the wire limit {MAX_BATCH}",
         entries.len()
     );
-    encode_frame(out, OP_BATCH, |out| {
+    encode_frame(out, version, OP_BATCH, |out| {
         put_u32(out, entries.len() as u32);
         for (key, value) in entries {
             put_u64(out, *key);
@@ -620,19 +1043,20 @@ pub fn read_frame_bytes<R: Read>(reader: &mut R, scratch: &mut Vec<u8>) -> io::R
     Ok(true)
 }
 
-/// Encodes and writes one response frame (no flush — the caller owns the
-/// credit-window flush policy).
+/// Encodes and writes one response frame at `version` (no flush — the
+/// caller owns the credit-window flush policy).
 pub fn write_response<W: Write>(
     writer: &mut W,
     response: &Response,
     scratch: &mut Vec<u8>,
+    version: u8,
 ) -> io::Result<()> {
     scratch.clear();
-    response.encode(scratch);
+    response.encode_versioned(scratch, version);
     writer.write_all(scratch)
 }
 
-/// Encodes and writes one request frame (no flush).
+/// Encodes and writes one request frame at [`WIRE_VERSION`] (no flush).
 pub fn write_request<W: Write>(
     writer: &mut W,
     request: &Request,
@@ -651,16 +1075,18 @@ mod tests {
     fn roundtrip_request(r: Request) {
         let mut buf = Vec::new();
         r.encode(&mut buf);
-        let (decoded, used) = Request::decode(&buf).expect("round-trip");
+        let (decoded, version, used) = Request::decode_versioned(&buf).expect("round-trip");
         assert_eq!(decoded, r);
+        assert_eq!(version, WIRE_VERSION);
         assert_eq!(used, buf.len());
     }
 
     fn roundtrip_response(r: Response) {
         let mut buf = Vec::new();
         r.encode(&mut buf);
-        let (decoded, used) = Response::decode(&buf).expect("round-trip");
+        let (decoded, version, used) = Response::decode_versioned(&buf).expect("round-trip");
         assert_eq!(decoded, r);
+        assert_eq!(version, WIRE_VERSION);
         assert_eq!(used, buf.len());
     }
 
@@ -677,6 +1103,40 @@ mod tests {
         roundtrip_request(Request::ApproxLen);
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::ListQueues);
+        roundtrip_request(Request::DropQueue {
+            name: "tenant/a".to_string(),
+        });
+        roundtrip_request(Request::UseQueue {
+            name: "x".repeat(MAX_NAME_LEN),
+        });
+        // Every backend family and a fully-populated quota.
+        for backend in [
+            BackendSpec::MultiQueue { lanes: 8, d: 2 },
+            BackendSpec::Elastic {
+                lanes: 16,
+                d: 4,
+                shards: 2,
+            },
+            BackendSpec::CoarseHeap,
+            BackendSpec::KLsm {
+                threads: 4,
+                relaxation: 256,
+            },
+            BackendSpec::SkipList,
+        ] {
+            roundtrip_request(Request::CreateQueue {
+                name: "q-1.z/b_c".to_string(),
+                backend,
+                quota: QuotaSpec {
+                    max_inflight: 1,
+                    max_sessions: 2,
+                    ops_per_sec: 3,
+                    burst: 4,
+                    shed_key_bound: 5,
+                },
+            });
+        }
     }
 
     #[test]
@@ -687,24 +1147,46 @@ mod tests {
         roundtrip_response(Response::Batch(vec![]));
         roundtrip_response(Response::Batch(vec![(1, 10), (2, 20), (u64::MAX, 0)]));
         roundtrip_response(Response::Len(123));
-        roundtrip_response(Response::Stats(ServiceStats {
-            sessions: 3,
-            totals: HandleStats {
-                inserts: 1,
-                removals: 2,
-                failed_removals: 3,
-                empty_polls: 4,
-                contended_retries: 5,
-            },
-            active_lanes: 6,
-            max_lanes: 16,
-            resize_events: 7,
-        }));
+        roundtrip_response(Response::Stats(full_stats()));
         roundtrip_response(Response::ShuttingDown);
-        roundtrip_response(Response::Error {
-            code: ErrorCode::ReservedKey,
-            detail: "key u64::MAX is reserved".to_string(),
-        });
+        roundtrip_response(Response::QueueCreated);
+        roundtrip_response(Response::QueueDropped);
+        roundtrip_response(Response::Using);
+        roundtrip_response(Response::QueueList(vec![]));
+        roundtrip_response(Response::QueueList(vec![
+            QueueListRow {
+                name: "default".to_string(),
+                backend: "multiqueue(n=8, d=2)".to_string(),
+                instantiated: true,
+                sessions: 4,
+                approx_len: 100,
+                refusals: 3,
+            },
+            QueueListRow {
+                name: "tenant/b".to_string(),
+                backend: "skiplist".to_string(),
+                instantiated: false,
+                sessions: 0,
+                approx_len: 0,
+                refusals: 0,
+            },
+        ]));
+        for code in [
+            ErrorCode::ReservedKey,
+            ErrorCode::Protocol,
+            ErrorCode::Unavailable,
+            ErrorCode::QuotaExceeded,
+            ErrorCode::NoSuchQueue,
+            ErrorCode::QueueExists,
+            ErrorCode::QueueDropped,
+            ErrorCode::RegistryFull,
+            ErrorCode::BadQueueName,
+        ] {
+            roundtrip_response(Response::Error {
+                code,
+                detail: format!("refused: {code:?}"),
+            });
+        }
     }
 
     #[test]
@@ -712,13 +1194,21 @@ mod tests {
         let mut buf = Vec::new();
         Request::Insert { key: 1, value: 2 }.encode(&mut buf);
         Request::DeleteMin.encode(&mut buf);
-        Request::Stats.encode(&mut buf);
+        Request::UseQueue {
+            name: "q".to_string(),
+        }
+        .encode(&mut buf);
         let (first, n1) = Request::decode(&buf).unwrap();
         assert_eq!(first, Request::Insert { key: 1, value: 2 });
         let (second, n2) = Request::decode(&buf[n1..]).unwrap();
         assert_eq!(second, Request::DeleteMin);
         let (third, n3) = Request::decode(&buf[n1 + n2..]).unwrap();
-        assert_eq!(third, Request::Stats);
+        assert_eq!(
+            third,
+            Request::UseQueue {
+                name: "q".to_string()
+            }
+        );
         assert_eq!(n1 + n2 + n3, buf.len());
     }
 
@@ -736,8 +1226,9 @@ mod tests {
         }
     }
 
-    /// A fully-populated v2 Stats response (all nine counters distinct so a
-    /// field-order regression cannot cancel out).
+    /// A fully-populated v3 Stats response (all counters distinct so a
+    /// field-order regression cannot cancel out), including two per-queue
+    /// rows.
     fn full_stats() -> ServiceStats {
         ServiceStats {
             sessions: 0x0101,
@@ -747,23 +1238,55 @@ mod tests {
                 failed_removals: 0x0404,
                 empty_polls: 0x0505,
                 contended_retries: 0x0606,
+                refusals: 0x0A0A,
             },
             active_lanes: 0x0707,
             max_lanes: 0x0808,
             resize_events: 0x0909,
+            queues: vec![
+                QueueStats {
+                    name: "default".to_string(),
+                    sessions: 0x0B0B,
+                    totals: HandleStats {
+                        inserts: 0x0C0C,
+                        removals: 0x0D0D,
+                        failed_removals: 0x0E0E,
+                        empty_polls: 0x0F0F,
+                        contended_retries: 0x1010,
+                        refusals: 0x1111,
+                    },
+                    approx_len: 0x1212,
+                },
+                QueueStats {
+                    name: "tenant/a".to_string(),
+                    sessions: 0x1313,
+                    totals: HandleStats::default(),
+                    approx_len: 0x1414,
+                },
+            ],
         }
     }
 
-    /// Every truncation of a Stats reply — including cuts landing exactly on
-    /// the frame-boundary offsets of the v2 topology fields — must report
-    /// `Truncated` (the stream-reader "wait for more" signal), never decode
-    /// a partial aggregate and never classify the prefix as garbage.
+    /// Every truncation of a v3 Stats reply — including cuts landing inside
+    /// the per-queue rows — must report `Truncated` (the stream-reader
+    /// "wait for more" signal), never decode a partial aggregate and never
+    /// classify the prefix as garbage.
     #[test]
     fn stats_reply_truncations_are_incomplete_at_every_offset() {
+        let stats = full_stats();
         let mut buf = Vec::new();
-        Response::Stats(full_stats()).encode(&mut buf);
-        // Header (4 len + 1 version + 1 opcode) + 9 × u64 payload.
-        assert_eq!(buf.len(), 6 + 9 * 8, "v2 Stats layout is 9 u64 counters");
+        Response::Stats(stats.clone()).encode(&mut buf);
+        // Header (4 len + 1 version + 1 opcode) + 10 × u64 + queue count +
+        // one row per queue (name field + 8 × u64 each).
+        let expected_len = 6
+            + 10 * 8
+            + 4
+            + stats
+                .queues
+                .iter()
+                .map(|q| 1 + q.name.len() + 8 * 8)
+                .sum::<usize>();
+        assert_eq!(buf.len(), expected_len, "v3 Stats layout drifted");
         for cut in 0..buf.len() {
             let err = Response::decode(&buf[..cut]).expect_err("truncation must fail");
             assert!(
@@ -772,46 +1295,327 @@ mod tests {
                 buf.len()
             );
         }
-        // The boundaries of the three new fields, named explicitly: a cut
-        // right after each preceding field leaves the new field missing.
-        let payload_at = 6;
-        for (field, index) in [("active_lanes", 6), ("max_lanes", 7), ("resize_events", 8)] {
-            let cut = payload_at + index * 8;
-            let err = Response::decode(&buf[..cut]).expect_err("boundary cut");
-            assert!(err.is_incomplete(), "{field} boundary at {cut}: {err:?}");
-            // One byte into the field is still incomplete.
-            let err = Response::decode(&buf[..cut + 1]).expect_err("mid-field cut");
+    }
+
+    /// Every truncation of the new v3 frames is `Truncated`, and a length
+    /// prefix that excludes trailing fields is malformed — the layout check
+    /// is exact in both directions for every new opcode.
+    #[test]
+    fn v3_frame_truncations_are_incomplete_at_every_offset() {
+        let frames: Vec<Vec<u8>> = {
+            let mut encoded = Vec::new();
+            let mut buf = Vec::new();
+            Request::CreateQueue {
+                name: "tenant/a".to_string(),
+                backend: BackendSpec::Elastic {
+                    lanes: 16,
+                    d: 4,
+                    shards: 2,
+                },
+                quota: QuotaSpec::unlimited().with_rate(1000, 50),
+            }
+            .encode(&mut buf);
+            encoded.push(std::mem::take(&mut buf));
+            Request::DropQueue {
+                name: "tenant/a".to_string(),
+            }
+            .encode(&mut buf);
+            encoded.push(std::mem::take(&mut buf));
+            Request::ListQueues.encode(&mut buf);
+            encoded.push(std::mem::take(&mut buf));
+            Request::UseQueue {
+                name: "q".to_string(),
+            }
+            .encode(&mut buf);
+            encoded.push(std::mem::take(&mut buf));
+            Response::QueueCreated.encode(&mut buf);
+            encoded.push(std::mem::take(&mut buf));
+            Response::QueueList(vec![QueueListRow {
+                name: "default".to_string(),
+                backend: "coarse-heap".to_string(),
+                instantiated: true,
+                sessions: 1,
+                approx_len: 2,
+                refusals: 3,
+            }])
+            .encode(&mut buf);
+            encoded.push(std::mem::take(&mut buf));
+            Response::Using.encode(&mut buf);
+            encoded.push(std::mem::take(&mut buf));
+            encoded
+        };
+        for frame in frames {
+            for cut in 0..frame.len() {
+                let request_err = Request::decode(&frame[..cut]).err();
+                let response_err = Response::decode(&frame[..cut]).err();
+                for err in [request_err, response_err].into_iter().flatten() {
+                    assert!(
+                        err.is_incomplete(),
+                        "cut at {cut}/{} should be Truncated, got {err:?}",
+                        frame.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// A frame whose *length prefix* already excludes required fields (e.g.
+    /// the v1 7-counter Stats layout, or a v2-sized Stats arriving in a v3
+    /// frame) is a malformed payload, not a silent short decode.
+    #[test]
+    fn undersized_stats_payloads_are_rejected_as_malformed() {
+        for counters in [6u64, 9, 10] {
+            // 6 = v1-ish, 9 = the v2 layout inside a v3 frame (missing
+            // refusals + queue count), 10 = missing the queue count.
+            let mut buf = Vec::new();
+            encode_frame(&mut buf, WIRE_VERSION, OP_STATS_REPLY, |out| {
+                for counter in 0..counters {
+                    put_u64(out, counter);
+                }
+            });
             assert!(
-                err.is_incomplete(),
-                "inside {field} at {}: {err:?}",
-                cut + 1
+                matches!(
+                    Response::decode(&buf),
+                    Err(WireError::MalformedPayload {
+                        opcode: OP_STATS_REPLY,
+                        ..
+                    })
+                ),
+                "{counters}-counter v3 Stats payload must be malformed"
+            );
+        }
+        // The same exactness holds for v2 frames: 6 or 10 counters do not
+        // fit the 9-counter layout.
+        for counters in [6u64, 10] {
+            let mut buf = Vec::new();
+            encode_frame(&mut buf, 2, OP_STATS_REPLY, |out| {
+                for counter in 0..counters {
+                    put_u64(out, counter);
+                }
+            });
+            assert!(
+                matches!(
+                    Response::decode(&buf),
+                    Err(WireError::MalformedPayload { .. })
+                ),
+                "{counters}-counter v2 Stats payload must be malformed"
             );
         }
     }
 
-    /// A frame whose *length prefix* already excludes the v2 fields (the v1
-    /// 7-counter layout) is a malformed payload, not a silent short decode:
-    /// the opcode's layout check is exact in both directions.
+    /// v2 frames carry the legacy layouts: a v2-encoded Stats reply is the
+    /// 9-counter payload (no refusals, no rows) and decodes back with those
+    /// fields defaulted; the shared opcodes round-trip unchanged.
     #[test]
-    fn v1_sized_stats_payload_is_rejected_as_malformed() {
+    fn v2_stats_layout_round_trips_without_v3_fields() {
+        let stats = full_stats();
         let mut buf = Vec::new();
-        encode_frame(&mut buf, OP_STATS_REPLY, |out| {
-            for counter in 0..6u64 {
-                put_u64(out, counter);
+        Response::Stats(stats.clone()).encode_versioned(&mut buf, 2);
+        assert_eq!(buf.len(), 6 + 9 * 8, "v2 Stats layout is 9 u64 counters");
+        assert_eq!(buf[4], 2, "version byte echoes the requested version");
+        let (decoded, version, used) = Response::decode_versioned(&buf).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(used, buf.len());
+        match decoded {
+            Response::Stats(v2) => {
+                assert_eq!(v2.sessions, stats.sessions);
+                assert_eq!(v2.totals.inserts, stats.totals.inserts);
+                assert_eq!(v2.totals.contended_retries, stats.totals.contended_retries);
+                assert_eq!(v2.active_lanes, stats.active_lanes);
+                assert_eq!(v2.max_lanes, stats.max_lanes);
+                assert_eq!(v2.resize_events, stats.resize_events);
+                assert_eq!(v2.totals.refusals, 0, "v2 carries no refusals");
+                assert!(v2.queues.is_empty(), "v2 carries no per-queue rows");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Every truncation of the v2 layout stays incomplete too.
+        for cut in 0..buf.len() {
+            let err = Response::decode(&buf[..cut]).expect_err("truncation must fail");
+            assert!(err.is_incomplete(), "v2 cut at {cut}: {err:?}");
+        }
+    }
+
+    /// v3-only opcodes inside a v2 frame are unknown opcodes: an old peer
+    /// never assigned them, so a new peer must not act on them at the old
+    /// version either.
+    #[test]
+    fn v2_frames_reject_v3_opcodes() {
+        let requests = [
+            Request::CreateQueue {
+                name: "q".to_string(),
+                backend: BackendSpec::default_multiqueue(),
+                quota: QuotaSpec::unlimited(),
+            },
+            Request::DropQueue {
+                name: "q".to_string(),
+            },
+            Request::ListQueues,
+            Request::UseQueue {
+                name: "q".to_string(),
+            },
+        ];
+        for request in requests {
+            let mut buf = Vec::new();
+            request.encode_versioned(&mut buf, 2);
+            assert!(
+                matches!(Request::decode(&buf), Err(WireError::UnknownOpcode(_))),
+                "{request:?} must be unknown at v2"
+            );
+        }
+        let responses = [
+            Response::QueueCreated,
+            Response::QueueDropped,
+            Response::QueueList(vec![]),
+            Response::Using,
+        ];
+        for response in responses {
+            let mut buf = Vec::new();
+            response.encode_versioned(&mut buf, 2);
+            assert!(
+                matches!(Response::decode(&buf), Err(WireError::UnknownOpcode(_))),
+                "{response:?} must be unknown at v2"
+            );
+        }
+    }
+
+    /// Encoding a v3 error code for a v2 peer collapses it to
+    /// `Unavailable`; the legacy codes pass through untouched.
+    #[test]
+    fn v2_error_frames_map_v3_codes_to_unavailable() {
+        for (code, expect) in [
+            (ErrorCode::ReservedKey, ErrorCode::ReservedKey),
+            (ErrorCode::Protocol, ErrorCode::Protocol),
+            (ErrorCode::Unavailable, ErrorCode::Unavailable),
+            (ErrorCode::QuotaExceeded, ErrorCode::Unavailable),
+            (ErrorCode::NoSuchQueue, ErrorCode::Unavailable),
+            (ErrorCode::QueueExists, ErrorCode::Unavailable),
+            (ErrorCode::QueueDropped, ErrorCode::Unavailable),
+            (ErrorCode::RegistryFull, ErrorCode::Unavailable),
+            (ErrorCode::BadQueueName, ErrorCode::Unavailable),
+        ] {
+            let mut buf = Vec::new();
+            Response::Error {
+                code,
+                detail: "quota".to_string(),
+            }
+            .encode_versioned(&mut buf, 2);
+            match Response::decode(&buf).unwrap().0 {
+                Response::Error { code: decoded, .. } => {
+                    assert_eq!(decoded, expect, "v2 mapping of {code:?}")
+                }
+                other => panic!("expected an error frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wire_names_are_validated_on_decode() {
+        // Zero-length name.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| out.push(0));
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        // Length byte beyond MAX_NAME_LEN.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| {
+            out.push((MAX_NAME_LEN + 1) as u8);
+            out.extend_from_slice(&[b'a'; MAX_NAME_LEN + 1]);
+        });
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        // Length byte promising more than the payload carries.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_DROP_QUEUE, |out| {
+            out.push(10);
+            out.extend_from_slice(b"abc");
+        });
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        // Invalid UTF-8 in the name bytes.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| {
+            out.push(2);
+            out.extend_from_slice(&[0xFF, 0xFE]);
+        });
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        // Trailing bytes after a well-formed name.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| {
+            out.push(1);
+            out.push(b'q');
+            out.push(0);
+        });
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_backend_codes_and_oversized_row_counts_are_malformed() {
+        // CreateQueue with an unassigned backend code.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_CREATE_QUEUE, |out| {
+            out.push(1);
+            out.push(b'q');
+            out.push(99); // unknown backend family
+            for _ in 0..3 {
+                put_u32(out, 0);
+            }
+            for _ in 0..5 {
+                put_u64(out, 0);
             }
         });
         assert!(matches!(
-            Response::decode(&buf),
+            Request::decode(&buf),
             Err(WireError::MalformedPayload {
-                opcode: OP_STATS_REPLY,
+                opcode: OP_CREATE_QUEUE,
                 ..
             })
         ));
-        // One trailing extra counter is rejected the same way.
+        // QueueList promising more rows than the registry can hold is
+        // refused before allocation.
         let mut buf = Vec::new();
-        encode_frame(&mut buf, OP_STATS_REPLY, |out| {
-            for counter in 0..10u64 {
-                put_u64(out, counter);
+        encode_frame(&mut buf, WIRE_VERSION, OP_QUEUE_LIST, |out| {
+            put_u32(out, (MAX_QUEUES + 1) as u32);
+        });
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        // Same bound on the Stats per-queue row count.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_STATS_REPLY, |out| {
+            for _ in 0..10 {
+                put_u64(out, 0);
+            }
+            put_u32(out, (MAX_QUEUES + 1) as u32);
+        });
+        assert!(matches!(
+            Response::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        // A QueueList row with an instantiated byte that is neither 0 nor 1.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_QUEUE_LIST, |out| {
+            put_u32(out, 1);
+            out.push(1);
+            out.push(b'q');
+            out.push(1);
+            out.push(b'h');
+            out.push(2); // bad bool
+            for _ in 0..3 {
+                put_u64(out, 0);
             }
         });
         assert!(matches!(
@@ -865,6 +1669,10 @@ mod tests {
             Request::decode(&wrong_version),
             Err(WireError::UnknownVersion(9))
         );
+        // v1 predates MIN_WIRE_VERSION and is refused.
+        let mut v1 = buf.clone();
+        v1[4] = 1;
+        assert_eq!(Request::decode(&v1), Err(WireError::UnknownVersion(1)));
         let mut wrong_opcode = buf.clone();
         wrong_opcode[5] = 0x7E;
         assert_eq!(
@@ -881,6 +1689,20 @@ mod tests {
     }
 
     #[test]
+    fn decode_versioned_reports_the_frame_version() {
+        for version in [MIN_WIRE_VERSION, WIRE_VERSION] {
+            let mut buf = Vec::new();
+            Request::DeleteMin.encode_versioned(&mut buf, version);
+            let (_, decoded_version, _) = Request::decode_versioned(&buf).unwrap();
+            assert_eq!(decoded_version, version);
+            let mut buf = Vec::new();
+            Response::Empty.encode_versioned(&mut buf, version);
+            let (_, decoded_version, _) = Response::decode_versioned(&buf).unwrap();
+            assert_eq!(decoded_version, version);
+        }
+    }
+
+    #[test]
     fn hostile_lengths_are_rejected_without_allocating() {
         // Length 0 and 1 cannot hold version + opcode.
         for len in [0u32, 1] {
@@ -893,13 +1715,23 @@ mod tests {
         buf.push(WIRE_VERSION);
         buf.push(OP_DELETE_MIN);
         assert_eq!(Request::decode(&buf), Err(WireError::BadLength(u32::MAX)));
+        // One past the ceiling is rejected the same way.
+        let mut buf = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        buf.push(WIRE_VERSION);
+        buf.push(OP_DELETE_MIN);
+        assert_eq!(
+            Request::decode(&buf),
+            Err(WireError::BadLength(MAX_FRAME_LEN + 1))
+        );
     }
 
     #[test]
     fn payload_layout_is_enforced_exactly() {
         // Insert with a short payload: length says 10, layout needs 16.
         let mut buf = Vec::new();
-        encode_frame(&mut buf, OP_INSERT, |out| out.extend_from_slice(&[0; 8]));
+        encode_frame(&mut buf, WIRE_VERSION, OP_INSERT, |out| {
+            out.extend_from_slice(&[0; 8])
+        });
         assert!(matches!(
             Request::decode(&buf),
             Err(WireError::MalformedPayload {
@@ -909,7 +1741,7 @@ mod tests {
         ));
         // DeleteMin with trailing bytes.
         let mut buf = Vec::new();
-        encode_frame(&mut buf, OP_DELETE_MIN, |out| out.push(0));
+        encode_frame(&mut buf, WIRE_VERSION, OP_DELETE_MIN, |out| out.push(0));
         assert!(matches!(
             Request::decode(&buf),
             Err(WireError::MalformedPayload { .. })
@@ -917,14 +1749,16 @@ mod tests {
         // Batch response whose count promises more entries than the frame
         // carries.
         let mut buf = Vec::new();
-        encode_frame(&mut buf, OP_BATCH, |out| put_u32(out, 3));
+        encode_frame(&mut buf, WIRE_VERSION, OP_BATCH, |out| put_u32(out, 3));
         assert!(matches!(
             Response::decode(&buf),
             Err(WireError::MalformedPayload { .. })
         ));
         // Batch count beyond the wire limit is refused before allocation.
         let mut buf = Vec::new();
-        encode_frame(&mut buf, OP_BATCH, |out| put_u32(out, MAX_BATCH + 1));
+        encode_frame(&mut buf, WIRE_VERSION, OP_BATCH, |out| {
+            put_u32(out, MAX_BATCH + 1)
+        });
         assert!(matches!(
             Response::decode(&buf),
             Err(WireError::MalformedPayload { .. })
@@ -954,11 +1788,13 @@ mod tests {
     #[test]
     fn borrowed_batch_encoder_matches_the_owned_one() {
         for entries in [vec![], vec![(1u64, 10u64)], vec![(5, 50), (2, 20), (9, 90)]] {
-            let mut borrowed = Vec::new();
-            encode_batch_response(&mut borrowed, &entries);
-            let mut owned = Vec::new();
-            Response::Batch(entries).encode(&mut owned);
-            assert_eq!(borrowed, owned, "the two encoders must stay in lockstep");
+            for version in [MIN_WIRE_VERSION, WIRE_VERSION] {
+                let mut borrowed = Vec::new();
+                encode_batch_response(&mut borrowed, &entries, version);
+                let mut owned = Vec::new();
+                Response::Batch(entries.clone()).encode_versioned(&mut owned, version);
+                assert_eq!(borrowed, owned, "the two encoders must stay in lockstep");
+            }
         }
     }
 
@@ -990,18 +1826,44 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
+    /// Builds a valid queue name from a numeric seed (the proptest shim has
+    /// no string strategies).
+    fn name_from_seed(seed: u64) -> String {
+        let len = 1 + (seed % MAX_NAME_LEN as u64) as usize;
+        let alphabet = b"abcdefghij0123-_./";
+        (0..len)
+            .map(|i| alphabet[((seed >> (i % 56)) as usize + i) % alphabet.len()] as char)
+            .collect()
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
         #[test]
-        fn requests_round_trip(key in 0u64..u64::MAX, value in 0u64..=u64::MAX, max in 0u32..=u32::MAX, pick in 0u8..6) {
+        fn requests_round_trip(key in 0u64..u64::MAX, value in 0u64..=u64::MAX, max in 0u32..=u32::MAX, pick in 0u8..10) {
+            let name = name_from_seed(key ^ value);
             let request = match pick {
                 0 => Request::Insert { key, value },
                 1 => Request::DeleteMin,
                 2 => Request::DeleteMinBatch { max },
                 3 => Request::ApproxLen,
                 4 => Request::Stats,
-                _ => Request::Shutdown,
+                5 => Request::Shutdown,
+                6 => Request::CreateQueue {
+                    name,
+                    backend: BackendSpec::from_wire((key % 5) as u8, max, max / 2, max / 3)
+                        .expect("codes 0..=4 are assigned"),
+                    quota: QuotaSpec {
+                        max_inflight: key,
+                        max_sessions: value,
+                        ops_per_sec: key ^ value,
+                        burst: key.wrapping_add(value),
+                        shed_key_bound: key.wrapping_mul(3),
+                    },
+                },
+                7 => Request::DropQueue { name },
+                8 => Request::ListQueues,
+                _ => Request::UseQueue { name },
             };
             let mut buf = Vec::new();
             request.encode(&mut buf);
@@ -1014,7 +1876,7 @@ mod tests {
         fn responses_round_trip(
             entries in proptest::collection::vec(0u64..=u64::MAX, 0..32),
             n in 0u64..=u64::MAX,
-            pick in 0u8..8,
+            pick in 0u8..12,
         ) {
             let pairs: Vec<(u64, u64)> = entries.iter().map(|&k| (k, k ^ 0xABCD)).collect();
             let response = match pick {
@@ -1031,14 +1893,49 @@ mod tests {
                         failed_removals: n / 3,
                         empty_polls: n / 4,
                         contended_retries: n / 5,
+                        refusals: n / 8,
                     },
                     active_lanes: n / 6,
                     max_lanes: n / 6 + 8,
                     resize_events: n / 7,
+                    queues: entries
+                        .iter()
+                        .take(4)
+                        .map(|&k| QueueStats {
+                            name: name_from_seed(k),
+                            sessions: k,
+                            totals: HandleStats {
+                                inserts: k,
+                                removals: k / 2,
+                                failed_removals: k / 3,
+                                empty_polls: k / 4,
+                                contended_retries: k / 5,
+                                refusals: k / 6,
+                            },
+                            approx_len: k / 7,
+                        })
+                        .collect(),
                 }),
                 6 => Response::ShuttingDown,
+                7 => Response::QueueCreated,
+                8 => Response::QueueDropped,
+                9 => Response::QueueList(
+                    entries
+                        .iter()
+                        .take(4)
+                        .map(|&k| QueueListRow {
+                            name: name_from_seed(k),
+                            backend: name_from_seed(!k),
+                            instantiated: k % 2 == 0,
+                            sessions: k,
+                            approx_len: k / 2,
+                            refusals: k / 3,
+                        })
+                        .collect(),
+                ),
+                10 => Response::Using,
                 _ => Response::Error {
-                    code: ErrorCode::Unavailable,
+                    code: ErrorCode::from_u8(1 + (n % 9) as u8).expect("codes 1..=9 are assigned"),
                     detail: format!("n = {n}"),
                 },
             };
@@ -1065,6 +1962,20 @@ mod tests {
         fn every_truncation_of_a_valid_frame_is_incomplete(key in 0u64..100, cut_seed in 0u64..=u64::MAX) {
             let mut buf = Vec::new();
             Request::Insert { key, value: key }.encode(&mut buf);
+            let cut = (cut_seed % buf.len() as u64) as usize;
+            let err = Request::decode(&buf[..cut]).expect_err("prefix cannot be a whole frame");
+            prop_assert!(err.is_incomplete(), "cut {cut}: {err:?}");
+        }
+
+        #[test]
+        fn every_truncation_of_a_create_queue_frame_is_incomplete(seed in 0u64..=u64::MAX, cut_seed in 0u64..=u64::MAX) {
+            let mut buf = Vec::new();
+            Request::CreateQueue {
+                name: name_from_seed(seed),
+                backend: BackendSpec::from_wire((seed % 5) as u8, 8, 2, 1).unwrap(),
+                quota: QuotaSpec::unlimited().with_max_inflight(seed),
+            }
+            .encode(&mut buf);
             let cut = (cut_seed % buf.len() as u64) as usize;
             let err = Request::decode(&buf[..cut]).expect_err("prefix cannot be a whole frame");
             prop_assert!(err.is_incomplete(), "cut {cut}: {err:?}");

@@ -1,16 +1,25 @@
-//! The choice-wire server: one queue, one session per connection.
+//! The choice-wire server: a registry of named queues, one session per
+//! connection.
 //!
-//! # Session-per-connection
+//! # Sessions and bindings
 //!
 //! The in-process API is organised per *thread*: you [`register`] a session
 //! and every operation flows through the returned handle. The server maps
 //! that structure onto the network one-to-one — each accepted TCP connection
-//! registers its own session on the shared queue (via
-//! [`DynSharedPq::register_policy_dyn`], so any backend serves) and every
-//! frame on that connection executes through that handle. The session API's
-//! guarantees come along for free: a per-connection deterministic RNG
-//! stream, sticky lanes / insert batching / instrumentation selected by the
-//! server-wide [`HandlePolicy`], and per-connection [`HandleStats`].
+//! binds a [`QueueBinding`] on one named queue of the shared
+//! [`QueueRegistry`] and registers its own session handle on that queue's
+//! backend. The session API's guarantees come along for free: a
+//! per-connection deterministic RNG stream, sticky lanes / insert batching /
+//! instrumentation selected by the server-wide [`HandlePolicy`], and
+//! per-connection [`HandleStats`](choice_pq::HandleStats) that roll up into
+//! per-queue aggregates.
+//!
+//! A connection starts bound to the [`DEFAULT_QUEUE`] (when it exists — a
+//! [`PqServer::spawn`] server always installs one, which is exactly the v2
+//! single-queue behaviour) and may rebind with `UseQueue`. Every session
+//! operation passes the binding's admission gate first: in-flight quota,
+//! token-bucket rate with class-aware shedding, drop tombstones. Refusals
+//! are typed wire errors and first-class counters, never silent drops.
 //!
 //! # Backpressure: the credit window
 //!
@@ -23,6 +32,14 @@
 //! rest) without unbounded buffering on either side. The window is
 //! advertised nowhere and negotiated never: both sides simply bound
 //! themselves, which composes safely for any pair of limits.
+//!
+//! # Version negotiation
+//!
+//! Every frame carries its own version byte; the server answers each request
+//! at the version the request arrived with. A v2 client therefore speaks to
+//! a v3 server completely unchanged: it is bound to the default queue, its
+//! Stats replies use the legacy 9-counter layout, and v3 refusal codes
+//! collapse to `Unavailable` on its frames.
 //!
 //! # Shutdown
 //!
@@ -41,10 +58,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use choice_pq::{DynSharedPq, HandlePolicy, HandleStats, Key, PqHandle};
+use choice_pq::{DynSharedPq, HandlePolicy, Key, PqHandle};
+use choice_registry::{
+    QueueBinding, QueueRegistry, QuotaSpec, Refusal, RegistryError, DEFAULT_QUEUE,
+};
 use parking_lot::Mutex;
 
-use crate::protocol::{ErrorCode, Request, Response, ServiceStats, WireError, MAX_BATCH};
+use crate::protocol::{
+    ErrorCode, QueueListRow, QueueStats, Request, Response, ServiceStats, WireError, MAX_BATCH,
+    MIN_WIRE_VERSION,
+};
 
 /// Server-side configuration: the per-session policy and the service limits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,20 +130,12 @@ impl ServerConfig {
 /// How often blocked accept/read calls re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
-/// One connection's slot in the stats registry: the session's counters as
-/// of its most recently completed request (final counters once closed).
-type StatsSlot = Arc<Mutex<HandleStats>>;
-
 /// Shared across the accept loop and every connection handler.
 struct Shared {
-    queue: Arc<dyn DynSharedPq<u64>>,
+    registry: Arc<QueueRegistry>,
     config: ServerConfig,
     shutdown: AtomicBool,
     sessions_opened: AtomicU64,
-    /// Every session ever opened keeps its slot here, so Stats aggregates
-    /// live *and* finished sessions (bounded by connection count, 16 bytes
-    /// a piece — fine for a diagnostic surface).
-    stats: Mutex<Vec<StatsSlot>>,
     /// Raw streams of the *live* connections (removed on handler exit).
     /// Shutdown closes them so a handler blocked in a write — a peer that
     /// pipelines but never reads — is unstuck immediately; without this,
@@ -129,32 +144,115 @@ struct Shared {
 }
 
 impl Shared {
+    /// Service-wide aggregate: the per-queue snapshots merged over the
+    /// retired (dropped-queue) roll-up and the unbound-refusal counter, so
+    /// totals stay monotonic across queue drops and session churn.
     fn aggregate_stats(&self) -> ServiceStats {
-        let mut totals = HandleStats::default();
-        for slot in self.stats.lock().iter() {
-            totals.merge(&slot.lock());
+        let mut totals = self.registry.retired_totals();
+        totals.refusals = totals
+            .refusals
+            .saturating_add(self.registry.unbound_refusals());
+        // The lane-table snapshot (summed over the instantiated queues)
+        // rides along so remote operators can watch elastic backends resize
+        // themselves under their load.
+        let mut active_lanes = 0u64;
+        let mut max_lanes = 0u64;
+        let mut resize_events = 0u64;
+        let mut queues = Vec::new();
+        for snap in self.registry.stats() {
+            totals.merge(&snap.totals);
+            if let Some(topology) = &snap.topology {
+                active_lanes += topology.active_lanes as u64;
+                max_lanes += topology.max_lanes as u64;
+                resize_events += topology.resize_events();
+            }
+            queues.push(QueueStats {
+                name: snap.name,
+                sessions: snap.sessions_total,
+                totals: snap.totals,
+                approx_len: snap.approx_len,
+            });
         }
-        // The lane-table snapshot rides along so remote operators can watch
-        // an elastic backend resize itself under their load.
-        let topology = self.queue.topology_dyn();
         ServiceStats {
             sessions: self.sessions_opened.load(Ordering::Relaxed),
             totals,
-            active_lanes: topology.active_lanes as u64,
-            max_lanes: topology.max_lanes as u64,
-            resize_events: topology.resize_events(),
+            active_lanes,
+            max_lanes,
+            resize_events,
+            queues,
         }
+    }
+
+    fn queue_list(&self) -> Response {
+        Response::QueueList(
+            self.registry
+                .stats()
+                .into_iter()
+                .map(|snap| QueueListRow {
+                    name: snap.name,
+                    backend: snap.backend,
+                    instantiated: snap.instantiated,
+                    sessions: snap.sessions_total,
+                    approx_len: snap.approx_len,
+                    refusals: snap.totals.refusals,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Maps an admission refusal to its typed wire error. Tombstone refusals
+/// are re-attributed to the registry's unbound counter: the dropped entry's
+/// own counters were already snapshotted into the retired roll-up at drop
+/// time, so counting there would lose them from service totals.
+fn refusal_error(registry: &QueueRegistry, refusal: Refusal) -> Response {
+    if matches!(refusal, Refusal::Dropped) {
+        registry.note_unbound_refusal();
+    }
+    let code = match refusal {
+        Refusal::Rate { .. } | Refusal::InFlight => ErrorCode::QuotaExceeded,
+        Refusal::Dropped => ErrorCode::QueueDropped,
+    };
+    Response::Error {
+        code,
+        detail: refusal.to_string(),
+    }
+}
+
+/// Maps a registry lifecycle error to its typed wire error.
+fn registry_error(error: RegistryError) -> Response {
+    let code = match &error {
+        RegistryError::BadName(_) => ErrorCode::BadQueueName,
+        RegistryError::Exists(_) => ErrorCode::QueueExists,
+        RegistryError::NotFound(_) => ErrorCode::NoSuchQueue,
+        RegistryError::Full { .. } => ErrorCode::RegistryFull,
+        RegistryError::SessionLimit { .. } => ErrorCode::QuotaExceeded,
+    };
+    Response::Error {
+        code,
+        detail: error.to_string(),
+    }
+}
+
+/// The refusal for session operations on a connection with no bound queue
+/// (the default queue does not exist, or the bound queue was dropped and the
+/// connection has not rebound).
+fn unbound_error() -> Response {
+    Response::Error {
+        code: ErrorCode::NoSuchQueue,
+        detail: "no queue is bound to this session (bind one with UseQueue)".to_string(),
     }
 }
 
 /// A running choice-wire server.
 ///
-/// Bind with [`PqServer::spawn`]; the accept loop and every connection run
-/// on background threads until a shutdown (wire frame or
+/// Bind with [`PqServer::spawn`] (single queue, v2-compatible) or
+/// [`PqServer::spawn_registry`] (multi-tenant); the accept loop and every
+/// connection run on background threads until a shutdown (wire frame or
 /// [`shutdown`](PqServer::shutdown)), after which [`join`](PqServer::join)
-/// — or drop — reaps them. The queue stays owned by the caller (it is
-/// behind an `Arc`), so its contents survive the server and can be
-/// inspected after `join`.
+/// — or drop — reaps them. Queues stay owned by the registry (and any
+/// `Arc`s the caller retained), so their contents survive the server and
+/// can be inspected after `join`.
 pub struct PqServer {
     shared: Arc<Shared>,
     addr: SocketAddr,
@@ -163,9 +261,27 @@ pub struct PqServer {
 
 impl PqServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
-    /// serving `queue`.
+    /// serving `queue` as the sole, unlimited [`DEFAULT_QUEUE`] of a fresh
+    /// registry — the exact observable behaviour of the old single-queue
+    /// server, including for v2 clients.
     pub fn spawn(
         queue: Arc<dyn DynSharedPq<u64>>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<PqServer> {
+        let registry = Arc::new(QueueRegistry::default());
+        registry
+            .install(DEFAULT_QUEUE, queue, QuotaSpec::unlimited())
+            .expect("fresh registry accepts the default queue");
+        Self::spawn_registry(registry, addr, config)
+    }
+
+    /// Binds `addr` and starts serving every queue of `registry`.
+    /// Connections start bound to the registry's [`DEFAULT_QUEUE`] if one
+    /// exists (create or install it to serve v2 clients); otherwise they
+    /// start unbound and must `UseQueue` before session operations.
+    pub fn spawn_registry(
+        registry: Arc<QueueRegistry>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<PqServer> {
@@ -175,11 +291,10 @@ impl PqServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
-            queue,
+            registry,
             config,
             shutdown: AtomicBool::new(false),
             sessions_opened: AtomicU64::new(0),
-            stats: Mutex::new(Vec::new()),
             conns: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -196,6 +311,12 @@ impl PqServer {
     /// The address the server actually bound (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The queue registry this server serves (shared — lifecycle calls made
+    /// here are visible to connected clients and vice versa).
+    pub fn registry(&self) -> &Arc<QueueRegistry> {
+        &self.shared.registry
     }
 
     /// Whether a shutdown (local or wire-initiated) has been requested.
@@ -217,7 +338,7 @@ impl PqServer {
         }
     }
 
-    /// The aggregated per-session statistics (live sessions contribute the
+    /// The aggregated service statistics (live sessions contribute the
     /// counters of their most recently completed request).
     pub fn stats(&self) -> ServiceStats {
         self.shared.aggregate_stats()
@@ -257,7 +378,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
                     .name("choice-wire-conn".into())
                     .spawn(move || {
                         // Connection-level I/O errors (peer vanished, reset)
-                        // close that connection only; the queue and the
+                        // close that connection only; the queues and the
                         // other sessions are unaffected.
                         let _ = serve_connection(stream, conn_shared);
                     });
@@ -278,14 +399,19 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
     connections
 }
 
-/// Serves one connection: a session on the queue, a buffered framing loop,
-/// and the credit-window flush policy.
+/// Serves one connection: a binding + session on the bound queue, a buffered
+/// framing loop, and the credit-window flush policy.
 ///
 /// The receive path reads whole chunks into a growable buffer and decodes
 /// every complete frame it holds before reading again — a partial frame at
 /// the buffer's tail simply waits for the next chunk (never discarded, so a
 /// read timeout can never desynchronise the stream), and one `read` syscall
 /// typically carries a whole pipeline window of requests.
+///
+/// The outer loop exists for `UseQueue`: a successful rebind finishes the
+/// current session (rolling its counters into its queue), then re-enters
+/// with the new binding. Everything connection-scoped (buffers, the socket,
+/// the credit counter) lives outside it and survives rebinds.
 fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
     // Reads poll so the handler notices shutdown while idle.
@@ -296,171 +422,269 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     shared.conns.lock().push((conn_id, stream.try_clone()?));
     let mut writer = BufWriter::new(stream);
 
-    let slot: StatsSlot = Arc::new(Mutex::new(HandleStats::default()));
-    shared.stats.lock().push(Arc::clone(&slot));
-
-    let mut session = shared.queue.register_policy_dyn(shared.config.policy);
     let mut inbuf: Vec<u8> = Vec::with_capacity(16 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     let mut out_scratch = Vec::new();
     let mut batch_buf: Vec<(Key, u64)> = Vec::new();
     // Responses written since the last flush; the credit window bounds it.
     let mut unflushed = 0usize;
+    // The binding the next `'bind` iteration starts from: pre-bound by a
+    // successful UseQueue, or named (the initial default-queue bind).
+    let mut next_binding: Option<QueueBinding> = None;
+    let mut next_name: Option<String> = Some(DEFAULT_QUEUE.to_string());
 
-    let result = 'conn: loop {
-        // Decode and execute every complete frame currently buffered.
-        let mut consumed = 0usize;
-        while consumed < inbuf.len() {
-            let request = match Request::decode(&inbuf[consumed..]) {
-                Ok((request, used)) => {
-                    consumed += used;
-                    request
+    let result = 'bind: loop {
+        let binding: Option<QueueBinding> = match next_binding.take() {
+            Some(binding) => Some(binding),
+            // A failed initial bind (no default queue) leaves the session
+            // unbound: session ops are refused until a UseQueue lands.
+            None => next_name
+                .take()
+                .and_then(|name| shared.registry.bind(&name).ok()),
+        };
+        let mut session = binding.as_ref().map(|b| b.register(shared.config.policy));
+
+        let inner = 'conn: loop {
+            // Decode and execute every complete frame currently buffered.
+            let mut consumed = 0usize;
+            while consumed < inbuf.len() {
+                let (request, version) = match Request::decode_versioned(&inbuf[consumed..]) {
+                    Ok((request, version, used)) => {
+                        consumed += used;
+                        (request, version)
+                    }
+                    Err(e) if e.is_incomplete() => break, // tail frame: read more
+                    Err(wire_error) => {
+                        // Protocol violations are answered (best-effort) and
+                        // then the connection is closed: after a framing
+                        // error the byte stream cannot re-synchronise. The
+                        // reply is framed at the oldest supported version so
+                        // any well-formed peer can decode it.
+                        let response = Response::Error {
+                            code: ErrorCode::Protocol,
+                            detail: wire_error.to_string(),
+                        };
+                        crate::protocol::write_response(
+                            &mut writer,
+                            &response,
+                            &mut out_scratch,
+                            MIN_WIRE_VERSION,
+                        )?;
+                        writer.flush()?;
+                        break 'conn Err(io::Error::new(io::ErrorKind::InvalidData, wire_error));
+                    }
+                };
+                let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+                let mut is_shutdown_ack = false;
+                let mut rebind: Option<QueueBinding> = None;
+
+                // `None` means the hot batched path already wrote its frame.
+                let response: Option<Response> = if shutting_down
+                    && !matches!(request, Request::Shutdown | Request::Stats)
+                {
+                    Some(Response::Error {
+                        code: ErrorCode::Unavailable,
+                        detail: "server is shutting down".to_string(),
+                    })
+                } else {
+                    match &request {
+                        Request::DeleteMinBatch { max } => {
+                            match (binding.as_ref(), session.as_mut()) {
+                                (Some(b), Some(sess)) => match b.admit_removal() {
+                                    Ok(()) => {
+                                        // The hot batched path keeps its
+                                        // entries vector: drain into it,
+                                        // encode from the borrow, reuse the
+                                        // allocation next request.
+                                        let clamped = (*max).min(shared.config.max_batch) as usize;
+                                        batch_buf.clear();
+                                        sess.delete_min_batch_into(clamped, &mut batch_buf);
+                                        b.note_removed(batch_buf.len() as u64);
+                                        out_scratch.clear();
+                                        crate::protocol::encode_batch_response(
+                                            &mut out_scratch,
+                                            &batch_buf,
+                                            version,
+                                        );
+                                        writer.write_all(&out_scratch)?;
+                                        None
+                                    }
+                                    Err(refusal) => Some(refusal_error(&shared.registry, refusal)),
+                                },
+                                _ => {
+                                    shared.registry.note_unbound_refusal();
+                                    Some(unbound_error())
+                                }
+                            }
+                        }
+                        Request::Insert { key, value } => {
+                            Some(match (binding.as_ref(), session.as_mut()) {
+                                (Some(b), Some(sess)) => {
+                                    if *key == Key::MAX {
+                                        // The in-process API panics on the
+                                        // reserved key (programmer error); a
+                                        // remote peer gets a refusal frame,
+                                        // counted against its queue.
+                                        b.note_external_refusal();
+                                        Response::Error {
+                                            code: ErrorCode::ReservedKey,
+                                            detail: "key u64::MAX is reserved as the empty-lane sentinel"
+                                                .to_string(),
+                                        }
+                                    } else {
+                                        match b.admit_insert(*key) {
+                                            Ok(()) => {
+                                                sess.insert(*key, *value);
+                                                Response::Inserted
+                                            }
+                                            Err(refusal) => {
+                                                refusal_error(&shared.registry, refusal)
+                                            }
+                                        }
+                                    }
+                                }
+                                _ => {
+                                    shared.registry.note_unbound_refusal();
+                                    unbound_error()
+                                }
+                            })
+                        }
+                        Request::DeleteMin => Some(match (binding.as_ref(), session.as_mut()) {
+                            (Some(b), Some(sess)) => match b.admit_removal() {
+                                Ok(()) => match sess.delete_min() {
+                                    Some((key, value)) => {
+                                        b.note_removed(1);
+                                        Response::Entry { key, value }
+                                    }
+                                    None => Response::Empty,
+                                },
+                                Err(refusal) => refusal_error(&shared.registry, refusal),
+                            },
+                            _ => {
+                                shared.registry.note_unbound_refusal();
+                                unbound_error()
+                            }
+                        }),
+                        Request::ApproxLen => Some(match binding.as_ref() {
+                            // A diagnostic read: not charged against the
+                            // rate quota, answered per-queue.
+                            Some(b) => Response::Len(b.queue().approx_len_dyn() as u64),
+                            None => {
+                                shared.registry.note_unbound_refusal();
+                                unbound_error()
+                            }
+                        }),
+                        Request::Stats => Some(Response::Stats(shared.aggregate_stats())),
+                        Request::Shutdown => {
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                            is_shutdown_ack = true;
+                            Some(Response::ShuttingDown)
+                        }
+                        Request::CreateQueue {
+                            name,
+                            backend,
+                            quota,
+                        } => Some(match shared.registry.create(name, *backend, *quota) {
+                            Ok(()) => Response::QueueCreated,
+                            Err(e) => registry_error(e),
+                        }),
+                        Request::DropQueue { name } => {
+                            Some(match shared.registry.drop_queue(name) {
+                                Ok(()) => Response::QueueDropped,
+                                Err(e) => registry_error(e),
+                            })
+                        }
+                        Request::ListQueues => Some(shared.queue_list()),
+                        Request::UseQueue { name } => Some(match shared.registry.bind(name) {
+                            Ok(new_binding) => {
+                                rebind = Some(new_binding);
+                                Response::Using
+                            }
+                            // A failed rebind keeps the current binding.
+                            Err(e) => registry_error(e),
+                        }),
+                    }
+                };
+                if let Some(response) = &response {
+                    crate::protocol::write_response(
+                        &mut writer,
+                        response,
+                        &mut out_scratch,
+                        version,
+                    )?;
                 }
-                Err(e) if e.is_incomplete() => break, // tail frame: read more
-                Err(wire_error) => {
-                    // Protocol violations are answered (best-effort) and
-                    // then the connection is closed: after a framing error
-                    // the byte stream cannot re-synchronise.
-                    let response = Response::Error {
-                        code: ErrorCode::Protocol,
-                        detail: wire_error.to_string(),
-                    };
-                    crate::protocol::write_response(&mut writer, &response, &mut out_scratch)?;
+                unflushed += 1;
+                // Publish this session's counters after every request so
+                // Stats (served by any connection) sees near-current
+                // per-queue totals. The slot mutex is uncontended except
+                // during an actual aggregation.
+                if let (Some(b), Some(sess)) = (binding.as_ref(), session.as_ref()) {
+                    b.publish_stats(sess.stats());
+                }
+                if is_shutdown_ack {
                     writer.flush()?;
-                    break 'conn Err(io::Error::new(io::ErrorKind::InvalidData, wire_error));
+                    break 'conn Ok(());
                 }
-            };
-            let shutting_down = shared.shutdown.load(Ordering::SeqCst);
-            let mut is_shutdown_ack = false;
-            if let (Request::DeleteMinBatch { max }, false) = (request, shutting_down) {
-                // The hot batched path keeps its entries vector: drain into
-                // it, encode from the borrow, reuse the allocation next
-                // request.
-                let clamped = max.min(shared.config.max_batch) as usize;
-                batch_buf.clear();
-                session.delete_min_batch_into(clamped, &mut batch_buf);
-                out_scratch.clear();
-                crate::protocol::encode_batch_response(&mut out_scratch, &batch_buf);
-                writer.write_all(&out_scratch)?;
-            } else {
-                let response = execute(request, &mut *session, &shared, shutting_down);
-                is_shutdown_ack = matches!(response, Response::ShuttingDown);
-                crate::protocol::write_response(&mut writer, &response, &mut out_scratch)?;
+                if unflushed >= shared.config.credit_window {
+                    writer.flush()?;
+                    unflushed = 0;
+                }
+                if rebind.is_some() {
+                    // Hand the already-claimed binding to the next 'bind
+                    // iteration; dropping the current session and binding
+                    // rolls their counters into the old queue.
+                    next_binding = rebind;
+                    inbuf.drain(..consumed);
+                    writer.flush()?;
+                    unflushed = 0;
+                    continue 'bind;
+                }
             }
-            unflushed += 1;
-            // Publish this session's counters after every request so the
-            // Stats op (served by any connection) sees near-current totals.
-            // The slot mutex is uncontended except during an actual Stats
-            // aggregation.
-            *slot.lock() = session.stats();
-            if is_shutdown_ack {
-                writer.flush()?;
-                break 'conn Ok(());
-            }
-            if unflushed >= shared.config.credit_window {
+            inbuf.drain(..consumed);
+
+            // The buffered requests are answered; the stream is about to
+            // block, which ends the credit round — flush.
+            if unflushed > 0 {
                 writer.flush()?;
                 unflushed = 0;
             }
-        }
-        inbuf.drain(..consumed);
-
-        // The buffered requests are answered; the stream is about to block,
-        // which ends the credit round — flush.
-        if unflushed > 0 {
-            writer.flush()?;
-            unflushed = 0;
-        }
-        match reader.read(&mut chunk) {
-            Ok(0) => {
-                break 'conn if inbuf.is_empty() {
-                    Ok(()) // clean disconnect at a frame boundary
-                } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        WireError::Truncated { needed: 1 },
-                    ))
-                };
-            }
-            Ok(n) => inbuf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Idle (possibly mid-frame): nothing was consumed, nothing
-                // is lost. Just check for shutdown and poll again.
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break 'conn Ok(());
+            match reader.read(&mut chunk) {
+                Ok(0) => {
+                    break 'conn if inbuf.is_empty() {
+                        Ok(()) // clean disconnect at a frame boundary
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            WireError::Truncated { needed: 1 },
+                        ))
+                    };
                 }
+                Ok(n) => inbuf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Idle (possibly mid-frame): nothing was consumed,
+                    // nothing is lost. Just check for shutdown and poll
+                    // again.
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break 'conn Ok(());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => break 'conn Err(e),
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => break 'conn Err(e),
-        }
+        };
+        // The session drops here, flushing any policy-buffered inserts back
+        // to the shared queue; dropping the binding then rolls the slot's
+        // final counters (published after every request above) into the
+        // queue's closed accumulator.
+        break 'bind inner;
     };
-    // The session drops here, flushing any policy-buffered inserts back to
-    // the shared queue; record its final counters and deregister the
-    // stream (the stats slot stays: closed sessions keep counting).
-    let final_stats = session.stats();
-    drop(session);
-    *slot.lock() = final_stats;
     shared.conns.lock().retain(|(id, _)| *id != conn_id);
     result
-}
-
-/// Executes one decoded request against the connection's session (the
-/// batched-removal path lives in [`serve_connection`], which owns the
-/// reusable entries buffer).
-fn execute(
-    request: Request,
-    session: &mut dyn PqHandle<u64>,
-    shared: &Shared,
-    shutting_down: bool,
-) -> Response {
-    if shutting_down && !matches!(request, Request::Shutdown | Request::Stats) {
-        return Response::Error {
-            code: ErrorCode::Unavailable,
-            detail: "server is shutting down".to_string(),
-        };
-    }
-    match request {
-        Request::Insert { key, value } => {
-            if key == Key::MAX {
-                // The in-process API panics on the reserved key (programmer
-                // error); a remote peer gets a refusal frame instead.
-                return Response::Error {
-                    code: ErrorCode::ReservedKey,
-                    detail: "key u64::MAX is reserved as the empty-lane sentinel".to_string(),
-                };
-            }
-            session.insert(key, value);
-            Response::Inserted
-        }
-        Request::DeleteMin => match session.delete_min() {
-            Some((key, value)) => Response::Entry { key, value },
-            None => Response::Empty,
-        },
-        Request::DeleteMinBatch { max } => {
-            // Only reachable during shutdown (the guard above answered) or
-            // never — the live path is inlined in `serve_connection`.
-            let clamped = max.min(shared.config.max_batch) as usize;
-            let mut entries = Vec::new();
-            session.delete_min_batch_into(clamped, &mut entries);
-            Response::Batch(entries)
-        }
-        Request::ApproxLen => Response::Len(shared.queue.approx_len_dyn() as u64),
-        Request::Stats => {
-            // Fold the *requesting* session's live counters over its slot
-            // snapshot's position by publishing first — the caller updates
-            // the slot after execute returns, so aggregate over the current
-            // registry is at most one request stale per session.
-            Response::Stats(shared.aggregate_stats())
-        }
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            Response::ShuttingDown
-        }
-    }
 }
 
 #[cfg(test)]
@@ -468,12 +692,22 @@ mod tests {
     use super::*;
     use crate::protocol::read_frame_bytes;
     use choice_pq::{MultiQueue, MultiQueueConfig};
+    use choice_registry::BackendSpec;
 
     fn spawn_server(config: ServerConfig) -> PqServer {
         let queue: Arc<dyn DynSharedPq<u64>> = Arc::new(MultiQueue::<u64>::new(
             MultiQueueConfig::with_queues(4).with_seed(9),
         ));
         PqServer::spawn(queue, "127.0.0.1:0", config).expect("bind ephemeral")
+    }
+
+    fn request_reply(stream: &mut TcpStream, request: &Request) -> Response {
+        let mut wire = Vec::new();
+        request.encode(&mut wire);
+        stream.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(stream, &mut frame).unwrap());
+        Response::decode(&frame).unwrap().0
     }
 
     /// Raw-socket round trip without the client type: the server speaks the
@@ -503,6 +737,11 @@ mod tests {
         assert_eq!(stats.totals.inserts, 1);
         assert_eq!(stats.totals.removals, 1);
         assert_eq!(stats.totals.failed_removals, 1);
+        // The v3 aggregate carries the per-queue breakdown: everything
+        // happened on the default queue.
+        assert_eq!(stats.queues.len(), 1);
+        assert_eq!(stats.queues[0].name, DEFAULT_QUEUE);
+        assert_eq!(stats.queues[0].totals.inserts, 1);
     }
 
     #[test]
@@ -526,6 +765,11 @@ mod tests {
         // The connection survives a refusal (only framing errors close it).
         assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
         assert_eq!(Response::decode(&frame).unwrap().0, Response::Len(0));
+        drop(stream);
+        // Refusals are first-class counters, attributed to the queue.
+        let stats = server.join();
+        assert_eq!(stats.totals.refusals, 1);
+        assert_eq!(stats.queues[0].totals.refusals, 1);
     }
 
     #[test]
@@ -618,12 +862,7 @@ mod tests {
         let server = PqServer::spawn(erased, "127.0.0.1:0", ServerConfig::default()).expect("bind");
         queue.resize_active(8);
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-        let mut wire = Vec::new();
-        Request::Stats.encode(&mut wire);
-        stream.write_all(&wire).unwrap();
-        let mut frame = Vec::new();
-        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
-        match Response::decode(&frame).unwrap().0 {
+        match request_reply(&mut stream, &Request::Stats) {
             Response::Stats(stats) => {
                 assert_eq!(stats.active_lanes, 8);
                 assert_eq!(stats.max_lanes, 16);
@@ -634,6 +873,214 @@ mod tests {
         drop(stream);
         let final_stats = server.join();
         assert_eq!(final_stats.max_lanes, 16);
+    }
+
+    /// The full queue lifecycle over raw sockets: create a named queue,
+    /// rebind to it, operate, list, observe per-queue stats, drop it, and
+    /// watch the tombstone refusal land on the still-bound session.
+    #[test]
+    fn named_queue_lifecycle_over_the_wire() {
+        let server = spawn_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Create a coarse-heap tenant queue with an in-flight quota of 2.
+        let create = Request::CreateQueue {
+            name: "tenant/a".to_string(),
+            backend: BackendSpec::CoarseHeap,
+            quota: QuotaSpec::unlimited().with_max_inflight(2),
+        };
+        assert_eq!(request_reply(&mut stream, &create), Response::QueueCreated);
+        // Creating it again is a typed refusal.
+        match request_reply(&mut stream, &create) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::QueueExists),
+            other => panic!("expected QueueExists, got {other:?}"),
+        }
+        // Rebind and operate on the new queue.
+        assert_eq!(
+            request_reply(
+                &mut stream,
+                &Request::UseQueue {
+                    name: "tenant/a".to_string()
+                }
+            ),
+            Response::Using
+        );
+        for key in [3u64, 1] {
+            assert_eq!(
+                request_reply(&mut stream, &Request::Insert { key, value: key }),
+                Response::Inserted
+            );
+        }
+        // The third insert trips the in-flight quota.
+        match request_reply(&mut stream, &Request::Insert { key: 9, value: 9 }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::QuotaExceeded),
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // ApproxLen is now per-queue: the bound tenant queue holds 2.
+        assert_eq!(
+            request_reply(&mut stream, &Request::ApproxLen),
+            Response::Len(2)
+        );
+        // The listing shows both queues with the tenant's refusal counted.
+        match request_reply(&mut stream, &Request::ListQueues) {
+            Response::QueueList(rows) => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].name, DEFAULT_QUEUE);
+                assert_eq!(rows[1].name, "tenant/a");
+                assert_eq!(rows[1].backend, "coarse-heap");
+                assert!(rows[1].instantiated);
+                assert_eq!(rows[1].approx_len, 2);
+                assert_eq!(rows[1].refusals, 1);
+            }
+            other => panic!("expected a queue list, got {other:?}"),
+        }
+        // The Stats breakdown attributes the work to the right queue.
+        match request_reply(&mut stream, &Request::Stats) {
+            Response::Stats(stats) => {
+                assert_eq!(stats.queues.len(), 2);
+                assert_eq!(stats.queues[1].name, "tenant/a");
+                assert_eq!(stats.queues[1].totals.inserts, 2);
+                assert_eq!(stats.queues[1].totals.refusals, 1);
+                assert_eq!(stats.queues[0].totals.inserts, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Coarse heap is exact: delete_min returns the smallest key.
+        match request_reply(&mut stream, &Request::DeleteMin) {
+            Response::Entry { key, .. } => assert_eq!(key, 1),
+            other => panic!("expected an entry, got {other:?}"),
+        }
+        // Drop the queue from a *second* connection while the first is
+        // still bound to it.
+        let mut admin = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            request_reply(
+                &mut admin,
+                &Request::DropQueue {
+                    name: "tenant/a".to_string()
+                }
+            ),
+            Response::QueueDropped
+        );
+        // The still-bound session gets the tombstone, typed, on its next op.
+        match request_reply(&mut stream, &Request::Insert { key: 7, value: 7 }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::QueueDropped),
+            other => panic!("expected QueueDropped, got {other:?}"),
+        }
+        // Rebinding to the dropped name is NoSuchQueue; the default queue
+        // still works.
+        match request_reply(
+            &mut stream,
+            &Request::UseQueue {
+                name: "tenant/a".to_string(),
+            },
+        ) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSuchQueue),
+            other => panic!("expected NoSuchQueue, got {other:?}"),
+        }
+        assert_eq!(
+            request_reply(
+                &mut stream,
+                &Request::UseQueue {
+                    name: DEFAULT_QUEUE.to_string()
+                }
+            ),
+            Response::Using
+        );
+        assert_eq!(
+            request_reply(&mut stream, &Request::ApproxLen),
+            Response::Len(0)
+        );
+        drop(stream);
+        drop(admin);
+        // The dropped queue's history (2 inserts, 1 removal, 2 refusals)
+        // survives in the retired roll-up of the final aggregate.
+        let stats = server.join();
+        assert_eq!(stats.totals.inserts, 2);
+        assert_eq!(stats.totals.removals, 1);
+        assert_eq!(stats.totals.refusals, 2);
+        assert_eq!(stats.queues.len(), 1, "only the default queue remains");
+    }
+
+    /// A v2 peer on a v3 server: responses echo version 2, the Stats reply
+    /// uses the legacy 9-counter layout, and v3 opcodes inside v2 frames are
+    /// protocol errors.
+    #[test]
+    fn v2_clients_are_served_at_version_2() {
+        let server = spawn_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        Request::Insert { key: 5, value: 50 }.encode_versioned(&mut wire, 2);
+        Request::Stats.encode_versioned(&mut wire, 2);
+        stream.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        let (response, version, _) = Response::decode_versioned(&frame).unwrap();
+        assert_eq!(response, Response::Inserted);
+        assert_eq!(version, 2, "responses echo the request's version");
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        assert_eq!(frame.len(), 6 + 9 * 8, "legacy 9-counter Stats layout");
+        let (response, version, _) = Response::decode_versioned(&frame).unwrap();
+        assert_eq!(version, 2);
+        match response {
+            Response::Stats(stats) => {
+                assert_eq!(stats.totals.inserts, 1);
+                assert!(stats.queues.is_empty(), "v2 carries no per-queue rows");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // A v3-only opcode in a v2 frame cannot be decoded: protocol error,
+        // connection closed.
+        let mut wire = Vec::new();
+        Request::ListQueues.encode_versioned(&mut wire, 2);
+        stream.write_all(&wire).unwrap();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        match Response::decode(&frame).unwrap().0 {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol),
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
+        assert!(!read_frame_bytes(&mut stream, &mut frame).unwrap());
+    }
+
+    /// A registry-first server without a default queue: sessions start
+    /// unbound, session ops are refused typed, and UseQueue brings the
+    /// connection live.
+    #[test]
+    fn registry_server_without_a_default_queue_requires_use_queue() {
+        let registry = Arc::new(QueueRegistry::default());
+        registry
+            .create(
+                "only",
+                BackendSpec::default_multiqueue(),
+                QuotaSpec::unlimited(),
+            )
+            .unwrap();
+        let server =
+            PqServer::spawn_registry(registry, "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        match request_reply(&mut stream, &Request::Insert { key: 1, value: 1 }) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::NoSuchQueue),
+            other => panic!("expected NoSuchQueue, got {other:?}"),
+        }
+        assert_eq!(
+            request_reply(
+                &mut stream,
+                &Request::UseQueue {
+                    name: "only".to_string()
+                }
+            ),
+            Response::Using
+        );
+        assert_eq!(
+            request_reply(&mut stream, &Request::Insert { key: 1, value: 1 }),
+            Response::Inserted
+        );
+        drop(stream);
+        let stats = server.join();
+        assert_eq!(stats.totals.inserts, 1);
+        // The unbound refusal is counted in service totals but belongs to
+        // no queue row.
+        assert_eq!(stats.totals.refusals, 1);
+        assert_eq!(stats.queues[0].totals.refusals, 0);
     }
 
     /// Sessions opening and closing *while* Stats aggregations run: the
@@ -664,16 +1111,17 @@ mod tests {
                         for _ in 0..inserts_per_conn {
                             assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
                         }
-                        // Closing here races the aggregator below: the slot
-                        // must survive the session.
+                        // Closing here races the aggregator below: the
+                        // session's counters must survive into the queue's
+                        // closed roll-up.
                         drop(stream);
                     }
                 });
             }
             // The aggregator: hammer Stats from its own connection while the
             // churn threads open and close sessions. Totals must be
-            // monotonically non-decreasing (slots are never removed, merge
-            // saturates, counters only grow).
+            // monotonically non-decreasing (closing sessions merge into the
+            // roll-up under one lock, merge saturates, counters only grow).
             scope.spawn(move || {
                 let mut stream = TcpStream::connect(addr).unwrap();
                 let mut last_inserts = 0u64;

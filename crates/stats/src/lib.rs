@@ -23,6 +23,8 @@
 //!   measurement methodology of Section 5 of the paper.
 //! * [`timing`] — throughput measurement helpers (operations per second over a
 //!   wall-clock window).
+//! * [`tokens`] — a deterministic, explicit-time token bucket used by the
+//!   service layer for per-tenant rate admission.
 //!
 //! # Example
 //!
@@ -50,6 +52,7 @@ pub mod order;
 pub mod rng;
 pub mod summary;
 pub mod timing;
+pub mod tokens;
 
 pub use choice::ChoiceRule;
 pub use fenwick::FenwickTree;
@@ -59,3 +62,4 @@ pub use order::OrderStatisticsSet;
 pub use rng::{RandomSource, SplitMix64, Xoshiro256};
 pub use summary::{Percentiles, StreamingSummary};
 pub use timing::{OpsTimer, ThroughputReport};
+pub use tokens::TokenBucket;

@@ -69,6 +69,11 @@ pub use choice_sched as sched;
 /// server and blocking pipelined client ("choice-wire").
 pub use choice_wire as service;
 
+/// Multi-tenant named-queue registry: per-queue backend choice, quotas and
+/// admission control ("choice-registry"). The service layer fronts one of
+/// these; it is equally usable in process.
+pub use choice_registry as registry;
+
 /// Small helpers shared by the examples and downstream harnesses.
 pub mod util {
     /// Reads a `u64` knob from the environment (e.g. `QUICKSTART_ITEMS`,
@@ -93,6 +98,7 @@ pub mod prelude {
     pub use choice_process::{
         BiasSpec, ExponentialTopProcess, ProcessConfig, RankCostSummary, SequentialProcess,
     };
+    pub use choice_registry::{BackendSpec, QueueRegistry, QuotaSpec, DEFAULT_QUEUE};
     pub use choice_sched::{
         BackoffPolicy, LatenessTracker, Scheduler, SchedulerConfig, SchedulerReport, TaskCtx,
     };

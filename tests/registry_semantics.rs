@@ -1,0 +1,321 @@
+//! Integration tests for the choice-registry layer behind the service:
+//! exactly-once delivery and key conservation across concurrent clients
+//! spread over many named queues, on every backend the paper compares, and
+//! typed (never panicking) refusals when a queue is dropped mid-drain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use power_of_choice::prelude::*;
+use power_of_choice::service::{ClientError, ErrorCode, PqServer, Request, Response};
+
+const QUEUES: u64 = 8;
+const CLIENTS: usize = 4;
+const PER_CLIENT: u64 = 150;
+const PER_QUEUE: u64 = CLIENTS as u64 * PER_CLIENT;
+const TOTAL: u64 = QUEUES * PER_QUEUE;
+
+/// Keys carry their home queue in the high half, so any cross-queue leak is
+/// immediately attributable.
+fn key_for(queue: u64, n: u64) -> u64 {
+    (queue << 32) | n
+}
+
+fn queue_name(queue: u64) -> String {
+    format!("tenant/{queue}")
+}
+
+/// The backend specs the registry builds lazily, matching the four backends
+/// of `tests/service_semantics.rs`.
+fn backend_specs() -> Vec<(&'static str, BackendSpec)> {
+    vec![
+        ("multiqueue", BackendSpec::MultiQueue { lanes: 8, d: 2 }),
+        ("coarse-heap", BackendSpec::CoarseHeap),
+        (
+            "klsm",
+            BackendSpec::KLsm {
+                threads: CLIENTS as u32,
+                relaxation: 256,
+            },
+        ),
+        ("skiplist", BackendSpec::SkipList),
+    ]
+}
+
+/// Four concurrent clients insert disjoint key ranges into eight named
+/// queues and then drain them all through batched removals. Every key must
+/// come back exactly once, from the queue it was inserted into, on every
+/// backend.
+#[test]
+fn exactly_once_and_key_conservation_across_named_queues() {
+    for (name, spec) in backend_specs() {
+        let registry = Arc::new(QueueRegistry::default());
+        for q in 0..QUEUES {
+            registry
+                .create(&queue_name(q), spec, QuotaSpec::unlimited())
+                .expect("fresh registry accepts eight queues");
+        }
+        let server = PqServer::spawn_registry(
+            Arc::clone(&registry),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let inserted_barrier = Barrier::new(CLIENTS);
+        let collected: Vec<AtomicU64> = (0..QUEUES).map(|_| AtomicU64::new(0)).collect();
+
+        let popped: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..CLIENTS as u64)
+                .map(|c| {
+                    let inserted_barrier = &inserted_barrier;
+                    let collected = &collected;
+                    scope.spawn(move || {
+                        let mut client = PqClient::connect_with_window(addr, 32).expect("connect");
+                        // Insert this client's disjoint slice of every queue,
+                        // pipelined within each queue binding.
+                        for q in 0..QUEUES {
+                            client.use_queue(&queue_name(q)).expect("bind queue");
+                            for n in (c * PER_CLIENT)..((c + 1) * PER_CLIENT) {
+                                let key = key_for(q, n);
+                                if let Some((response, _)) = client
+                                    .submit(&Request::Insert {
+                                        key,
+                                        value: key ^ 0xC3C3,
+                                    })
+                                    .expect("pipelined insert")
+                                {
+                                    assert_eq!(response, Response::Inserted, "{name}");
+                                }
+                            }
+                            client
+                                .drain_all(|(response, _)| {
+                                    assert_eq!(response, Response::Inserted, "{name}")
+                                })
+                                .expect("insert acks");
+                        }
+                        inserted_barrier.wait();
+
+                        // Drain every queue cooperatively, starting from a
+                        // client-specific offset so the fleet spreads out.
+                        // Only the shared per-queue count terminates a queue
+                        // (relaxed emptiness is best-effort).
+                        let mut mine = Vec::new();
+                        for step in 0..QUEUES {
+                            let q = (c + step) % QUEUES;
+                            client.use_queue(&queue_name(q)).expect("rebind queue");
+                            while collected[q as usize].load(Ordering::SeqCst) < PER_QUEUE {
+                                let entries = client.delete_min_batch(32).expect("batched removal");
+                                if entries.is_empty() {
+                                    std::thread::yield_now();
+                                    continue;
+                                }
+                                collected[q as usize]
+                                    .fetch_add(entries.len() as u64, Ordering::SeqCst);
+                                for (key, value) in entries {
+                                    assert_eq!(
+                                        key >> 32,
+                                        q,
+                                        "{name}: key {key:#x} leaked across queues"
+                                    );
+                                    assert_eq!(value, key ^ 0xC3C3, "{name}: payload mangled");
+                                    mine.push(key);
+                                }
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+
+        let mut all: Vec<u64> = popped.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..QUEUES)
+            .flat_map(|q| (0..PER_QUEUE).map(move |n| key_for(q, n)))
+            .collect();
+        assert_eq!(all, expected, "{name}: every key exactly once");
+
+        // The aggregate and the per-queue breakdown both conserve the counts.
+        let stats = server.join();
+        assert_eq!(stats.totals.inserts, TOTAL, "{name}");
+        assert_eq!(stats.totals.removals, TOTAL, "{name}");
+        assert_eq!(stats.totals.refusals, 0, "{name}: nothing was refused");
+        assert_eq!(stats.queues.len(), QUEUES as usize, "{name}");
+        for row in &stats.queues {
+            assert_eq!(row.totals.inserts, PER_QUEUE, "{name}/{}", row.name);
+            assert_eq!(row.totals.removals, PER_QUEUE, "{name}/{}", row.name);
+            assert_eq!(row.approx_len, 0, "{name}/{}: nothing strands", row.name);
+        }
+    }
+}
+
+/// Dropping a queue midway through a drain surfaces as typed wire errors on
+/// the bound session — `QueueDropped` for operations, `NoSuchQueue` for a
+/// rebind — and conserves every key that was popped before the drop.
+#[test]
+fn drop_queue_mid_drain_returns_typed_errors_and_conserves_keys() {
+    const KEYS: u64 = 600;
+    const DRAINED: u64 = 300;
+
+    let registry = Arc::new(QueueRegistry::default());
+    registry
+        .create("victim", BackendSpec::CoarseHeap, QuotaSpec::unlimited())
+        .unwrap();
+    let server = PqServer::spawn_registry(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    let mut a = PqClient::connect(server.local_addr()).unwrap();
+    a.use_queue("victim").unwrap();
+    for key in 0..KEYS {
+        a.insert(key, key ^ 0x77).unwrap();
+    }
+    // Drain exactly half. The coarse heap is exact and this is the only
+    // session, so the keys come back in order.
+    for expected in 0..DRAINED {
+        assert_eq!(a.delete_min().unwrap(), Some((expected, expected ^ 0x77)));
+    }
+
+    // A second connection drops the queue out from under the first.
+    let mut b = PqClient::connect(server.local_addr()).unwrap();
+    b.drop_queue("victim").unwrap();
+
+    // Every further operation on the bound session is a typed refusal, the
+    // connection stays open, and a rebind names the real condition.
+    for _ in 0..3 {
+        match a.delete_min() {
+            Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QueueDropped),
+            other => panic!("expected QueueDropped, got {other:?}"),
+        }
+    }
+    match a.insert(9_999, 0) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QueueDropped),
+        other => panic!("expected QueueDropped, got {other:?}"),
+    }
+    match a.use_queue("victim") {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::NoSuchQueue),
+        other => panic!("expected NoSuchQueue, got {other:?}"),
+    }
+
+    // The name is free again: the session recovers by creating a successor.
+    a.create_queue("victim", BackendSpec::SkipList, QuotaSpec::unlimited())
+        .unwrap();
+    a.use_queue("victim").unwrap();
+    a.insert(1, 10).unwrap();
+    assert_eq!(a.delete_min().unwrap(), Some((1, 10)));
+
+    // The retired roll-up conserved the dropped queue's history: all KEYS
+    // inserts and exactly DRAINED removals survive in the aggregate even
+    // though the queue itself (and its remaining keys) are gone.
+    let stats = server.join();
+    assert_eq!(stats.totals.inserts, KEYS + 1);
+    assert_eq!(stats.totals.removals, DRAINED + 1);
+    assert_eq!(stats.totals.refusals, 4, "3 pops + 1 insert were refused");
+    assert_eq!(stats.queues.len(), 1, "only the successor queue has a row");
+}
+
+/// A racing drop — concurrent drainers hammering a queue while another
+/// connection drops it — never panics the server and never duplicates a
+/// key. Drainers see only clean results or typed refusals.
+#[test]
+fn concurrent_drop_under_drain_never_panics_or_duplicates() {
+    const KEYS: u64 = 2_000;
+    const DROP_AFTER: u64 = 200;
+    const DRAINERS: usize = 2;
+
+    let registry = Arc::new(QueueRegistry::default());
+    registry
+        .create(
+            "r",
+            BackendSpec::MultiQueue { lanes: 4, d: 2 },
+            QuotaSpec::unlimited(),
+        )
+        .unwrap();
+    let server = PqServer::spawn_registry(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut feeder = PqClient::connect(addr).unwrap();
+    feeder.use_queue("r").unwrap();
+    for key in 0..KEYS {
+        feeder.insert(key, key).unwrap();
+    }
+
+    let popped_count = AtomicU64::new(0);
+    let popped: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let dropper = {
+            let popped_count = &popped_count;
+            scope.spawn(move || {
+                while popped_count.load(Ordering::SeqCst) < DROP_AFTER {
+                    std::thread::yield_now();
+                }
+                let mut client = PqClient::connect(addr).unwrap();
+                client.drop_queue("r").unwrap();
+            })
+        };
+        let joins: Vec<_> = (0..DRAINERS)
+            .map(|_| {
+                let popped_count = &popped_count;
+                scope.spawn(move || {
+                    let mut client = PqClient::connect(addr).unwrap();
+                    client.use_queue("r").unwrap();
+                    let mut mine = Vec::new();
+                    loop {
+                        match client.delete_min_batch(16) {
+                            Ok(entries) => {
+                                // A transiently empty batch just yields:
+                                // relaxed emptiness is best-effort, and the
+                                // loop only ends on the typed refusal.
+                                if entries.is_empty() {
+                                    std::thread::yield_now();
+                                    continue;
+                                }
+                                popped_count.fetch_add(entries.len() as u64, Ordering::SeqCst);
+                                mine.extend(entries.into_iter().map(|(key, _)| key));
+                            }
+                            Err(ClientError::Remote { code, .. }) => {
+                                assert_eq!(code, ErrorCode::QueueDropped);
+                                break;
+                            }
+                            Err(other) => panic!("unexpected client error {other:?}"),
+                        }
+                    }
+                    // After the typed refusal the connection is still good.
+                    match client.use_queue("r") {
+                        Err(ClientError::Remote { code, .. }) => {
+                            assert_eq!(code, ErrorCode::NoSuchQueue)
+                        }
+                        other => panic!("expected NoSuchQueue, got {other:?}"),
+                    }
+                    mine
+                })
+            })
+            .collect();
+        dropper.join().unwrap();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let mut all: Vec<u64> = popped.into_iter().flatten().collect();
+    let before = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), before, "no key was delivered twice");
+    assert!(all.iter().all(|&k| k < KEYS), "no key was invented");
+
+    // The server survived the race and still answers: every removal it
+    // counted corresponds to a key some drainer actually received.
+    let mut check = PqClient::connect(addr).unwrap();
+    let stats = check.stats().unwrap();
+    assert!(stats.totals.removals as usize <= before);
+    drop(check);
+    let _ = server.join();
+}
