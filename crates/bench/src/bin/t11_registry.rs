@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use choice_bench::env_u64;
 use choice_bench::report::{emit_json_row, print_header, print_row, print_section, JsonValue};
+use choice_bench::trajectory::commit_hash;
 use choice_sched::LatenessTracker;
 use choice_wire::{
     BackendSpec, PqClient, PqServer, QueueRegistry, QuotaSpec, Request, Response, ServerConfig,
@@ -54,6 +55,26 @@ fn median(mut samples: Vec<f64>) -> f64 {
         samples[mid]
     } else {
         (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// Relative dispersion of the samples behind a reported median: half the
+/// span over the median — what `t12_compare`'s noise-aware gate widens its
+/// allowance by. A zero median with spread degrades to 1.0 (fully noisy).
+fn rel_dispersion(samples: &[f64]) -> f64 {
+    let m = median(samples.to_vec());
+    let (lo, hi) = samples
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
+            (lo.min(s), hi.max(s))
+        });
+    let half_span = (hi - lo) / 2.0;
+    if half_span == 0.0 {
+        0.0
+    } else if m.abs() < 1e-12 {
+        1.0
+    } else {
+        half_span / m.abs()
     }
 }
 
@@ -350,6 +371,9 @@ fn run_phase(
 /// Per-phase medians across samples.
 struct PhaseSummary {
     victim_kops: f64,
+    /// Dispersion of the victim-throughput samples behind the median —
+    /// carried into the JSON row for the trajectory gate.
+    victim_kops_dispersion: f64,
     victim_p99_us: f64,
     aggressor_ops: f64,
     aggressor_refusals: f64,
@@ -357,12 +381,12 @@ struct PhaseSummary {
 }
 
 fn summarise(samples: &[(VictimOutcome, AggressorOutcome)]) -> PhaseSummary {
-    let victim_kops = median(
-        samples
-            .iter()
-            .map(|(v, _)| v.ops as f64 / v.elapsed_s.max(1e-9) / 1e3)
-            .collect(),
-    );
+    let victim_kops_samples: Vec<f64> = samples
+        .iter()
+        .map(|(v, _)| v.ops as f64 / v.elapsed_s.max(1e-9) / 1e3)
+        .collect();
+    let victim_kops = median(victim_kops_samples.clone());
+    let victim_kops_dispersion = rel_dispersion(&victim_kops_samples);
     let victim_p99_us = median(
         samples
             .iter()
@@ -386,6 +410,7 @@ fn summarise(samples: &[(VictimOutcome, AggressorOutcome)]) -> PhaseSummary {
     );
     PhaseSummary {
         victim_kops,
+        victim_kops_dispersion,
         victim_p99_us,
         aggressor_ops,
         aggressor_refusals,
@@ -403,6 +428,9 @@ fn main() {
     let aggressors = env_u64("T11_AGGRESSORS", 3) as usize;
     let window = env_u64("T11_WINDOW", 64) as usize;
     let strict = std::env::var("T11_STRICT").as_deref() == Ok("1");
+    // Stamped into every JSON row so a BENCH_t11.json artifact is a
+    // per-commit trajectory point (`t12_compare` reads it back).
+    let commit = commit_hash();
 
     print_section(
         "T11",
@@ -426,7 +454,8 @@ fn main() {
             .collect();
         let ops = runs[0].0;
         total_operations += runs.iter().map(|(o, _)| o).sum::<u64>();
-        let kops = median(runs.iter().map(|(_, r)| r / 1e3).collect());
+        let kops_samples: Vec<f64> = runs.iter().map(|(_, r)| r / 1e3).collect();
+        let kops = median(kops_samples.clone());
         print_row(&[queues.to_string(), ops.to_string(), format!("{kops:.1}")]);
         emit_json_row(
             "t11",
@@ -437,6 +466,11 @@ fn main() {
                 ("samples", JsonValue::from(samples)),
                 ("ops", JsonValue::from(ops)),
                 ("kops_per_s", JsonValue::from(kops)),
+                (
+                    "rel_dispersion",
+                    JsonValue::from(rel_dispersion(&kops_samples)),
+                ),
+                ("commit", JsonValue::from(commit.as_str())),
             ],
         );
     }
@@ -497,6 +531,11 @@ fn main() {
                     "aggressor_refusal_share",
                     JsonValue::from(summary.refusal_share),
                 ),
+                (
+                    "rel_dispersion",
+                    JsonValue::from(summary.victim_kops_dispersion),
+                ),
+                ("commit", JsonValue::from(commit.as_str())),
             ],
         );
         summaries.push(summary);

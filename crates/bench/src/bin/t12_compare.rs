@@ -1,0 +1,188 @@
+//! T12 — the bench-trajectory regression gate.
+//!
+//! Compares two sets of `BENCH_*.json` artifacts (the stderr row streams
+//! the other bench binaries emit under `BENCH_JSON=1`) and **fails** —
+//! non-zero exit — when a throughput metric regressed beyond the
+//! noise-aware allowance. Quality metrics (p99s, ranks) are reported with
+//! a verdict but never gate; see `choice_bench::trajectory` for the
+//! classification and the comparator.
+//!
+//! Environment:
+//!
+//! * `T12_BASELINE` — comma-separated artifact paths for the baseline side
+//!   (several paths = several reps, aggregated to median + dispersion);
+//! * `T12_CURRENT` — same, for the side under test;
+//! * `T12_THRESHOLD` — base relative tolerance (default `0.10`); each
+//!   pair's allowance is threshold + both sides' measured dispersion;
+//! * `T12_SCALE` — multiply the current side's throughput medians by this
+//!   factor before comparing (e.g. `0.8` injects a synthetic 20% slowdown;
+//!   CI uses it to prove the gate actually fires);
+//! * `T12_WRITE` — write the current side's canonical per-commit artifact
+//!   (median, dispersion, reps, commit per point) to this path;
+//! * `BENCH_COMMIT` — commit stamp override (else `git rev-parse`).
+//!
+//! Typical CI usage — run a bench twice at the same commit, gate the pair:
+//!
+//! ```text
+//! BENCH_JSON=1 cargo run --release -p choice-bench --bin t9_service 2> a.json
+//! BENCH_JSON=1 cargo run --release -p choice-bench --bin t9_service 2> b.json
+//! T12_BASELINE=a.json T12_CURRENT=b.json cargo run -p choice-bench --bin t12_compare
+//! ```
+
+use choice_bench::report::{print_header, print_row, print_section};
+use choice_bench::trajectory::{collect, commit_hash, compare, render, BenchPoint, Verdict};
+
+/// Reads a comma-separated path list env var into file contents.
+fn read_side(var: &str) -> Vec<String> {
+    let spec = std::env::var(var).unwrap_or_default();
+    let paths: Vec<&str> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    if paths.is_empty() {
+        eprintln!("t12_compare: {var} is unset or empty — nothing to compare");
+        std::process::exit(2);
+    }
+    paths
+        .iter()
+        .map(|p| match std::fs::read_to_string(p) {
+            Ok(content) => content,
+            Err(e) => {
+                eprintln!("t12_compare: cannot read {p}: {e}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn side_points(var: &str, commit: &str) -> Vec<BenchPoint> {
+    match collect(&read_side(var), commit) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("t12_compare: {var}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let threshold = env_f64("T12_THRESHOLD", 0.10);
+    let scale = env_f64("T12_SCALE", 1.0);
+    let commit = commit_hash();
+
+    let baseline = side_points("T12_BASELINE", "baseline");
+    let mut current = side_points("T12_CURRENT", &commit);
+    if scale != 1.0 {
+        use choice_bench::trajectory::MetricKind;
+        for p in &mut current {
+            if p.kind == MetricKind::Throughput {
+                p.median *= scale;
+            }
+        }
+        println!("(synthetic T12_SCALE={scale} applied to current throughput medians)");
+    }
+
+    if let Ok(path) = std::env::var("T12_WRITE") {
+        if !path.trim().is_empty() {
+            if let Err(e) = std::fs::write(&path, render(&current)) {
+                eprintln!("t12_compare: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!(
+                "canonical artifact ({} points, commit {commit}) -> {path}",
+                current.len()
+            );
+        }
+    }
+
+    print_section(
+        "T12",
+        "bench trajectory: current vs baseline, noise-aware gate",
+    );
+    println!(
+        "threshold {threshold:.2} (+ per-pair dispersion); {} baseline / {} current points; \
+         commit {commit}",
+        baseline.len(),
+        current.len()
+    );
+    println!();
+    print_header(&[
+        "verdict",
+        "Δ%",
+        "allow%",
+        "baseline",
+        "current",
+        "metric @ bench",
+    ]);
+
+    let comparisons = compare(&baseline, &current, threshold);
+    let mut matched = 0usize;
+    let mut missing = 0usize;
+    let mut gated_regressions = Vec::new();
+    for c in &comparisons {
+        let verdict = match c.verdict {
+            Verdict::Pass => "ok",
+            Verdict::Improvement => "improved",
+            Verdict::Regression if c.gated => "REGRESSED",
+            Verdict::Regression => "worse (ungated)",
+            Verdict::Missing => "missing",
+        };
+        if c.verdict == Verdict::Missing {
+            missing += 1;
+        } else {
+            matched += 1;
+        }
+        print_row(&[
+            verdict.to_string(),
+            format!("{:+.1}", c.change * 100.0),
+            format!("{:.1}", c.allowance * 100.0),
+            format!("{:.2}", c.baseline),
+            format!("{:.2}", c.current),
+            format!("{} @ {}", c.metric, c.id),
+        ]);
+        if c.gated && c.verdict == Verdict::Regression {
+            gated_regressions.push(c);
+        }
+    }
+
+    println!();
+    if missing > 0 {
+        println!(
+            "warning: {missing} baseline point(s) absent from the current run \
+             (renamed bench or incomplete artifact?)"
+        );
+    }
+    if matched == 0 {
+        // An empty comparison must not read as a green gate.
+        eprintln!("t12_compare: no baseline point matched any current point — failing");
+        std::process::exit(2);
+    }
+    if gated_regressions.is_empty() {
+        println!("gate: PASS — {matched} compared point(s), no throughput regression");
+    } else {
+        println!(
+            "gate: FAIL — {} throughput regression(s) beyond the noise allowance:",
+            gated_regressions.len()
+        );
+        for c in &gated_regressions {
+            println!(
+                "  {} @ {}: {:.2} -> {:.2} ({:+.1}%, allowance ±{:.1}%)",
+                c.metric,
+                c.id,
+                c.baseline,
+                c.current,
+                c.change * 100.0,
+                c.allowance * 100.0
+            );
+        }
+        std::process::exit(1);
+    }
+}

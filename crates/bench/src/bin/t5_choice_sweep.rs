@@ -19,7 +19,9 @@
 //! * d = 1/batch = 1 is the divergent single-choice baseline: its mean rank
 //!   is far above every d ≥ 2 row and keeps growing with the run length.
 
-use choice_bench::report::{print_section, print_sweep_header, print_sweep_row};
+use choice_bench::report::{
+    emit_json_row, print_section, print_sweep_header, print_sweep_row, JsonValue,
+};
 use choice_bench::workloads::d_sweep_workload;
 
 fn main() {
@@ -54,6 +56,22 @@ fn main() {
                     r.throughput.ops_per_second,
                     r.rank.mean_rank,
                     r.rank.max_rank,
+                );
+                emit_json_row(
+                    "t5",
+                    &[
+                        ("d", JsonValue::from(d as u64)),
+                        ("batch", JsonValue::from(batch as u64)),
+                        ("threads", JsonValue::from(threads as u64)),
+                        ("lanes", JsonValue::from(lanes as u64)),
+                        ("prefill", JsonValue::from(prefill)),
+                        (
+                            "mops_per_s",
+                            JsonValue::from(r.throughput.ops_per_second / 1e6),
+                        ),
+                        ("mean_rank", JsonValue::from(r.rank.mean_rank)),
+                        ("max_rank", JsonValue::from(r.rank.max_rank)),
+                    ],
                 );
             }
         }

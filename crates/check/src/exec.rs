@@ -1,0 +1,349 @@
+//! The virtual-thread execution engine.
+//!
+//! One *execution* is a single run of a model closure under one concrete
+//! schedule. Model code runs on real OS threads, but at most one of them is
+//! ever unparked: every shared-memory effect (an atomic access, a mutex
+//! acquisition, an explicit [`crate::spin`]) first parks the calling thread
+//! and hands control back to the controller, which picks the next thread to
+//! run. Scheduling is therefore the *only* source of nondeterminism — a
+//! recorded sequence of choices replays an execution exactly.
+//!
+//! The controller token is [`State::active`]: a thread runs only while
+//! `active == Some(its id)`, and parking clears the token. A single
+//! `Condvar` broadcast wakes whichever thread the token now names.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+/// What a parked virtual thread is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wait {
+    /// Runnable whenever the scheduler picks it (an ordinary yield point).
+    Ready,
+    /// Runnable once the virtual mutex with this id is free.
+    Lock(usize),
+    /// Runnable once the virtual thread with this id has finished.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Parked at a yield point (or not yet started).
+    Parked(Wait),
+    /// Currently holds the run token.
+    Running,
+    Finished,
+}
+
+/// Shared controller state, guarded by [`Execution::state`].
+pub(crate) struct State {
+    pub status: Vec<Status>,
+    /// The run token: `Some(tid)` while `tid` owns the right to run.
+    pub active: Option<usize>,
+    /// Virtual mutex table: which thread (if any) holds each registered lock.
+    pub lock_holders: Vec<Option<usize>>,
+    pub steps: u64,
+    /// Chosen thread id per scheduling decision — the replayable schedule.
+    pub schedule: Vec<usize>,
+    /// Recent shared-memory events (lock acquisition/release order).
+    pub trace: Vec<String>,
+    pub failure: Option<String>,
+    /// Once set, every parked thread unwinds via an [`Abort`] panic.
+    pub aborting: bool,
+}
+
+pub(crate) struct Execution {
+    pub state: StdMutex<State>,
+    pub cv: Condvar,
+    pub max_steps: u64,
+    pub max_threads: usize,
+    /// Distinguishes lock ids registered by different executions (a
+    /// [`crate::sync::Mutex`] may outlive the execution that registered it).
+    pub generation: u64,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Panic payload used to unwind virtual threads when the execution aborts.
+/// Not a failure by itself — the wrapper swallows it.
+pub(crate) struct Abort;
+
+const TRACE_CAP: usize = 256;
+
+static GENERATION: StdAtomicU64 = StdAtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution and virtual-thread id of the calling OS thread, if it is a
+/// virtual thread of a live execution.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Installs (once, process-wide) a panic hook that silences panics raised on
+/// virtual threads: the engine reports them itself as model failures, and the
+/// deliberate [`Abort`] unwinds would otherwise spam stderr. Panics on
+/// ordinary threads still reach the previously-installed hook.
+fn install_panic_filter() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if current().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+impl Execution {
+    pub(crate) fn new(max_steps: u64, max_threads: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: StdMutex::new(State {
+                status: Vec::new(),
+                active: None,
+                lock_holders: Vec::new(),
+                steps: 0,
+                schedule: Vec::new(),
+                trace: Vec::new(),
+                failure: None,
+                aborting: false,
+            }),
+            cv: Condvar::new(),
+            max_steps,
+            max_threads,
+            generation: GENERATION.fetch_add(1, StdOrdering::Relaxed),
+            os_handles: StdMutex::new(Vec::new()),
+        })
+    }
+
+    /// Locks the controller state, recovering from poisoning (a virtual
+    /// thread may legitimately panic while briefly holding this lock).
+    pub(crate) fn st(&self) -> StdMutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a new virtual thread and starts its (parked) OS thread.
+    /// Returns the new thread's id.
+    pub(crate) fn spawn_thread(self: &Arc<Self>, f: Box<dyn FnOnce() + Send>) -> usize {
+        let tid = {
+            let mut s = self.st();
+            assert!(
+                s.status.len() < self.max_threads,
+                "model spawned more than {} virtual threads",
+                self.max_threads
+            );
+            s.status.push(Status::Parked(Wait::Ready));
+            s.status.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("check-t{tid}"))
+            .spawn(move || thread_main(exec, tid, f))
+            .expect("spawn virtual thread");
+        self.os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        tid
+    }
+
+    /// Parks the calling virtual thread as `wait` and blocks until the
+    /// scheduler hands it the token again. Every park is one schedule step.
+    pub(crate) fn park(&self, tid: usize, wait: Wait) {
+        {
+            let mut s = self.st();
+            s.steps += 1;
+            if s.steps > self.max_steps && !s.aborting {
+                s.failure = Some(format!(
+                    "step bound of {} exceeded (livelock or unbounded loop in model)",
+                    self.max_steps
+                ));
+                s.aborting = true;
+            }
+            s.status[tid] = Status::Parked(wait);
+            s.active = None;
+            self.cv.notify_all();
+        }
+        self.wait_for_token(tid);
+    }
+
+    /// Blocks until this thread owns the run token. Unwinds via [`Abort`]
+    /// if the execution is aborting.
+    pub(crate) fn wait_for_token(&self, tid: usize) {
+        let mut s = self.st();
+        loop {
+            if s.aborting {
+                drop(s);
+                panic::panic_any(Abort);
+            }
+            if s.active == Some(tid) {
+                s.status[tid] = Status::Running;
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Records a shared-memory event (bounded; old executions stay small).
+    pub(crate) fn push_trace(s: &mut State, event: String) {
+        if s.trace.len() < TRACE_CAP {
+            s.trace.push(event);
+        }
+    }
+
+    /// Registers a virtual mutex, returning its lock id.
+    pub(crate) fn alloc_lock(&self) -> usize {
+        let mut s = self.st();
+        s.lock_holders.push(None);
+        s.lock_holders.len() - 1
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Body of every virtual thread's OS thread: wait to be scheduled, run the
+/// closure, report how it ended.
+fn thread_main(exec: Arc<Execution>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    install_panic_filter();
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        exec.wait_for_token(tid);
+        f();
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    let mut s = exec.st();
+    s.status[tid] = Status::Finished;
+    if s.active == Some(tid) {
+        s.active = None;
+    }
+    if let Err(payload) = result {
+        if !payload.is::<Abort>() {
+            if s.failure.is_none() {
+                s.failure = Some(format!(
+                    "virtual thread t{tid} panicked: {}",
+                    panic_message(payload.as_ref())
+                ));
+            }
+            s.aborting = true;
+        }
+    }
+    exec.cv.notify_all();
+}
+
+/// Everything the strategies need from one finished execution.
+pub(crate) struct RunOutcome {
+    pub failure: Option<String>,
+    /// Chosen thread id per decision — the replayable schedule.
+    pub schedule: Vec<usize>,
+    pub trace: Vec<String>,
+}
+
+/// A scheduling decision: sees the sorted runnable set and the previously
+/// chosen thread; returning `None` aborts the run as a schedule divergence
+/// (used by replay when the recorded schedule no longer fits the model).
+pub(crate) type Chooser<'a> = &'a mut dyn FnMut(&[usize], Option<usize>) -> Option<usize>;
+
+/// Runs `f` once to completion under `chooser`.
+pub(crate) fn run_once(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    max_steps: u64,
+    max_threads: usize,
+    chooser: Chooser<'_>,
+) -> RunOutcome {
+    assert!(
+        current().is_none(),
+        "check::explore/model/replay cannot be nested inside a model"
+    );
+    let exec = Execution::new(max_steps, max_threads);
+    let body = Arc::clone(f);
+    exec.spawn_thread(Box::new(move || body()));
+
+    loop {
+        let mut s = exec.st();
+        // Wait for the previous runner to park, finish, or abort.
+        while s.active.is_some() && !s.aborting {
+            s = exec.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        if s.aborting {
+            break;
+        }
+        let runnable: Vec<usize> = (0..s.status.len())
+            .filter(|&t| match s.status[t] {
+                Status::Parked(Wait::Ready) => true,
+                Status::Parked(Wait::Lock(l)) => s.lock_holders[l].is_none(),
+                Status::Parked(Wait::Join(j)) => s.status[j] == Status::Finished,
+                Status::Running | Status::Finished => false,
+            })
+            .collect();
+        if runnable.is_empty() {
+            if s.status.iter().all(|st| *st == Status::Finished) {
+                break; // clean completion
+            }
+            let blocked: Vec<String> = (0..s.status.len())
+                .filter_map(|t| match s.status[t] {
+                    Status::Parked(Wait::Lock(l)) => Some(format!(
+                        "t{t} waits on m{l} held by t{:?}",
+                        s.lock_holders[l]
+                    )),
+                    Status::Parked(Wait::Join(j)) => Some(format!("t{t} joins t{j}")),
+                    _ => None,
+                })
+                .collect();
+            s.failure = Some(format!(
+                "deadlock: no runnable thread ({})",
+                blocked.join("; ")
+            ));
+            s.aborting = true;
+            break;
+        }
+        let chosen = match chooser(&runnable, s.schedule.last().copied()) {
+            Some(t) => t,
+            None => {
+                s.failure = Some(
+                    "schedule diverged: the recorded schedule no longer fits this model"
+                        .to_string(),
+                );
+                s.aborting = true;
+                break;
+            }
+        };
+        debug_assert!(
+            runnable.contains(&chosen),
+            "chooser picked a non-runnable thread"
+        );
+        s.schedule.push(chosen);
+        s.active = Some(chosen);
+        exec.cv.notify_all();
+    }
+
+    // Release every still-parked thread (they unwind via Abort) and join
+    // all OS threads so nothing outlives the execution.
+    exec.cv.notify_all();
+    let handles = std::mem::take(
+        &mut *exec
+            .os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
+    for h in handles {
+        let _ = h.join();
+    }
+    let s = exec.st();
+    RunOutcome {
+        failure: s.failure.clone(),
+        schedule: s.schedule.clone(),
+        trace: s.trace.clone(),
+    }
+}

@@ -53,6 +53,7 @@ pub mod config;
 pub mod flat;
 pub mod handle;
 pub mod queue;
+pub(crate) mod sync;
 pub mod traits;
 
 pub use config::{ChoiceRule, ElasticPolicy, MultiQueueConfig};

@@ -46,10 +46,10 @@
 //!
 //! [`ElasticPolicy`]: crate::config::ElasticPolicy
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 
+use crate::sync::Mutex;
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 
 use rank_stats::inversion::TimestampedRemoval;
 use rank_stats::rng::{RandomSource, SplitMix64, Xoshiro256};
@@ -336,7 +336,7 @@ impl<V> MultiQueue<V> {
     }
 
     /// The resize body; the caller holds `resize_mutex`.
-    fn resize_locked(&self, _guard: &parking_lot::MutexGuard<'_, ()>, target: usize) -> bool {
+    fn resize_locked(&self, _guard: &crate::sync::MutexGuard<'_, ()>, target: usize) -> bool {
         let target = target.clamp(self.config.min_active_lanes(), self.lanes.len());
         let table = self.lane_table.load(Ordering::Acquire);
         let active = (table & ACTIVE_MASK) as usize;

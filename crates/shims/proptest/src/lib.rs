@@ -6,12 +6,16 @@
 //! `prop_assert_ne!`, [`ProptestConfig::with_cases`], range strategies over
 //! the integer and float primitives, [`collection::vec`] and [`option::of`].
 //!
-//! Differences from real proptest: no shrinking (the failing case's number is
-//! reported; the run is deterministic per test name, so failures reproduce),
-//! and no persistence files — regression corpora are checked in explicitly
-//! (see `crates/service/proptest-regressions/`) and replayed by dedicated
-//! tests. Each test derives its RNG seed from its module path, so adding
-//! tests does not perturb other tests' cases.
+//! Differences from real proptest: no shrinking, and no persistence files —
+//! regression corpora are checked in explicitly (see
+//! `crates/service/proptest-regressions/`) and replayed by dedicated tests.
+//!
+//! **Every case has its own seed**, derived from the test's module path and
+//! the case index. A failing case — `prop_assert*` or a plain panic inside
+//! the body — reports that seed in a `PROPTEST_SEED=0x…` form straight from
+//! the CI log, and running the test with that environment variable set
+//! replays exactly the failing case (one case, same inputs), no matter how
+//! the surrounding suite changed.
 //!
 //! Like real proptest, the `PROPTEST_CASES` environment variable overrides
 //! the per-block case count (the CI stress job runs the suites with
@@ -93,18 +97,54 @@ pub struct TestRng {
     state: u64,
 }
 
+/// FNV-1a over a test's full name — the stable per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The seed of one proptest case: test name × case index, scrambled so
+/// neighbouring cases draw unrelated streams. This is the value a failure
+/// reports and [`seed_override`] replays.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    name_seed(name) ^ (u64::from(case).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Parses a `PROPTEST_SEED` value: hex with an optional `0x` prefix (the
+/// form failures print) or plain decimal.
+fn parse_seed(value: Option<&str>) -> Option<u64> {
+    let v = value?.trim();
+    if v.is_empty() {
+        return None;
+    }
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
+/// The seed pinned by the `PROPTEST_SEED` environment variable, if any.
+/// When set, every `proptest!` test in the process runs exactly one case
+/// with this seed — the replay mode a failure's message points at.
+pub fn seed_override() -> Option<u64> {
+    parse_seed(std::env::var("PROPTEST_SEED").ok().as_deref())
+}
+
 impl TestRng {
     /// Seeds the generator from a test's name so each test draws an
     /// independent, stable stream.
     pub fn from_name(name: &str) -> Self {
-        // FNV-1a over the name, then scrambled by one SplitMix64 step.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in name.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        let mut rng = Self { state: h };
-        rng.next_u64();
+        Self::from_seed(name_seed(name))
+    }
+
+    /// Seeds the generator from an explicit case seed (see [`case_seed`]).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = Self { state: seed };
+        rng.next_u64(); // one scramble step so similar seeds diverge
         rng
     }
 
@@ -298,23 +338,47 @@ macro_rules! proptest {
         #[test]
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let cases = config.effective_cases();
-            let mut rng =
-                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            // PROPTEST_SEED pins a single case: the replay mode every
+            // failure's message points at.
+            let forced = $crate::seed_override();
+            let cases = if forced.is_some() { 1 } else { config.effective_cases() };
             for case in 0..cases {
-                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
-                    $(let $argpat = $crate::Strategy::sample(&($strat), &mut rng);)+
-                    $body
-                    ::core::result::Result::Ok(())
-                })();
-                if let ::core::result::Result::Err(error) = outcome {
-                    panic!(
-                        "proptest case {}/{} for `{}` failed: {}",
-                        case + 1,
-                        cases,
-                        stringify!($name),
-                        error
-                    );
+                let seed = forced.unwrap_or_else(|| $crate::case_seed(test_name, case));
+                let mut rng = $crate::TestRng::from_seed(seed);
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $(let $argpat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                    ::core::result::Result::Ok(::core::result::Result::Err(error)) => {
+                        panic!(
+                            "proptest case {}/{} for `{}` failed \
+                             (replay with PROPTEST_SEED=0x{:016x}): {}",
+                            case + 1,
+                            cases,
+                            stringify!($name),
+                            seed,
+                            error
+                        );
+                    }
+                    ::core::result::Result::Err(payload) => {
+                        // A plain panic inside the body: make the seed
+                        // visible in the CI log before re-raising it.
+                        eprintln!(
+                            "proptest case {}/{} for `{}` panicked \
+                             (replay with PROPTEST_SEED=0x{:016x})",
+                            case + 1,
+                            cases,
+                            stringify!($name),
+                            seed
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
                 }
             }
         }
@@ -353,6 +417,39 @@ mod tests {
         let mut c = crate::TestRng::from_name("y");
         assert_eq!(a.next_u64(), b.next_u64());
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn every_case_has_a_stable_distinct_seed() {
+        let seeds: Vec<u64> = (0..64).map(|i| crate::case_seed("mod::test", i)).collect();
+        // Stable: recomputing gives the same seed (what makes the printed
+        // PROPTEST_SEED replay the failing inputs)...
+        assert_eq!(seeds[17], crate::case_seed("mod::test", 17));
+        // ...and distinct across cases and test names.
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        assert_ne!(crate::case_seed("other::test", 0), seeds[0]);
+        // A replayed seed regenerates the exact sample stream.
+        let mut live = crate::TestRng::from_seed(seeds[3]);
+        let mut replay = crate::TestRng::from_seed(seeds[3]);
+        for _ in 0..8 {
+            assert_eq!(live.next_u64(), replay.next_u64());
+        }
+    }
+
+    #[test]
+    fn seed_override_parses_the_printed_form() {
+        // Through the pure core — no env mutation (setenv racing getenv
+        // across parallel test threads is undefined behaviour on glibc).
+        assert_eq!(crate::parse_seed(Some("0x00000000000000ff")), Some(255));
+        assert_eq!(crate::parse_seed(Some("0XFF")), Some(255));
+        assert_eq!(crate::parse_seed(Some("123")), Some(123));
+        assert_eq!(crate::parse_seed(Some(" 0x10 ")), Some(16));
+        assert_eq!(crate::parse_seed(Some("nope")), None);
+        assert_eq!(crate::parse_seed(Some("")), None);
+        assert_eq!(crate::parse_seed(None), None);
     }
 
     #[test]

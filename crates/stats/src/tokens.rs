@@ -149,6 +149,63 @@ mod tests {
     }
 
     #[test]
+    fn urgent_reserve_exactly_exhausted_boundary() {
+        let mut b = TokenBucket::new(1.0, 4.0);
+        // Background ops reserve 2. Spend down to exactly the reserve…
+        assert!(b.try_take(0, 1.0, 2.0)); // 4 → 3
+        assert!(b.try_take(0, 1.0, 2.0)); // 3 → 2: tokens == cost + reserve admits
+                                          // …the boundary: 2 tokens left, cost 1 + reserve 2 > 2 refuses, and
+                                          // a cost that would land exactly *on* the reserve is still admitted.
+        assert!(!b.try_take(0, 1.0, 2.0));
+        assert!(
+            b.try_take(0, 2.0, 0.0),
+            "urgent can spend the whole reserve"
+        ); // 2 → 0
+           // Reserve exactly exhausted: even a zero-reserve (urgent) take of the
+           // smallest cost is refused, but a zero-cost probe still "succeeds".
+        assert!(!b.try_take(0, 1.0, 0.0));
+        assert!(b.try_take(0, 0.0, 0.0), "zero cost against zero tokens");
+        assert!(b.available(0) < 1e-9);
+    }
+
+    #[test]
+    fn refill_across_a_zero_elapsed_tick_credits_nothing() {
+        let mut b = TokenBucket::new(1000.0, 2.0);
+        assert!(b.try_take(5 * SEC, 2.0, 0.0), "drain at t");
+        // Same-timestamp refills (now == last) are zero-elapsed ticks: no
+        // credit, no matter how many times the tick repeats.
+        for _ in 0..3 {
+            b.refill(5 * SEC);
+            assert!(b.available(5 * SEC) < 1e-9);
+        }
+        assert!(!b.try_take(5 * SEC, 1.0, 0.0), "still empty at the same t");
+        // The first *positive* elapsed tick credits exactly that sliver —
+        // 1ms at 1000/s is one token, not one per zero-tick retried above.
+        assert!(b.try_take(5 * SEC + 1_000_000, 1.0, 0.0));
+        assert!(!b.try_take(5 * SEC + 1_000_000, 1.0, 0.0));
+    }
+
+    #[test]
+    fn monotonic_time_regression_never_debits_or_credits() {
+        let mut b = TokenBucket::new(1.0, 4.0);
+        assert!(b.try_take(10 * SEC, 1.0, 0.0)); // 4 → 3 at t=10s
+        let balance = b.available(10 * SEC);
+        // A sequence of strictly-regressing timestamps: every observation
+        // at the original time must see the balance unchanged, and the
+        // regressed clock must not move `last_ns` backwards (which would
+        // double-credit the same elapsed span on recovery).
+        for t in [9 * SEC, 5 * SEC, 0] {
+            b.refill(t);
+            assert_eq!(b.available(10 * SEC), balance);
+        }
+        // Recovery: advancing 0.5s past the *high-water* mark credits half
+        // a token (rate 1/s) — a backdated `last_ns` would instead credit
+        // the whole regressed span and slam into the burst ceiling.
+        b.refill(10 * SEC + SEC / 2);
+        assert!((b.available(10 * SEC + SEC / 2) - (balance + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
     fn clock_going_backwards_is_benign() {
         let mut b = TokenBucket::new(1.0, 2.0);
         assert!(b.try_take(10 * SEC, 1.0, 0.0));

@@ -1,0 +1,324 @@
+//! Model-checks the epoch-stamped lane-table resize protocol (DESIGN.md §7).
+//!
+//! The model mirrors `choice_pq::queue`'s seam exactly: a packed
+//! `(epoch << 32) | active` lane table read with one atomic load, inserts
+//! that re-validate `lane < active` *after* taking the lane lock, and a
+//! shrink that publishes the bumped table **before** draining retired lanes
+//! (one lane lock at a time, refugees pushed into the surviving prefix).
+//! Two properties are checked under every interleaving:
+//!
+//! * **no torn read** — a reader never observes an `(epoch, active)` pair
+//!   that no resize ever published (the broken variant splits the packed
+//!   word into two atomics);
+//! * **no lost key** — after concurrent insert + shrink/grow, every key
+//!   sits in the active prefix, where d-choice sampling can see it (broken
+//!   variants: insert without the under-lock re-validation, and shrink that
+//!   drains before publishing).
+//!
+//! Each broken variant's failing schedule is replayed both from the live
+//! exploration and from a pinned schedule string, so a regression in the
+//! explorer or the protocol reproduces from this file alone.
+
+use std::sync::Arc;
+
+use check::sync::{AtomicU64, Mutex, Ordering};
+use choice_check as check;
+
+const ACTIVE_MASK: u64 = 0xFFFF_FFFF;
+
+/// Which protocol steps the model performs faithfully.
+#[derive(Clone, Copy)]
+struct Variant {
+    /// Re-check `lane < active` under the lane lock (the real protocol).
+    revalidate: bool,
+    /// Publish the bumped table before draining retired lanes (the real
+    /// protocol); `false` is the drain-then-publish bug.
+    publish_before_drain: bool,
+}
+
+const FAITHFUL: Variant = Variant {
+    revalidate: true,
+    publish_before_drain: true,
+};
+
+/// The lane-table seam of `choice_pq::queue::MultiQueue`, reduced to what
+/// the resize protocol touches: the packed table word and per-lane locks.
+struct Table {
+    /// Packed `(epoch << 32) | active`.
+    table: AtomicU64,
+    lanes: Vec<Mutex<Vec<u64>>>,
+}
+
+impl Table {
+    fn new(active: usize, max: usize) -> Self {
+        assert!(active <= max);
+        Self {
+            table: AtomicU64::new(active as u64),
+            lanes: (0..max).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn snapshot(&self) -> (u64, u64) {
+        let t = self.table.load(Ordering::Acquire);
+        (t >> 32, t & ACTIVE_MASK)
+    }
+
+    fn active(&self) -> usize {
+        (self.table.load(Ordering::Acquire) & ACTIVE_MASK) as usize
+    }
+
+    /// Publishes `(epoch + 1, target)` in one atomic store.
+    fn bump(&self, target: usize) {
+        let t = self.table.load(Ordering::Acquire);
+        self.table
+            .store((((t >> 32) + 1) << 32) | target as u64, Ordering::Release);
+    }
+
+    /// The insert path: aim at `lane` if it looks active, re-validate under
+    /// the lane lock (per `variant`), fall back to the floor lane 0 — which
+    /// is never retired — when validation fails.
+    fn insert(&self, key: u64, lane: usize, variant: Variant) {
+        let mut q = if lane < self.active() { lane } else { 0 };
+        loop {
+            let mut guard = self.lanes[q].lock();
+            if !variant.revalidate || q < self.active() {
+                guard.push(key);
+                return;
+            }
+            drop(guard);
+            q = 0;
+        }
+    }
+
+    /// Shrinks to `target` lanes: publish the bumped table, then drain each
+    /// retired lane under its lock, re-inserting refugees into the
+    /// surviving prefix (per `variant`, possibly in the broken order).
+    fn shrink(&self, target: usize, variant: Variant) {
+        let old_active = self.active();
+        assert!(target < old_active);
+        if variant.publish_before_drain {
+            self.bump(target);
+        }
+        for q in target..old_active {
+            let drained: Vec<u64> = std::mem::take(&mut *self.lanes[q].lock());
+            for (i, key) in drained.into_iter().enumerate() {
+                self.lanes[i % target].lock().push(key);
+            }
+        }
+        if !variant.publish_before_drain {
+            self.bump(target);
+        }
+    }
+
+    /// Grows to `target` lanes: allocated lanes only need the table bump.
+    fn grow(&self, target: usize) {
+        assert!(target > self.active());
+        self.bump(target);
+    }
+
+    /// Every key currently in the *active* prefix — all that d-choice
+    /// sampling (and therefore deleteMin) can ever observe.
+    fn active_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = (0..self.active())
+            .flat_map(|q| self.lanes[q].lock().clone())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: the packed table is never torn.
+// ---------------------------------------------------------------------------
+
+/// Writer resizes 4 → 2 → 4; a reader snapshots twice. Every observed
+/// `(epoch, active)` pair must be one a resize actually published, and the
+/// epoch must be monotone across the two reads.
+fn packed_reader_model() {
+    let t = Arc::new(Table::new(4, 4));
+    let tw = Arc::clone(&t);
+    let writer = check::spawn(move || {
+        tw.shrink(2, FAITHFUL);
+        tw.grow(4);
+    });
+    let tr = Arc::clone(&t);
+    let reader = check::spawn(move || {
+        let a = tr.snapshot();
+        let b = tr.snapshot();
+        for pair in [a, b] {
+            assert!(
+                [(0, 4), (1, 2), (2, 4)].contains(&pair),
+                "torn table read: observed (epoch={}, active={})",
+                pair.0,
+                pair.1
+            );
+        }
+        assert!(b.0 >= a.0, "epoch went backwards: {a:?} then {b:?}");
+    });
+    writer.join();
+    reader.join();
+}
+
+#[test]
+fn packed_table_snapshot_is_never_torn() {
+    let report = check::explore(check::Config::dfs(100_000), packed_reader_model)
+        .expect("a single packed word cannot tear");
+    assert!(report.exhausted, "model small enough to exhaust");
+}
+
+/// The broken variant: `(epoch, active)` as two separate atomics, stored in
+/// sequence. Some interleaving observes a pair no resize published.
+fn split_reader_model() {
+    let epoch = Arc::new(AtomicU64::new(0));
+    let active = Arc::new(AtomicU64::new(4));
+    let (ew, aw) = (Arc::clone(&epoch), Arc::clone(&active));
+    let writer = check::spawn(move || {
+        // Shrink 4 → 2 without the packed word: two stores.
+        aw.store(2, Ordering::Release);
+        ew.store(1, Ordering::Release);
+    });
+    let (er, ar) = (Arc::clone(&epoch), Arc::clone(&active));
+    let reader = check::spawn(move || {
+        let e = er.load(Ordering::Acquire);
+        let a = ar.load(Ordering::Acquire);
+        assert!(
+            [(0, 4), (1, 2)].contains(&(e, a)),
+            "torn table read: observed (epoch={e}, active={a})"
+        );
+    });
+    writer.join();
+    reader.join();
+}
+
+#[test]
+fn split_epoch_active_atomics_tear_and_replay_reproduces_it() {
+    let failure = check::explore(check::Config::dfs(100_000), split_reader_model)
+        .expect_err("two separate stores must tear under some interleaving");
+    assert!(
+        failure.message.contains("torn table read"),
+        "unexpected failure: {failure}"
+    );
+    assert!(!failure.schedule.is_empty());
+    // The printed schedule reproduces the identical failure, twice.
+    for _ in 0..2 {
+        let replayed = check::replay(&failure.schedule, split_reader_model)
+            .expect_err("failing schedule must replay deterministically");
+        assert_eq!(replayed.message, failure.message);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: no key is lost across concurrent insert + shrink/grow.
+// ---------------------------------------------------------------------------
+
+/// One inserter aims key 7 at lane 1 while a shrinker retires that lane
+/// (2 → 1). Afterwards the key must be in the active prefix.
+fn conservation_model(variant: Variant) {
+    let t = Arc::new(Table::new(2, 2));
+    let ti = Arc::clone(&t);
+    let inserter = check::spawn(move || ti.insert(7, 1, variant));
+    let ts = Arc::clone(&t);
+    let shrinker = check::spawn(move || ts.shrink(1, variant));
+    inserter.join();
+    shrinker.join();
+    assert_eq!(
+        t.active_keys(),
+        vec![7],
+        "key lost outside the active prefix (lanes: {:?})",
+        (0..t.lanes.len())
+            .map(|q| t.lanes[q].lock().clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn faithful_insert_shrink_conserves_the_key() {
+    let report = check::explore(check::Config::dfs(100_000), || conservation_model(FAITHFUL))
+        .expect("re-validation under the lane lock keeps the key reachable");
+    assert!(report.exhausted, "model small enough to exhaust");
+}
+
+#[test]
+fn insert_without_revalidation_loses_the_key() {
+    let variant = Variant {
+        revalidate: false,
+        ..FAITHFUL
+    };
+    let failure = check::explore(check::Config::dfs(100_000), move || {
+        conservation_model(variant)
+    })
+    .expect_err("skipping the under-lock re-check strands the key in a retired lane");
+    assert!(
+        failure.message.contains("key lost"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = check::replay(&failure.schedule, move || conservation_model(variant))
+        .expect_err("failing schedule must replay");
+    assert_eq!(replayed.message, failure.message);
+}
+
+#[test]
+fn shrink_that_drains_before_publishing_loses_the_key() {
+    let variant = Variant {
+        publish_before_drain: false,
+        ..FAITHFUL
+    };
+    let failure = check::explore(check::Config::dfs(100_000), move || {
+        conservation_model(variant)
+    })
+    .expect_err("draining before the bump lets a validated insert land in a retiring lane");
+    assert!(
+        failure.message.contains("key lost"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = check::replay(&failure.schedule, move || conservation_model(variant))
+        .expect_err("failing schedule must replay");
+    assert_eq!(replayed.message, failure.message);
+}
+
+/// Insert concurrent with a grow (1 → 2): the key must surface in the
+/// enlarged active prefix whichever side wins each race.
+#[test]
+fn insert_concurrent_with_grow_conserves_the_key() {
+    let report = check::explore(check::Config::dfs(100_000), || {
+        let t = Arc::new(Table::new(1, 2));
+        let ti = Arc::clone(&t);
+        let inserter = check::spawn(move || ti.insert(9, 1, FAITHFUL));
+        let tg = Arc::clone(&t);
+        let grower = check::spawn(move || tg.grow(2));
+        inserter.join();
+        grower.join();
+        assert_eq!(t.active_keys(), vec![9], "key lost during grow");
+    })
+    .expect("grow only widens the active prefix; no key can escape it");
+    assert!(report.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned replay regressions (schedule strings captured from the DFS runs
+// above; regenerate by printing `failure.schedule` if the model changes).
+// ---------------------------------------------------------------------------
+
+/// Replays the recorded lost-key schedule for the no-revalidation variant.
+#[test]
+fn pinned_schedule_replays_the_revalidation_bug() {
+    let variant = Variant {
+        revalidate: false,
+        ..FAITHFUL
+    };
+    let failure = check::explore(check::Config::dfs(100_000), move || {
+        conservation_model(variant)
+    })
+    .expect_err("exploration finds the bug");
+    assert_eq!(
+        failure.schedule, PINNED_NO_REVALIDATION,
+        "DFS is deterministic: first failing schedule is stable; \
+         update the pinned constant if the model legitimately changed"
+    );
+    let replayed = check::replay(PINNED_NO_REVALIDATION, move || conservation_model(variant))
+        .expect_err("pinned schedule still fails");
+    assert!(replayed.message.contains("key lost"));
+}
+
+/// First failing DFS schedule for `insert_without_revalidation_loses_the_key`.
+const PINNED_NO_REVALIDATION: &str = "0,0,0,1,1,2,2,2,2,2,1,0,0,0,0,0";

@@ -1,0 +1,228 @@
+//! Model-checks the scheduler's count-based quiescence termination
+//! (DESIGN.md §5.1, `choice_sched::scheduler`'s module docs).
+//!
+//! The model mirrors the protocol's seam exactly: a `pending` counter of
+//! tasks injected-or-spawned but not fully executed, a `sources` counter of
+//! open injectors, and the worker's termination check — empty poll, then
+//! `sources == 0`, then `pending == 0`, read in that order. The invariants
+//! checked under explored schedules:
+//!
+//! * **no early termination** — a worker that passes the check never leaves
+//!   spawned-but-unexecuted work behind (`executed == total`, queue empty);
+//! * **no counter underflow** — `pending` releases always match a prior
+//!   increment (an underflow means some task ran while uncounted, which is
+//!   exactly the state that lets the detector fire with work in flight).
+//!
+//! Broken variants seeded deliberately, each failing with a replayable
+//! schedule: releasing the parent's `pending` unit *before* pushing its
+//! spawn (counter decrement before push), and inserting a task *before*
+//! counting it (insert before increment on the injector path).
+//!
+//! Liveness ("never hang on empty-pop races") is covered structurally: the
+//! explorer reports a deadlock if no virtual thread can run, and workers
+//! here poll with a bounded budget, so a hung detector would surface as
+//! budget exhaustion in every schedule rather than termination — the
+//! faithful model's explored runs do terminate (see the executed-count
+//! assertions), while unfair schedules that starve a worker are legal and
+//! simply end its budget.
+
+use std::sync::Arc;
+
+use check::sync::{AtomicU64, Mutex, Ordering};
+use choice_check as check;
+
+/// Which protocol steps the model performs faithfully.
+#[derive(Clone, Copy)]
+struct Variant {
+    /// Increment `pending` before inserting the task (the real injector).
+    /// `false` is the insert-before-count bug.
+    count_before_insert: bool,
+    /// Release the parent's `pending` unit only after its spawns are
+    /// counted and pushed (the real worker). `true` is the
+    /// decrement-before-push bug.
+    release_parent_before_spawn: bool,
+}
+
+const FAITHFUL: Variant = Variant {
+    count_before_insert: true,
+    release_parent_before_spawn: false,
+};
+
+/// The scheduler seam: task bag + quiescence counters. A task's payload is
+/// how many children it spawns when executed.
+struct Sched {
+    queue: Mutex<Vec<u64>>,
+    pending: AtomicU64,
+    sources: AtomicU64,
+    executed: AtomicU64,
+    /// Tasks that will ever exist (injected + spawned), known statically.
+    total: u64,
+}
+
+impl Sched {
+    fn new(total: u64) -> Self {
+        Self {
+            queue: Mutex::new(Vec::new()),
+            pending: AtomicU64::new(0),
+            sources: AtomicU64::new(1), // one open injector
+            executed: AtomicU64::new(0),
+            total,
+        }
+    }
+}
+
+/// The injector: one parent task that spawns one child, then close the
+/// source (mirrors `Injector::inject` + `Drop`).
+fn injector(s: &Sched, variant: Variant) {
+    if variant.count_before_insert {
+        s.pending.fetch_add(1, Ordering::SeqCst);
+        s.queue.lock().push(1);
+    } else {
+        s.queue.lock().push(1);
+        s.pending.fetch_add(1, Ordering::SeqCst);
+    }
+    s.sources.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Releases one `pending` unit, asserting it matches a prior increment.
+fn release_pending(s: &Sched) {
+    let prev = s.pending.fetch_sub(1, Ordering::SeqCst);
+    assert!(prev > 0, "pending underflow: a task ran while uncounted");
+}
+
+/// One worker: poll, execute (spawning children), release the parent unit;
+/// on an empty poll consult the termination detector. `budget` bounds the
+/// empty polls so every schedule is finite.
+fn worker(s: &Sched, variant: Variant, budget: u32) {
+    let mut polls = 0;
+    while polls < budget {
+        let task = s.queue.lock().pop();
+        match task {
+            Some(children) => {
+                s.executed.fetch_add(1, Ordering::SeqCst);
+                if variant.release_parent_before_spawn {
+                    release_pending(s);
+                }
+                for _ in 0..children {
+                    s.pending.fetch_add(1, Ordering::SeqCst);
+                    s.queue.lock().push(0);
+                }
+                if !variant.release_parent_before_spawn {
+                    release_pending(s);
+                }
+            }
+            None => {
+                polls += 1;
+                // The detector: sources, then pending, SeqCst, in order.
+                if s.sources.load(Ordering::SeqCst) == 0 && s.pending.load(Ordering::SeqCst) == 0 {
+                    assert_eq!(
+                        s.executed.load(Ordering::SeqCst),
+                        s.total,
+                        "terminated with work in flight"
+                    );
+                    assert!(s.queue.lock().is_empty(), "terminated with queued tasks");
+                    return;
+                }
+                check::spin();
+            }
+        }
+    }
+}
+
+/// One injector (1 parent → 1 child, so `total = 2`) racing two workers.
+fn quiescence_model(variant: Variant) {
+    let s = Arc::new(Sched::new(2));
+    let si = Arc::clone(&s);
+    let inj = check::spawn(move || injector(&si, variant));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let sw = Arc::clone(&s);
+            check::spawn(move || worker(&sw, variant, 2))
+        })
+        .collect();
+    inj.join();
+    for w in workers {
+        w.join();
+    }
+    // Whatever the schedule, no task is executed twice and none vanishes
+    // from the bag without being counted as executed.
+    let executed = s.executed.load(Ordering::SeqCst);
+    let queued = s.queue.lock().len() as u64;
+    assert!(
+        executed + queued <= s.total,
+        "tasks duplicated: executed {executed} + queued {queued} > total {}",
+        s.total
+    );
+}
+
+#[test]
+fn faithful_protocol_survives_preemption_bounded_dfs() {
+    let budget = check::schedule_budget(4_000);
+    let report = check::explore(
+        check::Config {
+            preemption_bound: Some(2),
+            ..check::Config::dfs(budget)
+        },
+        || quiescence_model(FAITHFUL),
+    )
+    .expect("the counted protocol never terminates with work in flight");
+    assert!(report.schedules > 100, "exploration actually branched");
+}
+
+#[test]
+fn faithful_protocol_survives_random_schedules() {
+    let budget = check::schedule_budget(800);
+    check::explore(check::Config::random(budget, 0x9E3779B9), || {
+        quiescence_model(FAITHFUL)
+    })
+    .map(|report| assert_eq!(report.schedules, budget))
+    .expect("no random schedule violates quiescence");
+}
+
+#[test]
+fn releasing_the_parent_before_its_spawn_terminates_early() {
+    let variant = Variant {
+        release_parent_before_spawn: true,
+        ..FAITHFUL
+    };
+    let failure = check::explore(
+        check::Config {
+            preemption_bound: Some(2),
+            ..check::Config::dfs(30_000)
+        },
+        move || quiescence_model(variant),
+    )
+    .expect_err("decrement-before-push lets the detector fire with a spawn in flight");
+    assert!(
+        failure.message.contains("terminated with work in flight")
+            || failure.message.contains("pending underflow"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = check::replay(&failure.schedule, move || quiescence_model(variant))
+        .expect_err("failing schedule must replay deterministically");
+    assert_eq!(replayed.message, failure.message);
+}
+
+#[test]
+fn inserting_before_counting_underflows_the_counter() {
+    let variant = Variant {
+        count_before_insert: false,
+        ..FAITHFUL
+    };
+    let failure = check::explore(
+        check::Config {
+            preemption_bound: Some(2),
+            ..check::Config::dfs(30_000)
+        },
+        move || quiescence_model(variant),
+    )
+    .expect_err("insert-before-count lets a task run while uncounted");
+    assert!(
+        failure.message.contains("pending underflow")
+            || failure.message.contains("terminated with work in flight"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = check::replay(&failure.schedule, move || quiescence_model(variant))
+        .expect_err("failing schedule must replay deterministically");
+    assert_eq!(replayed.message, failure.message);
+}

@@ -319,3 +319,139 @@ fn concurrent_drop_under_drain_never_panics_or_duplicates() {
     drop(check);
     let _ = server.join();
 }
+
+/// Wire-level `Stats` raced against `DropQueue`/`CreateQueue` cycles: every
+/// response decodes in full, stable queues' rows are always present and
+/// exact, and the churning queue's row is either absent or complete —
+/// never torn (a garbage name, an impossible counter, or a truncated row
+/// would all fail the typed decode or the bounds below).
+#[test]
+fn stats_rows_under_concurrent_drop_are_absent_or_complete_never_torn() {
+    const KEEP: usize = 3;
+    const KEEP_KEYS: u64 = 100;
+    const VICTIM_KEYS: u64 = 64;
+    const CYCLES: u64 = 120;
+    const READERS: usize = 2;
+
+    let registry = Arc::new(QueueRegistry::default());
+    let server = PqServer::spawn_registry(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Stable queues with known, never-changing histories: any torn encode
+    // or misframed row scrambles at least one of these exact values.
+    let keep_names: Vec<String> = (0..KEEP).map(|i| format!("keep/{i}")).collect();
+    let mut seeder = PqClient::connect(addr).unwrap();
+    for name in &keep_names {
+        seeder
+            .create_queue(name, BackendSpec::CoarseHeap, QuotaSpec::unlimited())
+            .unwrap();
+        seeder.use_queue(name).unwrap();
+        for key in 0..KEEP_KEYS {
+            seeder.insert(key, key).unwrap();
+        }
+    }
+    drop(seeder);
+
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let dropper = scope.spawn(|| {
+            let mut client = PqClient::connect(addr).unwrap();
+            for cycle in 0..CYCLES {
+                client
+                    .create_queue("victim", BackendSpec::CoarseHeap, QuotaSpec::unlimited())
+                    .unwrap();
+                client.use_queue("victim").unwrap();
+                for key in 0..VICTIM_KEYS {
+                    client.insert((cycle << 16) | key, key).unwrap();
+                }
+                client.drop_queue("victim").unwrap();
+            }
+            done.store(true, Ordering::SeqCst);
+        });
+
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = PqClient::connect(addr).unwrap();
+                    let mut responses = 0u64;
+                    let mut saw_victim = false;
+                    while !done.load(Ordering::SeqCst) || responses == 0 {
+                        // Decode totality: a torn or short frame surfaces
+                        // here as a ClientError, not as a wrong value.
+                        let stats = client.stats().unwrap();
+                        responses += 1;
+
+                        let mut names: Vec<&str> =
+                            stats.queues.iter().map(|r| r.name.as_str()).collect();
+                        names.sort_unstable();
+                        let before = names.len();
+                        names.dedup();
+                        assert_eq!(names.len(), before, "duplicate per-queue rows");
+
+                        let mut row_inserts = 0u64;
+                        for row in &stats.queues {
+                            row_inserts += row.totals.inserts;
+                            if let Some(name) = row.name.strip_prefix("keep/") {
+                                let idx: usize = name.parse().expect("torn keep name");
+                                assert!(idx < KEEP, "invented keep row {}", row.name);
+                                assert_eq!(row.totals.inserts, KEEP_KEYS, "{}", row.name);
+                                assert_eq!(row.totals.removals, 0, "{}", row.name);
+                                assert_eq!(row.approx_len, KEEP_KEYS, "{}", row.name);
+                            } else {
+                                // The churning queue: absent is fine; when
+                                // present the row is complete and every
+                                // counter is within one incarnation's reach.
+                                assert_eq!(row.name, "victim", "garbage row name");
+                                saw_victim = true;
+                                assert!(row.totals.inserts <= VICTIM_KEYS, "torn counter");
+                                assert!(row.approx_len <= VICTIM_KEYS, "torn length");
+                                assert_eq!(row.totals.removals, 0, "victim is never drained");
+                            }
+                        }
+                        // Every keep row is present in every response —
+                        // churn on one name never hides the others.
+                        assert_eq!(
+                            stats
+                                .queues
+                                .iter()
+                                .filter(|r| r.name.starts_with("keep/"))
+                                .count(),
+                            KEEP,
+                            "a stable queue's row went missing"
+                        );
+                        // Aggregate totals fold the retired roll-up over the
+                        // live rows, so they can only exceed the row sum.
+                        assert!(
+                            stats.totals.inserts >= row_inserts,
+                            "aggregate below its own per-queue rows"
+                        );
+                    }
+                    (responses, saw_victim)
+                })
+            })
+            .collect();
+
+        dropper.join().unwrap();
+        for reader in readers {
+            let (responses, _saw_victim) = reader.join().unwrap();
+            assert!(responses > 0, "reader never completed a Stats call");
+        }
+    });
+
+    // Quiescent close-out: the last cycle ended in a drop, so only the
+    // stable rows remain and the retired roll-up holds every incarnation's
+    // history — nothing was lost to the churn.
+    let stats = server.join();
+    assert_eq!(stats.queues.len(), KEEP, "only the stable queues remain");
+    assert_eq!(
+        stats.totals.inserts,
+        KEEP as u64 * KEEP_KEYS + CYCLES * VICTIM_KEYS,
+        "every incarnation's inserts survive in the aggregate"
+    );
+    assert_eq!(stats.totals.removals, 0);
+}
