@@ -14,7 +14,10 @@
 //!
 //! **Noisy neighbour** — a paced *victim* tenant (open-loop EDF arrivals,
 //! lateness measured per popped task against its embedded deadline, exactly
-//! the `sched::lateness` convention) shares the server with a saturating
+//! the `sched::lateness` convention; the trackers mirror into a choice-obs
+//! hub and every reported lateness/refusal number is read back from the
+//! hub's metrics snapshot, not from the trackers) shares the server with a
+//! saturating
 //! *aggressor* tenant on its own queue. Three phases per sample: the victim
 //! **solo** (baseline); the aggressor **unlimited** (interference visible as
 //! victim p99 lateness); the aggressor behind an ops/sec **quota** token
@@ -41,6 +44,7 @@ use std::time::{Duration, Instant};
 use choice_bench::env_u64;
 use choice_bench::report::{emit_json_row, print_header, print_row, print_section, JsonValue};
 use choice_bench::trajectory::commit_hash;
+use choice_obs::ObsHub;
 use choice_sched::LatenessTracker;
 use choice_wire::{
     BackendSpec, PqClient, PqServer, QueueRegistry, QuotaSpec, Request, Response, ServerConfig,
@@ -156,12 +160,13 @@ fn run_spread(queues: u64, clients: usize, ops_per_client: u64, window: usize) -
 // Scenario B: noisy neighbour
 // ---------------------------------------------------------------------------
 
-/// Outcome of one victim run: completed wire ops, wall-clock, and the
-/// lateness distribution of every task it popped.
+/// Outcome of one victim run: completed wire ops, wall-clock, and the p99
+/// of the lateness distribution — read back from the obs hub the tracker
+/// mirrors into (log-bucket upper bound, µs).
 struct VictimOutcome {
     ops: u64,
     elapsed_s: f64,
-    lateness: LatenessTracker,
+    p99_lateness_us: u64,
 }
 
 /// The paced victim: open-loop steady arrivals at `rate`/s, EDF keys
@@ -172,7 +177,8 @@ fn run_victim(addr: SocketAddr, ops: u64, rate: f64) -> VictimOutcome {
     const DEADLINE: Duration = Duration::from_millis(2);
     let mut client = PqClient::connect(addr).expect("victim connect");
     client.use_queue("victim").expect("victim bind");
-    let mut lateness = LatenessTracker::new(1);
+    let hub = ObsHub::with_capacity(16);
+    let mut lateness = LatenessTracker::with_obs(1, &hub);
     let mut completed = 0u64;
     let interval_ns = 1e9 / rate;
     let epoch = Instant::now();
@@ -206,10 +212,20 @@ fn run_victim(addr: SocketAddr, ops: u64, rate: f64) -> VictimOutcome {
             lateness.record(0, now_ns.saturating_sub(deadline_ns));
         }
     }
+    // Report from the hub, not the tracker: the mirrored histogram uses the
+    // same log-bucket discipline, so the quantile agrees by construction.
+    let p99_lateness_us = hub
+        .metrics()
+        .snapshot()
+        .histogram("sched_lateness_ns", &[("class", "0")])
+        .and_then(|h| h.quantile_upper_bound(0.99))
+        .unwrap_or(0)
+        / 1_000;
+    drop(lateness);
     VictimOutcome {
         ops: completed,
         elapsed_s: epoch.elapsed().as_secs_f64(),
-        lateness,
+        p99_lateness_us,
     }
 }
 
@@ -228,7 +244,8 @@ fn run_aggressor(addr: SocketAddr, window: usize, stop: &AtomicBool) -> Aggresso
     const BACKOFF: Duration = Duration::from_micros(200);
     let mut client = PqClient::connect_with_window(addr, window).expect("aggressor connect");
     client.use_queue("aggressor").expect("aggressor bind");
-    let mut tracker = LatenessTracker::new(1);
+    let hub = ObsHub::with_capacity(16);
+    let mut tracker = LatenessTracker::with_obs(1, &hub);
     let mut i = 0u64;
     let handle = |response: Response, tracker: &mut LatenessTracker| -> bool {
         if matches!(response, Response::Error { .. }) {
@@ -265,9 +282,16 @@ fn run_aggressor(addr: SocketAddr, window: usize, stop: &AtomicBool) -> Aggresso
             handle(response, &mut tracker);
         })
         .expect("aggressor drain");
+    // Demand accounting read back from the obs mirrors: every `record` is
+    // one histogram sample, every `record_refusal` one counter increment.
+    let snapshot = hub.metrics().snapshot();
     AggressorOutcome {
-        completed: tracker.executed(),
-        refused: tracker.refused(),
+        completed: snapshot
+            .histogram("sched_lateness_ns", &[("class", "0")])
+            .map_or(0, |h| h.count()),
+        refused: snapshot
+            .counter("sched_refusals_total", &[("class", "0")])
+            .unwrap_or(0),
     }
 }
 
@@ -390,7 +414,7 @@ fn summarise(samples: &[(VictimOutcome, AggressorOutcome)]) -> PhaseSummary {
     let victim_p99_us = median(
         samples
             .iter()
-            .map(|(v, _)| v.lateness.classes()[0].lateness_quantile_us(0.99) as f64)
+            .map(|(v, _)| v.p99_lateness_us as f64)
             .collect(),
     );
     let aggressor_ops = median(samples.iter().map(|(_, a)| a.completed as f64).collect());

@@ -17,8 +17,10 @@
 //!    `DeleteMinBatch(SERVICE_BENCH_BATCH)` every batch-sized block of
 //!    arrivals so the queue stays near steady state;
 //! 4. every response is matched (in order — the protocol guarantees it) to
-//!    its send time, giving a per-request round-trip latency fed into a
-//!    [`LogHistogram`].
+//!    its send time, giving a per-request round-trip latency recorded into a
+//!    shared `client_rtt_ns` histogram of a choice-obs [`MetricsRegistry`]
+//!    (the clients record concurrently into sharded cells; the report reads
+//!    one merged snapshot — no per-thread histogram merging here).
 //!
 //! Reported per row: completed wire operations, throughput (kops/s), and
 //! p50/p99/max round-trip latency in µs (log-bucket upper bounds). Rates are
@@ -39,27 +41,21 @@ use std::time::{Duration, Instant};
 
 use choice_bench::report::{emit_json_row, print_header, print_row, print_section, JsonValue};
 use choice_bench::{build_queue, env_u64, QueueSpec};
+use choice_obs::{Histogram, HistogramSnapshot, MetricsRegistry};
 use choice_sched::{ArrivalPattern, TrafficClass, TrafficSpec};
 use choice_wire::{PqClient, PqServer, Request, Response, ServerConfig};
-use rank_stats::histogram::LogHistogram;
-
-/// Outcome of one client thread: completed operations and RTT distribution.
-struct ClientOutcome {
-    operations: u64,
-    rtt_ns: LogHistogram,
-}
 
 /// Runs one client: follow the arrival schedule open-loop, pipeline the
-/// operations, time every response.
+/// operations, time every response into the scenario's shared histogram.
 fn run_client(
     addr: SocketAddr,
     window: usize,
     batch: u32,
     spec: &TrafficSpec,
-) -> Result<ClientOutcome, choice_wire::ClientError> {
+    rtt_ns: &Histogram,
+) -> Result<u64, choice_wire::ClientError> {
     let schedule = spec.schedule();
     let mut client = PqClient::connect_with_window(addr, window)?;
-    let mut rtt_ns = LogHistogram::new();
     let mut operations = 0u64;
     let mut record = |(response, rtt): (Response, Duration)| {
         // A refusal would be a bug in the generator (it never sends the
@@ -91,7 +87,7 @@ fn run_client(
         }
     }
     client.drain_all(&mut record)?;
-    Ok(ClientOutcome { operations, rtt_ns })
+    Ok(operations)
 }
 
 /// One scenario: spawn the service over `spec`'s backend, run the client
@@ -104,7 +100,7 @@ fn run_scenario(
     window: usize,
     batch: u32,
     seed: u64,
-) -> (u64, f64, LogHistogram) {
+) -> (u64, f64, HistogramSnapshot) {
     let queue = build_queue::<u64>(queue_spec, clients, seed);
     let server = PqServer::spawn(
         Arc::clone(&queue),
@@ -118,8 +114,16 @@ fn run_scenario(
         TrafficClass::new("interactive", 3.0, Duration::from_micros(500), 0),
         TrafficClass::new("batch", 1.0, Duration::from_millis(20), 0),
     ];
+    // Every client records into one shared, sharded obs histogram; the
+    // report below reads a single merged snapshot.
+    let metrics = MetricsRegistry::new();
+    let (backend, pattern_label) = (queue_spec.label(), pattern.label());
+    let rtt_ns = metrics.histogram(
+        "client_rtt_ns",
+        &[("backend", &backend), ("pattern", &pattern_label)],
+    );
     let timer = Instant::now();
-    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+    let operations: u64 = std::thread::scope(|scope| {
         let joins: Vec<_> = (0..clients)
             .map(|c| {
                 let spec = TrafficSpec {
@@ -128,24 +132,23 @@ fn run_scenario(
                     tasks: ops_per_client,
                     seed: seed ^ (c as u64 + 1).wrapping_mul(0x9E37),
                 };
+                let rtt_ns = &rtt_ns;
                 scope.spawn(move || {
-                    run_client(addr, window, batch, &spec).expect("client ran to completion")
+                    run_client(addr, window, batch, &spec, rtt_ns)
+                        .expect("client ran to completion")
                 })
             })
             .collect();
-        joins.into_iter().map(|j| j.join().unwrap()).collect()
+        joins.into_iter().map(|j| j.join().unwrap()).sum()
     });
     let elapsed = timer.elapsed().as_secs_f64();
     server.shutdown();
     server.join();
-
-    let mut operations = 0u64;
-    let mut rtt_ns = LogHistogram::new();
-    for outcome in &outcomes {
-        operations += outcome.operations;
-        rtt_ns.merge(&outcome.rtt_ns);
-    }
-    (operations, operations as f64 / elapsed.max(1e-9), rtt_ns)
+    (
+        operations,
+        operations as f64 / elapsed.max(1e-9),
+        rtt_ns.snapshot(),
+    )
 }
 
 fn main() {
@@ -216,7 +219,7 @@ fn main() {
                 format!("{:.1}", ops_per_second / 1e3),
                 format!("{:.1}", quantile_us(0.50)),
                 format!("{:.1}", quantile_us(0.99)),
-                format!("{:.1}", rtt_ns.max() as f64 / 1_000.0),
+                format!("{:.1}", rtt_ns.max as f64 / 1_000.0),
             ]);
             emit_json_row(
                 "t9",
@@ -230,7 +233,7 @@ fn main() {
                     ("kops_per_s", JsonValue::from(ops_per_second / 1e3)),
                     ("p50_rtt_us", JsonValue::from(quantile_us(0.50))),
                     ("p99_rtt_us", JsonValue::from(quantile_us(0.99))),
-                    ("max_rtt_us", JsonValue::from(rtt_ns.max() as f64 / 1_000.0)),
+                    ("max_rtt_us", JsonValue::from(rtt_ns.max as f64 / 1_000.0)),
                 ],
             );
         }

@@ -20,9 +20,14 @@
 //! the former free-standing `InstrumentedHandle` and `StickyHandle` wrapper
 //! types.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use choice_obs::LatencySampler;
 use rank_stats::inversion::TimestampedRemoval;
 use rank_stats::rng::Xoshiro256;
 
+use crate::obs::QueueObs;
 use crate::queue::MultiQueue;
 use crate::traits::{HandleStats, Key, PqHandle};
 
@@ -123,6 +128,17 @@ pub struct MqHandle<'q, V> {
     /// Timestamped removals when `policy.instrument` is set.
     log: Vec<TimestampedRemoval>,
     stats: HandleStats,
+    /// Sampled latency profiling, present iff the queue has telemetry
+    /// attached (see [`MultiQueue::attach_obs`]).
+    obs: Option<HandleObs>,
+}
+
+/// The handle's share of the queue's telemetry: the per-queue bundle plus a
+/// private 1-in-N sampler (deterministic, no RNG state).
+#[derive(Debug)]
+struct HandleObs {
+    queue_obs: Arc<QueueObs>,
+    sampler: LatencySampler,
 }
 
 impl<'q, V> MqHandle<'q, V> {
@@ -158,6 +174,21 @@ impl<'q, V> MqHandle<'q, V> {
             pops: Vec::new(),
             log: Vec::new(),
             stats: HandleStats::default(),
+            obs: queue.obs().map(|o| HandleObs {
+                queue_obs: Arc::clone(o),
+                sampler: LatencySampler::new(o.sample_every()),
+            }),
+        }
+    }
+
+    /// Starts a sampled latency measurement: `Some` on every N-th operation
+    /// of a telemetry-attached queue, `None` (one branch, no clock read)
+    /// otherwise.
+    #[inline]
+    fn sample_start(&mut self) -> Option<Instant> {
+        match &mut self.obs {
+            Some(obs) => obs.sampler.tick().then(Instant::now),
+            None => None,
         }
     }
 
@@ -278,6 +309,7 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
     fn insert(&mut self, key: Key, value: V) {
         crate::traits::check_key(key);
         self.stats.inserts += 1;
+        let start = self.sample_start();
         if self.policy.batches() {
             self.buffer.push((key, value));
             if self.buffer.len() >= self.policy.insert_batch {
@@ -288,9 +320,15 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
             self.queue
                 .insert_with(&mut self.rng, self.shard, hint, key, value);
         }
+        if let (Some(t0), Some(obs)) = (start, &self.obs) {
+            obs.queue_obs
+                .insert_ns
+                .record(t0.elapsed().as_nanos() as u64);
+        }
     }
 
     fn delete_min(&mut self) -> Option<(Key, V)> {
+        let start = self.sample_start();
         // A session always observes its own inserts: publish the private
         // buffer before removing.
         if !self.buffer.is_empty() {
@@ -315,6 +353,11 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
                 }
             }
         }
+        if let (Some(t0), Some(obs)) = (start, &self.obs) {
+            obs.queue_obs
+                .delete_min_ns
+                .record(t0.elapsed().as_nanos() as u64);
+        }
         result
     }
 
@@ -322,6 +365,7 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
         if max == 0 {
             return 0;
         }
+        let start = self.sample_start();
         if !self.buffer.is_empty() {
             self.flush();
         }
@@ -333,6 +377,11 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
             self.policy.instrument.then_some(&mut self.log),
         );
         self.stats.contended_retries += outcome.contended_retries;
+        if let (Some(t0), Some(obs)) = (start, &self.obs) {
+            obs.queue_obs
+                .delete_min_batch_ns
+                .record(t0.elapsed().as_nanos() as u64);
+        }
         if outcome.drained == 0 {
             self.stats.failed_removals += 1;
             if outcome.observed_empty {

@@ -52,6 +52,7 @@
 pub mod config;
 pub mod flat;
 pub mod handle;
+pub mod obs;
 pub mod queue;
 pub(crate) mod sync;
 pub mod traits;
@@ -59,6 +60,7 @@ pub mod traits;
 pub use config::{ChoiceRule, ElasticPolicy, MultiQueueConfig};
 pub use flat::{FlatHandle, FlatOps};
 pub use handle::{HandlePolicy, MqHandle};
+pub use obs::QueueObs;
 pub use queue::MultiQueue;
 pub use traits::{
     check_key, DynSharedPq, HandleStats, Key, PqHandle, QueueTopology, SharedPq, RESERVED_KEY,

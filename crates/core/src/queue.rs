@@ -57,7 +57,9 @@ use seq_pq::{BinaryHeap, SequentialPriorityQueue};
 
 use crate::config::MultiQueueConfig;
 use crate::handle::{HandlePolicy, MqHandle};
+use crate::obs::QueueObs;
 use crate::traits::{Key, QueueTopology, SharedPq};
+use std::sync::Arc;
 
 /// Sentinel stored in a lane's cached-top slot when the lane is empty.
 /// [`check_key`](crate::check_key) keeps real keys out of this value at
@@ -189,6 +191,10 @@ pub struct MultiQueue<V> {
     /// Coherent timestamp source for rank instrumentation (Section 5
     /// methodology); shared by every instrumented handle of this queue.
     clock: AtomicU64,
+    /// Telemetry bundle, attached before the queue is shared
+    /// ([`MultiQueue::attach_obs`]). `None` (the default) keeps the hot path
+    /// telemetry-free apart from one branch.
+    obs: Option<Arc<QueueObs>>,
     config: MultiQueueConfig,
 }
 
@@ -215,8 +221,21 @@ impl<V> MultiQueue<V> {
             len: AtomicUsize::new(0),
             next_handle_id: AtomicU64::new(0),
             clock: AtomicU64::new(0),
+            obs: None,
             config,
         }
+    }
+
+    /// Attaches a telemetry bundle. Must be called before the queue is
+    /// shared (it takes `&mut self`); sessions registered afterwards also
+    /// sample operation latency at the bundle's stride.
+    pub fn attach_obs(&mut self, obs: Arc<QueueObs>) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn obs(&self) -> Option<&Arc<QueueObs>> {
+        self.obs.as_ref()
     }
 
     /// The configuration this queue was built with.
@@ -392,6 +411,9 @@ impl<V> MultiQueue<V> {
                 .cooldown
                 .store(u64::from(policy.cooldown_checks), Ordering::Relaxed);
         }
+        if let Some(obs) = &self.obs {
+            obs.on_resize(epoch, active, target);
+        }
         true
     }
 
@@ -399,6 +421,9 @@ impl<V> MultiQueue<V> {
     /// window and runs a resize decision when the window closes. Called with
     /// **no lane locks held**. A no-op for static configurations.
     fn elastic_tick(&self, ops: u64, lock_retries: u64, sparse_retries: u64) {
+        if let Some(obs) = &self.obs {
+            obs.on_ops(ops, lock_retries, sparse_retries);
+        }
         let Some(policy) = &self.config.elastic else {
             return;
         };
@@ -437,14 +462,19 @@ impl<V> MultiQueue<V> {
         let cooldown = self.elastic.cooldown.load(Ordering::Relaxed);
         if cooldown > 0 {
             self.elastic.cooldown.store(cooldown - 1, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.on_controller_tick(0, lock, sparse);
+            }
             return;
         }
         let lock_rate = lock as f64 / window_ops as f64;
         let sparse_rate = sparse as f64 / window_ops as f64;
         let active = self.active_lanes();
+        let mut decision = 0u64;
         if lock_rate > policy.grow_threshold && active < self.lanes.len() {
             // Contention collapse forming: double the active set.
             self.resize_locked(&guard, (active * 2).min(self.lanes.len()));
+            decision = 1;
         } else if sparse_rate > policy.shrink_threshold
             && lock_rate < policy.grow_threshold * 0.5
             && active > self.config.min_active_lanes()
@@ -452,6 +482,10 @@ impl<V> MultiQueue<V> {
             // Over-provisioned: sampled lanes keep coming up empty while
             // locks are uncontended. Halve the active set.
             self.resize_locked(&guard, active / 2);
+            decision = 2;
+        }
+        if let Some(obs) = &self.obs {
+            obs.on_controller_tick(decision, lock, sparse);
         }
     }
 
@@ -507,6 +541,10 @@ impl<V> MultiQueue<V> {
             let q = self.stride_lane(rng, shard, self.config.min_active_lanes());
             let mut heap = self.lanes[q].heap.lock();
             push(q, &mut heap);
+            drop(heap);
+            if let Some(obs) = &self.obs {
+                obs.on_lane_contention(q, lock_retries);
+            }
         }
         self.elastic_tick(1, lock_retries, 0);
     }
@@ -555,6 +593,10 @@ impl<V> MultiQueue<V> {
             let target = self.stride_lane(rng, shard, self.config.min_active_lanes());
             let mut heap = self.lanes[target].heap.lock();
             publish(target, &mut heap);
+            drop(heap);
+            if let Some(obs) = &self.obs {
+                obs.on_lane_contention(target, lock_retries);
+            }
         }
         self.len.fetch_add(count, Ordering::Relaxed);
         self.elastic_tick(count as u64, lock_retries, 0);
@@ -766,12 +808,16 @@ impl<V: Send> SharedPq<V> for MultiQueue<V> {
     }
 
     fn topology(&self) -> QueueTopology {
+        // One load of the packed lane table keeps (active, epoch) mutually
+        // consistent even when a resize races the snapshot.
+        let table = self.lane_table.load(Ordering::Acquire);
         QueueTopology {
-            active_lanes: self.active_lanes(),
+            active_lanes: (table & ACTIVE_MASK) as usize,
             max_lanes: self.lanes.len(),
             shards: self.config.shards,
             grows: self.grow_events.load(Ordering::Relaxed),
             shrinks: self.shrink_events.load(Ordering::Relaxed),
+            resize_epoch: table >> 32,
         }
     }
 
@@ -1050,6 +1096,7 @@ mod tests {
         assert_eq!(shape.max_lanes, 16);
         assert_eq!(shape.shards, 1);
         assert_eq!(shape.resize_events(), 0);
+        assert_eq!(shape.resize_epoch, 0);
     }
 
     #[test]
@@ -1070,6 +1117,7 @@ mod tests {
         assert_eq!(shape.grows, 2);
         assert_eq!(shape.shrinks, 1);
         assert_eq!(shape.resize_events(), 3);
+        assert_eq!(shape.resize_epoch, 3, "every resize bumps the epoch");
     }
 
     #[test]

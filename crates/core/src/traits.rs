@@ -146,6 +146,12 @@ pub struct QueueTopology {
     pub grows: u64,
     /// Completed shrink events since construction.
     pub shrinks: u64,
+    /// The lane-table resize epoch at snapshot time (incremented by every
+    /// completed grow or shrink), letting external observers correlate this
+    /// snapshot with epoch-stamped flight-recorder resize events. Reads from
+    /// the same packed lane-table word as `active_lanes`, so the pair is
+    /// mutually consistent even mid-resize.
+    pub resize_epoch: u64,
 }
 
 impl QueueTopology {
@@ -159,6 +165,7 @@ impl QueueTopology {
             shards: 1,
             grows: 0,
             shrinks: 0,
+            resize_epoch: 0,
         }
     }
 

@@ -1,0 +1,147 @@
+//! `choice-obs` — unified telemetry for the (1 + β) MultiQueue stack.
+//!
+//! Three pieces, all built for a hot path that must stay within a ~3%
+//! overhead budget (gated by the `t13_obs` benchmark):
+//!
+//! * [`metrics`] — a lock-free [`MetricsRegistry`] of counters, gauges, and
+//!   log-bucketed histograms. Cells are sharded per thread so an increment
+//!   is one uncontended `fetch_add`; [`MetricsRegistry::snapshot`] merges
+//!   the shards consistently and renders Prometheus exposition text.
+//! * [`recorder`] — a [`FlightRecorder`]: a fixed-size lock-free ring of
+//!   structured events (resizes, controller ticks, quota refusals, session
+//!   lifecycle, quiescence, panics) with deterministic-clock support and
+//!   panic-hook dumps for post-mortem traces.
+//! * [`sample`] — a deterministic [`LatencySampler`] for 1-in-N op timing.
+//!
+//! The [`ObsHub`] bundles one registry + one recorder; every layer (core
+//! queue, scheduler, registry, service) accepts an `Arc<ObsHub>` and both
+//! writes and dumps flow through it.
+//!
+//! # Example
+//!
+//! ```
+//! use choice_obs::{EventKind, ObsHub};
+//!
+//! let hub = ObsHub::new();
+//! let ops = hub.metrics().counter("ops_total", &[("queue", "default")]);
+//! ops.inc();
+//! hub.recorder().record(EventKind::Resize, "default", [1, 4, 8]);
+//! let snapshot = hub.metrics().snapshot();
+//! assert_eq!(snapshot.counter("ops_total", &[("queue", "default")]), Some(1));
+//! assert!(hub.recorder().dump_text().contains("resize"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod recorder;
+pub mod sample;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricRow, MetricsRegistry, MetricsSnapshot,
+};
+pub use recorder::{
+    install_panic_hook, refusal_category, refusal_category_name, take_last_panic_dump, EventKind,
+    EventRecord, FlightRecorder, ManualClock, PanicScope,
+};
+pub use sample::LatencySampler;
+
+use std::sync::Arc;
+
+/// Default flight-recorder capacity (events retained) for hubs built with
+/// [`ObsHub::new`].
+pub const DEFAULT_RECORDER_CAPACITY: usize = 1024;
+
+/// One metrics registry plus one flight recorder: the unit of telemetry
+/// every layer is wired to.
+#[derive(Debug)]
+pub struct ObsHub {
+    metrics: Arc<MetricsRegistry>,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl ObsHub {
+    /// A hub with the default recorder capacity and a monotonic clock.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<ObsHub> {
+        Self::with_capacity(DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// A hub retaining up to `events` flight-recorder events.
+    pub fn with_capacity(events: usize) -> Arc<ObsHub> {
+        Arc::new(ObsHub {
+            metrics: Arc::new(MetricsRegistry::new()),
+            recorder: Arc::new(FlightRecorder::new(events)),
+        })
+    }
+
+    /// A hub whose recorder is driven by `clock` (deterministic timestamps
+    /// for tests and simulation).
+    pub fn with_manual_clock(events: usize, clock: &ManualClock) -> Arc<ObsHub> {
+        Arc::new(ObsHub {
+            metrics: Arc::new(MetricsRegistry::new()),
+            recorder: Arc::new(FlightRecorder::with_manual_clock(events, clock)),
+        })
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// The full exposition dump: Prometheus metrics text, optionally
+    /// followed by the flight-recorder events rendered as `# `-prefixed
+    /// comment lines (so the result stays scrapeable).
+    pub fn render_dump(&self, include_events: bool) -> String {
+        let mut out = self.metrics.snapshot().render_prometheus();
+        if include_events {
+            out.push_str("# flight recorder\n");
+            for line in self.recorder.dump_text().lines() {
+                out.push_str("# ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_bundles_metrics_and_recorder() {
+        let hub = ObsHub::with_capacity(16);
+        hub.metrics().counter("a_total", &[]).inc();
+        hub.recorder().record(EventKind::SessionOpen, "", [1, 0, 0]);
+        let dump = hub.render_dump(true);
+        assert!(dump.contains("a_total 1"));
+        assert!(dump.contains("# flight recorder"));
+        assert!(dump.contains("session-open"));
+        // Every flight-recorder line is a comment: still scrapeable.
+        for line in dump.lines() {
+            assert!(
+                line.starts_with('#') || !line.contains("session-open"),
+                "event lines must be comments: {line}"
+            );
+        }
+        let without = hub.render_dump(false);
+        assert!(!without.contains("flight recorder"));
+    }
+
+    #[test]
+    fn manual_clock_hub_is_deterministic() {
+        let clock = ManualClock::new();
+        let hub = ObsHub::with_manual_clock(16, &clock);
+        clock.set_ns(777);
+        hub.recorder().record(EventKind::Quiescence, "", [0, 9, 0]);
+        assert_eq!(hub.recorder().events()[0].ts_ns, 777);
+    }
+}

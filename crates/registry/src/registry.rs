@@ -30,6 +30,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use choice_obs::{
+    refusal_category, refusal_category_name, Counter, EventKind, FlightRecorder, Gauge, ObsHub,
+};
 use choice_pq::{DynSharedPq, HandlePolicy, HandleStats, Key, PqHandle, QueueTopology};
 use parking_lot::Mutex;
 use rank_stats::tokens::TokenBucket;
@@ -343,6 +346,10 @@ pub struct QueueRegistry {
     /// stay monotonic across `drop_queue` (per-queue rows for dropped
     /// queues disappear; their history does not).
     retired: Mutex<HandleStats>,
+    /// Telemetry hub, attached once via [`set_obs`](Self::set_obs). A
+    /// `OnceLock` because the registry `Arc` is typically created before
+    /// the server that owns the hub.
+    obs: OnceLock<Arc<ObsHub>>,
 }
 
 impl QueueRegistry {
@@ -354,7 +361,24 @@ impl QueueRegistry {
             epoch: Instant::now(),
             unbound_refusals: AtomicU64::new(0),
             retired: Mutex::new(HandleStats::default()),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches a telemetry hub: every binding opened afterwards counts its
+    /// refusals into `registry_refusals_total{queue=,category=}`, mirrors
+    /// the in-flight quota into the `registry_inflight{queue=}` gauge, and
+    /// records an epoch-stamped [`EventKind::QuotaRefusal`] flight-recorder
+    /// event per refusal. The first hub wins; later calls are no-ops
+    /// (bindings hold per-queue cells resolved from the hub at bind time,
+    /// so swapping hubs mid-flight would split the counters).
+    pub fn set_obs(&self, hub: Arc<ObsHub>) {
+        let _ = self.obs.set(hub);
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn obs(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.get()
     }
 
     /// The configured ceiling.
@@ -473,6 +497,7 @@ impl QueueRegistry {
         let slot = Arc::new(Mutex::new(HandleStats::default()));
         entry.stats.lock().live.push(Arc::clone(&slot));
         Ok(QueueBinding {
+            obs: self.obs.get().map(|hub| BindingObs::new(hub, name)),
             entry,
             slot,
             epoch: self.epoch,
@@ -493,6 +518,11 @@ impl QueueRegistry {
     /// Counts one refusal that no queue can be charged for.
     pub fn note_unbound_refusal(&self) {
         self.unbound_refusals.fetch_add(1, Ordering::Relaxed);
+        if let Some(hub) = self.obs.get() {
+            hub.metrics()
+                .counter("registry_unbound_refusals_total", &[])
+                .inc();
+        }
     }
 
     /// Refusals answered without a bound queue.
@@ -522,6 +552,41 @@ impl fmt::Debug for QueueRegistry {
     }
 }
 
+/// Obs cells one binding touches, resolved once at bind time so the
+/// admission path never takes the metrics-registry lock: refusal counters
+/// indexed by [`refusal_category`] code, the queue's in-flight gauge, and
+/// the flight recorder for per-refusal events.
+struct BindingObs {
+    recorder: Arc<FlightRecorder>,
+    refusals: [Arc<Counter>; 5],
+    inflight: Arc<Gauge>,
+}
+
+impl BindingObs {
+    fn new(hub: &ObsHub, queue: &str) -> Self {
+        let refusals = [
+            refusal_category::DROPPED,
+            refusal_category::INFLIGHT,
+            refusal_category::RATE_BACKGROUND,
+            refusal_category::RATE_URGENT,
+            refusal_category::EXTERNAL,
+        ]
+        .map(|code| {
+            hub.metrics().counter(
+                "registry_refusals_total",
+                &[("queue", queue), ("category", refusal_category_name(code))],
+            )
+        });
+        Self {
+            recorder: Arc::clone(hub.recorder()),
+            refusals,
+            inflight: hub
+                .metrics()
+                .gauge("registry_inflight", &[("queue", queue)]),
+        }
+    }
+}
+
 /// One session's claim on a named queue: the admission gate every service
 /// operation passes through, plus this session's stats slot. Dropping the
 /// binding releases the session-quota slot and rolls the session's final
@@ -530,6 +595,7 @@ pub struct QueueBinding {
     entry: Arc<QueueEntry>,
     slot: Arc<Mutex<HandleStats>>,
     epoch: Instant,
+    obs: Option<BindingObs>,
 }
 
 impl QueueBinding {
@@ -577,6 +643,7 @@ impl QueueBinding {
     fn admit(&self, is_insert: bool, key: Key) -> Result<(), Refusal> {
         if self.entry.dropped.load(Ordering::SeqCst) {
             self.entry.refusals_dropped.fetch_add(1, Ordering::Relaxed);
+            self.obs_refusal(refusal_category::DROPPED, key);
             return Err(Refusal::Dropped);
         }
         let mut inflight_claimed = false;
@@ -591,6 +658,7 @@ impl QueueBinding {
                         });
                 if claimed.is_err() {
                     self.entry.refusals_inflight.fetch_add(1, Ordering::Relaxed);
+                    self.obs_refusal(refusal_category::INFLIGHT, key);
                     return Err(Refusal::InFlight);
                 }
             } else {
@@ -618,27 +686,59 @@ impl QueueBinding {
                                 Some(v.saturating_sub(1))
                             });
                 }
-                let counter = if background {
-                    &self.entry.refusals_rate_background
+                let (counter, category) = if background {
+                    (
+                        &self.entry.refusals_rate_background,
+                        refusal_category::RATE_BACKGROUND,
+                    )
                 } else {
-                    &self.entry.refusals_rate_urgent
+                    (
+                        &self.entry.refusals_rate_urgent,
+                        refusal_category::RATE_URGENT,
+                    )
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
+                self.obs_refusal(category, key);
                 return Err(Refusal::Rate { background });
+            }
+        }
+        if is_insert {
+            if let Some(obs) = &self.obs {
+                obs.inflight.inc();
             }
         }
         Ok(())
     }
 
+    /// Mirrors one refusal into the obs hub: per-category counter plus a
+    /// flight-recorder [`EventKind::QuotaRefusal`] event labelled with the
+    /// queue name, carrying `[category, key, inflight-at-refusal]`.
+    fn obs_refusal(&self, category: u64, key: Key) {
+        if let Some(obs) = &self.obs {
+            obs.refusals[category as usize].inc();
+            obs.recorder.record(
+                EventKind::QuotaRefusal,
+                &self.entry.name,
+                [category, key, self.entry.inflight.load(Ordering::Relaxed)],
+            );
+        }
+    }
+
     /// Credits `n` successful removals back to the in-flight quota.
     pub fn note_removed(&self, n: u64) {
         if n > 0 {
-            let _ = self
+            let prev = self
                 .entry
                 .inflight
                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
                     Some(v.saturating_sub(n))
-                });
+                })
+                .unwrap_or(0);
+            if let Some(obs) = &self.obs {
+                // Mirror the credit that actually landed (the atomic
+                // saturates at zero) so the gauge never goes negative.
+                obs.inflight.add(-(prev.min(n) as i64));
+            }
         }
     }
 
@@ -646,6 +746,7 @@ impl QueueBinding {
     /// reserved-key refusal at the service layer) against this queue.
     pub fn note_external_refusal(&self) {
         self.entry.refusals_external.fetch_add(1, Ordering::Relaxed);
+        self.obs_refusal(refusal_category::EXTERNAL, 0);
     }
 
     /// Publishes this session's current handle counters to its stats slot
@@ -960,6 +1061,88 @@ mod tests {
         let mut s = b.register(HandlePolicy::default());
         assert_eq!(s.delete_min(), Some((9, 90)), "same underlying structure");
         assert_eq!(b.snapshot().backend, "installed");
+    }
+
+    #[test]
+    fn obs_hub_mirrors_refusals_inflight_and_quota_events() {
+        let hub = ObsHub::new();
+        let reg = QueueRegistry::default();
+        reg.set_obs(Arc::clone(&hub));
+        reg.create(
+            "tenant/a",
+            mq(),
+            QuotaSpec::unlimited().with_max_inflight(2),
+        )
+        .unwrap();
+        let b = reg.bind("tenant/a").unwrap();
+        b.admit_insert(1).unwrap();
+        b.admit_insert(2).unwrap();
+        assert_eq!(b.admit_insert(3), Err(Refusal::InFlight));
+        b.note_external_refusal();
+        b.note_removed(1);
+        reg.drop_queue("tenant/a").unwrap();
+        assert_eq!(b.admit_removal(), Err(Refusal::Dropped));
+        reg.note_unbound_refusal();
+
+        let snap = hub.metrics().snapshot();
+        let refusal = |cat: &str| {
+            snap.counter(
+                "registry_refusals_total",
+                &[("queue", "tenant/a"), ("category", cat)],
+            )
+        };
+        assert_eq!(refusal("inflight"), Some(1));
+        assert_eq!(refusal("external"), Some(1));
+        assert_eq!(refusal("dropped"), Some(1));
+        assert_eq!(refusal("rate-urgent"), Some(0), "cell exists, untouched");
+        assert_eq!(
+            snap.gauge("registry_inflight", &[("queue", "tenant/a")]),
+            Some(1),
+            "two admits minus one removal credit"
+        );
+        assert_eq!(
+            snap.counter("registry_unbound_refusals_total", &[]),
+            Some(1)
+        );
+
+        // Every refusal left an epoch-stamped event naming the tenant.
+        let events: Vec<_> = hub
+            .recorder()
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::QuotaRefusal)
+            .collect();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.label == "tenant/a"));
+        assert_eq!(events[0].fields[0], refusal_category::INFLIGHT);
+        assert_eq!(events[0].fields[1], 3, "the refused key rides along");
+        assert_eq!(events[0].fields[2], 2, "in-flight load at refusal time");
+        assert_eq!(events[1].fields[0], refusal_category::EXTERNAL);
+        assert_eq!(events[2].fields[0], refusal_category::DROPPED);
+    }
+
+    #[test]
+    fn bindings_without_a_hub_record_nothing() {
+        let reg = QueueRegistry::default();
+        reg.create("q", mq(), QuotaSpec::unlimited()).unwrap();
+        let b = reg.bind("q").unwrap();
+        b.admit_insert(1).unwrap();
+        assert!(reg.obs().is_none());
+        // Attaching after a bind leaves that binding unobserved (cells are
+        // resolved at bind time) but new bindings pick the hub up.
+        let hub = ObsHub::new();
+        reg.set_obs(Arc::clone(&hub));
+        b.note_external_refusal();
+        assert!(hub.metrics().snapshot().counters.is_empty());
+        let b2 = reg.bind("q").unwrap();
+        b2.note_external_refusal();
+        assert_eq!(
+            hub.metrics().snapshot().counter(
+                "registry_refusals_total",
+                &[("queue", "q"), ("category", "external")],
+            ),
+            Some(1)
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! [`ClassLateness::completion_fraction`] reports how much of the offered
 //! load was served at all.
 
+use std::sync::Arc;
+
+use choice_obs::{Counter, Histogram, ObsHub};
 use rank_stats::histogram::LogHistogram;
 
 /// Lateness distribution of one priority class.
@@ -81,10 +84,22 @@ impl ClassLateness {
     }
 }
 
+/// The obs-registry mirror of one class: the same samples flow into a
+/// shared, sharded [`Histogram`] so external observers (`MetricsDump`,
+/// bench reports) read lateness from metrics snapshots.
+#[derive(Clone, Debug)]
+struct ClassMirror {
+    lateness_ns: Arc<Histogram>,
+    refusals: Arc<Counter>,
+}
+
 /// Per-class lateness tracker: one [`ClassLateness`] per priority class.
 #[derive(Clone, Debug)]
 pub struct LatenessTracker {
     classes: Vec<ClassLateness>,
+    /// Obs mirrors (one per class) when built with
+    /// [`with_obs`](LatenessTracker::with_obs); empty otherwise.
+    mirrors: Vec<ClassMirror>,
 }
 
 impl LatenessTracker {
@@ -92,7 +107,32 @@ impl LatenessTracker {
     pub fn new(classes: usize) -> Self {
         Self {
             classes: (0..classes).map(|_| ClassLateness::default()).collect(),
+            mirrors: Vec::new(),
         }
+    }
+
+    /// Creates a tracker that additionally mirrors every sample into `hub`'s
+    /// metrics registry: histogram `sched_lateness_ns{class=...}` and counter
+    /// `sched_refusals_total{class=...}`. Both histograms use the same
+    /// log-bucket discipline, so quantiles read from a metrics snapshot agree
+    /// with the local tracker's. Several trackers (e.g. one per worker) may
+    /// mirror into the same hub — the cells are shared and sharded.
+    pub fn with_obs(classes: usize, hub: &ObsHub) -> Self {
+        let mut tracker = Self::new(classes);
+        tracker.mirrors = (0..classes)
+            .map(|c| {
+                let class = c.to_string();
+                ClassMirror {
+                    lateness_ns: hub
+                        .metrics()
+                        .histogram("sched_lateness_ns", &[("class", &class)]),
+                    refusals: hub
+                        .metrics()
+                        .counter("sched_refusals_total", &[("class", &class)]),
+                }
+            })
+            .collect();
+        tracker
     }
 
     /// Records one task execution: `lateness_ns == 0` means on time.
@@ -107,6 +147,9 @@ impl LatenessTracker {
             c.on_time += 1;
         }
         c.lateness_ns.record(lateness_ns);
+        if let Some(mirror) = self.mirrors.get(class) {
+            mirror.lateness_ns.record(lateness_ns);
+        }
     }
 
     /// Records one task of `class` refused by admission control (the task
@@ -117,9 +160,15 @@ impl LatenessTracker {
     /// Panics if `class` is out of range.
     pub fn record_refusal(&mut self, class: usize) {
         self.classes[class].refused += 1;
+        if let Some(mirror) = self.mirrors.get(class) {
+            mirror.refusals.inc();
+        }
     }
 
     /// Merges another tracker (e.g. another worker's) into this one.
+    ///
+    /// Obs mirrors are left untouched: each tracker already mirrored its own
+    /// samples at record time, so re-mirroring here would double-count.
     ///
     /// # Panics
     ///
@@ -223,5 +272,37 @@ mod tests {
     fn mismatched_merge_panics() {
         let mut a = LatenessTracker::new(1);
         a.merge(&LatenessTracker::new(2));
+    }
+
+    #[test]
+    fn obs_mirror_sees_every_sample_and_refusal() {
+        let hub = ObsHub::new();
+        let mut a = LatenessTracker::with_obs(2, &hub);
+        let mut b = LatenessTracker::with_obs(2, &hub);
+        a.record(0, 0);
+        a.record(0, 1_500);
+        b.record(0, 3_000);
+        b.record(1, 0);
+        b.record_refusal(1);
+        // Merging must not re-mirror: the hub already holds every sample.
+        a.merge(&b);
+        let snap = hub.metrics().snapshot();
+        let c0 = snap
+            .histogram("sched_lateness_ns", &[("class", "0")])
+            .expect("class 0 mirrored");
+        assert_eq!(c0.count(), 3, "both trackers share the class-0 cells");
+        // Quantiles agree with the local tracker (same bucket discipline).
+        assert_eq!(
+            c0.quantile_upper_bound(1.0),
+            a.classes()[0].lateness_ns.quantile_upper_bound(1.0)
+        );
+        let c1 = snap
+            .histogram("sched_lateness_ns", &[("class", "1")])
+            .expect("class 1 mirrored");
+        assert_eq!(c1.count(), 1);
+        assert_eq!(
+            snap.counter("sched_refusals_total", &[("class", "1")]),
+            Some(1)
+        );
     }
 }

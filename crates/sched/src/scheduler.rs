@@ -46,8 +46,10 @@
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use choice_obs::{EventKind, ObsHub};
 use choice_pq::{check_key, HandlePolicy, HandleStats, Key, PqHandle, QueueTopology, SharedPq};
 use rank_stats::histogram::LogHistogram;
 use rank_stats::timing::OpsTimer;
@@ -319,6 +321,10 @@ pub struct Scheduler<'q, V, Q: SharedPq<V> + ?Sized> {
     queue: &'q Q,
     config: SchedulerConfig,
     quiescence: Quiescence,
+    /// Telemetry hub: worker quiescence transitions go to the flight
+    /// recorder, per-run task/backoff totals to the metrics registry. `None`
+    /// keeps the pool telemetry-free.
+    obs: Option<Arc<ObsHub>>,
     _values: PhantomData<fn(V) -> V>,
 }
 
@@ -329,8 +335,20 @@ impl<'q, V: Send, Q: SharedPq<V> + ?Sized> Scheduler<'q, V, Q> {
             queue,
             config,
             quiescence: Quiescence::default(),
+            obs: None,
             _values: PhantomData,
         }
+    }
+
+    /// Attaches a telemetry hub: each worker records a
+    /// [`Quiescence`](EventKind::Quiescence) flight-recorder event when the
+    /// termination detector fires, and folds its executed-task and
+    /// backoff-wait totals into the `sched_tasks_executed_total` /
+    /// `sched_backoff_waits_total` counters (off the hot path — once per
+    /// worker per run).
+    pub fn with_obs(mut self, hub: Arc<ObsHub>) -> Self {
+        self.obs = Some(hub);
+        self
     }
 
     /// The configuration this scheduler was built with.
@@ -521,6 +539,19 @@ impl<'q, V: Send, Q: SharedPq<V> + ?Sized> Scheduler<'q, V, Q> {
                 && self.quiescence.sources.load(Ordering::SeqCst) == 0
                 && self.quiescence.pending.load(Ordering::SeqCst) == 0
             {
+                if let Some(hub) = &self.obs {
+                    hub.recorder().record(
+                        EventKind::Quiescence,
+                        "sched",
+                        [worker as u64, report.executed, 0],
+                    );
+                    hub.metrics()
+                        .counter("sched_tasks_executed_total", &[])
+                        .add(report.executed);
+                    hub.metrics()
+                        .counter("sched_backoff_waits_total", &[])
+                        .add(report.backoff_waits);
+                }
                 break;
             }
             idle_polls += 1;
@@ -719,6 +750,38 @@ mod tests {
         assert_eq!(p.wait_for(4), Some(Duration::from_micros(20)));
         assert_eq!(p.wait_for(5), Some(Duration::from_micros(35)));
         assert_eq!(p.wait_for(60), Some(Duration::from_micros(35)));
+    }
+
+    #[test]
+    fn quiescence_transitions_reach_the_flight_recorder() {
+        let hub = ObsHub::new();
+        let q = queue(2, 9);
+        let sched = Scheduler::new(&q, SchedulerConfig::new(2)).with_obs(Arc::clone(&hub));
+        {
+            let mut seeder = sched.injector();
+            for i in 0..50u64 {
+                seeder.inject(i, i);
+            }
+        }
+        let (report, _) = sched.run_simple(|_, _, _| {});
+        assert_eq!(report.executed, 50);
+        let quiesced: Vec<_> = hub
+            .recorder()
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Quiescence)
+            .collect();
+        assert_eq!(quiesced.len(), 2, "one transition per worker");
+        let mut workers: Vec<u64> = quiesced.iter().map(|e| e.fields[0]).collect();
+        workers.sort_unstable();
+        assert_eq!(workers, vec![0, 1]);
+        assert_eq!(
+            quiesced.iter().map(|e| e.fields[1]).sum::<u64>(),
+            50,
+            "executed counts in the events sum to the report"
+        );
+        let snap = hub.metrics().snapshot();
+        assert_eq!(snap.counter("sched_tasks_executed_total", &[]), Some(50));
     }
 
     #[test]

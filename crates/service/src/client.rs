@@ -249,6 +249,16 @@ impl PqClient {
         }
     }
 
+    /// Reads the server's metrics exposition text (one round trip, v4+):
+    /// Prometheus-style metric lines, plus the flight-recorder events as
+    /// comment lines when `include_events` is set.
+    pub fn metrics_dump(&mut self, include_events: bool) -> Result<String, ClientError> {
+        match Self::ok_or_remote(self.call(&Request::MetricsDump { include_events })?)? {
+            Response::MetricsText(text) => Ok(text),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
     /// Asks the server to shut down and waits for the acknowledgement.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         match Self::ok_or_remote(self.call(&Request::Shutdown)?)? {

@@ -6,11 +6,12 @@
 //! * [`protocol`] — a versioned, length-prefixed binary wire protocol:
 //!   `Insert` / `DeleteMin` / `DeleteMinBatch(n)` / `ApproxLen` / `Stats` /
 //!   `Shutdown` frames plus the v3 queue-lifecycle ops `CreateQueue` /
-//!   `DropQueue` / `ListQueues` / `UseQueue`, with total, panic-free
-//!   decoding and explicit error types for truncated and malformed bytes.
-//!   Version-2 clients keep working: the server answers every frame at the
-//!   version it arrived with, and a v2 session is simply bound to the
-//!   `"default"` queue forever.
+//!   `DropQueue` / `ListQueues` / `UseQueue` and the v4 observability op
+//!   `MetricsDump`, with total, panic-free decoding and explicit error
+//!   types for truncated and malformed bytes. Older clients keep working:
+//!   the server answers every frame at the version it arrived with — a v2
+//!   session is simply bound to the `"default"` queue forever, and a v3
+//!   Stats reply omits the v4 `resize_epoch` counter.
 //! * [`server`] — a multi-threaded server fronting a
 //!   [`QueueRegistry`] of **named queues**:
 //!   each accepted connection binds a queue (the `"default"` queue until it
@@ -23,7 +24,11 @@
 //!   `QuotaExceeded` refusals, a credit window bounds response buffering,
 //!   and a `Stats` op aggregates
 //!   [`HandleStats`](choice_pq::HandleStats) across sessions with a
-//!   per-queue breakdown.
+//!   per-queue breakdown. Every server carries a [`choice_obs::ObsHub`]:
+//!   admission refusals and in-flight depth surface as registry metrics,
+//!   sessions and panics land in the flight recorder (a panicking handler
+//!   dumps the ring and kills only its own connection), and `MetricsDump`
+//!   serves the whole hub as Prometheus-style exposition text.
 //! * [`client`] — a blocking, pipelined client: synchronous one-round-trip
 //!   methods plus a windowed [`submit`](client::PqClient::submit) path that
 //!   keeps up to a credit window of requests in flight and hands back
@@ -79,3 +84,8 @@ pub use server::{PqServer, ServerConfig};
 // and the registry itself for `PqServer::spawn_registry`), re-exported so
 // wire users don't need a direct `choice-registry` dependency.
 pub use choice_registry::{BackendSpec, QueueRegistry, QuotaSpec, RegistryConfig, DEFAULT_QUEUE};
+
+// The telemetry hub type appears in the server API
+// (`PqServer::spawn_registry_with_obs`, `PqServer::obs`); re-exported for
+// the same reason.
+pub use choice_obs::ObsHub;

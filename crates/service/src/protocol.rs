@@ -43,11 +43,14 @@ use choice_registry::{BackendSpec, QuotaSpec, MAX_NAME_LEN, MAX_QUEUES};
 ///
 /// Version history: v1 carried a 7-counter Stats payload; v2 extended it
 /// with the queue-topology triple (`active_lanes`, `max_lanes`,
-/// `resize_events`); v3 (current) adds the queue-registry operations
-/// (`CreateQueue` / `DropQueue` / `ListQueues` / `UseQueue`), a `refusals`
-/// counter, and a per-queue breakdown in the Stats reply. Fixed layouts are
-/// not self-describing, so any layout change is a version bump.
-pub const WIRE_VERSION: u8 = 3;
+/// `resize_events`); v3 adds the queue-registry operations (`CreateQueue` /
+/// `DropQueue` / `ListQueues` / `UseQueue`), a `refusals` counter, and a
+/// per-queue breakdown in the Stats reply; v4 (current) adds the telemetry
+/// op `MetricsDump` (a Prometheus-style exposition dump with an optional
+/// flight-recorder event tail) and a `resize_epoch` field in the Stats
+/// topology row. Fixed layouts are not self-describing, so any layout
+/// change is a version bump.
+pub const WIRE_VERSION: u8 = 4;
 
 /// The oldest version this build still decodes and answers. v2 frames
 /// carry no registry opcodes and receive the legacy 9-counter Stats
@@ -185,6 +188,15 @@ pub enum Request {
         /// The queue to bind.
         name: String,
     },
+    /// v4: read the server's telemetry as a Prometheus-style text dump,
+    /// answered with [`Response::MetricsText`]. Purely diagnostic: not
+    /// charged against any quota and served whatever queue (if any) the
+    /// session is bound to.
+    MetricsDump {
+        /// Whether to append the flight-recorder event tail (as
+        /// `# `-prefixed comment lines) after the metric families.
+        include_events: bool,
+    },
 }
 
 /// Server → client frames.
@@ -219,6 +231,9 @@ pub enum Response {
     /// v3: acknowledges a [`Request::UseQueue`]; subsequent session
     /// operations run against the new queue.
     Using,
+    /// v4: answers a [`Request::MetricsDump`] with the rendered exposition
+    /// text (UTF-8; servers truncate it to fit [`MAX_FRAME_LEN`]).
+    MetricsText(String),
     /// The request was understood but refused.
     Error {
         /// Machine-readable refusal reason.
@@ -355,6 +370,12 @@ pub struct ServiceStats {
     /// Completed resize events (grows plus shrinks) summed over the
     /// instantiated queues; `0` for non-elastic backends.
     pub resize_events: u64,
+    /// v4: lane-table resize epochs summed over the instantiated queues —
+    /// unlike `resize_events` (derived from grow/shrink counters) this is
+    /// the epoch stamp external observers correlate with epoch-carrying
+    /// flight-recorder `Resize` events. `0` when decoded from a pre-v4
+    /// frame.
+    pub resize_epoch: u64,
     /// v3: per-queue breakdown, sorted by name. Empty when decoded from a
     /// v2 frame (the legacy layout has no rows).
     pub queues: Vec<QueueStats>,
@@ -371,6 +392,7 @@ const OP_CREATE_QUEUE: u8 = 0x07;
 const OP_DROP_QUEUE: u8 = 0x08;
 const OP_LIST_QUEUES: u8 = 0x09;
 const OP_USE_QUEUE: u8 = 0x0A;
+const OP_METRICS_DUMP: u8 = 0x0B;
 
 // Response opcodes (high bit set).
 const OP_INSERTED: u8 = 0x81;
@@ -384,22 +406,28 @@ const OP_QUEUE_CREATED: u8 = 0x88;
 const OP_QUEUE_DROPPED: u8 = 0x89;
 const OP_QUEUE_LIST: u8 = 0x8A;
 const OP_USING: u8 = 0x8B;
+const OP_METRICS_DUMP_REPLY: u8 = 0x8C;
 const OP_ERROR: u8 = 0xFF;
 
-/// Whether a request opcode exists only from v3 on.
-fn request_opcode_needs_v3(opcode: u8) -> bool {
-    matches!(
-        opcode,
-        OP_CREATE_QUEUE | OP_DROP_QUEUE | OP_LIST_QUEUES | OP_USE_QUEUE
-    )
+/// The oldest version at which a request opcode exists ([`MIN_WIRE_VERSION`]
+/// for the original set). A frame carrying an opcode younger than its
+/// version byte decodes as [`WireError::UnknownOpcode`] — that version
+/// never assigned it.
+fn request_opcode_min_version(opcode: u8) -> u8 {
+    match opcode {
+        OP_CREATE_QUEUE | OP_DROP_QUEUE | OP_LIST_QUEUES | OP_USE_QUEUE => 3,
+        OP_METRICS_DUMP => 4,
+        _ => MIN_WIRE_VERSION,
+    }
 }
 
-/// Whether a response opcode exists only from v3 on.
-fn response_opcode_needs_v3(opcode: u8) -> bool {
-    matches!(
-        opcode,
-        OP_QUEUE_CREATED | OP_QUEUE_DROPPED | OP_QUEUE_LIST | OP_USING
-    )
+/// The oldest version at which a response opcode exists.
+fn response_opcode_min_version(opcode: u8) -> u8 {
+    match opcode {
+        OP_QUEUE_CREATED | OP_QUEUE_DROPPED | OP_QUEUE_LIST | OP_USING => 3,
+        OP_METRICS_DUMP_REPLY => 4,
+        _ => MIN_WIRE_VERSION,
+    }
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -584,6 +612,11 @@ impl Request {
             Request::UseQueue { name } => encode_frame(out, version, OP_USE_QUEUE, |out| {
                 put_name(out, name);
             }),
+            Request::MetricsDump { include_events } => {
+                encode_frame(out, version, OP_METRICS_DUMP, |out| {
+                    out.push(*include_events as u8);
+                })
+            }
         }
     }
 
@@ -598,7 +631,7 @@ impl Request {
     /// receive frames they can decode.
     pub fn decode_versioned(buf: &[u8]) -> Result<(Request, u8, usize), WireError> {
         let (version, opcode, payload, total) = split_frame(buf)?;
-        if request_opcode_needs_v3(opcode) && version < 3 {
+        if version < request_opcode_min_version(opcode) {
             return Err(WireError::UnknownOpcode(opcode));
         }
         let request = match opcode {
@@ -674,6 +707,16 @@ impl Request {
                 p.finish()?;
                 Request::UseQueue { name }
             }
+            OP_METRICS_DUMP => {
+                let mut p = Payload::new(payload, opcode, "include_events u8 (0 or 1)");
+                let include_events = match p.take_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(p.malformed()),
+                };
+                p.finish()?;
+                Request::MetricsDump { include_events }
+            }
             other => return Err(WireError::UnknownOpcode(other)),
         };
         Ok((request, version, total))
@@ -738,6 +781,9 @@ impl Response {
                 put_u64(out, stats.active_lanes);
                 put_u64(out, stats.max_lanes);
                 put_u64(out, stats.resize_events);
+                if version >= 4 {
+                    put_u64(out, stats.resize_epoch);
+                }
                 if version >= 3 {
                     assert!(
                         stats.queues.len() <= MAX_QUEUES,
@@ -780,6 +826,22 @@ impl Response {
                 })
             }
             Response::Using => encode_frame(out, version, OP_USING, |_| {}),
+            Response::MetricsText(text) => {
+                // Bound the dump exactly like an error detail: truncate on a
+                // char boundary so the frame never exceeds MAX_FRAME_LEN.
+                let mut text = text.as_str();
+                let cap = (MAX_FRAME_LEN - 2) as usize;
+                if text.len() > cap {
+                    let mut end = cap;
+                    while !text.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    text = &text[..end];
+                }
+                encode_frame(out, version, OP_METRICS_DUMP_REPLY, |out| {
+                    out.extend_from_slice(text.as_bytes());
+                })
+            }
             Response::Error { code, detail } => {
                 // Bound the detail so the frame stays within MAX_FRAME_LEN
                 // whatever the caller passes (truncate on a char boundary).
@@ -811,7 +873,7 @@ impl Response {
     /// per-queue rows — the legacy layout does not carry them.
     pub fn decode_versioned(buf: &[u8]) -> Result<(Response, u8, usize), WireError> {
         let (version, opcode, payload, total) = split_frame(buf)?;
-        if response_opcode_needs_v3(opcode) && version < 3 {
+        if version < response_opcode_min_version(opcode) {
             return Err(WireError::UnknownOpcode(opcode));
         }
         let response = match opcode {
@@ -852,10 +914,10 @@ impl Response {
                 Response::Len(len)
             }
             OP_STATS_REPLY => {
-                let expected = if version >= 3 {
-                    "10 u64 counters + queue_count u32 + per-queue rows"
-                } else {
-                    "9 u64 counters"
+                let expected = match version {
+                    4.. => "11 u64 counters + queue_count u32 + per-queue rows",
+                    3 => "10 u64 counters + queue_count u32 + per-queue rows",
+                    _ => "9 u64 counters",
                 };
                 let mut p = Payload::new(payload, opcode, expected);
                 let sessions = p.take_u64()?;
@@ -868,6 +930,7 @@ impl Response {
                 let active_lanes = p.take_u64()?;
                 let max_lanes = p.take_u64()?;
                 let resize_events = p.take_u64()?;
+                let resize_epoch = if version >= 4 { p.take_u64()? } else { 0 };
                 let mut queues = Vec::new();
                 if version >= 3 {
                     let count = p.take_u32()?;
@@ -909,6 +972,7 @@ impl Response {
                     active_lanes,
                     max_lanes,
                     resize_events,
+                    resize_epoch,
                     queues,
                 })
             }
@@ -954,6 +1018,9 @@ impl Response {
             OP_USING => {
                 Payload::new(payload, opcode, "empty payload").finish()?;
                 Response::Using
+            }
+            OP_METRICS_DUMP_REPLY => {
+                Response::MetricsText(String::from_utf8_lossy(payload).into_owned())
             }
             OP_ERROR => {
                 let mut p = Payload::new(payload, opcode, "code u8 + utf8 detail");
@@ -1110,6 +1177,12 @@ mod tests {
         roundtrip_request(Request::UseQueue {
             name: "x".repeat(MAX_NAME_LEN),
         });
+        roundtrip_request(Request::MetricsDump {
+            include_events: false,
+        });
+        roundtrip_request(Request::MetricsDump {
+            include_events: true,
+        });
         // Every backend family and a fully-populated quota.
         for backend in [
             BackendSpec::MultiQueue { lanes: 8, d: 2 },
@@ -1152,6 +1225,10 @@ mod tests {
         roundtrip_response(Response::QueueCreated);
         roundtrip_response(Response::QueueDropped);
         roundtrip_response(Response::Using);
+        roundtrip_response(Response::MetricsText(String::new()));
+        roundtrip_response(Response::MetricsText(
+            "# TYPE mq_ops_total counter\nmq_ops_total{queue=\"default\"} 42\n".to_string(),
+        ));
         roundtrip_response(Response::QueueList(vec![]));
         roundtrip_response(Response::QueueList(vec![
             QueueListRow {
@@ -1243,6 +1320,7 @@ mod tests {
             active_lanes: 0x0707,
             max_lanes: 0x0808,
             resize_events: 0x0909,
+            resize_epoch: 0x1515,
             queues: vec![
                 QueueStats {
                     name: "default".to_string(),
@@ -1267,7 +1345,7 @@ mod tests {
         }
     }
 
-    /// Every truncation of a v3 Stats reply — including cuts landing inside
+    /// Every truncation of a v4 Stats reply — including cuts landing inside
     /// the per-queue rows — must report `Truncated` (the stream-reader
     /// "wait for more" signal), never decode a partial aggregate and never
     /// classify the prefix as garbage.
@@ -1276,17 +1354,17 @@ mod tests {
         let stats = full_stats();
         let mut buf = Vec::new();
         Response::Stats(stats.clone()).encode(&mut buf);
-        // Header (4 len + 1 version + 1 opcode) + 10 × u64 + queue count +
+        // Header (4 len + 1 version + 1 opcode) + 11 × u64 + queue count +
         // one row per queue (name field + 8 × u64 each).
         let expected_len = 6
-            + 10 * 8
+            + 11 * 8
             + 4
             + stats
                 .queues
                 .iter()
                 .map(|q| 1 + q.name.len() + 8 * 8)
                 .sum::<usize>();
-        assert_eq!(buf.len(), expected_len, "v3 Stats layout drifted");
+        assert_eq!(buf.len(), expected_len, "v4 Stats layout drifted");
         for cut in 0..buf.len() {
             let err = Response::decode(&buf[..cut]).expect_err("truncation must fail");
             assert!(
@@ -1364,9 +1442,10 @@ mod tests {
     /// frame) is a malformed payload, not a silent short decode.
     #[test]
     fn undersized_stats_payloads_are_rejected_as_malformed() {
-        for counters in [6u64, 9, 10] {
-            // 6 = v1-ish, 9 = the v2 layout inside a v3 frame (missing
-            // refusals + queue count), 10 = missing the queue count.
+        for counters in [6u64, 9, 10, 11] {
+            // 6 = v1-ish, 9 = the v2 layout inside a v4 frame, 10 = the v3
+            // counter set (missing resize_epoch + queue count), 11 =
+            // missing the queue count.
             let mut buf = Vec::new();
             encode_frame(&mut buf, WIRE_VERSION, OP_STATS_REPLY, |out| {
                 for counter in 0..counters {
@@ -1380,6 +1459,23 @@ mod tests {
                         opcode: OP_STATS_REPLY,
                         ..
                     })
+                ),
+                "{counters}-counter v4 Stats payload must be malformed"
+            );
+        }
+        // A v3 frame sized for v4 (11 counters) or missing its queue count
+        // (10 counters, no u32) is malformed too.
+        for counters in [9u64, 11] {
+            let mut buf = Vec::new();
+            encode_frame(&mut buf, 3, OP_STATS_REPLY, |out| {
+                for counter in 0..counters {
+                    put_u64(out, counter);
+                }
+            });
+            assert!(
+                matches!(
+                    Response::decode(&buf),
+                    Err(WireError::MalformedPayload { .. })
                 ),
                 "{counters}-counter v3 Stats payload must be malformed"
             );
@@ -1424,6 +1520,7 @@ mod tests {
                 assert_eq!(v2.active_lanes, stats.active_lanes);
                 assert_eq!(v2.max_lanes, stats.max_lanes);
                 assert_eq!(v2.resize_events, stats.resize_events);
+                assert_eq!(v2.resize_epoch, 0, "v2 carries no resize epoch");
                 assert_eq!(v2.totals.refusals, 0, "v2 carries no refusals");
                 assert!(v2.queues.is_empty(), "v2 carries no per-queue rows");
             }
@@ -1434,6 +1531,89 @@ mod tests {
             let err = Response::decode(&buf[..cut]).expect_err("truncation must fail");
             assert!(err.is_incomplete(), "v2 cut at {cut}: {err:?}");
         }
+    }
+
+    /// A v3-encoded Stats reply carries the 10-counter layout (no
+    /// `resize_epoch`) and decodes back with that field defaulted, rows
+    /// intact — the downgrade path v3 peers ride on a v4 server.
+    #[test]
+    fn v3_stats_layout_round_trips_without_the_resize_epoch() {
+        let stats = full_stats();
+        let mut buf = Vec::new();
+        Response::Stats(stats.clone()).encode_versioned(&mut buf, 3);
+        let row_bytes: usize = stats.queues.iter().map(|q| 1 + q.name.len() + 8 * 8).sum();
+        assert_eq!(
+            buf.len(),
+            6 + 10 * 8 + 4 + row_bytes,
+            "v3 Stats layout is 10 u64 counters + rows"
+        );
+        let (decoded, version, used) = Response::decode_versioned(&buf).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(used, buf.len());
+        match decoded {
+            Response::Stats(v3) => {
+                assert_eq!(v3.resize_epoch, 0, "v3 carries no resize epoch");
+                assert_eq!(v3.resize_events, stats.resize_events);
+                assert_eq!(v3.queues, stats.queues, "v3 keeps the per-queue rows");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        for cut in 0..buf.len() {
+            let err = Response::decode(&buf[..cut]).expect_err("truncation must fail");
+            assert!(err.is_incomplete(), "v3 cut at {cut}: {err:?}");
+        }
+    }
+
+    /// v4-only opcodes inside a v2 or v3 frame are unknown opcodes, and
+    /// every truncation of the new frames is incomplete.
+    #[test]
+    fn pre_v4_frames_reject_v4_opcodes() {
+        for version in [2u8, 3] {
+            let mut buf = Vec::new();
+            Request::MetricsDump {
+                include_events: true,
+            }
+            .encode_versioned(&mut buf, version);
+            assert!(
+                matches!(Request::decode(&buf), Err(WireError::UnknownOpcode(_))),
+                "MetricsDump must be unknown at v{version}"
+            );
+            let mut buf = Vec::new();
+            Response::MetricsText("x".to_string()).encode_versioned(&mut buf, version);
+            assert!(
+                matches!(Response::decode(&buf), Err(WireError::UnknownOpcode(_))),
+                "MetricsText must be unknown at v{version}"
+            );
+        }
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut buf = Vec::new();
+        Request::MetricsDump {
+            include_events: false,
+        }
+        .encode(&mut buf);
+        frames.push(std::mem::take(&mut buf));
+        Response::MetricsText("mq_ops_total 7\n".to_string()).encode(&mut buf);
+        frames.push(std::mem::take(&mut buf));
+        for frame in frames {
+            for cut in 0..frame.len() {
+                let request_err = Request::decode(&frame[..cut]).err();
+                let response_err = Response::decode(&frame[..cut]).err();
+                for err in [request_err, response_err].into_iter().flatten() {
+                    assert!(
+                        err.is_incomplete(),
+                        "cut at {cut}/{} should be Truncated, got {err:?}",
+                        frame.len()
+                    );
+                }
+            }
+        }
+        // The include_events flag is a strict bool.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_METRICS_DUMP, |out| out.push(2));
+        assert!(matches!(
+            Request::decode(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
     }
 
     /// v3-only opcodes inside a v2 frame are unknown opcodes: an old peer
@@ -1840,7 +2020,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
         #[test]
-        fn requests_round_trip(key in 0u64..u64::MAX, value in 0u64..=u64::MAX, max in 0u32..=u32::MAX, pick in 0u8..10) {
+        fn requests_round_trip(key in 0u64..u64::MAX, value in 0u64..=u64::MAX, max in 0u32..=u32::MAX, pick in 0u8..11) {
             let name = name_from_seed(key ^ value);
             let request = match pick {
                 0 => Request::Insert { key, value },
@@ -1863,7 +2043,8 @@ mod tests {
                 },
                 7 => Request::DropQueue { name },
                 8 => Request::ListQueues,
-                _ => Request::UseQueue { name },
+                9 => Request::UseQueue { name },
+                _ => Request::MetricsDump { include_events: key % 2 == 0 },
             };
             let mut buf = Vec::new();
             request.encode(&mut buf);
@@ -1876,7 +2057,7 @@ mod tests {
         fn responses_round_trip(
             entries in proptest::collection::vec(0u64..=u64::MAX, 0..32),
             n in 0u64..=u64::MAX,
-            pick in 0u8..12,
+            pick in 0u8..13,
         ) {
             let pairs: Vec<(u64, u64)> = entries.iter().map(|&k| (k, k ^ 0xABCD)).collect();
             let response = match pick {
@@ -1898,6 +2079,7 @@ mod tests {
                     active_lanes: n / 6,
                     max_lanes: n / 6 + 8,
                     resize_events: n / 7,
+                    resize_epoch: n / 9,
                     queues: entries
                         .iter()
                         .take(4)
@@ -1934,6 +2116,7 @@ mod tests {
                         .collect(),
                 ),
                 10 => Response::Using,
+                11 => Response::MetricsText(format!("# dump {n}\nmq_ops_total {n}\n")),
                 _ => Response::Error {
                     code: ErrorCode::from_u8(1 + (n % 9) as u8).expect("codes 1..=9 are assigned"),
                     detail: format!("n = {n}"),

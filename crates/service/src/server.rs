@@ -53,11 +53,13 @@
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use choice_obs::{EventKind, ObsHub};
 use choice_pq::{DynSharedPq, HandlePolicy, Key, PqHandle};
 use choice_registry::{
     QueueBinding, QueueRegistry, QuotaSpec, Refusal, RegistryError, DEFAULT_QUEUE,
@@ -85,6 +87,11 @@ pub struct ServerConfig {
     /// connection's write buffer before a flush is forced. Mirrors the
     /// client's pipelining window; `1` degenerates to flush-per-response.
     pub credit_window: usize,
+    /// Fault injection for the panic-recovery path: an `Insert` of exactly
+    /// this key panics the connection handler (before admission, so no
+    /// counters move). The panic is caught, the flight recorder dumps, and
+    /// only that connection dies. `None` (the default) disables the trap.
+    pub panic_on_key: Option<Key>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +100,7 @@ impl Default for ServerConfig {
             policy: HandlePolicy::default(),
             max_batch: MAX_BATCH,
             credit_window: 64,
+            panic_on_key: None,
         }
     }
 }
@@ -125,6 +133,13 @@ impl ServerConfig {
         self.credit_window = credit_window;
         self
     }
+
+    /// Arms the panic fault-injection trap on `key` (see
+    /// [`panic_on_key`](ServerConfig::panic_on_key)).
+    pub fn with_panic_on_key(mut self, key: Key) -> Self {
+        self.panic_on_key = Some(key);
+        self
+    }
 }
 
 /// How often blocked accept/read calls re-check the shutdown flag.
@@ -134,6 +149,11 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 struct Shared {
     registry: Arc<QueueRegistry>,
     config: ServerConfig,
+    /// The telemetry hub every layer under this server reports into: the
+    /// registry's admission gates (installed via `set_obs` at spawn), the
+    /// flight recorder the session events and panic dumps land in, and the
+    /// `MetricsDump` exposition endpoint.
+    obs: Arc<ObsHub>,
     shutdown: AtomicBool,
     sessions_opened: AtomicU64,
     /// Raw streams of the *live* connections (removed on handler exit).
@@ -158,6 +178,7 @@ impl Shared {
         let mut active_lanes = 0u64;
         let mut max_lanes = 0u64;
         let mut resize_events = 0u64;
+        let mut resize_epoch = 0u64;
         let mut queues = Vec::new();
         for snap in self.registry.stats() {
             totals.merge(&snap.totals);
@@ -165,6 +186,7 @@ impl Shared {
                 active_lanes += topology.active_lanes as u64;
                 max_lanes += topology.max_lanes as u64;
                 resize_events += topology.resize_events();
+                resize_epoch += topology.resize_epoch;
             }
             queues.push(QueueStats {
                 name: snap.name,
@@ -179,6 +201,7 @@ impl Shared {
             active_lanes,
             max_lanes,
             resize_events,
+            resize_epoch,
             queues,
         }
     }
@@ -285,14 +308,31 @@ impl PqServer {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<PqServer> {
+        Self::spawn_registry_with_obs(registry, addr, config, ObsHub::new())
+    }
+
+    /// Like [`spawn_registry`](PqServer::spawn_registry), but reports into a
+    /// caller-supplied [`ObsHub`] (a shared hub across several servers, a
+    /// larger flight-recorder ring, or a deterministic clock in tests). The
+    /// hub is also offered to the registry via
+    /// [`set_obs`](QueueRegistry::set_obs); if the registry already carries
+    /// one, its bindings keep the hub they resolved first.
+    pub fn spawn_registry_with_obs(
+        registry: Arc<QueueRegistry>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        obs: Arc<ObsHub>,
+    ) -> io::Result<PqServer> {
         assert!(config.credit_window > 0, "credit window must be positive");
         assert!(config.max_batch > 0, "max batch must be positive");
+        registry.set_obs(Arc::clone(&obs));
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             registry,
             config,
+            obs,
             shutdown: AtomicBool::new(false),
             sessions_opened: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
@@ -317,6 +357,12 @@ impl PqServer {
     /// here are visible to connected clients and vice versa).
     pub fn registry(&self) -> &Arc<QueueRegistry> {
         &self.shared.registry
+    }
+
+    /// The telemetry hub this server reports into: metrics from every
+    /// layer, the flight recorder, and the `MetricsDump` exposition text.
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.shared.obs
     }
 
     /// Whether a shutdown (local or wire-initiated) has been requested.
@@ -433,7 +479,14 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     let mut next_binding: Option<QueueBinding> = None;
     let mut next_name: Option<String> = Some(DEFAULT_QUEUE.to_string());
 
-    let result = 'bind: loop {
+    let recorder = Arc::clone(shared.obs.recorder());
+    recorder.record(EventKind::SessionOpen, "", [conn_id, 0, 0]);
+    // While this thread serves, panics dump the scoped flight recorder (via
+    // the process-wide hook) before unwinding; the catch below then confines
+    // the damage to this connection — its binding and session drop normally,
+    // rolling counters into the queue, and the server keeps serving.
+    let scope = recorder.panic_scope();
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| 'bind: loop {
         let binding: Option<QueueBinding> = match next_binding.take() {
             Some(binding) => Some(binding),
             // A failed initial bind (no default queue) leaves the session
@@ -518,6 +571,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                             }
                         }
                         Request::Insert { key, value } => {
+                            if shared.config.panic_on_key == Some(*key) {
+                                panic!("fault injection: insert of key {key} trips the panic trap");
+                            }
                             Some(match (binding.as_ref(), session.as_mut()) {
                                 (Some(b), Some(sess)) => {
                                     if *key == Key::MAX {
@@ -595,6 +651,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                             })
                         }
                         Request::ListQueues => Some(shared.queue_list()),
+                        Request::MetricsDump { include_events } => {
+                            // A diagnostic read like ApproxLen: answered for
+                            // unbound sessions too and charged to no quota.
+                            Some(Response::MetricsText(
+                                shared.obs.render_dump(*include_events),
+                            ))
+                        }
                         Request::UseQueue { name } => Some(match shared.registry.bind(name) {
                             Ok(new_binding) => {
                                 rebind = Some(new_binding);
@@ -682,9 +745,16 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
         // final counters (published after every request above) into the
         // queue's closed accumulator.
         break 'bind inner;
-    };
+    }));
+    drop(scope);
+    recorder.record(EventKind::SessionClose, "", [conn_id, 0, 0]);
     shared.conns.lock().retain(|(id, _)| *id != conn_id);
-    result
+    match result {
+        Ok(result) => result,
+        Err(_) => Err(io::Error::other(
+            "connection handler panicked (flight-recorder dump captured)",
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -867,6 +937,10 @@ mod tests {
                 assert_eq!(stats.active_lanes, 8);
                 assert_eq!(stats.max_lanes, 16);
                 assert!(stats.resize_events >= 1);
+                assert!(
+                    stats.resize_epoch >= 1,
+                    "the committed resize bumps the epoch over the wire"
+                );
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -1173,6 +1247,109 @@ mod tests {
         );
     }
 
+    /// The v4 exposition endpoint over the wire: session traffic shows up as
+    /// registry metrics, and `include_events` appends the flight recorder as
+    /// comment lines (still line-scrapeable).
+    #[test]
+    fn metrics_dump_over_the_wire_exposes_counters_and_events() {
+        let server = spawn_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            request_reply(&mut stream, &Request::Insert { key: 3, value: 30 }),
+            Response::Inserted
+        );
+        match request_reply(
+            &mut stream,
+            &Request::MetricsDump {
+                include_events: false,
+            },
+        ) {
+            Response::MetricsText(text) => {
+                assert!(
+                    text.contains("registry_inflight"),
+                    "admitted insert reaches the registry gauge:\n{text}"
+                );
+                assert!(
+                    !text.contains("# flight recorder"),
+                    "events only ride along on request:\n{text}"
+                );
+            }
+            other => panic!("expected metrics text, got {other:?}"),
+        }
+        match request_reply(
+            &mut stream,
+            &Request::MetricsDump {
+                include_events: true,
+            },
+        ) {
+            Response::MetricsText(text) => {
+                assert!(text.contains("# flight recorder"), "events ride along");
+                assert!(
+                    text.contains("session-open"),
+                    "this very connection's open event is in the ring:\n{text}"
+                );
+                for line in text.lines() {
+                    assert!(
+                        line.is_empty()
+                            || line.starts_with('#')
+                            || line.split_whitespace().count() == 2,
+                        "exposition stays scrapeable, offending line: {line}"
+                    );
+                }
+            }
+            other => panic!("expected metrics text, got {other:?}"),
+        }
+    }
+
+    /// The panic-recovery path (fault-injected): a panicking op dumps the
+    /// flight recorder, kills only its own connection, and the server keeps
+    /// serving other sessions.
+    #[test]
+    fn panicking_op_dumps_the_flight_recorder_and_the_server_survives() {
+        let server = spawn_server(ServerConfig::default().with_panic_on_key(77));
+        let mut victim = TcpStream::connect(server.local_addr()).unwrap();
+        // A normal op first, so the session is demonstrably live.
+        assert_eq!(
+            request_reply(&mut victim, &Request::Insert { key: 1, value: 1 }),
+            Response::Inserted
+        );
+        // Trip the trap: the handler panics, the hook dumps, the socket
+        // closes (EOF or reset — either proves the handler released it).
+        let mut wire = Vec::new();
+        Request::Insert { key: 77, value: 0 }.encode(&mut wire);
+        victim.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        // An `Err` (connection reset) equally proves the handler released
+        // the socket.
+        if let Ok(more) = read_frame_bytes(&mut victim, &mut frame) {
+            assert!(!more, "no response frame follows a panicked op");
+        }
+        // The panic hook captured a dump naming the panic and this session.
+        let dump = choice_obs::take_last_panic_dump().expect("panic dump captured");
+        assert!(
+            dump.contains("panic"),
+            "dump records the panic event:\n{dump}"
+        );
+        assert!(
+            dump.contains("fault injection"),
+            "panic message rides in the event label:\n{dump}"
+        );
+        assert!(
+            dump.contains("session-open"),
+            "the session's own open event precedes the panic:\n{dump}"
+        );
+        // Other sessions are unaffected: a fresh connection still serves,
+        // and the inserted key from before the panic is still in the queue.
+        let mut fresh = TcpStream::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            request_reply(&mut fresh, &Request::DeleteMin),
+            Response::Entry { key: 1, value: 1 }
+        );
+        drop(fresh);
+        drop(victim);
+        server.join();
+    }
+
     #[test]
     fn config_builders_validate() {
         let c = ServerConfig::default()
@@ -1182,6 +1359,11 @@ mod tests {
         assert_eq!(c.policy.insert_batch, 8);
         assert_eq!(c.max_batch, 100);
         assert_eq!(c.credit_window, 7);
+        assert_eq!(c.panic_on_key, None);
+        assert_eq!(
+            ServerConfig::default().with_panic_on_key(9).panic_on_key,
+            Some(9)
+        );
         assert!(std::panic::catch_unwind(|| ServerConfig::default().with_max_batch(0)).is_err());
         assert!(
             std::panic::catch_unwind(|| ServerConfig::default().with_credit_window(0)).is_err()

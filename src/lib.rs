@@ -74,6 +74,11 @@ pub use choice_wire as service;
 /// these; it is equally usable in process.
 pub use choice_registry as registry;
 
+/// Unified telemetry ("choice-obs"): the sharded lock-free metrics
+/// registry, the flight-recorder event ring, and the sampling helpers every
+/// layer above reports through.
+pub use choice_obs as obs;
+
 /// Small helpers shared by the examples and downstream harnesses.
 pub mod util {
     /// Reads a `u64` knob from the environment (e.g. `QUICKSTART_ITEMS`,
@@ -91,6 +96,7 @@ pub mod util {
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use balls_bins::{AllocationProcess, ChoiceRule};
+    pub use choice_obs::{EventKind, FlightRecorder, MetricsRegistry, ObsHub};
     pub use choice_pq::{
         DynSharedPq, ElasticPolicy, HandlePolicy, HandleStats, Key, MultiQueue, MultiQueueConfig,
         PqHandle, QueueTopology, SharedPq,

@@ -1,0 +1,304 @@
+//! Integration tests for the choice-obs layer: snapshot consistency of the
+//! sharded metrics registry under concurrent writers, the wire-level
+//! `Stats`/`MetricsDump` ops racing queue churn and elastic resizes, and
+//! the acceptance check that a forced quota refusal plus elastic resizes
+//! land in the flight recorder with their tenants and epochs intact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use power_of_choice::multiqueue::QueueObs;
+use power_of_choice::obs::refusal_category;
+use power_of_choice::prelude::*;
+
+const WRITERS: usize = 4;
+const PER_WRITER: u64 = 20_000;
+
+/// Four writer threads hammer one shared counter, gauge and histogram while
+/// a reader takes merged snapshots the whole time. Mid-churn snapshots must
+/// be monotonic (counters) and bounded (the gauge's balanced inc/dec pairs
+/// never leave `[-WRITERS, WRITERS]`); the final merge must conserve every
+/// write exactly — the shard-merge consistency claim of `DESIGN.md`.
+#[test]
+fn counter_sums_are_conserved_across_shard_merges_under_churn() {
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("churn_total", &[("suite", "obs")]);
+    let gauge = registry.gauge("churn_inflight", &[("suite", "obs")]);
+    let histogram = registry.histogram("churn_value", &[("suite", "obs")]);
+    let done = AtomicBool::new(false);
+    let total = WRITERS as u64 * PER_WRITER;
+
+    std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                let gauge = Arc::clone(&gauge);
+                let histogram = Arc::clone(&histogram);
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        counter.inc();
+                        gauge.inc();
+                        histogram.record(i);
+                        gauge.dec();
+                    }
+                })
+            })
+            .collect();
+        let reader = scope.spawn(|| {
+            let mut last_count = 0u64;
+            let mut snapshots = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let snap = registry.snapshot();
+                let count = snap
+                    .counter("churn_total", &[("suite", "obs")])
+                    .expect("the counter cell exists from registration");
+                assert!(
+                    count >= last_count,
+                    "merged counter went backwards: {count} < {last_count}"
+                );
+                assert!(count <= total, "merged counter overshot: {count} > {total}");
+                last_count = count;
+                let g = snap
+                    .gauge("churn_inflight", &[("suite", "obs")])
+                    .expect("the gauge cell exists from registration");
+                assert!(
+                    g.unsigned_abs() <= WRITERS as u64,
+                    "balanced inc/dec pairs can never skew the merge past \
+                     one pending increment per writer, got {g}"
+                );
+                let h = snap
+                    .histogram("churn_value", &[("suite", "obs")])
+                    .expect("the histogram cell exists from registration");
+                assert_eq!(
+                    h.count(),
+                    h.buckets.iter().sum::<u64>(),
+                    "a histogram snapshot's count is its bucket total"
+                );
+                assert!(h.count() <= total);
+                snapshots += 1;
+            }
+            snapshots
+        });
+        for w in writers {
+            w.join().expect("writer");
+        }
+        done.store(true, Ordering::Relaxed);
+        assert!(reader.join().expect("reader") >= 1);
+    });
+
+    // The final merge conserves every write exactly.
+    assert_eq!(counter.value(), total);
+    assert_eq!(gauge.value(), 0);
+    let snap = registry.snapshot();
+    let h = snap
+        .histogram("churn_value", &[("suite", "obs")])
+        .expect("histogram cell");
+    assert_eq!(h.count(), total, "every recorded sample survives the merge");
+    assert_eq!(
+        h.sum,
+        WRITERS as u64 * (PER_WRITER * (PER_WRITER - 1) / 2),
+        "the merged sum is the exact arithmetic total of all samples"
+    );
+    assert_eq!(h.max, PER_WRITER - 1);
+}
+
+/// `Stats` and `MetricsDump` polled flat-out while other connections churn
+/// a named queue through create/insert/drop cycles and a third thread
+/// grows/shrinks the elastic default queue. Neither op may ever error or
+/// tear: the summed `resize_epoch` stays monotonic (only the never-dropped
+/// default queue has a topology) and every dump line stays scrapeable.
+#[test]
+fn stats_and_metrics_dump_race_queue_churn_and_resizes() {
+    let queue = Arc::new(MultiQueue::<u64>::new(
+        MultiQueueConfig::with_queues(8)
+            .with_seed(11)
+            .with_elastic(ElasticPolicy::default().with_min_lanes(2)),
+    ));
+    let erased: Arc<dyn DynSharedPq<u64>> = Arc::clone(&queue) as _;
+    let server = PqServer::spawn(erased, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let done = AtomicBool::new(false);
+
+    let (observer_epoch, committed) = std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut client = PqClient::connect(addr).expect("connect writer");
+                    for n in 0..400u64 {
+                        client.insert((w << 32) | n, n).expect("insert default");
+                        if n % 4 == 3 {
+                            client.delete_min().expect("delete default");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let churner = scope.spawn(|| {
+            let mut client = PqClient::connect(addr).expect("connect churner");
+            for round in 0..25u64 {
+                client
+                    .create_queue(
+                        "tenant/ephemeral",
+                        BackendSpec::CoarseHeap,
+                        QuotaSpec::unlimited().with_max_inflight(4),
+                    )
+                    .expect("recreate after drop");
+                client.use_queue("tenant/ephemeral").expect("bind tenant");
+                for n in 0..4u64 {
+                    client
+                        .insert(round * 16 + n, n)
+                        .expect("insert under quota");
+                }
+                client.use_queue(DEFAULT_QUEUE).expect("rebind default");
+                client.drop_queue("tenant/ephemeral").expect("drop tenant");
+            }
+        });
+        let resizer = scope.spawn(|| {
+            let mut committed = 0u64;
+            for i in 0..60usize {
+                if queue.resize_active(if i % 2 == 0 { 8 } else { 2 }) {
+                    committed += 1;
+                }
+                std::thread::yield_now();
+            }
+            committed
+        });
+        let observer = scope.spawn(|| {
+            let mut client = PqClient::connect(addr).expect("connect observer");
+            let mut last_epoch = 0u64;
+            let mut polls = 0u64;
+            loop {
+                let stats = client.stats().expect("Stats never errors mid-churn");
+                assert!(
+                    stats.resize_epoch >= last_epoch,
+                    "summed resize_epoch went backwards: {} < {last_epoch}",
+                    stats.resize_epoch
+                );
+                last_epoch = stats.resize_epoch;
+                let dump = client
+                    .metrics_dump(polls.is_multiple_of(2))
+                    .expect("MetricsDump never errors mid-churn");
+                assert!(
+                    dump.contains("registry_inflight"),
+                    "every dump carries the registry gauges"
+                );
+                for line in dump.lines() {
+                    assert!(
+                        line.is_empty()
+                            || line.starts_with('#')
+                            || line.split_whitespace().count() == 2,
+                        "unscrapeable exposition line mid-churn: {line:?}"
+                    );
+                }
+                polls += 1;
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            (last_epoch, polls)
+        });
+        for w in writers {
+            w.join().expect("writer");
+        }
+        churner.join().expect("churner");
+        let committed = resizer.join().expect("resizer");
+        done.store(true, Ordering::Relaxed);
+        let (last_epoch, polls) = observer.join().expect("observer");
+        assert!(polls >= 1, "the observer must have raced at least one poll");
+        (last_epoch, committed)
+    });
+
+    let mut client = PqClient::connect(addr).expect("connect for final stats");
+    let final_stats = client.stats().expect("final stats");
+    assert!(
+        final_stats.resize_epoch >= committed.max(observer_epoch),
+        "the final epoch ({}) accounts for every committed resize ({committed}) \
+         and never regresses below the last observed value ({observer_epoch})",
+        final_stats.resize_epoch
+    );
+    client.shutdown_server().expect("shutdown");
+    server.join();
+}
+
+/// The issue's acceptance check: force a quota refusal on a tenant queue
+/// and two elastic resizes, then verify the flight recorder carries both
+/// event kinds with the correct tenant, refusal category, epochs and lane
+/// counts — in the structured events and in both dump renderings.
+#[test]
+fn quota_refusal_and_resize_dump_carries_epochs_and_tenants() {
+    let hub = ObsHub::with_capacity(64);
+
+    // One tenant queue with an in-flight quota of 1: the second admission
+    // is refused and must land in the ring.
+    let registry = QueueRegistry::default();
+    registry.set_obs(Arc::clone(&hub));
+    registry
+        .create(
+            "tenant/a",
+            BackendSpec::CoarseHeap,
+            QuotaSpec::unlimited().with_max_inflight(1),
+        )
+        .expect("fresh registry accepts the tenant queue");
+    let binding = registry.bind("tenant/a").expect("bind tenant");
+    binding.admit_insert(5).expect("first insert under quota");
+    binding
+        .admit_insert(6)
+        .expect_err("the second in-flight insert is over quota");
+
+    // An elastic MultiQueue resized twice: each committed resize records
+    // its epoch and the lane counts either side.
+    let mut queue = MultiQueue::<u64>::new(
+        MultiQueueConfig::with_queues(8)
+            .with_seed(3)
+            .with_elastic(ElasticPolicy::default().with_min_lanes(2)),
+    );
+    queue.attach_obs(QueueObs::new(&hub, "elastic"));
+    assert!(queue.resize_active(4), "grow from the floor commits");
+    assert!(queue.resize_active(8), "grow to the ceiling commits");
+
+    let events = hub.recorder().events();
+    let refusals: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::QuotaRefusal)
+        .collect();
+    assert_eq!(refusals.len(), 1, "exactly one forced refusal");
+    assert_eq!(
+        refusals[0].label, "tenant/a",
+        "the refusal names its tenant"
+    );
+    assert_eq!(
+        refusals[0].fields,
+        [refusal_category::INFLIGHT, 6, 1],
+        "refusal fields are [category, refused key, in-flight depth]"
+    );
+
+    let resizes: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Resize)
+        .collect();
+    assert_eq!(resizes.len(), 2, "both committed resizes are recorded");
+    for r in &resizes {
+        assert_eq!(r.label, "elastic", "each resize names its queue");
+    }
+    assert_eq!(
+        resizes[0].fields,
+        [1, 2, 4],
+        "first resize: epoch 1, floor of 2 lanes grown to 4"
+    );
+    assert_eq!(
+        resizes[1].fields,
+        [2, 4, 8],
+        "second resize: epoch 2, 4 lanes grown to 8"
+    );
+
+    // The human-readable dump and the JSON dump both carry both kinds.
+    let text = hub.recorder().dump_text();
+    assert!(text.contains("quota-refusal") && text.contains("tenant/a"));
+    assert!(text.contains("resize") && text.contains("epoch=2"));
+    let json = hub.recorder().dump_json();
+    assert!(json.contains("\"kind\":\"quota-refusal\""));
+    assert!(json.contains("\"kind\":\"resize\""));
+    let exposition = hub.render_dump(true);
+    assert!(exposition.contains("# flight recorder"));
+    assert!(exposition.contains("quota-refusal") && exposition.contains("resize"));
+}
