@@ -239,7 +239,14 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return Some(if i == 0 { 0 } else { 1u64 << i });
+                // The top bucket (i == 64) covers [2^63, 2^64): its upper
+                // bound saturates to u64::MAX instead of overflowing the
+                // shift, matching render_prometheus's `le` for that bucket.
+                return Some(if i == 0 {
+                    0
+                } else {
+                    1u64.checked_shl(i as u32).unwrap_or(u64::MAX)
+                });
             }
         }
         Some(u64::MAX)
@@ -505,7 +512,9 @@ fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&
         let _ = write!(
             out,
             "{k}=\"{}\"",
-            v.replace('\\', "\\\\").replace('"', "\\\"")
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
         );
     }
     if let Some((k, v)) = extra {
@@ -675,5 +684,32 @@ mod tests {
         assert_eq!(snap.quantile_upper_bound(0.5), Some(128));
         assert_eq!(snap.quantile_upper_bound(0.99), Some(128));
         assert_eq!(snap.quantile_upper_bound(1.0), Some(131_072));
+    }
+
+    /// Regression: a sample in the top bucket [2^63, 2^64) must saturate
+    /// the quantile upper bound to u64::MAX, not overflow `1 << 64`.
+    #[test]
+    fn quantile_saturates_in_the_top_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_upper_bound(1.0), Some(u64::MAX));
+        assert_eq!(snap.quantile_upper_bound(0.5), Some(u64::MAX));
+    }
+
+    /// Regression: newlines in label values must be escaped per the
+    /// exposition format, or they split the sample line.
+    #[test]
+    fn prometheus_labels_escape_newlines() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops_total", &[("queue", "a\nb")]).inc();
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("ops_total{queue=\"a\\nb\"} 1"));
+        assert!(
+            text.lines()
+                .filter(|l| !l.starts_with('#'))
+                .all(|l| l.ends_with(" 1")),
+            "no sample line is split"
+        );
     }
 }

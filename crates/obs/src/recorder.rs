@@ -11,12 +11,13 @@
 //!
 //! * a slot storing ticket `t`'s event holds sequence `2t + 2` when
 //!   complete and `2t + 1` while being written;
-//! * a writer claims the slot by CAS-ing the *previous lap's* completed
-//!   sequence to its own in-progress value, then stores the payload words,
-//!   then releases the completed sequence.
+//! * a writer claims the slot by CAS-ing whatever completed (even)
+//!   sequence it currently holds — any *older* lap's, so a dropped ticket
+//!   never wedges its slot — to its own in-progress value, then stores the
+//!   payload words, then releases the completed sequence.
 //!
 //! When writers wrap the ring faster than a lagging writer finishes, the
-//! CAS fails and the event is **dropped, counted** in
+//! claim fails and the event is **dropped, counted** in
 //! [`dropped`](FlightRecorder::dropped) — the recorder is lock-free and
 //! lossy under overwrite pressure, never blocking the hot path. Readers
 //! ([`events`](FlightRecorder::events)) re-check the sequence after reading
@@ -259,9 +260,12 @@ impl FlightRecorder {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Total events recorded (dropped ones excluded).
+    /// Total events recorded (dropped ones excluded). Loads `dropped`
+    /// before `head` (and saturates) so concurrent drops between the two
+    /// loads can never make the difference go negative.
     pub fn recorded(&self) -> u64 {
-        self.head.load(Ordering::Relaxed) - self.dropped()
+        let dropped = self.dropped();
+        self.head.load(Ordering::Relaxed).saturating_sub(dropped)
     }
 
     /// The current time on this recorder's clock, in nanoseconds.
@@ -281,25 +285,30 @@ impl FlightRecorder {
     /// read a clock thread it through, like the token bucket).
     pub fn record_at(&self, now_ns: u64, kind: EventKind, label: &str, fields: [u64; 3]) {
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
-        let cap = self.slots.len() as u64;
         let slot = &self.slots[(ticket & self.mask) as usize];
-        let expected = if ticket < cap {
-            0
-        } else {
-            2 * (ticket - cap) + 2
+        // Claim the slot by CAS-ing whatever *completed* sequence it holds —
+        // 0 (never written) or `2u + 2` for any older ticket `u < ticket`,
+        // not just the immediately previous lap: if an earlier ticket mapped
+        // here was dropped, the slot still holds an older lap's sequence and
+        // must be skipped over, not wedged forever. Drop only when the slot
+        // is mid-write (odd) or a newer ticket already owns it.
+        let claimed = loop {
+            let seq = slot.seq.load(Ordering::Relaxed);
+            if seq % 2 == 1 || seq > 2 * ticket + 1 {
+                break false;
+            }
+            if slot
+                .seq
+                .compare_exchange_weak(seq, 2 * ticket + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                break true;
+            }
         };
-        if slot
-            .seq
-            .compare_exchange(
-                expected,
-                2 * ticket + 1,
-                Ordering::Acquire,
-                Ordering::Relaxed,
-            )
-            .is_err()
-        {
-            // A lagging writer from a previous lap still owns the slot (or a
-            // faster one already lapped us): drop, count, stay lock-free.
+        if !claimed {
+            // A lagging writer from a previous lap is still writing the slot
+            // (or a faster one already lapped us): drop, count, stay
+            // lock-free.
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -333,7 +342,11 @@ impl FlightRecorder {
             }
             let words: [u64; SLOT_WORDS] =
                 std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
-            if slot.seq.load(Ordering::Acquire) != seq1 {
+            // Seqlock reader recipe: the fence orders the relaxed payload
+            // loads above before the validating seq re-load, so a torn read
+            // cannot pass the check on weakly-ordered hardware.
+            std::sync::atomic::fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq1 {
                 continue; // overwritten while we read: skip the torn slot
             }
             let ticket = seq1 / 2 - 1;
@@ -543,6 +556,30 @@ mod tests {
         let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, (12..20).collect::<Vec<_>>());
         assert_eq!(rec.dropped(), 0, "a single writer never drops");
+    }
+
+    /// Regression: a dropped (or otherwise never-completed) ticket must not
+    /// wedge its slot. Skipping a ticket leaves the slot holding an old
+    /// lap's sequence; every later writer mapped there must skip over the
+    /// stale lap and claim the slot, not drop forever.
+    #[test]
+    fn a_skipped_ticket_does_not_wedge_its_slot() {
+        let clock = ManualClock::new();
+        let rec = FlightRecorder::with_manual_clock(8, &clock);
+        for i in 0..8u64 {
+            rec.record(EventKind::SessionOpen, "", [i, 0, 0]);
+        }
+        // Simulate a writer that took ticket 8 but never wrote (the shape a
+        // CAS-failure drop leaves behind): slot 0 keeps lap 0's sequence.
+        rec.head.fetch_add(1, Ordering::Relaxed);
+        for i in 9..33u64 {
+            rec.record(EventKind::SessionOpen, "", [i, 0, 0]);
+        }
+        assert_eq!(rec.dropped(), 0, "stale laps are skipped, not dropped");
+        let events = rec.events();
+        assert_eq!(events.len(), 8);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (25..33).collect::<Vec<_>>(), "slot 0 kept recording");
     }
 
     #[test]
