@@ -19,6 +19,12 @@
 //!   CI uses it to prove the gate actually fires);
 //! * `T12_WRITE` — write the current side's canonical per-commit artifact
 //!   (median, dispersion, reps, commit per point) to this path;
+//! * `T12_HISTORY` — directory of per-commit canonical artifacts: the
+//!   current side is appended as `{seq:05}-{commit}.json`, and the last
+//!   `T12_HISTORY_N` (default 8) entries are scanned for **slow drift** —
+//!   a metric whose newer-half median moved beyond the threshold even
+//!   though no single commit tripped the pairwise gate. Drift is printed
+//!   as a warning, never an exit code (history depth varies per checkout);
 //! * `BENCH_COMMIT` — commit stamp override (else `git rev-parse`).
 //!
 //! Typical CI usage — run a bench twice at the same commit, gate the pair:
@@ -30,7 +36,9 @@
 //! ```
 
 use choice_bench::report::{print_header, print_row, print_section};
-use choice_bench::trajectory::{collect, commit_hash, compare, render, BenchPoint, Verdict};
+use choice_bench::trajectory::{
+    collect, commit_hash, compare, detect_drift, render, BenchPoint, Verdict,
+};
 
 /// Reads a comma-separated path list env var into file contents.
 fn read_side(var: &str) -> Vec<String> {
@@ -73,6 +81,79 @@ fn side_points(var: &str, commit: &str) -> Vec<BenchPoint> {
     }
 }
 
+/// Appends the current side to the per-commit history directory and prints
+/// slow-drift warnings over the last `T12_HISTORY_N` entries. Best-effort
+/// and report-only: an unreadable history warns, it never changes the exit
+/// code (the pairwise gate owns that).
+fn history_step(dir: &str, current: &[BenchPoint], commit: &str, threshold: f64) {
+    let dir = std::path::Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!(
+            "t12_compare: cannot create T12_HISTORY {}: {e}",
+            dir.display()
+        );
+        return;
+    }
+    let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!(
+                "t12_compare: cannot read T12_HISTORY {}: {e}",
+                dir.display()
+            );
+            return;
+        }
+    };
+    entries.sort(); // zero-padded sequence prefixes order lexically
+    let next = dir.join(format!("{:05}-{commit}.json", entries.len()));
+    if let Err(e) = std::fs::write(&next, render(current)) {
+        eprintln!("t12_compare: cannot append {}: {e}", next.display());
+        return;
+    }
+    entries.push(next);
+    println!(
+        "history: {} entries in {} (appended commit {commit})",
+        entries.len(),
+        dir.display()
+    );
+
+    let window = std::env::var("T12_HISTORY_N")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 4)
+        .unwrap_or(8);
+    let tail = &entries[entries.len().saturating_sub(window)..];
+    let runs: Vec<Vec<BenchPoint>> = tail
+        .iter()
+        .filter_map(|p| {
+            let content = std::fs::read_to_string(p).ok()?;
+            collect(&[content], "history").ok()
+        })
+        .collect();
+    let drifts = detect_drift(&runs, threshold);
+    if drifts.is_empty() {
+        println!(
+            "history: no slow drift over the last {} run(s) (threshold {threshold:.2})",
+            runs.len()
+        );
+    } else {
+        for d in &drifts {
+            println!(
+                "warning: SLOW DRIFT over {} run(s): {} @ {}: {:.2} -> {:.2} ({:+.1}%)",
+                d.runs,
+                d.metric,
+                d.id,
+                d.older,
+                d.newer,
+                d.change * 100.0
+            );
+        }
+    }
+}
+
 fn main() {
     let threshold = env_f64("T12_THRESHOLD", 0.10);
     let scale = env_f64("T12_SCALE", 1.0);
@@ -100,6 +181,12 @@ fn main() {
                 "canonical artifact ({} points, commit {commit}) -> {path}",
                 current.len()
             );
+        }
+    }
+
+    if let Ok(dir) = std::env::var("T12_HISTORY") {
+        if !dir.trim().is_empty() {
+            history_step(dir.trim(), &current, &commit, threshold);
         }
     }
 

@@ -6,10 +6,12 @@
 //! alternating insert/deleteMin workload in exactly **one** telemetry mode
 //! (`T13_OBS=0` detached — the baseline; `T13_OBS=1` attached — sharded
 //! counters on every operation plus 1-in-`T13_SAMPLE_EVERY` latency
-//! sampling), and emits the same `BENCH_JSON=1` row identity either way:
-//! `obs_enabled` is a **diagnostic** field, not a config key, so an
-//! enabled artifact and a disabled artifact compare as the *same* bench
-//! points. CI runs the binary twice and feeds both artifacts through
+//! sampling; `T13_OBS=2` attached **and traced** — sampled operations also
+//! record request spans into the hub's span ring, the same write a traced
+//! wire request costs the server), and emits the same `BENCH_JSON=1` row
+//! identity in every mode: `obs_mode`/`obs_enabled` are **diagnostic**
+//! fields, not config keys, so the artifacts compare as the *same* bench
+//! points. CI runs the binary three times and feeds each pair through
 //! `t12_compare` at `T12_THRESHOLD=0.03` — the ≤3% overhead budget as a
 //! failing gate, with the usual noise-aware allowance on top.
 //!
@@ -21,11 +23,13 @@
 //! both event kinds landed, so a silent telemetry regression fails the
 //! smoke run, not just the docs.
 //!
-//! Environment knobs: `T13_OBS` (0/1, default 0), `T13_SAMPLES` (reps per
+//! Environment knobs: `T13_OBS` (0/1/2, default 0), `T13_SAMPLES` (reps per
 //! row, default 3), `T13_THREADS` (default 4), `T13_OPS` (operations per
 //! thread, default 200000), `T13_PREFILL` (default 4096),
-//! `T13_SAMPLE_EVERY` (latency sampling stride when enabled, default 64);
-//! `BENCH_JSON=1` emits one JSON object per row to stderr.
+//! `T13_SAMPLE_EVERY` (latency sampling stride when enabled, default 64),
+//! `T13_SPAN_DUMP` (path: in traced mode, write the span-ring dump there —
+//! the CI artifact showing what the traced run recorded); `BENCH_JSON=1`
+//! emits one JSON object per row to stderr.
 
 use std::sync::Arc;
 
@@ -67,9 +71,11 @@ fn rel_dispersion(samples: &[f64]) -> f64 {
 }
 
 /// One throughput sample: a fresh MultiQueue (obs attached when `hub` is
-/// given), run through the shared Figure-1 workload. Returns (ops, ops/s).
+/// given, span-traced when `traced` too), run through the shared Figure-1
+/// workload. Returns (ops, ops/s).
 fn run_sample(
     hub: Option<&Arc<ObsHub>>,
+    traced: bool,
     threads: usize,
     prefill: u64,
     ops_per_thread: u64,
@@ -79,7 +85,11 @@ fn run_sample(
     let mut queue =
         MultiQueue::<u64>::new(MultiQueueConfig::with_queues(2 * threads).with_seed(seed));
     if let Some(hub) = hub {
-        queue.attach_obs(QueueObs::with_sample_every(hub, "bench", sample_every));
+        queue.attach_obs(if traced {
+            QueueObs::with_trace(hub, "bench", sample_every)
+        } else {
+            QueueObs::with_sample_every(hub, "bench", sample_every)
+        });
     }
     let shared: Arc<dyn DynSharedPq<u64>> = Arc::new(queue);
     let result = throughput_workload(shared, threads, prefill, ops_per_thread, seed);
@@ -134,24 +144,30 @@ fn flight_recorder_demo() -> String {
 }
 
 fn main() {
-    let obs_enabled = env_u64("T13_OBS", 0) != 0;
+    let obs_mode = env_u64("T13_OBS", 0).min(2);
+    let obs_enabled = obs_mode != 0;
+    let traced = obs_mode == 2;
     let samples = env_u64("T13_SAMPLES", 3).max(1);
     let threads = env_u64("T13_THREADS", 4) as usize;
     let ops_per_thread = env_u64("T13_OPS", 200_000);
     let prefill = env_u64("T13_PREFILL", 4_096);
     let sample_every = env_u64("T13_SAMPLE_EVERY", 64).max(1) as u32;
     let seed = 53u64;
+    let mode_label = match obs_mode {
+        0 => "detached",
+        1 => "ATTACHED",
+        _ => "ATTACHED+TRACED",
+    };
 
     print_section(
         "T13",
         "choice-obs overhead: Figure-1 workload, telemetry attached vs detached",
     );
     println!(
-        "mode: obs {} — {threads} threads × {ops_per_thread} ops, prefill {prefill}, \
-         latency sampling 1-in-{sample_every}; median of {samples} samples. Run once per \
-         mode and gate the pair with t12_compare (T12_THRESHOLD=0.03): `obs_enabled` is \
-         a diagnostic, so both modes are the same trajectory point.",
-        if obs_enabled { "ATTACHED" } else { "detached" },
+        "mode: obs {mode_label} — {threads} threads × {ops_per_thread} ops, prefill \
+         {prefill}, latency sampling 1-in-{sample_every}; median of {samples} samples. \
+         Run once per mode and gate each pair with t12_compare (T12_THRESHOLD=0.03): \
+         `obs_mode` is a diagnostic, so all modes are the same trajectory point.",
     );
     println!();
     print_header(&["threads", "obs", "ops", "mops/s", "disp %"]);
@@ -161,6 +177,7 @@ fn main() {
         .map(|s| {
             run_sample(
                 obs_enabled.then_some(&hub),
+                traced,
                 threads,
                 prefill,
                 ops_per_thread,
@@ -175,7 +192,12 @@ fn main() {
     let dispersion = rel_dispersion(&mops_samples);
     print_row(&[
         threads.to_string(),
-        if obs_enabled { "on" } else { "off" }.to_string(),
+        match obs_mode {
+            0 => "off",
+            1 => "on",
+            _ => "traced",
+        }
+        .to_string(),
         operations.to_string(),
         format!("{mops:.2}"),
         format!("{:.1}", dispersion * 100.0),
@@ -196,6 +218,24 @@ fn main() {
     } else {
         assert_eq!(mq_ops, 0, "obs detached must record nothing");
     }
+    // In traced mode the span ring must actually have seen sampled spans —
+    // a traced run that recorded nothing would gate a vacuous overhead.
+    let spans_recorded = hub.spans().recorded();
+    if traced {
+        assert!(
+            spans_recorded > 0,
+            "obs traced but the span ring recorded nothing"
+        );
+        if let Ok(path) = std::env::var("T13_SPAN_DUMP") {
+            if !path.is_empty() {
+                std::fs::write(&path, hub.spans().dump_text())
+                    .unwrap_or_else(|e| panic!("T13_SPAN_DUMP={path}: {e}"));
+                println!("span-ring dump written to {path}");
+            }
+        }
+    } else {
+        assert_eq!(spans_recorded, 0, "untraced modes must not record spans");
+    }
 
     emit_json_row(
         "t13",
@@ -207,7 +247,9 @@ fn main() {
             ("mops_per_s", JsonValue::from(mops)),
             ("rel_dispersion", JsonValue::from(dispersion)),
             ("obs_enabled", JsonValue::from(obs_enabled as u64)),
+            ("obs_mode", JsonValue::from(obs_mode)),
             ("mq_ops_total", JsonValue::from(mq_ops)),
+            ("spans_recorded", JsonValue::from(spans_recorded)),
         ],
     );
 

@@ -533,6 +533,84 @@ pub fn compare(baseline: &[BenchPoint], current: &[BenchPoint], threshold: f64) 
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Slow-drift detection over a per-commit history
+// ---------------------------------------------------------------------------
+
+/// One slow-drift observation over a run history: a metric whose recent
+/// half moved away from its older half beyond the allowance, even though no
+/// single adjacent pair regressed enough to trip the gate.
+#[derive(Clone, Debug)]
+pub struct Drift {
+    /// Identity string of the point (see [`BenchPoint::id`]).
+    pub id: String,
+    /// Metric field name.
+    pub metric: String,
+    /// Direction / gate class of the metric.
+    pub kind: MetricKind,
+    /// Median of the older half of the series.
+    pub older: f64,
+    /// Median of the newer half of the series.
+    pub newer: f64,
+    /// Signed relative change from older to newer half.
+    pub change: f64,
+    /// Runs the series spanned.
+    pub runs: usize,
+}
+
+/// Scans a run history (`runs` ordered **oldest → newest**, each one
+/// `collect`ed artifact) for slow drift: per `(id, metric)` series present
+/// in at least four runs, the series is split into an older and a newer
+/// half, and a metric whose newer-half median moved in the *worse*
+/// direction by more than `threshold` is reported. This catches the
+/// boiled-frog case the pairwise gate structurally cannot — N consecutive
+/// sub-allowance losses that compound past the budget. Report-only by
+/// design: history depth varies per checkout, so CI prints these as
+/// warnings instead of failing.
+pub fn detect_drift(runs: &[Vec<BenchPoint>], threshold: f64) -> Vec<Drift> {
+    let mut series: BTreeMap<(String, String), (MetricKind, Vec<f64>, usize)> = BTreeMap::new();
+    for run in runs {
+        for p in run {
+            let entry =
+                series
+                    .entry((p.id.clone(), p.metric.clone()))
+                    .or_insert((p.kind, Vec::new(), 0));
+            entry.1.push(p.median);
+            entry.2 += 1;
+        }
+    }
+    let mut drifts = Vec::new();
+    for ((id, metric), (kind, values, runs)) in series {
+        if values.len() < 4 {
+            continue; // need two per half for the medians to mean anything
+        }
+        let mid = values.len() / 2;
+        let (mut older_half, mut newer_half) = (values[..mid].to_vec(), values[mid..].to_vec());
+        let older = median_of(&mut older_half);
+        let newer = median_of(&mut newer_half);
+        if older.abs() < 1e-9 {
+            continue;
+        }
+        let change = (newer - older) / older.abs();
+        let worse = match kind {
+            MetricKind::Throughput => change < -threshold,
+            MetricKind::Quality => change > threshold,
+        };
+        if worse {
+            drifts.push(Drift {
+                id,
+                metric,
+                kind,
+                older,
+                newer,
+                change,
+                runs,
+            });
+        }
+    }
+    drifts
+}
+
 /// The commit hash to stamp artifacts with: `BENCH_COMMIT` when set (CI
 /// pins it), otherwise `git rev-parse --short HEAD`, otherwise `unknown`.
 pub fn commit_hash() -> String {
@@ -712,6 +790,59 @@ mod tests {
             assert_eq!(b.commit, "abc", "commit travels inside the artifact");
             assert!((a.rel_dispersion - b.rel_dispersion).abs() < 1e-12);
         }
+    }
+
+    /// A history of single-point runs with the given throughput medians.
+    fn history(kops: &[f64]) -> Vec<Vec<BenchPoint>> {
+        kops.iter()
+            .map(|&k| collect(&[row(k)], "h").unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn slow_drift_is_flagged_where_the_pairwise_gate_cannot_fire() {
+        // Eight runs each losing ~2%: every adjacent pair is inside a 3%
+        // gate, but the halves differ by ~8%.
+        let runs = history(&[100.0, 98.0, 96.0, 94.0, 92.0, 90.0, 88.0, 86.0]);
+        let drifts = detect_drift(&runs, 0.03);
+        let thr = drifts
+            .iter()
+            .find(|d| d.metric == "kops_per_s")
+            .expect("compounded losses surface as drift");
+        assert!(thr.change < -0.03, "drift change: {}", thr.change);
+        assert_eq!(thr.runs, 8);
+        // The p99 column was flat, so only the throughput drifted.
+        assert!(drifts.iter().all(|d| d.metric == "kops_per_s"));
+    }
+
+    #[test]
+    fn stable_and_improving_histories_do_not_drift() {
+        assert!(detect_drift(&history(&[100.0, 101.0, 99.0, 100.0, 100.5, 99.5]), 0.03).is_empty());
+        assert!(
+            detect_drift(&history(&[100.0, 105.0, 110.0, 115.0]), 0.03).is_empty(),
+            "throughput going up is not drift"
+        );
+        assert!(
+            detect_drift(&history(&[100.0, 90.0]), 0.03).is_empty(),
+            "fewer than four runs: not enough history to split"
+        );
+    }
+
+    #[test]
+    fn quality_drift_is_flagged_in_the_other_direction() {
+        let mut runs = history(&[100.0; 6]);
+        // Inflate the p99 column run by run: lower-is-better, so a rising
+        // tail is the drifting direction.
+        for (i, run) in runs.iter_mut().enumerate() {
+            for p in run.iter_mut() {
+                if p.metric == "p99_rtt_us" {
+                    p.median *= 1.0 + 0.04 * i as f64;
+                }
+            }
+        }
+        let drifts = detect_drift(&runs, 0.03);
+        assert!(drifts.iter().any(|d| d.metric == "p99_rtt_us"));
+        assert!(drifts.iter().all(|d| d.metric != "kops_per_s"));
     }
 
     #[test]

@@ -354,9 +354,24 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
             }
         }
         if let (Some(t0), Some(obs)) = (start, &self.obs) {
-            obs.queue_obs
-                .delete_min_ns
-                .record(t0.elapsed().as_nanos() as u64);
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            obs.queue_obs.delete_min_ns.record(elapsed);
+            // The shadow rank probe rides the same sampled tick: the clock
+            // reads are already paid, the probe adds one relaxed top load
+            // per active lane (see `MultiQueue::lane_rank_bound`).
+            if let Some((key, _)) = &result {
+                obs.queue_obs
+                    .rank_error
+                    .record(self.queue.lane_rank_bound(*key));
+            }
+            if let Some(ring) = obs.queue_obs.span_ring() {
+                // In-process traced mode: only the queue-op stage carries
+                // time. The trace id folds the handle id over the removal
+                // count so concurrent sessions stay distinguishable.
+                let trace_id = (self.id << 40) | (self.stats.removals & 0xFF_FFFF_FFFF);
+                let now_ns = obs.queue_obs.recorder().now_ns();
+                ring.record(trace_id, 0, now_ns, [0, 0, 0, elapsed, 0]);
+            }
         }
         result
     }
@@ -369,6 +384,7 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
         if !self.buffer.is_empty() {
             self.flush();
         }
+        let drained_from = out.len();
         let outcome = self.queue.drain_best_with(
             &mut self.rng,
             &mut self.scratch,
@@ -378,9 +394,21 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
         );
         self.stats.contended_retries += outcome.contended_retries;
         if let (Some(t0), Some(obs)) = (start, &self.obs) {
-            obs.queue_obs
-                .delete_min_batch_ns
-                .record(t0.elapsed().as_nanos() as u64);
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            obs.queue_obs.delete_min_batch_ns.record(elapsed);
+            // Probe the batch's first (smallest) key: the rest of the batch
+            // came from the same lane under the same lock, so its head is
+            // the removal the rank bound speaks about.
+            if let Some((key, _)) = out.get(drained_from) {
+                obs.queue_obs
+                    .rank_error
+                    .record(self.queue.lane_rank_bound(*key));
+            }
+            if let Some(ring) = obs.queue_obs.span_ring() {
+                let trace_id = (self.id << 40) | (self.stats.removals & 0xFF_FFFF_FFFF);
+                let now_ns = obs.queue_obs.recorder().now_ns();
+                ring.record(trace_id, 0, now_ns, [0, 0, 0, elapsed, 0]);
+            }
         }
         if outcome.drained == 0 {
             self.stats.failed_removals += 1;

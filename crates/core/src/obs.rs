@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use choice_obs::{Counter, EventKind, FlightRecorder, Histogram, ObsHub};
+use choice_obs::{Counter, EventKind, FlightRecorder, Histogram, ObsHub, SpanRing};
 
 /// Default 1-in-N stride for handle-level latency sampling: two clock reads
 /// every 64 operations keeps the profiling cost far below the ~3% telemetry
@@ -47,6 +47,13 @@ pub struct QueueObs {
     pub(crate) delete_min_ns: Arc<Histogram>,
     /// Sampled `delete_min_batch` latency (ns).
     pub(crate) delete_min_batch_ns: Arc<Histogram>,
+    /// Live rank-error bound from the sampled lane-top shadow probe (see
+    /// [`MultiQueue::lane_rank_bound`](crate::MultiQueue::lane_rank_bound)).
+    pub(crate) rank_error: Arc<Histogram>,
+    /// When tracing is enabled, sampled operations also record a span into
+    /// the hub's ring — the same write a traced wire request costs the
+    /// server, so `t13_obs` can price the traced mode in-process.
+    span_ring: Option<Arc<SpanRing>>,
     sample_every: u32,
 }
 
@@ -64,6 +71,23 @@ impl QueueObs {
     ///
     /// Panics if `sample_every == 0`.
     pub fn with_sample_every(hub: &ObsHub, queue: &str, sample_every: u32) -> Arc<Self> {
+        Self::build(hub, queue, sample_every, false)
+    }
+
+    /// Builds the bundle with per-sampled-op span tracing: every sampled
+    /// operation also records a [`SpanRecord`](choice_obs::SpanRecord) into
+    /// the hub's span ring (only the queue-op stage carries time — there is
+    /// no wire pipeline in-process). This is the "attached + traced" mode
+    /// `t13_obs` prices against the overhead budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every == 0`.
+    pub fn with_trace(hub: &ObsHub, queue: &str, sample_every: u32) -> Arc<Self> {
+        Self::build(hub, queue, sample_every, true)
+    }
+
+    fn build(hub: &ObsHub, queue: &str, sample_every: u32, traced: bool) -> Arc<Self> {
         assert!(sample_every > 0, "sampling stride must be positive");
         let m = hub.metrics();
         let labels: &[(&str, &str)] = &[("queue", queue)];
@@ -79,6 +103,8 @@ impl QueueObs {
             delete_min_ns: m.histogram("mq_op_ns", &[("queue", queue), ("op", "delete_min")]),
             delete_min_batch_ns: m
                 .histogram("mq_op_ns", &[("queue", queue), ("op", "delete_min_batch")]),
+            rank_error: m.histogram("mq_rank_error", labels),
+            span_ring: traced.then(|| Arc::clone(hub.spans())),
             sample_every,
         })
     }
@@ -96,6 +122,17 @@ impl QueueObs {
     /// The flight recorder events flow into.
     pub fn recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// The span ring sampled operations trace into, when built with
+    /// [`with_trace`](Self::with_trace).
+    pub fn span_ring(&self) -> Option<&Arc<SpanRing>> {
+        self.span_ring.as_ref()
+    }
+
+    /// The live rank-error histogram (`mq_rank_error{queue=...}`).
+    pub fn rank_error(&self) -> &Arc<Histogram> {
+        &self.rank_error
     }
 
     /// A committed lane-table resize (called with the resize mutex held;

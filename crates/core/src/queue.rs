@@ -290,6 +290,34 @@ impl<V> MultiQueue<V> {
         self.lanes.iter().map(|l| l.heap.lock().len()).collect()
     }
 
+    /// A zero-lock bound on the *lane rank* of `key`: one plus the number of
+    /// active lanes whose cached top is strictly smaller. This is the live
+    /// counterpart of the paper's rank error (each counted lane holds at
+    /// least one element smaller than `key`, so the value lower-bounds the
+    /// element rank while upper-bounding the count of lanes a perfect
+    /// `delete_min` would have preferred — the quantity the (1 + β) analysis
+    /// bounds at O(active lanes)).
+    ///
+    /// The probe reads the same epoch-stamped lane tops the elastic
+    /// controller relies on: one `Acquire` load of the lane table plus one
+    /// `Relaxed` top load per active lane, no lane locks. Races bias the
+    /// estimate *conservatively* for a just-removed `key`: a stale-low top
+    /// belongs to a not-yet-linearized removal (its element genuinely
+    /// coexisted with the removal and counts), while a not-yet-published
+    /// insert is absent from the estimate exactly as it was absent from the
+    /// queue (DESIGN.md §12 spells out the bias argument).
+    pub fn lane_rank_bound(&self, key: Key) -> u64 {
+        let active = self.active_lanes().min(self.lanes.len());
+        let mut better = 0u64;
+        for lane in &self.lanes[..active] {
+            let top = lane.top.load(Ordering::Relaxed);
+            if top != EMPTY_TOP && top < key {
+                better += 1;
+            }
+        }
+        1 + better
+    }
+
     /// Runs `f` while holding the lock of lane `index`. Used by tests to
     /// inject the "stalled thread holding a lane" pathology discussed in
     /// Appendix C of the paper and check that other operations stay correct.

@@ -1,6 +1,6 @@
 //! `choice-obs` — unified telemetry for the (1 + β) MultiQueue stack.
 //!
-//! Three pieces, all built for a hot path that must stay within a ~3%
+//! Five pieces, all built for a hot path that must stay within a ~3%
 //! overhead budget (gated by the `t13_obs` benchmark):
 //!
 //! * [`metrics`] — a lock-free [`MetricsRegistry`] of counters, gauges, and
@@ -11,9 +11,15 @@
 //!   structured events (resizes, controller ticks, quota refusals, session
 //!   lifecycle, quiescence, panics) with deterministic-clock support and
 //!   panic-hook dumps for post-mortem traces.
+//! * [`trace`] — a [`SpanRing`]: the same lock-free ring discipline
+//!   carrying per-request stage timings (recv → decode → admit → queue-op
+//!   → flush) for wire-v5 traced requests.
+//! * [`window`] — a [`RateWindow`] of periodic [`MetricsSnapshot`] deltas,
+//!   turning cumulative counters into ops/s and lifetime histograms into
+//!   last-window p99s.
 //! * [`sample`] — a deterministic [`LatencySampler`] for 1-in-N op timing.
 //!
-//! The [`ObsHub`] bundles one registry + one recorder; every layer (core
+//! The [`ObsHub`] bundles one of each ring/registry; every layer (core
 //! queue, scheduler, registry, service) accepts an `Arc<ObsHub>` and both
 //! writes and dumps flow through it.
 //!
@@ -37,6 +43,8 @@
 pub mod metrics;
 pub mod recorder;
 pub mod sample;
+pub mod trace;
+pub mod window;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricRow, MetricsRegistry, MetricsSnapshot,
@@ -46,6 +54,8 @@ pub use recorder::{
     EventRecord, FlightRecorder, ManualClock, PanicScope,
 };
 pub use sample::LatencySampler;
+pub use trace::{SpanPanicScope, SpanRecord, SpanRing, SpanStage, SPAN_STAGES};
+pub use window::{RateWindow, WindowRates, DEFAULT_WINDOW_SLOTS};
 
 use std::sync::Arc;
 
@@ -53,12 +63,17 @@ use std::sync::Arc;
 /// [`ObsHub::new`].
 pub const DEFAULT_RECORDER_CAPACITY: usize = 1024;
 
-/// One metrics registry plus one flight recorder: the unit of telemetry
-/// every layer is wired to.
+/// Default span-ring capacity (traced-request spans retained).
+pub const DEFAULT_SPAN_CAPACITY: usize = 256;
+
+/// One metrics registry, one flight recorder, one span ring, and one rate
+/// window: the unit of telemetry every layer is wired to.
 #[derive(Debug)]
 pub struct ObsHub {
     metrics: Arc<MetricsRegistry>,
     recorder: Arc<FlightRecorder>,
+    spans: Arc<SpanRing>,
+    window: Arc<RateWindow>,
 }
 
 impl ObsHub {
@@ -73,15 +88,20 @@ impl ObsHub {
         Arc::new(ObsHub {
             metrics: Arc::new(MetricsRegistry::new()),
             recorder: Arc::new(FlightRecorder::new(events)),
+            spans: Arc::new(SpanRing::new(DEFAULT_SPAN_CAPACITY)),
+            window: Arc::new(RateWindow::new(DEFAULT_WINDOW_SLOTS)),
         })
     }
 
     /// A hub whose recorder is driven by `clock` (deterministic timestamps
-    /// for tests and simulation).
+    /// for tests and simulation). Span timestamps and window pushes use the
+    /// same clock (see [`window_tick`](Self::window_tick)).
     pub fn with_manual_clock(events: usize, clock: &ManualClock) -> Arc<ObsHub> {
         Arc::new(ObsHub {
             metrics: Arc::new(MetricsRegistry::new()),
             recorder: Arc::new(FlightRecorder::with_manual_clock(events, clock)),
+            spans: Arc::new(SpanRing::new(DEFAULT_SPAN_CAPACITY)),
+            window: Arc::new(RateWindow::new(DEFAULT_WINDOW_SLOTS)),
         })
     }
 
@@ -95,14 +115,43 @@ impl ObsHub {
         &self.recorder
     }
 
-    /// The full exposition dump: Prometheus metrics text, optionally
-    /// followed by the flight-recorder events rendered as `# `-prefixed
-    /// comment lines (so the result stays scrapeable).
+    /// The traced-request span ring.
+    pub fn spans(&self) -> &Arc<SpanRing> {
+        &self.spans
+    }
+
+    /// The windowed-rates ring.
+    pub fn window(&self) -> &Arc<RateWindow> {
+        &self.window
+    }
+
+    /// Pushes one metrics snapshot into the rate window, timestamped on
+    /// the recorder's clock (so manual-clock hubs stay deterministic).
+    /// Callers with a natural cadence — a dump request, a completed
+    /// scheduler run — tick the window; rates emerge from the deltas.
+    pub fn window_tick(&self) {
+        self.window
+            .push(self.recorder.now_ns(), self.metrics.snapshot());
+    }
+
+    /// The full exposition dump: Prometheus metrics text, the windowed
+    /// rates derived from previous dumps (each call pushes one snapshot
+    /// into the window first), and optionally the flight-recorder events
+    /// and request spans rendered as `# `-prefixed comment lines (so the
+    /// result stays scrapeable).
     pub fn render_dump(&self, include_events: bool) -> String {
+        self.window_tick();
         let mut out = self.metrics.snapshot().render_prometheus();
+        out.push_str(&self.window.render());
         if include_events {
             out.push_str("# flight recorder\n");
             for line in self.recorder.dump_text().lines() {
+                out.push_str("# ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str("# request spans\n");
+            for line in self.spans.dump_text().lines() {
                 out.push_str("# ");
                 out.push_str(line);
                 out.push('\n');
@@ -143,5 +192,63 @@ mod tests {
         clock.set_ns(777);
         hub.recorder().record(EventKind::Quiescence, "", [0, 9, 0]);
         assert_eq!(hub.recorder().events()[0].ts_ns, 777);
+    }
+
+    #[test]
+    fn consecutive_dumps_expose_windowed_rates() {
+        let clock = ManualClock::new();
+        let hub = ObsHub::with_manual_clock(16, &clock);
+        let ops = hub.metrics().counter("ops_total", &[]);
+        clock.set_ns(0);
+        let first = hub.render_dump(false);
+        assert!(
+            !first.contains("window_rate_per_sec"),
+            "one snapshot has no span to rate over"
+        );
+        ops.add(400);
+        clock.set_ns(2_000_000_000);
+        let second = hub.render_dump(false);
+        assert!(second.contains("window_span_seconds 2"));
+        assert!(
+            second.contains("window_rate_per_sec{metric=\"ops_total\"} 200"),
+            "dump:\n{second}"
+        );
+        for line in second.lines() {
+            assert!(
+                line.is_empty() || line.starts_with('#') || line.split_whitespace().count() == 2,
+                "unscrapeable line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn dump_includes_request_spans_as_comments() {
+        let hub = ObsHub::with_capacity(16);
+        hub.spans().record(0xBEEF, 3, 10, [1, 2, 3, 4, 5]);
+        let dump = hub.render_dump(true);
+        assert!(dump.contains("# request spans"));
+        assert!(dump.contains("queue-op=4"));
+        let without = hub.render_dump(false);
+        assert!(!without.contains("request spans"));
+    }
+
+    #[test]
+    fn panic_inside_a_span_scope_dumps_the_spans_too() {
+        let _guard = recorder::PANIC_TEST_LOCK.lock();
+        let _ = take_last_panic_dump();
+        let hub = ObsHub::with_capacity(8);
+        hub.recorder().record(EventKind::SessionOpen, "", [1, 0, 0]);
+        hub.spans().record(0x51AB, 2, 5, [9, 9, 9, 9, 9]);
+        let hub2 = Arc::clone(&hub);
+        let result = std::thread::spawn(move || {
+            let _rec_scope = hub2.recorder().panic_scope();
+            let _span_scope = hub2.spans().panic_scope();
+            panic!("deliberate span panic");
+        })
+        .join();
+        assert!(result.is_err());
+        let dump = take_last_panic_dump().expect("scoped panic leaves a dump");
+        assert!(dump.contains("deliberate span panic"));
+        assert!(dump.contains("span ring: 1 span(s)"), "dump:\n{dump}");
     }
 }

@@ -452,6 +452,12 @@ thread_local! {
 static HOOK_ONCE: Once = Once::new();
 static LAST_PANIC_DUMP: Mutex<Option<String>> = Mutex::new(None);
 
+/// Serializes tests that exercise the process-global panic-dump slot
+/// (here and in `lib.rs`); without it parallel panic tests stomp each
+/// other's dumps.
+#[cfg(test)]
+pub(crate) static PANIC_TEST_LOCK: Mutex<()> = Mutex::new(());
+
 /// While alive, panics on this thread are recorded into the scoped
 /// [`FlightRecorder`] and a text dump is captured (readable via
 /// [`take_last_panic_dump`]) before the previous panic hook runs.
@@ -499,7 +505,13 @@ pub fn install_panic_hook() {
                     "panic".to_string()
                 };
                 recorder.record(EventKind::Panic, &message, [0, 0, 0]);
-                let dump = recorder.dump_text();
+                let mut dump = recorder.dump_text();
+                // A scoped span ring (see `trace::SpanRing::panic_scope`)
+                // rides along in the same dump: the spans leading up to the
+                // panic are exactly what a post-mortem wants next.
+                if let Some(spans) = crate::trace::scoped_panic_span_dump() {
+                    dump.push_str(&spans);
+                }
                 eprintln!("[choice-obs] flight-recorder dump after panic:\n{dump}");
                 *LAST_PANIC_DUMP.lock() = Some(dump);
             }
@@ -646,6 +658,7 @@ mod tests {
     /// no dump, a panic inside a scope leaves one.
     #[test]
     fn panic_scope_captures_a_dump_and_unscoped_panics_do_not() {
+        let _guard = PANIC_TEST_LOCK.lock();
         let _ = take_last_panic_dump();
         install_panic_hook();
         let result = std::thread::spawn(|| panic!("unscoped")).join();

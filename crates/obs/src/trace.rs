@@ -1,0 +1,370 @@
+//! Request spans: a fixed-size lock-free ring of per-request stage timings.
+//!
+//! Wire v5 frames may carry an 8-byte trace id; for each sampled (traced)
+//! request the server measures how long the request spent in each pipeline
+//! stage — socket recv, frame decode, admission, the queue operation
+//! itself, and the response flush — and records one [`SpanRecord`] here.
+//! The ring rides beside the [`FlightRecorder`](crate::FlightRecorder) and
+//! follows its slot discipline exactly: a `fetch_add` ticket per writer, a
+//! per-slot sequence protocol (`2t + 1` in progress, `2t + 2` complete),
+//! lossy-but-counted drops under overwrite pressure, and torn-read
+//! detection on the reader side. See the recorder module docs for the full
+//! protocol; `tests/check_recorder.rs` model-checks it (including a broken
+//! torn-read variant) under the `choice-check` explorer.
+//!
+//! Spans are exported two ways: aggregated into `svc_stage_ns{stage=...}`
+//! histograms by the server (always on for traced requests), and dumped
+//! verbatim — the most recent `capacity` spans — through `MetricsDump`
+//! comment lines and the panic path.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Number of timed pipeline stages per request span.
+pub const SPAN_STAGES: usize = 5;
+
+/// The pipeline stages a traced request passes through, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SpanStage {
+    /// Reading request bytes off the socket (attributed per read call; every
+    /// frame completed by one read shares its duration).
+    Recv = 0,
+    /// Frame split + payload decode.
+    Decode = 1,
+    /// Registry admission (quota / rate / tombstone checks).
+    Admit = 2,
+    /// The queue operation itself (insert / delete-min / batch drain).
+    QueueOp = 3,
+    /// Response encode + socket write (and flush, when the credit window
+    /// closes).
+    Flush = 4,
+}
+
+impl SpanStage {
+    /// All stages in pipeline order.
+    pub const ALL: [SpanStage; SPAN_STAGES] = [
+        SpanStage::Recv,
+        SpanStage::Decode,
+        SpanStage::Admit,
+        SpanStage::QueueOp,
+        SpanStage::Flush,
+    ];
+
+    /// A short lowercase name for metric labels and dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStage::Recv => "recv",
+            SpanStage::Decode => "decode",
+            SpanStage::Admit => "admit",
+            SpanStage::QueueOp => "queue-op",
+            SpanStage::Flush => "flush",
+        }
+    }
+}
+
+/// One decoded request span, as returned by [`SpanRing::spans`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Global record order (0-based ticket; gaps mean dropped spans).
+    pub seq: u64,
+    /// The trace id the client stamped on the request frame.
+    pub trace_id: u64,
+    /// The request opcode (wire `OP_*` code; `0` for spans recorded outside
+    /// the service layer, e.g. the in-process traced bench mode).
+    pub opcode: u8,
+    /// Completion timestamp in nanoseconds on the owning hub's clock.
+    pub ts_ns: u64,
+    /// Nanoseconds spent in each stage, indexed by [`SpanStage`].
+    pub stage_ns: [u64; SPAN_STAGES],
+}
+
+impl SpanRecord {
+    /// Total server-side nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.stage_ns.iter().fold(0u64, |a, b| a.saturating_add(*b))
+    }
+}
+
+/// Payload words per slot: opcode, timestamp, trace id, five stage timings.
+const SLOT_WORDS: usize = 8;
+
+#[derive(Debug)]
+struct Slot {
+    /// `0` = never written; `2t + 1` = ticket `t` in progress; `2t + 2` =
+    /// ticket `t` complete.
+    seq: AtomicU64,
+    words: [AtomicU64; SLOT_WORDS],
+}
+
+/// The fixed-size lock-free span ring. Identical slot protocol to the
+/// [`FlightRecorder`](crate::FlightRecorder) ring (see that module's docs);
+/// only the payload layout differs.
+#[derive(Debug)]
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SpanRing {
+    /// A ring holding the most recent `capacity` spans (rounded up to a
+    /// power of two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(8).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                words: std::array::from_fn(|_| AtomicU64::new(0)),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            mask: capacity as u64 - 1,
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring's slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans dropped because a lapped slot was still being written.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total spans recorded (dropped ones excluded). Loads `dropped` before
+    /// `head` (and saturates) so concurrent drops between the two loads can
+    /// never make the difference go negative.
+    pub fn recorded(&self) -> u64 {
+        let dropped = self.dropped();
+        self.head.load(Ordering::Relaxed).saturating_sub(dropped)
+    }
+
+    /// Records one span. Lock-free and lossy: when the claimed slot is
+    /// mid-write from a lagging lap (or a faster writer already lapped us)
+    /// the span is dropped and counted, never blocking the hot path.
+    pub fn record(&self, trace_id: u64, opcode: u8, ts_ns: u64, stage_ns: [u64; SPAN_STAGES]) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & self.mask) as usize];
+        // Same claim rule as the flight recorder: CAS any *completed* (even)
+        // sequence — including an older lap's, so a dropped ticket never
+        // wedges its slot — to our in-progress value.
+        let claimed = loop {
+            let seq = slot.seq.load(Ordering::Relaxed);
+            if seq % 2 == 1 || seq > 2 * ticket + 1 {
+                break false;
+            }
+            if slot
+                .seq
+                .compare_exchange_weak(seq, 2 * ticket + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                break true;
+            }
+        };
+        if !claimed {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slot.words[0].store(opcode as u64, Ordering::Relaxed);
+        slot.words[1].store(ts_ns, Ordering::Relaxed);
+        slot.words[2].store(trace_id, Ordering::Relaxed);
+        for (i, ns) in stage_ns.iter().enumerate() {
+            slot.words[3 + i].store(*ns, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Decodes every complete, untorn span currently in the ring, in record
+    /// order (ascending `seq`).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq1 = slot.seq.load(Ordering::Acquire);
+            if seq1 == 0 || seq1 % 2 == 1 {
+                continue; // never written, or mid-write
+            }
+            let words: [u64; SLOT_WORDS] =
+                std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            // Seqlock reader recipe (same as the flight recorder): the fence
+            // orders the relaxed payload loads before the validating re-load.
+            std::sync::atomic::fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq1 {
+                continue; // overwritten while we read: skip the torn slot
+            }
+            let ticket = seq1 / 2 - 1;
+            out.push(SpanRecord {
+                seq: ticket,
+                trace_id: words[2],
+                opcode: (words[0] & 0xFF) as u8,
+                ts_ns: words[1],
+                stage_ns: std::array::from_fn(|i| words[3 + i]),
+            });
+        }
+        out.sort_by_key(|s| s.seq);
+        out
+    }
+
+    /// A human-readable dump: one line per span plus a drop summary.
+    pub fn dump_text(&self) -> String {
+        use std::fmt::Write as _;
+        let spans = self.spans();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "span ring: {} span(s) retained, {} recorded, {} dropped",
+            spans.len(),
+            self.recorded(),
+            self.dropped()
+        );
+        for s in &spans {
+            let _ = write!(
+                out,
+                "  [{:>6}] trace={:#018x} op={} {:>12}ns total={}",
+                s.seq,
+                s.trace_id,
+                s.opcode,
+                s.ts_ns,
+                s.total_ns()
+            );
+            for (stage, ns) in SpanStage::ALL.iter().zip(s.stage_ns.iter()) {
+                let _ = write!(out, " {}={}", stage.name(), ns);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+thread_local! {
+    /// The span rings whose [`SpanPanicScope`]s are active on this thread,
+    /// innermost last. The flight recorder's panic hook consults this so a
+    /// connection panic dumps its spans alongside the event ring.
+    static PANIC_SPAN_RINGS: RefCell<Vec<Weak<SpanRing>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// While alive, the panic hook appends this thread's scoped span-ring dump
+/// to the flight-recorder dump it captures.
+#[derive(Debug)]
+pub struct SpanPanicScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanRing {
+    /// Enters a span panic scope on the current thread. Pair it with a
+    /// [`FlightRecorder::panic_scope`](crate::FlightRecorder::panic_scope) —
+    /// the recorder's hook is what captures the dump; this scope only adds
+    /// the span section to it.
+    pub fn panic_scope(self: &Arc<Self>) -> SpanPanicScope {
+        PANIC_SPAN_RINGS.with(|r| r.borrow_mut().push(Arc::downgrade(self)));
+        SpanPanicScope {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for SpanPanicScope {
+    fn drop(&mut self) {
+        let _ = PANIC_SPAN_RINGS.try_with(|r| r.borrow_mut().pop());
+    }
+}
+
+/// The panicking thread's scoped span-ring dump, if any scope is active
+/// (called by the flight recorder's panic hook).
+pub(crate) fn scoped_panic_span_dump() -> Option<String> {
+    PANIC_SPAN_RINGS
+        .try_with(|r| r.borrow().last().and_then(Weak::upgrade))
+        .ok()
+        .flatten()
+        .map(|ring| ring.dump_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_decodes_spans_in_order() {
+        let ring = SpanRing::new(16);
+        ring.record(0xAB, 3, 100, [1, 2, 3, 4, 5]);
+        ring.record(0xCD, 4, 200, [10, 20, 30, 40, 50]);
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].seq, 0);
+        assert_eq!(spans[0].trace_id, 0xAB);
+        assert_eq!(spans[0].opcode, 3);
+        assert_eq!(spans[0].ts_ns, 100);
+        assert_eq!(spans[0].stage_ns, [1, 2, 3, 4, 5]);
+        assert_eq!(spans[0].total_ns(), 15);
+        assert_eq!(spans[1].trace_id, 0xCD);
+        assert_eq!(ring.recorded(), 2);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_capacity_spans() {
+        let ring = SpanRing::new(8);
+        for i in 0..20u64 {
+            ring.record(i, 1, i, [i, 0, 0, 0, 0]);
+        }
+        let spans = ring.spans();
+        assert_eq!(spans.len(), 8);
+        let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+        assert_eq!(ring.dropped(), 0, "a single writer never drops");
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_a_reader() {
+        let ring = Arc::new(SpanRing::new(64));
+        std::thread::scope(|s| {
+            for t in 1..=4u64 {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        // Payload invariant: queue-op stage = trace * ts.
+                        ring.record(t, 2, i, [t, i, 0, t * i, 0]);
+                    }
+                });
+            }
+            let ring = Arc::clone(&ring);
+            s.spawn(move || {
+                for _ in 0..200 {
+                    for sp in ring.spans() {
+                        assert_eq!(sp.stage_ns[3], sp.stage_ns[0] * sp.stage_ns[1], "torn span");
+                    }
+                }
+            });
+        });
+        assert_eq!(ring.recorded() + ring.dropped(), 4 * 5_000);
+        let spans = ring.spans();
+        assert!(spans.len() <= 64);
+        assert!(spans.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn dump_text_names_every_stage() {
+        let ring = SpanRing::new(8);
+        ring.record(7, 3, 42, [1, 2, 3, 4, 5]);
+        let text = ring.dump_text();
+        assert!(text.contains("span ring: 1 span(s)"));
+        for stage in SpanStage::ALL {
+            assert!(text.contains(stage.name()), "missing {}", stage.name());
+        }
+        assert!(text.contains("total=15"));
+    }
+
+    #[test]
+    fn stage_names_and_order_are_stable() {
+        let names: Vec<&str> = SpanStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["recv", "decode", "admit", "queue-op", "flush"]);
+        assert_eq!(SpanStage::QueueOp as usize, 3);
+    }
+}

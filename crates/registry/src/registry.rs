@@ -226,13 +226,21 @@ impl QueueEntry {
         }
     }
 
-    /// The backing queue, built on first use.
-    fn queue(&self) -> &Arc<dyn DynSharedPq<u64>> {
+    /// The backing queue, built on first use. When the registry carries a
+    /// telemetry hub the lazy build attaches a per-queue
+    /// [`QueueObs`](choice_pq::QueueObs) bundle (see
+    /// [`BackendSpec::build_observed`]); pre-installed queues
+    /// are returned as-is (their owner decides their instrumentation).
+    fn queue(&self, hub: Option<&Arc<ObsHub>>) -> &Arc<dyn DynSharedPq<u64>> {
         self.queue.get_or_init(|| {
-            self.spec
+            let spec = self
+                .spec
                 .as_ref()
-                .expect("entry without a spec must be pre-installed")
-                .build(self.seed)
+                .expect("entry without a spec must be pre-installed");
+            match hub {
+                Some(hub) => spec.build_observed(self.seed, hub, &self.name),
+                None => spec.build(self.seed),
+            }
         })
     }
 
@@ -498,6 +506,7 @@ impl QueueRegistry {
         entry.stats.lock().live.push(Arc::clone(&slot));
         Ok(QueueBinding {
             obs: self.obs.get().map(|hub| BindingObs::new(hub, name)),
+            hub: self.obs.get().cloned(),
             entry,
             slot,
             epoch: self.epoch,
@@ -596,6 +605,9 @@ pub struct QueueBinding {
     slot: Arc<Mutex<HandleStats>>,
     epoch: Instant,
     obs: Option<BindingObs>,
+    /// The registry's telemetry hub at bind time, handed to the entry's
+    /// lazy queue build so registry-built backends come up instrumented.
+    hub: Option<Arc<ObsHub>>,
 }
 
 impl QueueBinding {
@@ -616,13 +628,15 @@ impl QueueBinding {
 
     /// The backing queue (built on first call).
     pub fn queue(&self) -> &Arc<dyn DynSharedPq<u64>> {
-        self.entry.queue()
+        self.entry.queue(self.hub.as_ref())
     }
 
     /// Opens a session handle on the backing queue (the handle borrows this
     /// binding, exactly as in-process handles borrow their queue).
     pub fn register(&self, policy: HandlePolicy) -> Box<dyn PqHandle<u64> + '_> {
-        self.entry.queue().register_policy_dyn(policy)
+        self.entry
+            .queue(self.hub.as_ref())
+            .register_policy_dyn(policy)
     }
 
     /// Admission check for an insert of `key`. Charges the in-flight quota
@@ -1061,6 +1075,42 @@ mod tests {
         let mut s = b.register(HandlePolicy::default());
         assert_eq!(s.delete_min(), Some((9, 90)), "same underlying structure");
         assert_eq!(b.snapshot().backend, "installed");
+    }
+
+    #[test]
+    fn registry_built_queues_come_up_instrumented() {
+        let hub = ObsHub::new();
+        let reg = QueueRegistry::default();
+        reg.set_obs(Arc::clone(&hub));
+        reg.create("tenant/a", mq(), QuotaSpec::unlimited())
+            .unwrap();
+        let b = reg.bind("tenant/a").unwrap();
+        {
+            let mut s = b.register(HandlePolicy::default());
+            for k in 0..200u64 {
+                s.insert(k, k);
+            }
+            while s.delete_min().is_some() {}
+        }
+        let snap = hub.metrics().snapshot();
+        let ops = snap
+            .counter("mq_ops_total", &[("queue", "tenant/a")])
+            .expect("the lazily-built backend reports into the hub");
+        assert!(ops >= 400, "200 inserts + 200 removals: {ops}");
+        assert!(
+            snap.histogram("mq_rank_error", &[("queue", "tenant/a")])
+                .is_some(),
+            "the rank-error probe is registered under the queue's name"
+        );
+        // Without a hub, the same spec builds uninstrumented — the old
+        // behaviour is the no-telemetry baseline.
+        let bare = QueueRegistry::default();
+        bare.create("tenant/b", mq(), QuotaSpec::unlimited())
+            .unwrap();
+        let bb = bare.bind("tenant/b").unwrap();
+        let mut s = bb.register(HandlePolicy::default());
+        s.insert(1, 1);
+        assert_eq!(s.delete_min(), Some((1, 1)));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use std::sync::Arc;
 
-use choice_pq::{DynSharedPq, ElasticPolicy, MultiQueue, MultiQueueConfig};
+use choice_obs::ObsHub;
+use choice_pq::{DynSharedPq, ElasticPolicy, MultiQueue, MultiQueueConfig, QueueObs};
 use pq_baselines::{CoarseHeap, KLsmConfig, KLsmQueue, SkipListQueue};
 
 /// Which backend a named queue runs on, with its sizing parameters.
@@ -154,6 +155,46 @@ impl BackendSpec {
                     .with_relaxation(relaxation.max(1) as usize),
             )),
             BackendSpec::SkipList => Arc::new(SkipListQueue::with_seed(seed)),
+        }
+    }
+
+    /// Like [`build`](Self::build), but attaches a [`QueueObs`] bundle
+    /// labelled `queue_name` to backends that support telemetry (the
+    /// MultiQueue family) *before* type erasure, so a registry-built queue
+    /// reports its counters, latency samples, and live rank-error probe
+    /// (`mq_rank_error{queue=...}`) into `hub`. Baseline backends carry no
+    /// instrumentation and build exactly as [`build`](Self::build) does.
+    pub fn build_observed(
+        &self,
+        seed: u64,
+        hub: &ObsHub,
+        queue_name: &str,
+    ) -> Arc<dyn DynSharedPq<u64>> {
+        match *self {
+            BackendSpec::MultiQueue { lanes, d } => {
+                let mut q = MultiQueue::<u64>::new(
+                    MultiQueueConfig::with_queues(lanes.max(1) as usize)
+                        .with_d(d.max(1) as usize)
+                        .with_seed(seed),
+                );
+                q.attach_obs(QueueObs::new(hub, queue_name));
+                Arc::new(q)
+            }
+            BackendSpec::Elastic { lanes, d, shards } => {
+                let lanes = lanes.max(1) as usize;
+                let mut q = MultiQueue::<u64>::new(
+                    MultiQueueConfig::with_queues(lanes)
+                        .with_d(d.max(1) as usize)
+                        .with_shards((shards.max(1) as usize).min(lanes))
+                        .with_elastic(ElasticPolicy::default())
+                        .with_seed(seed),
+                );
+                q.attach_obs(QueueObs::new(hub, queue_name));
+                Arc::new(q)
+            }
+            BackendSpec::CoarseHeap | BackendSpec::KLsm { .. } | BackendSpec::SkipList => {
+                self.build(seed)
+            }
         }
     }
 }

@@ -436,6 +436,12 @@ impl<'q, V: Send, Q: SharedPq<V> + ?Sized> Scheduler<'q, V, Q> {
             states.push(state);
         }
         report.tasks_per_second = timer.ops_per_second(report.executed);
+        if let Some(hub) = &self.obs {
+            // A finished run is a natural rate-window boundary: close one so
+            // a following dump reports this run's ops as live rates instead
+            // of folding them into an ever-growing lifetime average.
+            hub.window_tick();
+        }
         (report, states)
     }
 

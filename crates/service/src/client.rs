@@ -24,19 +24,79 @@
 //! Responses arrive strictly in request order (the server executes each
 //! connection serially), so a FIFO queue of send timestamps is enough to
 //! attribute round-trip times.
+//!
+//! # Request tracing
+//!
+//! With tracing enabled ([`set_trace_every`](PqClient::set_trace_every)),
+//! every N-th request carries a v5 trace id. The server echoes the id back
+//! together with its measured handling time (decode + admit + queue-op),
+//! which lets the client split the observed round trip into "server work"
+//! versus "everything else" (client buffering, the wire, kernel queues,
+//! server recv/flush) — see [`TraceSplit`]. The most recent split and the
+//! running totals are available from
+//! [`last_trace_split`](PqClient::last_trace_split) and
+//! [`trace_totals`](PqClient::trace_totals).
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use choice_pq::Key;
 use choice_registry::{BackendSpec, QuotaSpec};
 
 use crate::protocol::{
-    read_frame_bytes, ErrorCode, QueueListRow, Request, Response, ServiceStats, WireError,
+    read_frame_bytes, ErrorCode, QueueListRow, Request, Response, ServiceStats, TraceContext,
+    WireError, WIRE_VERSION,
 };
+
+/// Process-wide trace-id allocator: ids stay unique across every client in
+/// the process, so spans from different connections never collide in the
+/// server's span ring.
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One traced request's round trip, split by the server's echoed stage time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSplit {
+    /// The id the request carried (echoed back by the server).
+    pub trace_id: u64,
+    /// Full round trip: request buffered to response decoded.
+    pub rtt: Duration,
+    /// Server-side handling time (decode + admit + queue-op stages) in
+    /// nanoseconds, measured on the server's clock.
+    pub server_ns: u64,
+}
+
+impl TraceSplit {
+    /// Nanoseconds of the round trip spent *outside* the server's handling
+    /// stages: client-side buffering, the wire, kernel queues, and the
+    /// server's recv/flush ends (saturating — the two clocks are
+    /// independent).
+    pub fn client_queue_ns(&self) -> u64 {
+        (self.rtt.as_nanos() as u64).saturating_sub(self.server_ns)
+    }
+}
+
+/// Running totals over every traced response this client has collected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceTotals {
+    /// Traced responses collected.
+    pub traced: u64,
+    /// Sum of traced round trips (ns).
+    pub rtt_ns: u64,
+    /// Sum of echoed server handling times (ns).
+    pub server_ns: u64,
+}
+
+impl TraceTotals {
+    /// Total nanoseconds traced requests spent outside the server's
+    /// handling stages (saturating).
+    pub fn client_queue_ns(&self) -> u64 {
+        self.rtt_ns.saturating_sub(self.server_ns)
+    }
+}
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
@@ -95,16 +155,27 @@ pub struct PqClient {
     writer: BufWriter<TcpStream>,
     window: usize,
     /// Send timestamps of requests whose responses are still outstanding
-    /// (FIFO: responses come back in request order).
-    inflight: VecDeque<Instant>,
+    /// (FIFO: responses come back in request order), with the trace id the
+    /// request carried when it was sampled.
+    inflight: VecDeque<(Instant, Option<u64>)>,
     frame: Vec<u8>,
     scratch: Vec<u8>,
+    /// Trace every N-th request; `0` disables tracing.
+    trace_every: u32,
+    /// Requests sent since the last traced one.
+    trace_tick: u32,
+    last_split: Option<TraceSplit>,
+    totals: TraceTotals,
 }
 
 impl PqClient {
     /// Default pipelining window (matches the server's default response
     /// credit window).
     pub const DEFAULT_WINDOW: usize = 64;
+
+    /// Default 1-in-N tracing stride once tracing is enabled — same budget
+    /// reasoning as the handle-level latency sampler.
+    pub const DEFAULT_TRACE_EVERY: u32 = 64;
 
     /// Connects with the default window.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PqClient> {
@@ -129,6 +200,10 @@ impl PqClient {
             inflight: VecDeque::with_capacity(window),
             frame: Vec::new(),
             scratch: Vec::new(),
+            trace_every: 0,
+            trace_tick: 0,
+            last_split: None,
+            totals: TraceTotals::default(),
         })
     }
 
@@ -142,6 +217,51 @@ impl PqClient {
         self.inflight.len()
     }
 
+    /// Traces every `every`-th request from now on (`0` disables tracing,
+    /// `1` traces everything). See [`PqClient::DEFAULT_TRACE_EVERY`] for
+    /// the recommended stride.
+    pub fn set_trace_every(&mut self, every: u32) {
+        self.trace_every = every;
+        self.trace_tick = 0;
+    }
+
+    /// The round-trip split of the most recently collected traced response.
+    pub fn last_trace_split(&self) -> Option<TraceSplit> {
+        self.last_split
+    }
+
+    /// Running totals over every traced response collected so far.
+    pub fn trace_totals(&self) -> TraceTotals {
+        self.totals
+    }
+
+    /// Decides whether the next request is sampled, allocating its id.
+    fn next_trace(&mut self) -> Option<TraceContext> {
+        if self.trace_every == 0 {
+            return None;
+        }
+        self.trace_tick += 1;
+        if self.trace_tick < self.trace_every {
+            return None;
+        }
+        self.trace_tick = 0;
+        Some(TraceContext {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// Encodes `request` (with a trace envelope when sampled) into the send
+    /// buffer and enqueues its in-flight slot.
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let trace = self.next_trace();
+        self.scratch.clear();
+        request.encode_traced(&mut self.scratch, WIRE_VERSION, trace);
+        self.writer.write_all(&self.scratch)?;
+        self.inflight
+            .push_back((Instant::now(), trace.map(|t| t.trace_id)));
+        Ok(())
+    }
+
     /// Pipelines one request. Returns `Ok(None)` when the window had room
     /// (the request is buffered/sent, nothing was read); returns
     /// `Ok(Some(timed_response))` when the window was full and one response
@@ -153,8 +273,7 @@ impl PqClient {
         } else {
             None
         };
-        crate::protocol::write_request(&mut self.writer, request, &mut self.scratch)?;
-        self.inflight.push_back(Instant::now());
+        self.send(request)?;
         Ok(collected)
     }
 
@@ -165,7 +284,7 @@ impl PqClient {
     ///
     /// Panics if nothing is in flight.
     pub fn drain_one(&mut self) -> Result<TimedResponse, ClientError> {
-        let sent_at = self
+        let (sent_at, _trace_id) = self
             .inflight
             .pop_front()
             .expect("drain_one with nothing in flight");
@@ -176,8 +295,20 @@ impl PqClient {
                 "server closed the connection with requests in flight",
             )));
         }
-        let (response, _) = Response::decode(&self.frame)?;
-        Ok((response, sent_at.elapsed()))
+        let (response, _version, echo, _used) = Response::decode_traced(&self.frame)?;
+        let rtt = sent_at.elapsed();
+        if let Some(echo) = echo {
+            let split = TraceSplit {
+                trace_id: echo.trace_id,
+                rtt,
+                server_ns: echo.server_ns,
+            };
+            self.totals.traced += 1;
+            self.totals.rtt_ns += rtt.as_nanos() as u64;
+            self.totals.server_ns += echo.server_ns;
+            self.last_split = Some(split);
+        }
+        Ok((response, rtt))
     }
 
     /// Drains every outstanding response, invoking `visit` on each in
@@ -193,8 +324,7 @@ impl PqClient {
     /// response.
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         self.drain_all(|_| {})?;
-        crate::protocol::write_request(&mut self.writer, request, &mut self.scratch)?;
-        self.inflight.push_back(Instant::now());
+        self.send(request)?;
         Ok(self.drain_one()?.0)
     }
 
@@ -395,6 +525,45 @@ mod tests {
         }
         keys.sort_unstable();
         assert_eq!(keys, (0..10u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn traced_requests_split_the_round_trip() {
+        let server = server();
+        let mut client = PqClient::connect(server.local_addr()).unwrap();
+        assert!(client.last_trace_split().is_none(), "tracing starts off");
+        client.insert(7, 70).unwrap();
+        assert_eq!(client.trace_totals(), TraceTotals::default());
+
+        client.set_trace_every(1);
+        client.insert(8, 80).unwrap();
+        let split = client
+            .last_trace_split()
+            .expect("stride 1 traces every request");
+        assert!(split.server_ns > 0, "server measured its stages");
+        assert!(
+            split.rtt.as_nanos() as u64 >= split.server_ns,
+            "the round trip contains the server's handling time: \
+             rtt={:?} server_ns={}",
+            split.rtt,
+            split.server_ns
+        );
+        assert_eq!(
+            split.client_queue_ns(),
+            split.rtt.as_nanos() as u64 - split.server_ns
+        );
+
+        // A coarser stride samples exactly 1-in-N, and the totals advance
+        // only on traced responses.
+        client.set_trace_every(4);
+        let before = client.trace_totals();
+        for k in 0..8u64 {
+            client.insert(k, k).unwrap();
+        }
+        let after = client.trace_totals();
+        assert_eq!(after.traced, before.traced + 2, "8 requests at stride 4");
+        assert!(after.server_ns > before.server_ns);
+        assert!(after.rtt_ns >= after.server_ns);
     }
 
     #[test]

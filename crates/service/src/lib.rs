@@ -73,10 +73,10 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ClientError, PqClient, TimedResponse};
+pub use client::{ClientError, PqClient, TimedResponse, TraceSplit, TraceTotals};
 pub use protocol::{
-    ErrorCode, QueueListRow, QueueStats, Request, Response, ServiceStats, WireError, MAX_BATCH,
-    MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
+    ErrorCode, QueueListRow, QueueStats, Request, Response, ServiceStats, TraceContext, TraceEcho,
+    WireError, MAX_BATCH, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_VERSION,
 };
 pub use server::{PqServer, ServerConfig};
 

@@ -45,12 +45,16 @@ use choice_registry::{BackendSpec, QuotaSpec, MAX_NAME_LEN, MAX_QUEUES};
 /// with the queue-topology triple (`active_lanes`, `max_lanes`,
 /// `resize_events`); v3 adds the queue-registry operations (`CreateQueue` /
 /// `DropQueue` / `ListQueues` / `UseQueue`), a `refusals` counter, and a
-/// per-queue breakdown in the Stats reply; v4 (current) adds the telemetry
-/// op `MetricsDump` (a Prometheus-style exposition dump with an optional
+/// per-queue breakdown in the Stats reply; v4 adds the telemetry op
+/// `MetricsDump` (a Prometheus-style exposition dump with an optional
 /// flight-recorder event tail) and a `resize_epoch` field in the Stats
-/// topology row. Fixed layouts are not self-describing, so any layout
-/// change is a version bump.
-pub const WIRE_VERSION: u8 = 4;
+/// topology row; v5 (current) prepends a one-byte trace envelope to every
+/// payload — a flags byte, plus (when [`TRACE_FLAG_SAMPLED`] is set) a
+/// request-side `trace_id` and a response-side `trace_id` + `server_ns`
+/// echo — so sampled requests carry end-to-end trace context while
+/// unsampled traffic pays exactly one byte. Fixed layouts are not
+/// self-describing, so any layout change is a version bump.
+pub const WIRE_VERSION: u8 = 5;
 
 /// The oldest version this build still decodes and answers. v2 frames
 /// carry no registry opcodes and receive the legacy 9-counter Stats
@@ -68,6 +72,42 @@ pub const MAX_FRAME_LEN: u32 = 256 * 1024;
 /// Largest `DeleteMinBatch` size the protocol will carry in one frame.
 /// Servers clamp larger requests to their own (possibly smaller) limit.
 pub const MAX_BATCH: u32 = 4096;
+
+/// v5 trace-envelope flag: the frame carries trace fields (request:
+/// `trace_id u64`; response: `trace_id u64` + `server_ns u64`). All other
+/// flag bits are unassigned and decode as [`WireError::MalformedPayload`] —
+/// a future version that assigns one is a version bump, so v5 peers never
+/// silently skip fields they do not understand.
+pub const TRACE_FLAG_SAMPLED: u8 = 0x01;
+
+/// Largest v5 trace envelope either direction can carry (flags byte +
+/// response-side `trace_id` + `server_ns`). Encoders that bound a payload
+/// against [`MAX_FRAME_LEN`] leave this much headroom so splicing the
+/// envelope in can never push a frame over the ceiling.
+const MAX_TRACE_ENVELOPE: usize = 17;
+
+/// The trace context a v5 client stamps on a sampled request: an opaque
+/// 8-byte id the server echoes back so the client can pair the response
+/// (and its server-side timing) with the request it measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Client-chosen trace id (opaque to the server; echoed verbatim).
+    pub trace_id: u64,
+}
+
+/// The trace echo a v5 server stamps on the response to a sampled request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEcho {
+    /// The request's trace id, echoed verbatim.
+    pub trace_id: u64,
+    /// Wall time the server spent processing this request (decode + admit +
+    /// queue-op, ns). The recv and flush stages land in the server's span
+    /// ring but not on the wire: recv can include pipeline idle and flush
+    /// happens after the response is encoded, so neither belongs in the
+    /// number clients subtract from the measured RTT to split client-queue
+    /// time from server time.
+    pub server_ns: u64,
+}
 
 /// Everything that can go wrong turning bytes into frames.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -562,7 +602,147 @@ fn split_frame(buf: &[u8]) -> Result<(u8, u8, &[u8], usize), WireError> {
     Ok((version, buf[5], &buf[6..total], total))
 }
 
+/// Inserts `envelope` at the payload head of the frame that starts at
+/// `start` in `out` (right after the 6-byte header) and patches the length
+/// prefix. Keeping the envelope a post-pass means the per-opcode body
+/// encoders stay identical across versions.
+fn splice_envelope(out: &mut Vec<u8>, start: usize, envelope: &[u8]) {
+    let insert_at = start + 6;
+    out.splice(insert_at..insert_at, envelope.iter().copied());
+    let len = u32::from_le_bytes(out[start..start + 4].try_into().unwrap());
+    let len = len + envelope.len() as u32;
+    debug_assert!(len <= MAX_FRAME_LEN, "trace envelope overflowed the frame");
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Splices the v5 request envelope (flags byte, plus the trace id when
+/// sampled) into the frame at `start`. Pre-v5 frames have no envelope, so
+/// a trace handed to an old-version encoder is silently dropped — tracing
+/// is a v5 feature, not something to smuggle into frozen layouts.
+fn splice_request_envelope(
+    out: &mut Vec<u8>,
+    start: usize,
+    version: u8,
+    trace: Option<TraceContext>,
+) {
+    if version < 5 {
+        return;
+    }
+    let mut env = [0u8; 9];
+    let used = match trace {
+        Some(t) => {
+            env[0] = TRACE_FLAG_SAMPLED;
+            env[1..9].copy_from_slice(&t.trace_id.to_le_bytes());
+            9
+        }
+        None => 1,
+    };
+    splice_envelope(out, start, &env[..used]);
+}
+
+/// Splices the v5 response envelope (flags byte, plus the trace id and
+/// server-time echo when sampled) into the frame at `start`.
+fn splice_response_envelope(
+    out: &mut Vec<u8>,
+    start: usize,
+    version: u8,
+    trace: Option<TraceEcho>,
+) {
+    if version < 5 {
+        return;
+    }
+    let mut env = [0u8; MAX_TRACE_ENVELOPE];
+    let used = match trace {
+        Some(t) => {
+            env[0] = TRACE_FLAG_SAMPLED;
+            env[1..9].copy_from_slice(&t.trace_id.to_le_bytes());
+            env[9..17].copy_from_slice(&t.server_ns.to_le_bytes());
+            MAX_TRACE_ENVELOPE
+        }
+        None => 1,
+    };
+    splice_envelope(out, start, &env[..used]);
+}
+
+/// Strips the v5 request envelope off the payload head, validating the
+/// flags byte (unassigned bits are malformed). Pre-v5 payloads pass
+/// through untouched.
+fn strip_request_envelope(
+    version: u8,
+    opcode: u8,
+    payload: &[u8],
+) -> Result<(Option<TraceContext>, &[u8]), WireError> {
+    if version < 5 {
+        return Ok((None, payload));
+    }
+    let mut p = Payload::new(
+        payload,
+        opcode,
+        "v5 trace envelope: flags u8 [+ trace_id u64]",
+    );
+    let flags = p.take_u8()?;
+    if flags & !TRACE_FLAG_SAMPLED != 0 {
+        return Err(p.malformed());
+    }
+    let trace = if flags & TRACE_FLAG_SAMPLED != 0 {
+        Some(TraceContext {
+            trace_id: p.take_u64()?,
+        })
+    } else {
+        None
+    };
+    Ok((trace, p.bytes))
+}
+
+/// Strips the v5 response envelope off the payload head (flags byte, plus
+/// trace id and server-time echo when sampled).
+fn strip_response_envelope(
+    version: u8,
+    opcode: u8,
+    payload: &[u8],
+) -> Result<(Option<TraceEcho>, &[u8]), WireError> {
+    if version < 5 {
+        return Ok((None, payload));
+    }
+    let mut p = Payload::new(
+        payload,
+        opcode,
+        "v5 trace envelope: flags u8 [+ trace_id u64 + server_ns u64]",
+    );
+    let flags = p.take_u8()?;
+    if flags & !TRACE_FLAG_SAMPLED != 0 {
+        return Err(p.malformed());
+    }
+    let trace = if flags & TRACE_FLAG_SAMPLED != 0 {
+        Some(TraceEcho {
+            trace_id: p.take_u64()?,
+            server_ns: p.take_u64()?,
+        })
+    } else {
+        None
+    };
+    Ok((trace, p.bytes))
+}
+
 impl Request {
+    /// The opcode byte this request rides under — the label servers stamp
+    /// on span records and stage metrics for a traced request.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Insert { .. } => OP_INSERT,
+            Request::DeleteMin => OP_DELETE_MIN,
+            Request::DeleteMinBatch { .. } => OP_DELETE_MIN_BATCH,
+            Request::ApproxLen => OP_APPROX_LEN,
+            Request::Stats => OP_STATS,
+            Request::Shutdown => OP_SHUTDOWN,
+            Request::CreateQueue { .. } => OP_CREATE_QUEUE,
+            Request::DropQueue { .. } => OP_DROP_QUEUE,
+            Request::ListQueues => OP_LIST_QUEUES,
+            Request::UseQueue { .. } => OP_USE_QUEUE,
+            Request::MetricsDump { .. } => OP_METRICS_DUMP,
+        }
+    }
+
     /// Appends this request as one frame at [`WIRE_VERSION`].
     pub fn encode(&self, out: &mut Vec<u8>) {
         self.encode_versioned(out, WIRE_VERSION);
@@ -570,10 +750,27 @@ impl Request {
 
     /// Appends this request as one frame stamped with `version`. The
     /// payload layout of the shared opcodes is identical across supported
-    /// versions; encoding a v3-only request at v2 produces a frame peers
-    /// reject as [`WireError::UnknownOpcode`] (useful for compatibility
-    /// tests, never for production traffic).
+    /// versions (v5 adds the one-byte trace envelope); encoding a v3-only
+    /// request at v2 produces a frame peers reject as
+    /// [`WireError::UnknownOpcode`] (useful for compatibility tests, never
+    /// for production traffic).
     pub fn encode_versioned(&self, out: &mut Vec<u8>, version: u8) {
+        self.encode_traced(out, version, None);
+    }
+
+    /// Appends this request as one frame stamped with `version`, carrying
+    /// `trace` in the v5 envelope. At pre-v5 versions the trace is dropped
+    /// (the frozen layouts have nowhere to put it), so a client can call
+    /// this unconditionally with whatever version it negotiated.
+    pub fn encode_traced(&self, out: &mut Vec<u8>, version: u8, trace: Option<TraceContext>) {
+        let start = out.len();
+        self.encode_body(out, version);
+        splice_request_envelope(out, start, version, trace);
+    }
+
+    /// The per-opcode frame body, identical across versions; the v5 trace
+    /// envelope is spliced in after the fact.
+    fn encode_body(&self, out: &mut Vec<u8>, version: u8) {
         match self {
             Request::Insert { key, value } => encode_frame(out, version, OP_INSERT, |out| {
                 put_u64(out, *key);
@@ -630,10 +827,19 @@ impl Request {
     /// carried — servers echo that version in the response so older peers
     /// receive frames they can decode.
     pub fn decode_versioned(buf: &[u8]) -> Result<(Request, u8, usize), WireError> {
+        Self::decode_traced(buf).map(|(request, version, _, used)| (request, version, used))
+    }
+
+    /// Decodes one request frame, also returning the version byte and the
+    /// v5 trace context (always `None` for pre-v5 frames).
+    pub fn decode_traced(
+        buf: &[u8],
+    ) -> Result<(Request, u8, Option<TraceContext>, usize), WireError> {
         let (version, opcode, payload, total) = split_frame(buf)?;
         if version < request_opcode_min_version(opcode) {
             return Err(WireError::UnknownOpcode(opcode));
         }
+        let (trace, payload) = strip_request_envelope(version, opcode, payload)?;
         let request = match opcode {
             OP_INSERT => {
                 let mut p = Payload::new(payload, opcode, "key u64 + value u64");
@@ -719,7 +925,7 @@ impl Request {
             }
             other => return Err(WireError::UnknownOpcode(other)),
         };
-        Ok((request, version, total))
+        Ok((request, version, trace, total))
     }
 }
 
@@ -745,6 +951,25 @@ impl Response {
     ///
     /// As [`encode`](Response::encode).
     pub fn encode_versioned(&self, out: &mut Vec<u8>, version: u8) {
+        self.encode_traced(out, version, None);
+    }
+
+    /// Appends this response as one frame stamped with `version`, carrying
+    /// `trace` in the v5 envelope (dropped at pre-v5 versions, like the
+    /// request side).
+    ///
+    /// # Panics
+    ///
+    /// As [`encode`](Response::encode).
+    pub fn encode_traced(&self, out: &mut Vec<u8>, version: u8, trace: Option<TraceEcho>) {
+        let start = out.len();
+        self.encode_body(out, version);
+        splice_response_envelope(out, start, version, trace);
+    }
+
+    /// The per-opcode frame body, identical across versions; the v5 trace
+    /// envelope is spliced in after the fact.
+    fn encode_body(&self, out: &mut Vec<u8>, version: u8) {
         match self {
             Response::Inserted => encode_frame(out, version, OP_INSERTED, |_| {}),
             Response::Entry { key, value } => encode_frame(out, version, OP_ENTRY, |out| {
@@ -828,9 +1053,10 @@ impl Response {
             Response::Using => encode_frame(out, version, OP_USING, |_| {}),
             Response::MetricsText(text) => {
                 // Bound the dump exactly like an error detail: truncate on a
-                // char boundary so the frame never exceeds MAX_FRAME_LEN.
+                // char boundary so the frame never exceeds MAX_FRAME_LEN,
+                // leaving headroom for the spliced trace envelope.
                 let mut text = text.as_str();
-                let cap = (MAX_FRAME_LEN - 2) as usize;
+                let cap = MAX_FRAME_LEN as usize - 2 - MAX_TRACE_ENVELOPE;
                 if text.len() > cap {
                     let mut end = cap;
                     while !text.is_char_boundary(end) {
@@ -844,9 +1070,10 @@ impl Response {
             }
             Response::Error { code, detail } => {
                 // Bound the detail so the frame stays within MAX_FRAME_LEN
-                // whatever the caller passes (truncate on a char boundary).
+                // whatever the caller passes (truncate on a char boundary),
+                // leaving headroom for the spliced trace envelope.
                 let mut detail = detail.as_str();
-                let cap = (MAX_FRAME_LEN - 3) as usize;
+                let cap = MAX_FRAME_LEN as usize - 3 - MAX_TRACE_ENVELOPE;
                 if detail.len() > cap {
                     let mut end = cap;
                     while !detail.is_char_boundary(end) {
@@ -872,10 +1099,19 @@ impl Response {
     /// carried. A v2 Stats frame decodes with `refusals == 0` and no
     /// per-queue rows — the legacy layout does not carry them.
     pub fn decode_versioned(buf: &[u8]) -> Result<(Response, u8, usize), WireError> {
+        Self::decode_traced(buf).map(|(response, version, _, used)| (response, version, used))
+    }
+
+    /// Decodes one response frame, also returning the version byte and the
+    /// v5 trace echo (always `None` for pre-v5 frames).
+    pub fn decode_traced(
+        buf: &[u8],
+    ) -> Result<(Response, u8, Option<TraceEcho>, usize), WireError> {
         let (version, opcode, payload, total) = split_frame(buf)?;
         if version < response_opcode_min_version(opcode) {
             return Err(WireError::UnknownOpcode(opcode));
         }
+        let (trace, payload) = strip_response_envelope(version, opcode, payload)?;
         let response = match opcode {
             OP_INSERTED => {
                 Payload::new(payload, opcode, "empty payload").finish()?;
@@ -1031,32 +1267,39 @@ impl Response {
             }
             other => return Err(WireError::UnknownOpcode(other)),
         };
-        Ok((response, version, total))
+        Ok((response, version, trace, total))
     }
 }
 
 /// Encodes a `Batch` response frame from borrowed entries at `version` —
 /// byte-identical to `Response::Batch(entries.to_vec())
-/// .encode_versioned(out, version)` without giving up the caller's buffer,
-/// so a server can reuse one entries vector across requests.
+/// .encode_traced(out, version, trace)` without giving up the caller's
+/// buffer, so a server can reuse one entries vector across requests.
 ///
 /// # Panics
 ///
 /// Panics if `entries` holds more than [`MAX_BATCH`] elements (servers
 /// clamp every batch below that).
-pub fn encode_batch_response(out: &mut Vec<u8>, entries: &[(Key, u64)], version: u8) {
+pub fn encode_batch_response(
+    out: &mut Vec<u8>,
+    entries: &[(Key, u64)],
+    version: u8,
+    trace: Option<TraceEcho>,
+) {
     assert!(
         entries.len() <= MAX_BATCH as usize,
         "batch of {} exceeds the wire limit {MAX_BATCH}",
         entries.len()
     );
+    let start = out.len();
     encode_frame(out, version, OP_BATCH, |out| {
         put_u32(out, entries.len() as u32);
         for (key, value) in entries {
             put_u64(out, *key);
             put_u64(out, *value);
         }
-    })
+    });
+    splice_response_envelope(out, start, version, trace);
 }
 
 /// Reads exactly one frame's bytes from a blocking stream into `scratch`
@@ -1354,9 +1597,11 @@ mod tests {
         let stats = full_stats();
         let mut buf = Vec::new();
         Response::Stats(stats.clone()).encode(&mut buf);
-        // Header (4 len + 1 version + 1 opcode) + 11 × u64 + queue count +
-        // one row per queue (name field + 8 × u64 each).
+        // Header (4 len + 1 version + 1 opcode) + 1 envelope flags byte +
+        // 11 × u64 + queue count + one row per queue (name field + 8 × u64
+        // each).
         let expected_len = 6
+            + 1
             + 11 * 8
             + 4
             + stats
@@ -1364,7 +1609,7 @@ mod tests {
                 .iter()
                 .map(|q| 1 + q.name.len() + 8 * 8)
                 .sum::<usize>();
-        assert_eq!(buf.len(), expected_len, "v4 Stats layout drifted");
+        assert_eq!(buf.len(), expected_len, "v5 Stats layout drifted");
         for cut in 0..buf.len() {
             let err = Response::decode(&buf[..cut]).expect_err("truncation must fail");
             assert!(
@@ -1443,11 +1688,12 @@ mod tests {
     #[test]
     fn undersized_stats_payloads_are_rejected_as_malformed() {
         for counters in [6u64, 9, 10, 11] {
-            // 6 = v1-ish, 9 = the v2 layout inside a v4 frame, 10 = the v3
+            // 6 = v1-ish, 9 = the v2 layout inside a v5 frame, 10 = the v3
             // counter set (missing resize_epoch + queue count), 11 =
             // missing the queue count.
             let mut buf = Vec::new();
             encode_frame(&mut buf, WIRE_VERSION, OP_STATS_REPLY, |out| {
+                out.push(0); // v5 envelope: no trace
                 for counter in 0..counters {
                     put_u64(out, counter);
                 }
@@ -1460,7 +1706,7 @@ mod tests {
                         ..
                     })
                 ),
-                "{counters}-counter v4 Stats payload must be malformed"
+                "{counters}-counter v5 Stats payload must be malformed"
             );
         }
         // A v3 frame sized for v4 (11 counters) or missing its queue count
@@ -1609,7 +1855,10 @@ mod tests {
         }
         // The include_events flag is a strict bool.
         let mut buf = Vec::new();
-        encode_frame(&mut buf, WIRE_VERSION, OP_METRICS_DUMP, |out| out.push(2));
+        encode_frame(&mut buf, WIRE_VERSION, OP_METRICS_DUMP, |out| {
+            out.push(0); // v5 envelope: no trace
+            out.push(2);
+        });
         assert!(matches!(
             Request::decode(&buf),
             Err(WireError::MalformedPayload { .. })
@@ -1691,9 +1940,12 @@ mod tests {
 
     #[test]
     fn wire_names_are_validated_on_decode() {
-        // Zero-length name.
+        // Zero-length name (the leading 0 is the v5 no-trace envelope).
         let mut buf = Vec::new();
-        encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| out.push(0));
+        encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| {
+            out.push(0);
+            out.push(0);
+        });
         assert!(matches!(
             Request::decode(&buf),
             Err(WireError::MalformedPayload { .. })
@@ -1701,6 +1953,7 @@ mod tests {
         // Length byte beyond MAX_NAME_LEN.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| {
+            out.push(0);
             out.push((MAX_NAME_LEN + 1) as u8);
             out.extend_from_slice(&[b'a'; MAX_NAME_LEN + 1]);
         });
@@ -1711,6 +1964,7 @@ mod tests {
         // Length byte promising more than the payload carries.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_DROP_QUEUE, |out| {
+            out.push(0);
             out.push(10);
             out.extend_from_slice(b"abc");
         });
@@ -1721,6 +1975,7 @@ mod tests {
         // Invalid UTF-8 in the name bytes.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| {
+            out.push(0);
             out.push(2);
             out.extend_from_slice(&[0xFF, 0xFE]);
         });
@@ -1731,6 +1986,7 @@ mod tests {
         // Trailing bytes after a well-formed name.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_USE_QUEUE, |out| {
+            out.push(0);
             out.push(1);
             out.push(b'q');
             out.push(0);
@@ -1746,6 +2002,7 @@ mod tests {
         // CreateQueue with an unassigned backend code.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_CREATE_QUEUE, |out| {
+            out.push(0); // v5 envelope: no trace
             out.push(1);
             out.push(b'q');
             out.push(99); // unknown backend family
@@ -1767,6 +2024,7 @@ mod tests {
         // refused before allocation.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_QUEUE_LIST, |out| {
+            out.push(0); // v5 envelope: no trace
             put_u32(out, (MAX_QUEUES + 1) as u32);
         });
         assert!(matches!(
@@ -1776,7 +2034,8 @@ mod tests {
         // Same bound on the Stats per-queue row count.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_STATS_REPLY, |out| {
-            for _ in 0..10 {
+            out.push(0); // v5 envelope: no trace
+            for _ in 0..11 {
                 put_u64(out, 0);
             }
             put_u32(out, (MAX_QUEUES + 1) as u32);
@@ -1788,6 +2047,7 @@ mod tests {
         // A QueueList row with an instantiated byte that is neither 0 nor 1.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_QUEUE_LIST, |out| {
+            out.push(0); // v5 envelope: no trace
             put_u32(out, 1);
             out.push(1);
             out.push(b'q');
@@ -1907,9 +2167,11 @@ mod tests {
 
     #[test]
     fn payload_layout_is_enforced_exactly() {
-        // Insert with a short payload: length says 10, layout needs 16.
+        // Insert with a short payload: layout needs 16 body bytes, got 8
+        // (the leading 0 is the v5 no-trace envelope).
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_INSERT, |out| {
+            out.push(0);
             out.extend_from_slice(&[0; 8])
         });
         assert!(matches!(
@@ -1921,7 +2183,10 @@ mod tests {
         ));
         // DeleteMin with trailing bytes.
         let mut buf = Vec::new();
-        encode_frame(&mut buf, WIRE_VERSION, OP_DELETE_MIN, |out| out.push(0));
+        encode_frame(&mut buf, WIRE_VERSION, OP_DELETE_MIN, |out| {
+            out.push(0);
+            out.push(0);
+        });
         assert!(matches!(
             Request::decode(&buf),
             Err(WireError::MalformedPayload { .. })
@@ -1929,7 +2194,10 @@ mod tests {
         // Batch response whose count promises more entries than the frame
         // carries.
         let mut buf = Vec::new();
-        encode_frame(&mut buf, WIRE_VERSION, OP_BATCH, |out| put_u32(out, 3));
+        encode_frame(&mut buf, WIRE_VERSION, OP_BATCH, |out| {
+            out.push(0);
+            put_u32(out, 3)
+        });
         assert!(matches!(
             Response::decode(&buf),
             Err(WireError::MalformedPayload { .. })
@@ -1937,6 +2205,7 @@ mod tests {
         // Batch count beyond the wire limit is refused before allocation.
         let mut buf = Vec::new();
         encode_frame(&mut buf, WIRE_VERSION, OP_BATCH, |out| {
+            out.push(0);
             put_u32(out, MAX_BATCH + 1)
         });
         assert!(matches!(
@@ -1967,13 +2236,22 @@ mod tests {
 
     #[test]
     fn borrowed_batch_encoder_matches_the_owned_one() {
+        let traces = [
+            None,
+            Some(TraceEcho {
+                trace_id: 0xDEAD_BEEF,
+                server_ns: 4242,
+            }),
+        ];
         for entries in [vec![], vec![(1u64, 10u64)], vec![(5, 50), (2, 20), (9, 90)]] {
             for version in [MIN_WIRE_VERSION, WIRE_VERSION] {
-                let mut borrowed = Vec::new();
-                encode_batch_response(&mut borrowed, &entries, version);
-                let mut owned = Vec::new();
-                Response::Batch(entries.clone()).encode_versioned(&mut owned, version);
-                assert_eq!(borrowed, owned, "the two encoders must stay in lockstep");
+                for trace in traces {
+                    let mut borrowed = Vec::new();
+                    encode_batch_response(&mut borrowed, &entries, version, trace);
+                    let mut owned = Vec::new();
+                    Response::Batch(entries.clone()).encode_traced(&mut owned, version, trace);
+                    assert_eq!(borrowed, owned, "the two encoders must stay in lockstep");
+                }
             }
         }
     }
@@ -2004,6 +2282,228 @@ mod tests {
         let mut frame = Vec::new();
         let err = read_frame_bytes(&mut cursor, &mut frame).expect_err("mid-frame EOF");
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Traced v5 frames round-trip the envelope in both directions, and
+    /// untraced v5 frames decode with no trace at the cost of one byte.
+    #[test]
+    fn v5_traced_frames_round_trip_the_envelope() {
+        let trace = TraceContext {
+            trace_id: 0x0123_4567_89AB_CDEF,
+        };
+        let mut buf = Vec::new();
+        Request::Insert { key: 7, value: 70 }.encode_traced(&mut buf, WIRE_VERSION, Some(trace));
+        let (request, version, decoded_trace, used) =
+            Request::decode_traced(&buf).expect("traced request decodes");
+        assert_eq!(request, Request::Insert { key: 7, value: 70 });
+        assert_eq!(version, WIRE_VERSION);
+        assert_eq!(decoded_trace, Some(trace));
+        assert_eq!(used, buf.len());
+
+        let echo = TraceEcho {
+            trace_id: trace.trace_id,
+            server_ns: 12_345,
+        };
+        let mut buf = Vec::new();
+        Response::Entry { key: 7, value: 70 }.encode_traced(&mut buf, WIRE_VERSION, Some(echo));
+        let (response, version, decoded_echo, used) =
+            Response::decode_traced(&buf).expect("traced response decodes");
+        assert_eq!(response, Response::Entry { key: 7, value: 70 });
+        assert_eq!(version, WIRE_VERSION);
+        assert_eq!(decoded_echo, Some(echo));
+        assert_eq!(used, buf.len());
+
+        // Untraced v5 frames carry the one-byte envelope and decode to None.
+        let mut plain = Vec::new();
+        Request::DeleteMin.encode(&mut plain);
+        assert_eq!(plain.len(), 6 + 1, "v5 DeleteMin is header + flags byte");
+        let (_, _, no_trace, _) = Request::decode_traced(&plain).unwrap();
+        assert_eq!(no_trace, None);
+        // The traced variant costs exactly the 8-byte trace id more.
+        let mut traced = Vec::new();
+        Request::DeleteMin.encode_traced(&mut traced, WIRE_VERSION, Some(trace));
+        assert_eq!(traced.len(), plain.len() + 8);
+    }
+
+    /// Every truncation of a traced v5 frame — cuts landing inside the
+    /// envelope included — reports `Truncated`, never a partial decode and
+    /// never garbage.
+    #[test]
+    fn v5_traced_frame_truncations_are_incomplete_at_every_offset() {
+        let trace = Some(TraceContext { trace_id: u64::MAX });
+        let echo = Some(TraceEcho {
+            trace_id: u64::MAX,
+            server_ns: u64::MAX,
+        });
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut buf = Vec::new();
+        Request::Insert {
+            key: 0xAA,
+            value: 0xBB,
+        }
+        .encode_traced(&mut buf, WIRE_VERSION, trace);
+        frames.push(std::mem::take(&mut buf));
+        Request::MetricsDump {
+            include_events: true,
+        }
+        .encode_traced(&mut buf, WIRE_VERSION, trace);
+        frames.push(std::mem::take(&mut buf));
+        Response::Entry {
+            key: 0xCC,
+            value: 0xDD,
+        }
+        .encode_traced(&mut buf, WIRE_VERSION, echo);
+        frames.push(std::mem::take(&mut buf));
+        Response::Batch(vec![(1, 10), (2, 20)]).encode_traced(&mut buf, WIRE_VERSION, echo);
+        frames.push(std::mem::take(&mut buf));
+        Response::Stats(full_stats()).encode_traced(&mut buf, WIRE_VERSION, echo);
+        frames.push(std::mem::take(&mut buf));
+        for frame in frames {
+            for cut in 0..frame.len() {
+                let request_err = Request::decode_traced(&frame[..cut]).err();
+                let response_err = Response::decode_traced(&frame[..cut]).err();
+                for err in [request_err, response_err].into_iter().flatten() {
+                    assert!(
+                        err.is_incomplete(),
+                        "cut at {cut}/{} should be Truncated, got {err:?}",
+                        frame.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Unassigned trace-flag bits are malformed in both directions — a v5
+    /// peer never silently skips envelope fields it does not understand.
+    #[test]
+    fn garbage_trace_flags_are_malformed() {
+        for flags in [0x02u8, 0x03, 0x80, 0xFE, 0xFF] {
+            let mut buf = Vec::new();
+            encode_frame(&mut buf, WIRE_VERSION, OP_DELETE_MIN, |out| {
+                out.push(flags);
+                // Enough bytes to satisfy any field the flags could promise.
+                out.extend_from_slice(&[0; 16]);
+            });
+            assert!(
+                matches!(
+                    Request::decode_traced(&buf),
+                    Err(WireError::MalformedPayload { .. })
+                ),
+                "request flags {flags:#04x} must be malformed"
+            );
+            let mut buf = Vec::new();
+            encode_frame(&mut buf, WIRE_VERSION, OP_EMPTY, |out| {
+                out.push(flags);
+                out.extend_from_slice(&[0; 16]);
+            });
+            assert!(
+                matches!(
+                    Response::decode_traced(&buf),
+                    Err(WireError::MalformedPayload { .. })
+                ),
+                "response flags {flags:#04x} must be malformed"
+            );
+        }
+        // A sampled envelope whose promised trace fields are missing is
+        // malformed too (the length prefix said the frame was complete).
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_DELETE_MIN, |out| {
+            out.push(TRACE_FLAG_SAMPLED);
+            out.extend_from_slice(&[0; 4]); // trace_id needs 8
+        });
+        assert!(matches!(
+            Request::decode_traced(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, WIRE_VERSION, OP_EMPTY, |out| {
+            out.push(TRACE_FLAG_SAMPLED);
+            out.extend_from_slice(&[0; 8]); // trace_id + server_ns need 16
+        });
+        assert!(matches!(
+            Response::decode_traced(&buf),
+            Err(WireError::MalformedPayload { .. })
+        ));
+    }
+
+    /// v4 frames carry no envelope: their byte layout is unchanged from the
+    /// previous release, a trace handed to a v4 encoder is dropped, and
+    /// decode reports no trace — the negotiation story for a v4 client on a
+    /// v5 server (and vice versa).
+    #[test]
+    fn v4_frames_are_untouched_by_the_trace_envelope() {
+        let trace = Some(TraceContext { trace_id: 99 });
+        let mut v4_plain = Vec::new();
+        Request::DeleteMin.encode_versioned(&mut v4_plain, 4);
+        assert_eq!(v4_plain.len(), 6, "the v4 layout has no envelope byte");
+        let mut v4_traced = Vec::new();
+        Request::DeleteMin.encode_traced(&mut v4_traced, 4, trace);
+        assert_eq!(v4_plain, v4_traced, "pre-v5 encoders drop the trace");
+        let (request, version, no_trace, _) = Request::decode_traced(&v4_plain).unwrap();
+        assert_eq!(request, Request::DeleteMin);
+        assert_eq!(version, 4);
+        assert_eq!(no_trace, None);
+        // The response a server would send back at the echoed version 4 is
+        // envelope-free as well, even if the server tries to attach timing.
+        let echo = Some(TraceEcho {
+            trace_id: 99,
+            server_ns: 1,
+        });
+        let mut v4_response = Vec::new();
+        Response::Empty.encode_traced(&mut v4_response, 4, echo);
+        assert_eq!(v4_response.len(), 6);
+        let (response, version, no_echo, _) = Response::decode_traced(&v4_response).unwrap();
+        assert_eq!(response, Response::Empty);
+        assert_eq!(version, 4);
+        assert_eq!(no_echo, None);
+        // A v4 MetricsDump (the newest v4 opcode) still decodes at v4.
+        let mut buf = Vec::new();
+        Request::MetricsDump {
+            include_events: true,
+        }
+        .encode_versioned(&mut buf, 4);
+        let (decoded, version, _) = Request::decode_versioned(&buf).unwrap();
+        assert_eq!(
+            decoded,
+            Request::MetricsDump {
+                include_events: true
+            }
+        );
+        assert_eq!(version, 4);
+    }
+
+    /// `Request::opcode` matches the byte actually emitted on the wire for
+    /// every variant.
+    #[test]
+    fn request_opcode_matches_the_wire_byte() {
+        let requests = [
+            Request::Insert { key: 1, value: 2 },
+            Request::DeleteMin,
+            Request::DeleteMinBatch { max: 3 },
+            Request::ApproxLen,
+            Request::Stats,
+            Request::Shutdown,
+            Request::CreateQueue {
+                name: "q".to_string(),
+                backend: BackendSpec::default_multiqueue(),
+                quota: QuotaSpec::unlimited(),
+            },
+            Request::DropQueue {
+                name: "q".to_string(),
+            },
+            Request::ListQueues,
+            Request::UseQueue {
+                name: "q".to_string(),
+            },
+            Request::MetricsDump {
+                include_events: false,
+            },
+        ];
+        for request in requests {
+            let mut buf = Vec::new();
+            request.encode(&mut buf);
+            assert_eq!(buf[5], request.opcode(), "{request:?}");
+        }
     }
 
     /// Builds a valid queue name from a numeric seed (the proptest shim has
@@ -2147,6 +2647,34 @@ mod tests {
             Request::Insert { key, value: key }.encode(&mut buf);
             let cut = (cut_seed % buf.len() as u64) as usize;
             let err = Request::decode(&buf[..cut]).expect_err("prefix cannot be a whole frame");
+            prop_assert!(err.is_incomplete(), "cut {cut}: {err:?}");
+        }
+
+        #[test]
+        fn traced_frames_round_trip_and_truncate_cleanly(
+            trace_id in 0u64..=u64::MAX,
+            server_ns in 0u64..=u64::MAX,
+            key in 0u64..1000,
+            cut_seed in 0u64..=u64::MAX,
+        ) {
+            let mut buf = Vec::new();
+            Request::Insert { key, value: !key }
+                .encode_traced(&mut buf, WIRE_VERSION, Some(TraceContext { trace_id }));
+            let (_, _, trace, used) = Request::decode_traced(&buf).expect("traced requests decode");
+            prop_assert_eq!(trace, Some(TraceContext { trace_id }));
+            prop_assert_eq!(used, buf.len());
+            let cut = (cut_seed % buf.len() as u64) as usize;
+            let err = Request::decode_traced(&buf[..cut]).expect_err("prefix cannot be a whole frame");
+            prop_assert!(err.is_incomplete(), "cut {cut}: {err:?}");
+
+            let mut buf = Vec::new();
+            Response::Entry { key, value: key }
+                .encode_traced(&mut buf, WIRE_VERSION, Some(TraceEcho { trace_id, server_ns }));
+            let (_, _, echo, used) = Response::decode_traced(&buf).expect("traced responses decode");
+            prop_assert_eq!(echo, Some(TraceEcho { trace_id, server_ns }));
+            prop_assert_eq!(used, buf.len());
+            let cut = (cut_seed % buf.len() as u64) as usize;
+            let err = Response::decode_traced(&buf[..cut]).expect_err("prefix cannot be a whole frame");
             prop_assert!(err.is_incomplete(), "cut {cut}: {err:?}");
         }
 

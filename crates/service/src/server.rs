@@ -57,9 +57,9 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use choice_obs::{EventKind, ObsHub};
+use choice_obs::{EventKind, Gauge, Histogram, ObsHub, SpanStage, SPAN_STAGES};
 use choice_pq::{DynSharedPq, HandlePolicy, Key, PqHandle};
 use choice_registry::{
     QueueBinding, QueueRegistry, QuotaSpec, Refusal, RegistryError, DEFAULT_QUEUE,
@@ -67,8 +67,8 @@ use choice_registry::{
 use parking_lot::Mutex;
 
 use crate::protocol::{
-    ErrorCode, QueueListRow, QueueStats, Request, Response, ServiceStats, WireError, MAX_BATCH,
-    MIN_WIRE_VERSION,
+    ErrorCode, QueueListRow, QueueStats, Request, Response, ServiceStats, TraceEcho, WireError,
+    MAX_BATCH, MIN_WIRE_VERSION, WIRE_VERSION,
 };
 
 /// Server-side configuration: the per-session policy and the service limits.
@@ -154,6 +154,16 @@ struct Shared {
     /// flight recorder the session events and panic dumps land in, and the
     /// `MetricsDump` exposition endpoint.
     obs: Arc<ObsHub>,
+    /// When this server started, for the `uptime_seconds` gauge.
+    started: Instant,
+    /// `uptime_seconds` gauge, refreshed on every `MetricsDump` (gauges are
+    /// delta-based, so the refresh adds the seconds elapsed since the last
+    /// reported value).
+    uptime: Arc<Gauge>,
+    /// Per-stage request-processing histograms, `svc_stage_ns{stage=...}`,
+    /// pre-resolved at spawn so traced requests never touch the registry's
+    /// name map. Indexed by [`SpanStage`].
+    stage_ns: [Arc<Histogram>; SPAN_STAGES],
     shutdown: AtomicBool,
     sessions_opened: AtomicU64,
     /// Raw streams of the *live* connections (removed on handler exit).
@@ -203,6 +213,24 @@ impl Shared {
             resize_events,
             resize_epoch,
             queues,
+        }
+    }
+
+    /// Brings the `uptime_seconds` gauge up to date (gauges are delta-only,
+    /// so the refresh adds the seconds elapsed since the last report).
+    fn refresh_uptime(&self) {
+        let now = self.started.elapsed().as_secs() as i64;
+        self.uptime.add(now - self.uptime.value());
+    }
+
+    /// Folds one traced request's stage timings into the span ring and the
+    /// per-stage histograms.
+    fn record_span(&self, trace_id: u64, opcode: u8, stage_ns: [u64; SPAN_STAGES]) {
+        self.obs
+            .spans()
+            .record(trace_id, opcode, self.obs.recorder().now_ns(), stage_ns);
+        for (histogram, ns) in self.stage_ns.iter().zip(stage_ns) {
+            histogram.record(ns);
         }
     }
 
@@ -329,10 +357,31 @@ impl PqServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // `build_info` is the standard Prometheus idiom: a constant-1 gauge
+        // whose labels carry the identifying strings. The add-of-difference
+        // keeps it at 1 even when several servers share one hub.
+        let wire_version = WIRE_VERSION.to_string();
+        let build_info = obs.metrics().gauge(
+            "build_info",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("wire_version", &wire_version),
+                ("commit", option_env!("GIT_COMMIT").unwrap_or("unknown")),
+            ],
+        );
+        build_info.add(1 - build_info.value());
+        let uptime = obs.metrics().gauge("uptime_seconds", &[]);
+        let stage_ns = SpanStage::ALL.map(|stage| {
+            obs.metrics()
+                .histogram("svc_stage_ns", &[("stage", stage.name())])
+        });
         let shared = Arc::new(Shared {
             registry,
             config,
             obs,
+            started: Instant::now(),
+            uptime,
+            stage_ns,
             shutdown: AtomicBool::new(false),
             sessions_opened: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
@@ -445,6 +494,56 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Vec<JoinHandle<()>
     connections
 }
 
+/// Per-request stage stopwatch for traced (v5, sampled) requests: each
+/// [`mark`](SpanTimer::mark) charges the time since the previous mark to a
+/// stage. The recv stage is seeded from the read syscall that delivered the
+/// frame's bytes (attributed to the first frame decoded from that chunk;
+/// later frames of the same chunk cost no read and get 0), decode is
+/// charged by the frame loop, admit and queue-op inside the session arms,
+/// and flush after the response bytes are written.
+struct SpanTimer {
+    trace_id: u64,
+    opcode: u8,
+    last: Instant,
+    stage_ns: [u64; SPAN_STAGES],
+}
+
+impl SpanTimer {
+    fn new(trace_id: u64, opcode: u8, recv_ns: u64, started: Instant) -> Self {
+        let mut stage_ns = [0u64; SPAN_STAGES];
+        stage_ns[SpanStage::Recv as usize] = recv_ns;
+        Self {
+            trace_id,
+            opcode,
+            last: started,
+            stage_ns,
+        }
+    }
+
+    /// Charges the time since the previous mark to `stage` (cumulative, so
+    /// a stage may be marked more than once).
+    fn mark(&mut self, stage: SpanStage) {
+        let now = Instant::now();
+        self.stage_ns[stage as usize] += now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+    }
+
+    /// The processing time echoed to the client: decode + admit + queue-op
+    /// (recv can include pipeline idle; flush has not happened yet).
+    fn server_ns(&self) -> u64 {
+        self.stage_ns[SpanStage::Decode as usize]
+            .saturating_add(self.stage_ns[SpanStage::Admit as usize])
+            .saturating_add(self.stage_ns[SpanStage::QueueOp as usize])
+    }
+
+    fn echo(&self) -> TraceEcho {
+        TraceEcho {
+            trace_id: self.trace_id,
+            server_ns: self.server_ns(),
+        }
+    }
+}
+
 /// Serves one connection: a binding + session on the bound queue, a buffered
 /// framing loop, and the credit-window flush policy.
 ///
@@ -474,6 +573,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     let mut batch_buf: Vec<(Key, u64)> = Vec::new();
     // Responses written since the last flush; the credit window bounds it.
     let mut unflushed = 0usize;
+    // Duration of the read syscall that delivered the newest chunk,
+    // attributed as the recv stage of the first frame decoded from it.
+    let mut pending_recv_ns: u64 = 0;
     // The binding the next `'bind` iteration starts from: pre-bound by a
     // successful UseQueue, or named (the initial default-queue bind).
     let mut next_binding: Option<QueueBinding> = None;
@@ -481,11 +583,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
 
     let recorder = Arc::clone(shared.obs.recorder());
     recorder.record(EventKind::SessionOpen, "", [conn_id, 0, 0]);
-    // While this thread serves, panics dump the scoped flight recorder (via
-    // the process-wide hook) before unwinding; the catch below then confines
-    // the damage to this connection — its binding and session drop normally,
-    // rolling counters into the queue, and the server keeps serving.
+    // While this thread serves, panics dump the scoped flight recorder and
+    // span ring (via the process-wide hook) before unwinding; the catch
+    // below then confines the damage to this connection — its binding and
+    // session drop normally, rolling counters into the queue, and the
+    // server keeps serving.
     let scope = recorder.panic_scope();
+    let span_scope = shared.obs.spans().panic_scope();
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| 'bind: loop {
         let binding: Option<QueueBinding> = match next_binding.take() {
             Some(binding) => Some(binding),
@@ -501,10 +605,11 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
             // Decode and execute every complete frame currently buffered.
             let mut consumed = 0usize;
             while consumed < inbuf.len() {
-                let (request, version) = match Request::decode_versioned(&inbuf[consumed..]) {
-                    Ok((request, version, used)) => {
+                let decode_started = Instant::now();
+                let (request, version, trace) = match Request::decode_traced(&inbuf[consumed..]) {
+                    Ok((request, version, trace, used)) => {
                         consumed += used;
-                        (request, version)
+                        (request, version, trace)
                     }
                     Err(e) if e.is_incomplete() => break, // tail frame: read more
                     Err(wire_error) => {
@@ -527,6 +632,15 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                         break 'conn Err(io::Error::new(io::ErrorKind::InvalidData, wire_error));
                     }
                 };
+                // A sampled v5 request gets a stage stopwatch; everything
+                // else pays exactly one `Option` branch per mark site.
+                let mut timer = trace.map(|t| {
+                    let recv_ns = std::mem::take(&mut pending_recv_ns);
+                    let mut timer =
+                        SpanTimer::new(t.trace_id, request.opcode(), recv_ns, decode_started);
+                    timer.mark(SpanStage::Decode);
+                    timer
+                });
                 let shutting_down = shared.shutdown.load(Ordering::SeqCst);
                 let mut is_shutdown_ack = false;
                 let mut rebind: Option<QueueBinding> = None;
@@ -545,6 +659,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                             match (binding.as_ref(), session.as_mut()) {
                                 (Some(b), Some(sess)) => match b.admit_removal() {
                                     Ok(()) => {
+                                        if let Some(t) = timer.as_mut() {
+                                            t.mark(SpanStage::Admit);
+                                        }
                                         // The hot batched path keeps its
                                         // entries vector: drain into it,
                                         // encode from the borrow, reuse the
@@ -553,11 +670,15 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                                         batch_buf.clear();
                                         sess.delete_min_batch_into(clamped, &mut batch_buf);
                                         b.note_removed(batch_buf.len() as u64);
+                                        if let Some(t) = timer.as_mut() {
+                                            t.mark(SpanStage::QueueOp);
+                                        }
                                         out_scratch.clear();
                                         crate::protocol::encode_batch_response(
                                             &mut out_scratch,
                                             &batch_buf,
                                             version,
+                                            timer.as_ref().map(SpanTimer::echo),
                                         );
                                         writer.write_all(&out_scratch)?;
                                         None
@@ -590,7 +711,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                                     } else {
                                         match b.admit_insert(*key) {
                                             Ok(()) => {
+                                                if let Some(t) = timer.as_mut() {
+                                                    t.mark(SpanStage::Admit);
+                                                }
                                                 sess.insert(*key, *value);
+                                                if let Some(t) = timer.as_mut() {
+                                                    t.mark(SpanStage::QueueOp);
+                                                }
                                                 Response::Inserted
                                             }
                                             Err(refusal) => {
@@ -607,13 +734,22 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                         }
                         Request::DeleteMin => Some(match (binding.as_ref(), session.as_mut()) {
                             (Some(b), Some(sess)) => match b.admit_removal() {
-                                Ok(()) => match sess.delete_min() {
-                                    Some((key, value)) => {
-                                        b.note_removed(1);
-                                        Response::Entry { key, value }
+                                Ok(()) => {
+                                    if let Some(t) = timer.as_mut() {
+                                        t.mark(SpanStage::Admit);
                                     }
-                                    None => Response::Empty,
-                                },
+                                    let removed = sess.delete_min();
+                                    if let Some(t) = timer.as_mut() {
+                                        t.mark(SpanStage::QueueOp);
+                                    }
+                                    match removed {
+                                        Some((key, value)) => {
+                                            b.note_removed(1);
+                                            Response::Entry { key, value }
+                                        }
+                                        None => Response::Empty,
+                                    }
+                                }
                                 Err(refusal) => refusal_error(&shared.registry, refusal),
                             },
                             _ => {
@@ -654,6 +790,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                         Request::MetricsDump { include_events } => {
                             // A diagnostic read like ApproxLen: answered for
                             // unbound sessions too and charged to no quota.
+                            shared.refresh_uptime();
                             Some(Response::MetricsText(
                                 shared.obs.render_dump(*include_events),
                             ))
@@ -669,12 +806,19 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     }
                 };
                 if let Some(response) = &response {
-                    crate::protocol::write_response(
-                        &mut writer,
-                        response,
+                    // Everything since the last mark (queue work for session
+                    // ops, the whole handling for diagnostic ops) is queue-op
+                    // time; marks are cumulative so this never double-counts.
+                    if let Some(t) = timer.as_mut() {
+                        t.mark(SpanStage::QueueOp);
+                    }
+                    out_scratch.clear();
+                    response.encode_traced(
                         &mut out_scratch,
                         version,
-                    )?;
+                        timer.as_ref().map(SpanTimer::echo),
+                    );
+                    writer.write_all(&out_scratch)?;
                 }
                 unflushed += 1;
                 // Publish this session's counters after every request so
@@ -684,13 +828,22 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 if let (Some(b), Some(sess)) = (binding.as_ref(), session.as_ref()) {
                     b.publish_stats(sess.stats());
                 }
-                if is_shutdown_ack {
-                    writer.flush()?;
-                    break 'conn Ok(());
-                }
-                if unflushed >= shared.config.credit_window {
+                if is_shutdown_ack || unflushed >= shared.config.credit_window {
                     writer.flush()?;
                     unflushed = 0;
+                }
+                // The traced frame is finished: whatever flushing happened
+                // this round is its flush stage, and the completed span goes
+                // to the ring + per-stage histograms. Any leftover read time
+                // is dropped too — it belongs to this chunk, not the next
+                // traced frame.
+                if let Some(mut t) = timer.take() {
+                    t.mark(SpanStage::Flush);
+                    shared.record_span(t.trace_id, t.opcode, t.stage_ns);
+                }
+                pending_recv_ns = 0;
+                if is_shutdown_ack {
+                    break 'conn Ok(());
                 }
                 if rebind.is_some() {
                     // Hand the already-claimed binding to the next 'bind
@@ -711,6 +864,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                 writer.flush()?;
                 unflushed = 0;
             }
+            let read_started = Instant::now();
             match reader.read(&mut chunk) {
                 Ok(0) => {
                     break 'conn if inbuf.is_empty() {
@@ -722,7 +876,10 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                         ))
                     };
                 }
-                Ok(n) => inbuf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    pending_recv_ns = read_started.elapsed().as_nanos() as u64;
+                    inbuf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -746,6 +903,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
         // queue's closed accumulator.
         break 'bind inner;
     }));
+    drop(span_scope);
     drop(scope);
     recorder.record(EventKind::SessionClose, "", [conn_id, 0, 0]);
     shared.conns.lock().retain(|(id, _)| *id != conn_id);
@@ -1299,6 +1457,73 @@ mod tests {
             }
             other => panic!("expected metrics text, got {other:?}"),
         }
+    }
+
+    /// The end-to-end trace path over a raw socket: a v5 request carrying a
+    /// trace id gets the id echoed back with a server stage time, and the
+    /// next metrics dump carries build info, uptime, the per-stage
+    /// histograms, and the span itself.
+    #[test]
+    fn traced_requests_land_in_stage_histograms_and_the_span_ring() {
+        use crate::protocol::TraceContext;
+        let server = spawn_server(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let trace = TraceContext {
+            trace_id: 0xABCD_EF01_2345_6789,
+        };
+        let mut wire = Vec::new();
+        Request::Insert { key: 4, value: 40 }.encode_traced(&mut wire, WIRE_VERSION, Some(trace));
+        stream.write_all(&wire).unwrap();
+        let mut frame = Vec::new();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        let (response, _, echo, _) = Response::decode_traced(&frame).unwrap();
+        assert_eq!(response, Response::Inserted);
+        let echo = echo.expect("a traced request is answered traced");
+        assert_eq!(echo.trace_id, trace.trace_id);
+        assert!(echo.server_ns > 0, "decode+admit+queue-op took time");
+
+        match request_reply(
+            &mut stream,
+            &Request::MetricsDump {
+                include_events: true,
+            },
+        ) {
+            Response::MetricsText(text) => {
+                assert!(
+                    text.contains("build_info{"),
+                    "version/commit/wire gauge is exported:\n{text}"
+                );
+                assert!(
+                    text.contains("uptime_seconds"),
+                    "uptime gauge is exported:\n{text}"
+                );
+                for stage in SpanStage::ALL {
+                    assert!(
+                        text.contains(&format!("stage=\"{}\"", stage.name())),
+                        "per-stage histogram for {} is exported:\n{text}",
+                        stage.name()
+                    );
+                }
+                assert!(
+                    text.contains("# request spans"),
+                    "span section rides along with events:\n{text}"
+                );
+                assert!(
+                    text.contains("trace=0xabcdef0123456789"),
+                    "the sampled request's span is retained:\n{text}"
+                );
+            }
+            other => panic!("expected metrics text, got {other:?}"),
+        }
+
+        // Untraced requests on the same connection stay untraced.
+        let mut wire = Vec::new();
+        Request::DeleteMin.encode(&mut wire);
+        stream.write_all(&wire).unwrap();
+        assert!(read_frame_bytes(&mut stream, &mut frame).unwrap());
+        let (response, _, echo, _) = Response::decode_traced(&frame).unwrap();
+        assert_eq!(response, Response::Entry { key: 4, value: 40 });
+        assert!(echo.is_none(), "no envelope was requested");
     }
 
     /// The panic-recovery path (fault-injected): a panicking op dumps the

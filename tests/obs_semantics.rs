@@ -4,6 +4,7 @@
 //! the acceptance check that a forced quota refusal plus elastic resizes
 //! land in the flight recorder with their tenants and epochs intact.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -301,4 +302,165 @@ fn quota_refusal_and_resize_dump_carries_epochs_and_tenants() {
     let exposition = hub.render_dump(true);
     assert!(exposition.contains("# flight recorder"));
     assert!(exposition.contains("quota-refusal") && exposition.contains("resize"));
+}
+
+/// Drains an 8-element queue laid out one-element-per-lane and checks every
+/// sampled shadow-probe value against the exact rank from a sorted mirror.
+/// Returns `None` when the seed's random placement doubled up a lane (the
+/// caller skips those layouts), else `(removals, summed rank error)`.
+fn drain_with_exact_ranks(seed: u64) -> Option<(u64, u64)> {
+    const KEYS: [u64; 8] = [11, 23, 37, 41, 53, 67, 79, 97];
+    let hub = ObsHub::new();
+    let mut queue = MultiQueue::<u64>::new(MultiQueueConfig::with_queues(32).with_seed(seed));
+    queue.attach_obs(QueueObs::with_sample_every(&hub, "exact", 1));
+    let mut session = queue.register_with(HandlePolicy::plain());
+    for key in KEYS {
+        session.insert(key, key);
+    }
+    if queue.lane_lengths().iter().any(|&len| len > 1) {
+        return None; // this seed stacked a lane: the bound is not exact here
+    }
+
+    let mut mirror: BTreeSet<u64> = KEYS.into_iter().collect();
+    let mut last = (0u64, 0u64); // (count, sum) of mq_rank_error so far
+    while let Some((key, _)) = session.delete_min() {
+        assert!(mirror.remove(&key), "removed a key that was never inserted");
+        // With every element sitting alone in its lane, each remaining
+        // smaller element *is* a lane top, so the probe's lane count is the
+        // removal's exact rank among the contents at removal time.
+        let exact = 1 + mirror.range(..key).count() as u64;
+        let snap = hub.metrics().snapshot();
+        let h = snap
+            .histogram("mq_rank_error", &[("queue", "exact")])
+            .expect("stride-1 sampling records the probe on every removal");
+        assert_eq!(h.count(), last.0 + 1, "exactly one probe per removal");
+        assert_eq!(
+            h.sum,
+            last.1 + exact,
+            "sampled rank-error for key {key} must equal the exact rank {exact}"
+        );
+        last = (h.count(), h.sum);
+    }
+    assert!(mirror.is_empty(), "the drain returned every element");
+    assert_eq!(last.0, KEYS.len() as u64);
+    Some(last)
+}
+
+/// The estimator's exactness claim (`DESIGN.md` §12): single-threaded, with
+/// at most one element per lane, the lane-top shadow probe *is* the exact
+/// rank of every removal — checked removal-by-removal against a sorted
+/// mirror across several random layouts, at least one of which must contain
+/// a genuine rank error (sum > count) so the equality is not vacuous.
+#[test]
+fn single_threaded_shadow_probe_equals_the_exact_rank() {
+    let mut layouts = 0u64;
+    let mut imperfect = 0u64;
+    for seed in 0..200 {
+        if let Some((count, sum)) = drain_with_exact_ranks(seed) {
+            layouts += 1;
+            if sum > count {
+                imperfect += 1;
+            }
+        }
+        if layouts >= 8 && imperfect >= 1 {
+            return;
+        }
+    }
+    panic!(
+        "200 seeds yielded {layouts} one-element-per-lane layouts \
+         ({imperfect} with a rank error) — need 8 and 1"
+    );
+}
+
+/// The estimator's envelope claim: under 4 threads the sampled shadow probe
+/// is a per-removal lower bound on the ground-truth rank the merged
+/// instrumented logs give (`InversionCounter`, exact once the queue fully
+/// drains), so its mean can never exceed the ground-truth mean and its p99
+/// — read back through the log-bucketed histogram, a ≤2× upper bound — can
+/// never exceed twice the ground-truth p99.
+#[test]
+fn four_thread_estimated_p99_stays_within_the_inversion_envelope() {
+    const THREADS: u64 = 4;
+    const PREFILL: u64 = 2_048;
+    const OPS: u64 = 10_000;
+    /// Deterministic key scatter so lanes see an arbitrary arrival order.
+    fn scatter(n: u64) -> u64 {
+        n.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24
+    }
+
+    let hub = ObsHub::new();
+    let mut queue = MultiQueue::<u64>::new(MultiQueueConfig::with_queues(8).with_seed(17));
+    // Stride 1: every successful removal is probed, so the estimator and the
+    // ground-truth log describe the same population of removals.
+    queue.attach_obs(QueueObs::with_sample_every(&hub, "envelope", 1));
+
+    let mut truth = InversionCounter::new();
+    let logs = std::thread::scope(|scope| {
+        let mut prefiller = queue.register_with(HandlePolicy::plain());
+        for i in 0..PREFILL {
+            prefiller.insert(scatter(i), i);
+        }
+        drop(prefiller);
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut session = queue.register_with(HandlePolicy::instrumented());
+                    for n in 0..OPS {
+                        session.insert(scatter((t + 1) * 1_000_000 + n), n);
+                        if n % 2 == 1 {
+                            session.delete_min();
+                        }
+                    }
+                    session.take_log()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for log in logs {
+        truth.record_all(log);
+    }
+    // Drain what is left so the inversion ranks are exact, not lower bounds
+    // ("equals it when every inserted key is eventually removed").
+    let mut drainer = queue.register_with(HandlePolicy::instrumented());
+    while drainer.delete_min().is_some() {}
+    truth.record_all(drainer.take_log());
+
+    let mut ranks = truth.per_removal_ranks();
+    ranks.sort_unstable();
+    assert!(!ranks.is_empty());
+    let truth_p99 = ranks[((ranks.len() as f64 * 0.99).ceil() as usize - 1).min(ranks.len() - 1)];
+    let truth_mean = truth.summarize().mean_rank;
+
+    let snap = hub.metrics().snapshot();
+    let est = snap
+        .histogram("mq_rank_error", &[("queue", "envelope")])
+        .expect("stride-1 sampling populated the estimator");
+    assert_eq!(
+        est.count(),
+        truth.len() as u64,
+        "estimator and ground truth must describe the same removals"
+    );
+    let est_mean = est.sum as f64 / est.count() as f64;
+    assert!(
+        est_mean <= truth_mean + 1e-9,
+        "the shadow probe is a per-removal lower bound, so its mean \
+         ({est_mean:.3}) can never exceed the ground-truth mean ({truth_mean:.3})"
+    );
+    let est_p99 = est
+        .quantile_upper_bound(0.99)
+        .expect("non-empty estimator histogram");
+    assert!(
+        est_p99 >= 1,
+        "every removal has rank at least 1, so must its p99 bound"
+    );
+    assert!(
+        est_p99 <= 2 * truth_p99.max(1),
+        "estimated p99 ({est_p99}) outside the InversionCounter envelope \
+         (ground truth p99 {truth_p99}, log-bucket slack 2x)"
+    );
 }
