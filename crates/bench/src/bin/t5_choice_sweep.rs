@@ -19,6 +19,11 @@
 //! * d = 1/batch = 1 is the divergent single-choice baseline: its mean rank
 //!   is far above every d ≥ 2 row and keeps growing with the run length.
 
+//! Environment knobs: `T5_PREFILL` (default 50000), `T5_OPS` ops/thread
+//! (default 100000); `BENCH_JSON=1` additionally emits one JSON row per
+//! configuration for the t12 trajectory gate.
+
+use choice_bench::env_u64;
 use choice_bench::report::{
     emit_json_row, print_section, print_sweep_header, print_sweep_row, JsonValue,
 };
@@ -26,8 +31,8 @@ use choice_bench::workloads::d_sweep_workload;
 
 fn main() {
     let lanes = 8usize;
-    let prefill: u64 = 50_000;
-    let ops_per_thread: u64 = 100_000;
+    let prefill: u64 = env_u64("T5_PREFILL", 50_000);
+    let ops_per_thread: u64 = env_u64("T5_OPS", 100_000);
     let seed = 23u64;
 
     print_section(

@@ -150,6 +150,14 @@ pub struct MultiQueueConfig {
     /// falling back to a blocking lock acquisition (prevents livelock on
     /// heavily oversubscribed machines).
     pub max_retries: usize,
+    /// Contended-retry count at (or above) which a publish records a
+    /// `LaneContention` flight-recorder event, whichever arm published. The
+    /// blocking floor-lane fallback always records one; this threshold makes
+    /// contention that the fast path absorbed (failed borrow acquisitions
+    /// resolved by a retry or by the wait-free side-buffer) visible to the
+    /// flight recorder too, not just to the elastic controller's rate
+    /// window.
+    pub contention_event_threshold: u64,
 }
 
 impl MultiQueueConfig {
@@ -175,6 +183,7 @@ impl MultiQueueConfig {
             choice: ChoiceRule::TwoChoice,
             seed: 0x5EED_CAFE,
             max_retries: 64,
+            contention_event_threshold: 4,
         }
     }
 
@@ -284,6 +293,20 @@ impl MultiQueueConfig {
     pub fn with_max_retries(mut self, max_retries: usize) -> Self {
         assert!(max_retries > 0, "retry limit must be positive");
         self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the contended-retry count at which a publish records a
+    /// `LaneContention` event (see
+    /// [`contention_event_threshold`](MultiQueueConfig::contention_event_threshold)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` (every publish would record an event,
+    /// flooding the flight recorder).
+    pub fn with_contention_event_threshold(mut self, threshold: u64) -> Self {
+        assert!(threshold > 0, "contention event threshold must be positive");
+        self.contention_event_threshold = threshold;
         self
     }
 
@@ -462,6 +485,22 @@ mod tests {
     #[should_panic(expected = "retry limit must be positive")]
     fn zero_retries_panics() {
         let _ = MultiQueueConfig::with_queues(2).with_max_retries(0);
+    }
+
+    #[test]
+    fn contention_event_threshold_builder() {
+        assert_eq!(
+            MultiQueueConfig::with_queues(2).contention_event_threshold,
+            4
+        );
+        let cfg = MultiQueueConfig::with_queues(2).with_contention_event_threshold(1);
+        assert_eq!(cfg.contention_event_threshold, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "contention event threshold must be positive")]
+    fn zero_contention_event_threshold_panics() {
+        let _ = MultiQueueConfig::with_queues(2).with_contention_event_threshold(0);
     }
 
     #[test]

@@ -253,15 +253,16 @@ impl<'q, V> MqHandle<'q, V> {
             return;
         }
         let hint = self.insert_hint();
-        // Split borrows: buffer and rng are distinct fields.
+        // Split borrows: buffer, rng and stats are distinct fields.
         let Self {
             queue,
             rng,
             buffer,
             shard,
+            stats,
             ..
         } = self;
-        queue.insert_batch_with(rng, *shard, hint, buffer);
+        stats.contended_retries += queue.insert_batch_with(rng, *shard, hint, buffer);
     }
 }
 
@@ -317,8 +318,9 @@ impl<V: Send> PqHandle<V> for MqHandle<'_, V> {
             }
         } else {
             let hint = self.insert_hint();
-            self.queue
-                .insert_with(&mut self.rng, self.shard, hint, key, value);
+            self.stats.contended_retries +=
+                self.queue
+                    .insert_with(&mut self.rng, self.shard, hint, key, value);
         }
         if let (Some(t0), Some(obs)) = (start, &self.obs) {
             obs.queue_obs
@@ -613,10 +615,12 @@ mod tests {
     }
 
     #[test]
-    fn batched_flush_blocks_instead_of_spinning_on_a_held_single_lane() {
-        // Regression: with every lane held, insert_batch_with used to
-        // busy-spin forever. With one lane hostage for a while, the flush
-        // must fall back to a blocking acquisition and complete.
+    fn batched_flush_goes_wait_free_on_a_held_single_lane() {
+        // Regression (twice over): with every lane held, insert_batch_with
+        // used to busy-spin forever, then to block on the holder. With the
+        // side-buffer it must complete *while* the lane is still hostage —
+        // the elements ride the wait-free MPSC path and are folded into the
+        // heap when the holder releases.
         let q = std::sync::Arc::new(MultiQueue::<u64>::new(
             MultiQueueConfig::with_queues(1)
                 .with_seed(3)
@@ -628,15 +632,21 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(100));
             })
         });
-        // Give the holder time to take the lock, then flush against it.
+        // Give the holder time to take the borrow, then flush against it.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let mut h = q.register_with(HandlePolicy::default().with_insert_batch(8));
         for k in 0..5u64 {
             h.insert(k, k);
         }
         h.flush();
+        assert_eq!(
+            q.approx_len(),
+            5,
+            "the flush must publish (and credit len) without waiting for the holder"
+        );
         holder.join().unwrap();
         assert_eq!(q.approx_len(), 5);
+        assert_eq!(q.lane_lengths(), vec![5], "release folds the side-buffer");
     }
 
     #[test]

@@ -31,13 +31,18 @@
 //!   then locks each retired lane in turn, drains it with the same
 //!   `drain_heap` core the public removal paths use, and re-publishes the
 //!   elements into the surviving prefix.
-//! * *Insert* validates its target lane **after** acquiring the lane lock:
-//!   if the lane table no longer covers the lane, the insert releases and
-//!   retries elsewhere. Because the retirement drain needs that same lock
-//!   and runs strictly after the table bump, every push either happens
-//!   before the drain (and is moved) or observes the retirement (and goes
-//!   elsewhere) — key conservation by construction, no epoch re-validation
-//!   on the read side needed.
+//! * *Insert* validates its target lane **after** acquiring the exclusive
+//!   lane borrow: if the lane table no longer covers the lane, the insert
+//!   releases and retries elsewhere. Because the retirement drain needs
+//!   that same borrow and runs strictly after the table bump, every direct
+//!   push either happens before the drain (and is moved) or observes the
+//!   retirement (and goes elsewhere). The *wait-free* side-buffer path
+//!   (taken when the borrow is held) registers itself in the lane's
+//!   publisher count before re-validating against the table, and the
+//!   retirement drain waits for that count to reach zero before its final
+//!   fold — the Dekker-style pairing in DESIGN.md §13.4 — so side-published
+//!   elements are moved too: key conservation by construction, no epoch
+//!   re-validation on the read side needed.
 //! * Lanes below [`MultiQueueConfig::min_active_lanes`] are never retired,
 //!   so the blocking fallbacks (retry budget exhausted) target those and
 //!   need no validation loop.
@@ -57,14 +62,10 @@ use seq_pq::{BinaryHeap, SequentialPriorityQueue};
 
 use crate::config::MultiQueueConfig;
 use crate::handle::{HandlePolicy, MqHandle};
+use crate::lane::{Lane, EMPTY_TOP};
 use crate::obs::QueueObs;
 use crate::traits::{Key, QueueTopology, SharedPq};
 use std::sync::Arc;
-
-/// Sentinel stored in a lane's cached-top slot when the lane is empty.
-/// [`check_key`](crate::check_key) keeps real keys out of this value at
-/// insert time.
-const EMPTY_TOP: u64 = u64::MAX;
 
 /// Low half of the packed lane table: the active lane count.
 const ACTIVE_MASK: u64 = 0xFFFF_FFFF;
@@ -86,8 +87,8 @@ pub(crate) struct DrainOutcome {
     /// it grows on).
     pub sparse_retries: u64,
     /// Whether a zero-element result came from a quiescent-empty observation
-    /// (`len` read as zero, or the locked steal scan found every lane empty)
-    /// rather than from `max == 0`.
+    /// (`len` read as zero — either up front, or corroborating an exhaustive
+    /// steal scan that found every lane empty) rather than from `max == 0`.
     pub observed_empty: bool,
 }
 
@@ -100,30 +101,6 @@ impl DrainOutcome {
             sparse_retries: 0,
             observed_empty: false,
         }
-    }
-}
-
-/// One internal lane: a locked sequential heap plus a lock-free hint of its
-/// current top key (used by `delete_min` to compare two lanes without taking
-/// either lock, exactly like the original MultiQueue's unsynchronised peek).
-#[derive(Debug)]
-struct Lane<V> {
-    heap: Mutex<BinaryHeap<V>>,
-    top: AtomicU64,
-}
-
-impl<V> Lane<V> {
-    fn new() -> Self {
-        Self {
-            heap: Mutex::new(BinaryHeap::new()),
-            top: AtomicU64::new(EMPTY_TOP),
-        }
-    }
-
-    /// Refreshes the cached top from the (locked) heap.
-    fn refresh_top(&self, heap: &BinaryHeap<V>) {
-        self.top
-            .store(heap.peek_key().unwrap_or(EMPTY_TOP), Ordering::Relaxed);
     }
 }
 
@@ -273,7 +250,7 @@ impl<V> MultiQueue<V> {
         self.lanes
             .iter()
             .map(|l| {
-                let t = l.top.load(Ordering::Relaxed);
+                let t = l.load_top();
                 if t == EMPTY_TOP {
                     None
                 } else {
@@ -284,10 +261,15 @@ impl<V> MultiQueue<V> {
     }
 
     /// Per-lane element counts over every allocated lane (retired lanes read
-    /// zero once their drain completed); takes every lane lock, so only
-    /// meaningful when the structure is quiescent (tests and diagnostics).
+    /// zero once their drain completed); acquires every lane's exclusive
+    /// borrow in turn (folding any side-buffered inserts into the heap on
+    /// the way), so only meaningful when the structure is quiescent (tests
+    /// and diagnostics).
     pub fn lane_lengths(&self) -> Vec<usize> {
-        self.lanes.iter().map(|l| l.heap.lock().len()).collect()
+        self.lanes
+            .iter()
+            .map(|l| l.exclusive_blocking(false).len())
+            .collect()
     }
 
     /// A zero-lock bound on the *lane rank* of `key`: one plus the number of
@@ -298,19 +280,23 @@ impl<V> MultiQueue<V> {
     /// `delete_min` would have preferred — the quantity the (1 + β) analysis
     /// bounds at O(active lanes)).
     ///
-    /// The probe reads the same epoch-stamped lane tops the elastic
-    /// controller relies on: one `Acquire` load of the lane table plus one
-    /// `Relaxed` top load per active lane, no lane locks. Races bias the
-    /// estimate *conservatively* for a just-removed `key`: a stale-low top
-    /// belongs to a not-yet-linearized removal (its element genuinely
-    /// coexisted with the removal and counts), while a not-yet-published
-    /// insert is absent from the estimate exactly as it was absent from the
-    /// queue (DESIGN.md §12 spells out the bias argument).
+    /// The probe reads the seqlock-stamped lane tops `delete_min` samples:
+    /// one `Acquire` load of the lane table plus one stamped top sample per
+    /// active lane, no lane borrows. Races bias the estimate
+    /// *conservatively* for a just-removed `key`: a lane whose sample is
+    /// refused (a drain-type section in progress) is skipped — its minimum
+    /// may already be gone — while a stale-low settled top belongs to a
+    /// not-yet-linearized removal (its element genuinely coexisted with the
+    /// removal and counts), and a not-yet-published insert is absent from
+    /// the estimate exactly as it was absent from the queue (DESIGN.md §12
+    /// spells out the bias argument, §13 the stamp protocol).
     pub fn lane_rank_bound(&self, key: Key) -> u64 {
         let active = self.active_lanes().min(self.lanes.len());
         let mut better = 0u64;
         for lane in &self.lanes[..active] {
-            let top = lane.top.load(Ordering::Relaxed);
+            let Some(top) = lane.sample_top() else {
+                continue;
+            };
             if top != EMPTY_TOP && top < key {
                 better += 1;
             }
@@ -318,15 +304,17 @@ impl<V> MultiQueue<V> {
         1 + better
     }
 
-    /// Runs `f` while holding the lock of lane `index`. Used by tests to
-    /// inject the "stalled thread holding a lane" pathology discussed in
-    /// Appendix C of the paper and check that other operations stay correct.
+    /// Runs `f` while holding the exclusive (drain-type) borrow of lane
+    /// `index` — inserts targeting the lane go wait-free through its
+    /// side-buffer, drains skip it. Used by tests to inject the "stalled
+    /// thread holding a lane" pathology discussed in Appendix C of the
+    /// paper and check that other operations stay correct.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn with_lane_locked<R>(&self, index: usize, f: impl FnOnce() -> R) -> R {
-        let _guard = self.lanes[index].heap.lock();
+        let _guard = self.lanes[index].exclusive_blocking(true);
         f()
     }
 
@@ -392,30 +380,40 @@ impl<V> MultiQueue<V> {
         }
         let epoch = (table >> 32) + 1;
         // Publish the new table first: after this store no insert can commit
-        // into a lane `>= target` (the push-side validation holds the lane
-        // lock the drain below will need).
+        // into a lane `>= target` (the direct path re-validates under the
+        // exclusive borrow the drain below will need; the side path
+        // registers in the lane's publisher count *before* re-validating,
+        // and this `SeqCst` store pairs with that `SeqCst` registration so
+        // the idle-wait below sees every publisher that missed the store —
+        // the Dekker argument in DESIGN.md §13.4).
         self.lane_table
-            .store((epoch << 32) | target as u64, Ordering::Release);
+            .store((epoch << 32) | target as u64, Ordering::SeqCst);
         if target > active {
             self.grow_events.fetch_add(1, Ordering::Relaxed);
         } else {
             // Retire lanes [target, active): drain each one and re-publish
-            // its elements into the surviving prefix. One lane lock at a
-            // time — never two — so the lock order cannot deadlock against
-            // operations. `len` is untouched: the elements never leave the
-            // structure.
+            // its elements into the surviving prefix. One lane borrow at a
+            // time — never two — so the acquisition order cannot deadlock
+            // against operations. `len` is untouched: the elements never
+            // leave the structure.
             // The drain reuses the same `drain_heap` core as the public
             // removal paths — uninstrumented (`log: None`): moved elements
             // never leave the structure, so a shrink is invisible to the
             // rank methodology.
             let mut moved: Vec<(Key, V)> = Vec::new();
             for retired in target..active {
-                let mut heap = self.lanes[retired].heap.lock();
-                self.drain_heap(&mut heap, usize::MAX, &mut moved, None);
-                self.lanes[retired].refresh_top(&heap);
+                let mut guard = self.lanes[retired].exclusive_blocking(true);
+                // Wait out in-flight side publishers, then fold once more:
+                // every registered publisher either saw the old table (its
+                // push lands before the count returns to zero) or the new
+                // one (it deregisters without pushing), so after this fold
+                // the side-buffer stays empty for good.
+                self.lanes[retired].wait_inserters_idle();
+                guard.fold();
+                self.drain_heap(&mut guard, usize::MAX, &mut moved, None);
             }
             // Spread the refugees across the surviving lanes in chunks, one
-            // destination lock at a time (never two lane locks at once).
+            // destination borrow at a time (never two lane borrows at once).
             // Order within a chunk is irrelevant — the destination heap
             // re-sorts — so draining off the tail is fine and allocation-free.
             if !moved.is_empty() {
@@ -423,11 +421,10 @@ impl<V> MultiQueue<V> {
                 let mut dst = 0usize;
                 while !moved.is_empty() {
                     let take = chunk.min(moved.len());
-                    let mut heap = self.lanes[dst % target].heap.lock();
+                    let mut guard = self.lanes[dst % target].exclusive_blocking(false);
                     for (key, value) in moved.drain(moved.len() - take..) {
-                        heap.push(key, value);
+                        guard.push(key, value);
                     }
-                    self.lanes[dst % target].refresh_top(&heap);
                     dst += 1;
                 }
             }
@@ -517,11 +514,55 @@ impl<V> MultiQueue<V> {
         }
     }
 
-    /// Inserts `(key, value)` into the handle's shard, trying `hint` first
-    /// when present (and still active), then random shard lanes, then
-    /// blocking on a permanently active shard lane once the retry budget is
-    /// exhausted (heavy oversubscription). Every acquisition re-validates
-    /// the lane against the lane table under the lock (module docs).
+    /// The wait-free insert side path: registers as an in-flight publisher
+    /// on lane `q`, re-validates `q` against the lane table (the `SeqCst`
+    /// registration/table-store pairing with the shrink in `resize_locked`
+    /// — DESIGN.md §13.4), credits `len`, pushes into the lane's MPSC
+    /// side-buffer and deregisters. Returns `false` (keeping `value`) when
+    /// the lane was retired, in which case nothing was published. The `len`
+    /// credit lands *before* the push: an element can only be popped after
+    /// a fold observed the push, so every `fetch_sub` is preceded by its
+    /// matching credit — underflow-freedom by construction.
+    fn side_publish_one(&self, q: usize, key: Key, value: &mut Option<V>) -> bool {
+        self.lanes[q].register_inserter();
+        if q >= (self.lane_table.load(Ordering::SeqCst) & ACTIVE_MASK) as usize {
+            self.lanes[q].deregister_inserter();
+            return false;
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        self.lanes[q].side_push(key, value.take().expect("value not yet consumed"));
+        self.lanes[q].deregister_inserter();
+        true
+    }
+
+    /// Batch form of [`side_publish_one`](Self::side_publish_one): one
+    /// register/validate/deregister envelope around the whole batch, with
+    /// the full `len` credit up front (over-crediting ahead of visibility
+    /// is safe; under-crediting behind it is the underflow bug).
+    fn side_publish_batch(&self, q: usize, batch: &mut Vec<(Key, V)>) -> bool {
+        self.lanes[q].register_inserter();
+        if q >= (self.lane_table.load(Ordering::SeqCst) & ACTIVE_MASK) as usize {
+            self.lanes[q].deregister_inserter();
+            return false;
+        }
+        self.len.fetch_add(batch.len(), Ordering::Relaxed);
+        for (key, value) in batch.drain(..) {
+            self.lanes[q].side_push(key, value);
+        }
+        self.lanes[q].deregister_inserter();
+        true
+    }
+
+    /// Inserts `(key, value)` into the handle's shard: the sticky `hint`
+    /// first when present (and still active), then random shard lanes, then
+    /// a permanently active floor lane once the retry budget is exhausted.
+    /// A free lane takes the element directly under the exclusive borrow
+    /// (re-validated against the lane table — module docs); a busy lane
+    /// takes it wait-free through its side-buffer, so inserts never block
+    /// behind a drainer. Returns the contended-retry count for
+    /// [`HandleStats`](crate::HandleStats): every failed borrow acquisition
+    /// *and* every post-acquisition revalidation failure counts (the batch
+    /// path's semantics, now shared by both).
     pub(crate) fn insert_with(
         &self,
         rng: &mut Xoshiro256,
@@ -529,118 +570,161 @@ impl<V> MultiQueue<V> {
         hint: Option<usize>,
         key: Key,
         value: V,
-    ) {
+    ) -> u64 {
         debug_assert!(key != EMPTY_TOP, "keys are validated at the handle layer");
         let mut lock_retries = 0u64;
         let mut value = Some(value);
-        let mut push = |q: usize, heap: &mut BinaryHeap<V>| {
-            heap.push(key, value.take().expect("value not yet consumed"));
-            self.lanes[q].refresh_top(heap);
-            self.len.fetch_add(1, Ordering::Relaxed);
-        };
-        'published: {
+        let (lane, fell_back) = 'published: {
             if let Some(q) = hint {
                 // A sticky hint can go stale across a shrink; skip it then.
                 if q < self.active_lanes() {
-                    if let Some(mut heap) = self.lanes[q].heap.try_lock() {
+                    if let Some(mut guard) = self.lanes[q].try_exclusive(false) {
                         if q < self.active_lanes() {
-                            push(q, &mut heap);
-                            break 'published;
+                            guard.push(key, value.take().expect("value not yet consumed"));
+                            self.len.fetch_add(1, Ordering::Relaxed);
+                            break 'published (q, false);
                         }
-                    } else {
+                        // Retired while we raced for the borrow.
+                        drop(guard);
                         lock_retries += 1;
+                    } else {
+                        // A drainer holds the lane: go wait-free.
+                        lock_retries += 1;
+                        if self.side_publish_one(q, key, &mut value) {
+                            break 'published (q, false);
+                        }
                     }
                 }
             }
             for _ in 0..self.config.max_retries {
                 let q = self.stride_lane(rng, shard, self.active_lanes());
-                if let Some(mut heap) = self.lanes[q].heap.try_lock() {
-                    // Re-validate under the lock: the lane may have been
+                if let Some(mut guard) = self.lanes[q].try_exclusive(false) {
+                    // Re-validate under the borrow: the lane may have been
                     // retired (and drained) while we raced for it.
                     if q < self.active_lanes() {
-                        push(q, &mut heap);
-                        break 'published;
+                        guard.push(key, value.take().expect("value not yet consumed"));
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        break 'published (q, false);
+                    }
+                    drop(guard);
+                    lock_retries += 1;
+                } else {
+                    lock_retries += 1;
+                    if self.side_publish_one(q, key, &mut value) {
+                        break 'published (q, false);
                     }
                 }
-                lock_retries += 1;
             }
-            // Retry budget exhausted (heavy oversubscription): block on a
-            // floor lane, which is never retired, so no validation loop.
+            // Retry budget exhausted: target a floor lane, which is never
+            // retired, so no validation loop — and the side path makes even
+            // this arm wait-free (the old code blocked here).
             let q = self.stride_lane(rng, shard, self.config.min_active_lanes());
-            let mut heap = self.lanes[q].heap.lock();
-            push(q, &mut heap);
-            drop(heap);
-            if let Some(obs) = &self.obs {
-                obs.on_lane_contention(q, lock_retries);
+            if let Some(mut guard) = self.lanes[q].try_exclusive(false) {
+                guard.push(key, value.take().expect("value not yet consumed"));
+                self.len.fetch_add(1, Ordering::Relaxed);
+            } else {
+                assert!(
+                    self.side_publish_one(q, key, &mut value),
+                    "floor lanes are never retired"
+                );
+            }
+            (q, true)
+        };
+        if let Some(obs) = &self.obs {
+            if fell_back || lock_retries >= self.config.contention_event_threshold {
+                obs.on_lane_contention(lane, lock_retries);
             }
         }
         self.elastic_tick(1, lock_retries, 0);
+        lock_retries
     }
 
-    /// Publishes a whole insert batch under a single lane lock (the batched
-    /// MultiQueue refinement: one random choice and one lock acquisition
-    /// amortised over the batch, at a bounded rank-quality cost).
+    /// Publishes a whole insert batch under a single lane borrow (the
+    /// batched MultiQueue refinement: one random choice and one acquisition
+    /// amortised over the batch, at a bounded rank-quality cost), falling
+    /// back to the wait-free side-buffer when the lane is busy. The `len`
+    /// credit lands under the exclusive borrow (direct path) or before the
+    /// side pushes — never after publication, which is what let a racing
+    /// drain `fetch_sub` below zero. Returns the contended-retry count.
     pub(crate) fn insert_batch_with(
         &self,
         rng: &mut Xoshiro256,
         shard: usize,
         hint: Option<usize>,
         batch: &mut Vec<(Key, V)>,
-    ) {
+    ) -> u64 {
         if batch.is_empty() {
-            return;
+            return 0;
         }
         let count = batch.len();
         let mut lock_retries = 0u64;
-        let mut publish = |q: usize, heap: &mut BinaryHeap<V>| {
-            for (key, value) in batch.drain(..) {
-                heap.push(key, value);
-            }
-            self.lanes[q].refresh_top(heap);
-        };
-        // Same contention strategy as single inserts: bounded try-lock
+        // Same contention strategy as single inserts: bounded try-borrow
         // attempts on fresh random shard lanes (moving the whole batch
-        // rather than spinning on a contended one), then block on a floor
-        // lane so a stalled holder cannot make a flush busy-spin forever.
-        // Acquisitions re-validate the lane table under the lock.
-        'published: {
+        // rather than spinning on a contended one), side-publishing past a
+        // busy holder, floor lane once the budget is exhausted.
+        // Acquisitions re-validate the lane table under the borrow.
+        let (lane, fell_back) = 'published: {
             let mut target = match hint {
                 Some(q) if q < self.active_lanes() => q,
                 _ => self.stride_lane(rng, shard, self.active_lanes()),
             };
             for _ in 0..self.config.max_retries {
-                if let Some(mut heap) = self.lanes[target].heap.try_lock() {
+                if let Some(mut guard) = self.lanes[target].try_exclusive(false) {
                     if target < self.active_lanes() {
-                        publish(target, &mut heap);
-                        break 'published;
+                        for (key, value) in batch.drain(..) {
+                            guard.push(key, value);
+                        }
+                        self.len.fetch_add(count, Ordering::Relaxed);
+                        break 'published (target, false);
+                    }
+                    drop(guard);
+                    lock_retries += 1;
+                } else {
+                    lock_retries += 1;
+                    if self.side_publish_batch(target, batch) {
+                        break 'published (target, false);
                     }
                 }
-                lock_retries += 1;
                 target = self.stride_lane(rng, shard, self.active_lanes());
             }
             let target = self.stride_lane(rng, shard, self.config.min_active_lanes());
-            let mut heap = self.lanes[target].heap.lock();
-            publish(target, &mut heap);
-            drop(heap);
-            if let Some(obs) = &self.obs {
-                obs.on_lane_contention(target, lock_retries);
+            if let Some(mut guard) = self.lanes[target].try_exclusive(false) {
+                for (key, value) in batch.drain(..) {
+                    guard.push(key, value);
+                }
+                self.len.fetch_add(count, Ordering::Relaxed);
+            } else {
+                assert!(
+                    self.side_publish_batch(target, batch),
+                    "floor lanes are never retired"
+                );
+            }
+            (target, true)
+        };
+        if let Some(obs) = &self.obs {
+            if fell_back || lock_retries >= self.config.contention_event_threshold {
+                obs.on_lane_contention(lane, lock_retries);
             }
         }
-        self.len.fetch_add(count, Ordering::Relaxed);
         self.elastic_tick(count as u64, lock_retries, 0);
+        lock_retries
     }
 
     /// Picks the victim lane for one deleteMin attempt following the
     /// configured [`ChoiceRule`](crate::ChoiceRule) over the **active**
-    /// lanes, using only the cached tops (no locks are taken, exactly like
-    /// the original MultiQueue's unsynchronised peek). `scratch` is the
-    /// caller's reusable sample buffer.
+    /// lanes, using only the seqlock-stamped cached tops (zero borrow
+    /// acquisitions — the original MultiQueue's unsynchronised peek, made
+    /// tear-free). A lane whose sample is refused (a drain-type section in
+    /// progress, so its minimum may be mid-removal) is treated like an
+    /// empty lane for this attempt: conservative, and free of the
+    /// top-vs-emptiness torn read. `scratch` is the caller's reusable
+    /// sample buffer.
     fn choose_victim(&self, rng: &mut Xoshiro256, scratch: &mut Vec<usize>) -> Option<usize> {
         let active = self.active_lanes();
         self.config
             .choice
             .choose_by_key(rng, active, scratch, |lane| {
-                let top = self.lanes[lane].top.load(Ordering::Relaxed);
+                let top = self.lanes[lane].sample_top()?;
                 (top != EMPTY_TOP).then_some(top)
             })
     }
@@ -718,14 +802,16 @@ impl<V> MultiQueue<V> {
                 sparse_retries += 1;
                 continue;
             };
-            let Some(mut heap) = self.lanes[victim].heap.try_lock() else {
-                // Lock contention: restart the whole operation (paper's rule).
+            let Some(mut guard) = self.lanes[victim].try_exclusive(true) else {
+                // Borrow contention: restart the whole operation (paper's
+                // rule).
                 contended_retries += 1;
                 continue;
             };
-            let drained = self.drain_heap(&mut heap, max, out, log.as_deref_mut());
-            self.lanes[victim].refresh_top(&heap);
+            // The acquisition folded any side-buffered inserts; drain.
+            let drained = self.drain_heap(&mut guard, max, out, log.as_deref_mut());
             if drained > 0 {
+                // Under the borrow, symmetric to the insert-side credit.
                 self.len.fetch_sub(drained, Ordering::Relaxed);
                 return DrainOutcome {
                     drained,
@@ -734,7 +820,7 @@ impl<V> MultiQueue<V> {
                     observed_empty: false,
                 };
             }
-            // The lane was emptied between the peek and the lock; retry.
+            // The lane was emptied between the peek and the borrow; retry.
             contended_retries += 1;
         }
         // Retry budget exhausted: fall back to a deterministic steal so the
@@ -745,15 +831,19 @@ impl<V> MultiQueue<V> {
             drained,
             contended_retries,
             sparse_retries,
-            // The steal scan locked every lane and found nothing: that is an
-            // exhaustive (momentarily linearizable) emptiness observation.
-            observed_empty: drained == 0,
+            // The steal scan exclusively borrowed (and side-folded) every
+            // lane and found nothing — but a wait-free side publish can
+            // complete on an already-scanned lane, so only a corroborating
+            // `len` read of zero upgrades the scan to a quiescent-empty
+            // claim (the credit precedes the push, so `len == 0` implies no
+            // unfolded element exists).
+            observed_empty: drained == 0 && self.len.load(Ordering::Relaxed) == 0,
         }
     }
 
-    /// Pops up to `max` elements off a locked lane heap into `out`,
-    /// timestamping each into `log` when instrumented (the caller holds the
-    /// lane lock, making the stamps coherent with the drain).
+    /// Pops up to `max` elements off an exclusively borrowed lane heap into
+    /// `out`, timestamping each into `log` when instrumented (the caller
+    /// holds the lane borrow, making the stamps coherent with the drain).
     fn drain_heap(
         &self,
         heap: &mut BinaryHeap<V>,
@@ -789,10 +879,11 @@ impl<V> MultiQueue<V> {
         out: &mut Vec<(Key, V)>,
         mut log: Option<&mut Vec<TimestampedRemoval>>,
     ) -> usize {
-        // First pass without locks to find a candidate ordering cheaply.
+        // First pass without borrows to find a candidate ordering cheaply
+        // (raw top loads: staleness only affects the visit order).
         let mut best: Option<(Key, usize)> = None;
         for (i, lane) in self.lanes.iter().enumerate() {
-            let t = lane.top.load(Ordering::Relaxed);
+            let t = lane.load_top();
             if t != EMPTY_TOP && best.is_none_or(|(bk, _)| t < bk) {
                 best = Some((t, i));
             }
@@ -805,10 +896,9 @@ impl<V> MultiQueue<V> {
             None => (0..self.lanes.len()).collect(),
         };
         for i in order {
-            let mut heap = self.lanes[i].heap.lock();
-            let drained = self.drain_heap(&mut heap, max, out, log.as_deref_mut());
+            let mut guard = self.lanes[i].exclusive_blocking(true);
+            let drained = self.drain_heap(&mut guard, max, out, log.as_deref_mut());
             if drained > 0 {
-                self.lanes[i].refresh_top(&heap);
                 self.len.fetch_sub(drained, Ordering::Relaxed);
                 return drained;
             }
@@ -1054,6 +1144,48 @@ mod tests {
             all, expected,
             "every inserted key must come out exactly once"
         );
+    }
+
+    #[test]
+    fn batched_inserts_racing_drains_never_underflow_len() {
+        // Regression for the batched-insert `len` underflow: a batch flush
+        // used to credit `len` only after releasing the lane, so a drain
+        // scheduled into that window popped the elements and `fetch_sub`'d
+        // `len` below zero — wrapping `approx_len()` to ~2^64. Hammer
+        // batch-flushes against batch-drains and assert the approximate
+        // length never exceeds the number of elements ever inserted (an
+        // underflow reads as an astronomically large value). The companion
+        // deterministic proof lives in `tests/check_lane_fastpath.rs`,
+        // which drives the explorer straight into the (nanoseconds-wide)
+        // window this test can only make probable.
+        let threads = 4;
+        let per_thread = 2_000u64;
+        let total = threads as usize * per_thread as usize;
+        let q = queue(4, 1.0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let q = &q;
+                scope.spawn(move || {
+                    let mut handle = q.register_with(HandlePolicy::default().with_insert_batch(8));
+                    let base = t as u64 * per_thread;
+                    let mut out = Vec::new();
+                    for i in 0..per_thread {
+                        handle.insert(base + i, base + i);
+                        if i % 8 == 7 {
+                            handle.delete_min_batch_into(4, &mut out);
+                            let len = q.approx_len();
+                            assert!(
+                                len <= total,
+                                "approx_len() exceeds total-inserted: {len} (len underflow)"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let remaining = drain(&q).len();
+        assert_eq!(q.approx_len(), 0, "quiescent len is exact");
+        assert!(remaining <= total);
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! The lane fast-path protocol under the interleaving explorer.
+//!
+//! Two layers, mirroring `check_lane_table`:
+//!
+//! 1. **The production `MultiQueue`** compiled with `--features check`, driven
+//!    straight into the historical batched-insert `len` underflow window
+//!    (first test below — it failed before the fix moved the `len` credit
+//!    under the exclusive borrow).
+//! 2. **A coarsened model of the lane protocol** (DESIGN.md §13): the borrow
+//!    word, the seqlock-stamped top, the side-buffer fold points and the
+//!    Dekker-style publisher-count/shrink pairing, each proven exhaustively
+//!    clean — and each of the three tempting mis-orderings (top published
+//!    before the heap update, side-buffer folded after the pop, borrow
+//!    counter decremented before the push lands) shown to fail, with the
+//!    failing schedule replayed live and from a pinned string.
+//!
+//! Run with: `cargo test --features check --test check_lane_fastpath`
+
+#![cfg(feature = "check")]
+
+use std::sync::Arc;
+
+use check::sync::{AtomicU64, Ordering};
+use choice_check as check;
+use choice_pq::{HandlePolicy, MultiQueue, MultiQueueConfig, PqHandle, SharedPq};
+
+/// Regression model for the batched-insert `len` underflow: a batch flush
+/// used to publish its elements into the lane heap under the lane lock but
+/// bump the global `len` only after releasing it, so a drain scheduled into
+/// that window popped the elements and `fetch_sub`'d `len` below zero —
+/// wrapping `approx_len()` to ~2^64. The explorer drives the production
+/// queue straight into that window; with the add under the lane lock the
+/// model is clean under the same budget.
+#[test]
+fn batched_insert_never_underflows_len() {
+    let schedules = check::schedule_budget(2_000);
+    check::model_with(
+        check::Config {
+            max_steps: 20_000,
+            ..check::Config::random(schedules, 0xBA7C4)
+        },
+        || {
+            let q = Arc::new(MultiQueue::<u64>::new(
+                MultiQueueConfig::with_queues(1).with_seed(11),
+            ));
+            // One element pre-published so the racing drain does not take
+            // the len == 0 quiescent-empty early exit.
+            q.register_with(HandlePolicy::plain()).insert(0, 0);
+            let qa = Arc::clone(&q);
+            let inserter = check::spawn(move || {
+                let mut h = qa.register_with(HandlePolicy::plain().with_insert_batch(2));
+                h.insert(1, 1);
+                h.insert(2, 2); // second buffered insert flushes the batch
+            });
+            let qb = Arc::clone(&q);
+            let drainer = check::spawn(move || {
+                let mut h = qb.register_with(HandlePolicy::plain());
+                let mut out = Vec::new();
+                for _ in 0..2 {
+                    h.delete_min_batch_into(3, &mut out);
+                    let len = qb.approx_len();
+                    assert!(
+                        len <= 3,
+                        "approx_len() exceeds total-inserted: {len} (len underflow)"
+                    );
+                }
+                out.len()
+            });
+            inserter.join();
+            let drained = drainer.join();
+            let len = q.approx_len();
+            assert!(
+                len <= 3,
+                "approx_len() exceeds total-inserted at quiescence: {len}"
+            );
+            assert_eq!(len, 3 - drained, "conservation: len + drained == inserted");
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Coarsened protocol model (DESIGN.md §13).
+//
+// `crate::lane::Lane` reduced to what the protocol orders: the borrow word
+// (`EXCL` bit + publisher count), the seqlock stamp, the published top and
+// the global `len` credit. Each model moves a single element (key 5), so
+// the heap and the side-buffer coarsen to one-element atomic slots
+// (0 = empty) — the real heap is an `UnsafeCell` proven unique by `EXCL`
+// and the real side-buffer a wait-free MPSC list, and neither adds
+// protocol-relevant interleavings beyond the atomic visibility the slots
+// keep. One schedule point per touch keeps every model small enough for
+// the DFS to exhaust.
+// ---------------------------------------------------------------------------
+
+const EMPTY: u64 = u64::MAX;
+const EXCL: u64 = 1 << 63;
+const COUNT_MASK: u64 = EXCL - 1;
+
+/// Which orderings the model performs faithfully. Each `false` is one of
+/// the tempting mis-orderings the protocol comments warn about.
+#[derive(Clone, Copy)]
+struct Variant {
+    /// Publish `top` only after the element is in the heap and `len` is
+    /// credited (the real protocol); `false` advertises the top first.
+    top_after_element: bool,
+    /// Fold the side-buffer into the heap *before* popping (the real
+    /// protocol's fold-at-acquire); `false` folds only at release.
+    fold_before_pop: bool,
+    /// Keep the publisher count up until the side push lands (the real
+    /// protocol); `false` is the blind decrement before the push.
+    deregister_after_push: bool,
+}
+
+const FAITHFUL: Variant = Variant {
+    top_after_element: true,
+    fold_before_pop: true,
+    deregister_after_push: true,
+};
+
+/// One lane, coarsened to single-element heap/side slots.
+struct LaneModel {
+    /// Borrow word: bit 63 exclusive, low bits in-flight side publishers.
+    state: AtomicU64,
+    /// Seqlock stamp: odd while a drain-type exclusive section runs.
+    top_seq: AtomicU64,
+    /// Published cached minimum ([`EMPTY`] for an empty lane).
+    top: AtomicU64,
+    /// Global element credit (`MultiQueue::len`).
+    len: AtomicU64,
+    /// Side-buffer slot: the key, or 0 for empty.
+    side: AtomicU64,
+    /// Heap slot: the key, or 0 for empty.
+    heap: AtomicU64,
+}
+
+impl LaneModel {
+    fn new() -> Self {
+        Self {
+            state: AtomicU64::new(0),
+            top_seq: AtomicU64::new(0),
+            top: AtomicU64::new(EMPTY),
+            len: AtomicU64::new(0),
+            side: AtomicU64::new(0),
+            heap: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds the side slot into the heap slot (caller holds `EXCL`).
+    fn fold(&self) {
+        let k = self.side.swap(0, Ordering::AcqRel);
+        if k != 0 {
+            self.heap.store(k, Ordering::Release);
+        }
+    }
+
+    /// Pops the heap slot (caller holds `EXCL`).
+    fn pop_min(&self) -> Option<u64> {
+        let k = self.heap.swap(0, Ordering::AcqRel);
+        (k != 0).then_some(k)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: a settled non-empty top sample is backed by a published
+// element — `sample_top()` never advertises a phantom key.
+// ---------------------------------------------------------------------------
+
+/// A direct insert publishes key 5 under the exclusive borrow while a
+/// lock-free sampler performs the seqlock read from `Lane::sample_top`. The
+/// faithful order (heap, then `len`, then `top`) means a validated
+/// non-[`EMPTY`] sample always implies a positive credit; the broken order
+/// stores `top` first, so the sampler acts on a key no drain could return.
+fn phantom_top_model(variant: Variant) {
+    let lane = Arc::new(LaneModel::new());
+    let li = Arc::clone(&lane);
+    let inserter = check::spawn(move || {
+        let prev = li.state.fetch_or(EXCL, Ordering::AcqRel);
+        assert_eq!(prev & EXCL, 0, "sole borrower in this model");
+        // Insert-type section: the seqlock stamp stays even throughout.
+        if variant.top_after_element {
+            li.heap.store(5, Ordering::Release);
+            li.len.fetch_add(1, Ordering::Release);
+            li.top.store(5, Ordering::Release);
+        } else {
+            li.top.store(5, Ordering::Release); // advertised before it exists
+            li.heap.store(5, Ordering::Release);
+            li.len.fetch_add(1, Ordering::Release);
+        }
+        li.state.fetch_and(!EXCL, Ordering::Release);
+    });
+    let ls = Arc::clone(&lane);
+    let sampler = check::spawn(move || {
+        // Lane::sample_top, with the witness (`len`) read inside the window.
+        let s1 = ls.top_seq.load(Ordering::Acquire);
+        if s1 & 1 != 0 {
+            return;
+        }
+        let top = ls.top.load(Ordering::Acquire);
+        let len = ls.len.load(Ordering::Acquire);
+        if ls.top_seq.load(Ordering::Acquire) != s1 {
+            return;
+        }
+        if top != EMPTY {
+            // Every `len` decrement happens inside a drain-type (odd-stamp)
+            // section, so a validated even-stamp window with a non-empty
+            // top must overlap a positive credit.
+            assert!(
+                len > 0,
+                "phantom top: sampler saw key {top} with no published element"
+            );
+        }
+    });
+    inserter.join();
+    sampler.join();
+    assert_eq!(lane.heap.load(Ordering::Acquire), 5);
+    assert_eq!(lane.top.load(Ordering::Acquire), 5);
+    assert_eq!(lane.len.load(Ordering::Acquire), 1);
+}
+
+#[test]
+fn faithful_top_publish_is_backed_by_an_element() {
+    let report = check::explore(check::Config::dfs(100_000), || phantom_top_model(FAITHFUL))
+        .expect("publishing top after the heap update leaves no phantom window");
+    assert!(report.exhausted, "model small enough to exhaust");
+}
+
+#[test]
+fn top_published_before_heap_update_advertises_a_phantom_element() {
+    let variant = Variant {
+        top_after_element: false,
+        ..FAITHFUL
+    };
+    let failure = check::explore(check::Config::dfs(100_000), move || {
+        phantom_top_model(variant)
+    })
+    .expect_err("storing top first lets a sampler act on a key no drain can return");
+    assert!(
+        failure.message.contains("phantom top"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = check::replay(&failure.schedule, move || phantom_top_model(variant))
+        .expect_err("failing schedule must replay deterministically");
+    assert_eq!(replayed.message, failure.message);
+    assert_eq!(
+        failure.schedule, PINNED_PHANTOM_TOP,
+        "DFS is deterministic: first failing schedule is stable; \
+         update the pinned constant if the model legitimately changed"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: an exclusive drain acquired after a completed side publish
+// sees the element — the fold-at-acquire is what linearizes the wait-free
+// insert before the drain.
+// ---------------------------------------------------------------------------
+
+/// One wait-free side publisher races one drain. If the publisher finished
+/// (push landed, publisher count back down) before the drain even started,
+/// the drain must pop the element; the broken variant folds the side-buffer
+/// only at release, after the pop, so a completed insert stays invisible to
+/// the very drain that should return it. (The seqlock stamp and `top` are
+/// untouched here — property 1 covers them — to keep the space small.)
+fn side_fold_model(variant: Variant) {
+    let lane = Arc::new(LaneModel::new());
+    let done = Arc::new(AtomicU64::new(0));
+    let (li, done_w) = (Arc::clone(&lane), Arc::clone(&done));
+    let inserter = check::spawn(move || {
+        // The side-publish path: register, credit len, push, deregister.
+        li.state.fetch_add(1, Ordering::SeqCst);
+        li.len.fetch_add(1, Ordering::Release);
+        li.side.store(5, Ordering::Release);
+        li.state.fetch_sub(1, Ordering::Release);
+        done_w.store(1, Ordering::Release);
+    });
+    let (ld, done_r) = (Arc::clone(&lane), Arc::clone(&done));
+    let drainer = check::spawn(move || {
+        let insert_was_complete = done_r.load(Ordering::Acquire) == 1;
+        let prev = ld.state.fetch_or(EXCL, Ordering::AcqRel);
+        assert_eq!(prev & EXCL, 0, "side publishers never hold the borrow");
+        if variant.fold_before_pop {
+            ld.fold();
+        }
+        let popped = ld.pop_min();
+        if popped.is_some() {
+            ld.len.fetch_sub(1, Ordering::Release);
+        }
+        if !variant.fold_before_pop {
+            ld.fold();
+        }
+        ld.state.fetch_and(!EXCL, Ordering::Release);
+        if insert_was_complete {
+            assert_eq!(
+                popped,
+                Some(5),
+                "stale drain: completed side publish invisible to a later exclusive drain"
+            );
+        }
+        popped
+    });
+    inserter.join();
+    let popped = drainer.join();
+    let left = usize::from(lane.heap.load(Ordering::Acquire) != 0)
+        + usize::from(lane.side.load(Ordering::Acquire) != 0);
+    assert_eq!(
+        left + usize::from(popped.is_some()),
+        1,
+        "conservation: the element is popped or still held"
+    );
+    assert_eq!(
+        lane.len.load(Ordering::Acquire) as usize,
+        left,
+        "len matches the unpopped remainder"
+    );
+}
+
+#[test]
+fn faithful_drain_sees_every_completed_side_publish() {
+    let report = check::explore(check::Config::dfs(100_000), || side_fold_model(FAITHFUL))
+        .expect("the fold-at-acquire linearizes completed side publishes before the pop");
+    assert!(report.exhausted, "model small enough to exhaust");
+}
+
+#[test]
+fn side_buffer_folded_after_pop_hides_a_completed_insert() {
+    let variant = Variant {
+        fold_before_pop: false,
+        ..FAITHFUL
+    };
+    let failure = check::explore(check::Config::dfs(100_000), move || {
+        side_fold_model(variant)
+    })
+    .expect_err("folding only at release makes a finished insert invisible to the drain");
+    assert!(
+        failure.message.contains("stale drain"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = check::replay(&failure.schedule, move || side_fold_model(variant))
+        .expect_err("failing schedule must replay deterministically");
+    assert_eq!(replayed.message, failure.message);
+    assert_eq!(
+        failure.schedule, PINNED_STALE_DRAIN,
+        "DFS is deterministic: first failing schedule is stable; \
+         update the pinned constant if the model legitimately changed"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property 3: the shrink idle-check is sound — observing a zero publisher
+// count after publishing the shrunk table means no element can land in the
+// retired lane afterwards (DESIGN.md §13.4, the Dekker pairing).
+// ---------------------------------------------------------------------------
+
+/// An inserter side-publishes into lane 1 while a shrinker retires it
+/// (2 → 1 lanes). The shrinker publishes the shrunk table, takes the
+/// drain-type borrow, and — like `resize_locked` — treats a zero publisher
+/// count as "every racing publisher either landed its push or will see the
+/// new table and reroute". The real shrinker spins until the count is zero;
+/// the model checks the soundness of the *observed-idle* decision itself,
+/// so a non-zero count simply aborts the retire (vacuously fine). The
+/// broken variant decrements the count before the push lands, so the
+/// shrinker's idle read passes early and the element strands in a lane no
+/// d-choice sample will ever visit again.
+fn shrink_idle_model(variant: Variant) {
+    let lane = Arc::new(LaneModel::new()); // the retiring lane (index 1)
+    let active = Arc::new(AtomicU64::new(2));
+    let floor = Arc::new(AtomicU64::new(0)); // surviving lane 0, coarsened
+    let (li, ai, fi) = (Arc::clone(&lane), Arc::clone(&active), Arc::clone(&floor));
+    let inserter = check::spawn(move || {
+        // side_publish_one: register, revalidate against the table, push.
+        li.state.fetch_add(1, Ordering::SeqCst);
+        if ai.load(Ordering::SeqCst) < 2 {
+            // Revalidation failed: the lane is retiring; reroute.
+            li.state.fetch_sub(1, Ordering::Release);
+            fi.store(5, Ordering::Release);
+        } else if variant.deregister_after_push {
+            li.side.store(5, Ordering::Release);
+            li.state.fetch_sub(1, Ordering::Release);
+        } else {
+            li.state.fetch_sub(1, Ordering::Release); // blind decrement
+            li.side.store(5, Ordering::Release);
+        }
+    });
+    let (ls, table, fs) = (Arc::clone(&lane), Arc::clone(&active), Arc::clone(&floor));
+    let shrinker = check::spawn(move || {
+        table.store(1, Ordering::SeqCst); // publish the shrunk table first (§7)
+        let prev = ls.state.fetch_or(EXCL, Ordering::AcqRel);
+        assert_eq!(prev & EXCL, 0, "side publishers never hold the borrow");
+        let retired = if ls.state.load(Ordering::SeqCst) & COUNT_MASK == 0 {
+            // Idle observed: final fold, refugees to the surviving lane.
+            let refugee = ls.side.swap(0, Ordering::AcqRel);
+            if refugee != 0 {
+                fs.store(refugee, Ordering::Release);
+            }
+            true
+        } else {
+            false // the real shrinker would spin and re-read
+        };
+        ls.state.fetch_and(!EXCL, Ordering::Release);
+        retired
+    });
+    inserter.join();
+    let retired = shrinker.join();
+    if retired {
+        assert_eq!(
+            lane.side.load(Ordering::Acquire),
+            0,
+            "stranded element: shrink observed an idle lane, then a push landed in it"
+        );
+        assert_eq!(
+            floor.load(Ordering::Acquire),
+            5,
+            "the key survives in the active prefix"
+        );
+    }
+}
+
+#[test]
+fn faithful_shrink_idle_check_strands_no_element() {
+    let report = check::explore(check::Config::dfs(100_000), || shrink_idle_model(FAITHFUL))
+        .expect("a publisher is counted until its push lands, so idle means folded");
+    assert!(report.exhausted, "model small enough to exhaust");
+}
+
+#[test]
+fn blind_deregister_lets_shrink_retire_a_lane_mid_publish() {
+    let variant = Variant {
+        deregister_after_push: false,
+        ..FAITHFUL
+    };
+    let failure = check::explore(check::Config::dfs(100_000), move || {
+        shrink_idle_model(variant)
+    })
+    .expect_err("decrementing before the push lets the idle check pass early");
+    assert!(
+        failure.message.contains("stranded element"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = check::replay(&failure.schedule, move || shrink_idle_model(variant))
+        .expect_err("failing schedule must replay deterministically");
+    assert_eq!(replayed.message, failure.message);
+    assert_eq!(
+        failure.schedule, PINNED_STRANDED,
+        "DFS is deterministic: first failing schedule is stable; \
+         update the pinned constant if the model legitimately changed"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Pinned replay regressions (schedule strings captured from the DFS runs
+// above; regenerate by printing `failure.schedule` if a model changes).
+// ---------------------------------------------------------------------------
+
+/// Replays all three pinned schedules, so a regression in the explorer or
+/// the protocol reproduces from this file alone.
+#[test]
+fn pinned_schedules_replay_every_broken_variant() {
+    let phantom = check::replay(PINNED_PHANTOM_TOP, || {
+        phantom_top_model(Variant {
+            top_after_element: false,
+            ..FAITHFUL
+        })
+    })
+    .expect_err("pinned phantom-top schedule still fails");
+    assert!(phantom.message.contains("phantom top"));
+    let stale = check::replay(PINNED_STALE_DRAIN, || {
+        side_fold_model(Variant {
+            fold_before_pop: false,
+            ..FAITHFUL
+        })
+    })
+    .expect_err("pinned stale-drain schedule still fails");
+    assert!(stale.message.contains("stale drain"));
+    let stranded = check::replay(PINNED_STRANDED, || {
+        shrink_idle_model(Variant {
+            deregister_after_push: false,
+            ..FAITHFUL
+        })
+    })
+    .expect_err("pinned stranded-element schedule still fails");
+    assert!(stranded.message.contains("stranded element"));
+}
+
+/// First failing DFS schedule for the phantom-top variant.
+const PINNED_PHANTOM_TOP: &str = "0,0,0,1,1,1,1,2,2,2,2,1,1,0,2";
+/// First failing DFS schedule for the fold-after-pop variant.
+const PINNED_STALE_DRAIN: &str = "0,0,0,1,1,1,1,1,1,0,2,2,2,2,2,2,2";
+/// First failing DFS schedule for the blind-decrement variant.
+const PINNED_STRANDED: &str = "0,0,0,1,1,1,1,2,2,2,2,2,1,0,2,0,0";

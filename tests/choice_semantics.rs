@@ -69,6 +69,39 @@ fn one_plus_beta_reproduces_the_pre_choicerule_golden_trace() {
     assert_eq!(scripted_trace(&q, 32), golden);
 }
 
+/// Golden trace captured from the locked-lane engine (the `Mutex` front
+/// door, before the seqlock top + borrow-state + side-buffer fast path):
+/// batched sticky inserts (batch 8, sticky 4) and batched drains over 8
+/// two-choice lanes, seed 2024. The lock-free fast path must replay it
+/// bit-for-bit — uncontended, it consumes the RNG stream identically and
+/// removes the same elements in the same order.
+#[test]
+fn lane_fastpath_reproduces_the_locked_path_golden_trace() {
+    let golden = [
+        1u64, 2, 3, 8, 0, 4, 5, 6, 7, 11, 12, 13, 9, 10, 15, 16, 14, 18, 19, 20, 21, 25, 26, 27,
+        17, 22, 23, 24, 28, 33, 34, 35, 40, 41, 42, 47, 29, 30, 31, 32, 36, 37, 38, 39, 48, 49, 54,
+        55, 56, 61, 62, 63, 43, 44, 45, 46, 50, 51, 52, 53, 57, 58, 59, 60,
+    ];
+    let q = MultiQueue::<u64>::new(
+        MultiQueueConfig::with_queues(8)
+            .with_choice(ChoiceRule::TwoChoice)
+            .with_seed(2024),
+    );
+    let mut h = q.register_policy(
+        HandlePolicy::default()
+            .with_insert_batch(8)
+            .with_sticky_ops(4),
+    );
+    for k in 0..64u64 {
+        h.insert(k * 7 % 64, k);
+    }
+    h.flush();
+    let mut out = Vec::new();
+    while h.delete_min_batch_into(4, &mut out) > 0 {}
+    let keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, golden);
+}
+
 /// d = 1 victim lanes are uniform: run the sequential process (which records
 /// the victim queue of every removal) and check no queue is over- or
 /// under-sampled beyond loose binomial slack.

@@ -304,6 +304,69 @@ fn quota_refusal_and_resize_dump_carries_epochs_and_tenants() {
     assert!(exposition.contains("quota-refusal") && exposition.contains("resize"));
 }
 
+/// The contention-event rule: a publish that accumulates `lock_retries >=
+/// contention_event_threshold` records a `LaneContention` event even when a
+/// fast-path arm (here: the wait-free side-buffer) published — not just the
+/// blocking floor-lane fallback, which used to be the only emitter while
+/// fast-path retries reached only the elastic controller. Pinned so the
+/// emission rule cannot silently regress to fallback-only.
+#[test]
+fn fast_path_contention_reaches_the_flight_recorder() {
+    let hub = ObsHub::with_capacity(64);
+    let mut queue = MultiQueue::<u64>::new(
+        MultiQueueConfig::with_queues(2)
+            .with_seed(7)
+            .with_contention_event_threshold(1),
+    );
+    queue.attach_obs(QueueObs::new(&hub, "contended"));
+    let mut h = queue.register();
+    // Uncontended inserts publish directly: below the threshold, no events.
+    h.insert(1, 1);
+    h.insert(2, 2);
+    assert!(
+        hub.recorder()
+            .events()
+            .iter()
+            .all(|e| e.kind != EventKind::LaneContention),
+        "uncontended inserts must not record contention events"
+    );
+    // Hold lane 0's exclusive borrow and insert until a draw lands on it
+    // (p = 1/2 per insert): that insert counts one failed acquisition
+    // (>= threshold 1), publishes wait-free through the side-buffer, and
+    // must surface in the flight recorder despite never falling back.
+    queue.with_lane_locked(0, || {
+        for k in 0..64u64 {
+            h.insert(10 + k, k);
+            if hub
+                .recorder()
+                .events()
+                .iter()
+                .any(|e| e.kind == EventKind::LaneContention)
+            {
+                break;
+            }
+        }
+    });
+    let events = hub.recorder().events();
+    let contention: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::LaneContention)
+        .collect();
+    assert!(
+        !contention.is_empty(),
+        "a held lane must surface as a LaneContention event"
+    );
+    assert_eq!(contention[0].label, "contended");
+    assert_eq!(
+        contention[0].fields[0], 0,
+        "the event names the lane that took the elements"
+    );
+    assert!(
+        contention[0].fields[1] >= 1,
+        "and carries the accumulated retry count"
+    );
+}
+
 /// Drains an 8-element queue laid out one-element-per-lane and checks every
 /// sampled shadow-probe value against the exact rank from a sorted mirror.
 /// Returns `None` when the seed's random placement doubled up a lane (the
